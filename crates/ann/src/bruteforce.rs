@@ -1,0 +1,126 @@
+//! Exact kNN by exhaustive scan.
+//!
+//! Used in three places: the brute-force stage of the BSBF baseline
+//! (Algorithm 1), MBI's non-full tail leaf block (Algorithm 4 line 6), and
+//! ground-truth computation for recall measurements. Costs `O(m log k)` for
+//! `m` scanned rows using the bounded heap, as analysed in §3.2.1.
+
+use crate::store::VectorView;
+use crate::SearchStats;
+use mbi_math::{Metric, Neighbor, TopK};
+
+/// Exact kNN over every row of `view`; returns ascending by distance.
+pub fn brute_force(
+    view: VectorView<'_>,
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    brute_force_filtered(view, metric, query, k, &mut |_| true, stats)
+}
+
+/// Exact kNN over the rows of `view` accepted by `filter`.
+///
+/// The filter runs *before* the distance computation, so rejected rows cost
+/// one predicate call and nothing else — this is what makes BSBF fast on
+/// short windows.
+pub fn brute_force_filtered(
+    view: VectorView<'_>,
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+    filter: &mut dyn FnMut(u32) -> bool,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    let mut top = TopK::new(k);
+    for i in 0..view.len() {
+        let id = i as u32;
+        if !filter(id) {
+            continue;
+        }
+        stats.scanned += 1;
+        stats.dist_evals += 1;
+        let d = metric.distance(query, view.get(i));
+        top.offer(id, d);
+    }
+    top.into_sorted_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::VectorStore;
+
+    fn line(n: usize) -> VectorStore {
+        let mut s = VectorStore::new(1);
+        for i in 0..n {
+            s.push(&[i as f32]);
+        }
+        s
+    }
+
+    #[test]
+    fn exact_on_line() {
+        let s = line(100);
+        let mut stats = SearchStats::default();
+        let res = brute_force(s.view(), Metric::Euclidean, &[40.2], 3, &mut stats);
+        let ids: Vec<u32> = res.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![40, 41, 39]);
+        assert_eq!(stats.scanned, 100);
+        assert_eq!(stats.dist_evals, 100);
+    }
+
+    #[test]
+    fn filtered_scan_skips_distance_work() {
+        let s = line(100);
+        let mut stats = SearchStats::default();
+        let res = brute_force_filtered(
+            s.view(),
+            Metric::Euclidean,
+            &[0.0],
+            2,
+            &mut |id| id >= 90,
+            &mut stats,
+        );
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].id, 90);
+        assert_eq!(res[1].id, 91);
+        assert_eq!(stats.scanned, 10, "only in-filter rows are scanned");
+    }
+
+    #[test]
+    fn k_larger_than_matches() {
+        let s = line(10);
+        let mut stats = SearchStats::default();
+        let res = brute_force_filtered(
+            s.view(),
+            Metric::Euclidean,
+            &[5.0],
+            100,
+            &mut |id| id % 2 == 0,
+            &mut stats,
+        );
+        assert_eq!(res.len(), 5);
+    }
+
+    #[test]
+    fn empty_view() {
+        let s = VectorStore::new(3);
+        let mut stats = SearchStats::default();
+        let res = brute_force(s.view(), Metric::Euclidean, &[0.0, 0.0, 0.0], 5, &mut stats);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn results_sorted_with_ties_by_id() {
+        let mut s = VectorStore::new(1);
+        s.push(&[1.0]);
+        s.push(&[1.0]);
+        s.push(&[1.0]);
+        let mut stats = SearchStats::default();
+        let res = brute_force(s.view(), Metric::Euclidean, &[1.0], 3, &mut stats);
+        let ids: Vec<u32> = res.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

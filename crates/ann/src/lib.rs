@@ -1,0 +1,74 @@
+//! Graph-based approximate nearest neighbour substrate for MBI.
+//!
+//! The paper (§4.1) builds one graph-based kNN index per block, constructed
+//! with **NNDescent** (Dong et al., WWW'11) and searched with the best-first
+//! beam search of Algorithm 2. This crate implements that substrate from
+//! scratch:
+//!
+//! * [`VectorStore`] / [`VectorView`] — contiguous row-major `f32` storage.
+//!   MBI appends strictly in timestamp order, so every block is a row *range*
+//!   of one global store; views make per-block search zero-copy.
+//! * [`KnnGraph`] + [`NnDescentParams`] — the approximate kNN graph and its
+//!   NNDescent builder (random initialisation, local joins over sampled
+//!   new/old/reverse neighbours, convergence detection).
+//! * [`greedy_search`] — Algorithm 2: best-first traversal with a candidate
+//!   set capped at `M_C`, range factor `ε`, and a pluggable predicate filter
+//!   used for the time window. When the filter accepts everything this is
+//!   plain graph kNN search.
+//! * [`HnswIndex`] — an alternative per-block index (hierarchical navigable
+//!   small world, Malkov & Yashunin 2018). The paper notes any graph index
+//!   can back a block; HNSW powers the ablation benchmark.
+//! * [`brute_force`] — exact (optionally filtered) kNN, used by the BSBF
+//!   baseline, by MBI's non-full tail leaf, and for ground truth.
+//! * [`BlockIndex`] — the object-safe trait MBI blocks use to dispatch to
+//!   either graph implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bruteforce;
+mod graph;
+mod hnsw;
+mod nndescent;
+mod search;
+mod store;
+
+pub use bruteforce::{brute_force, brute_force_filtered};
+pub use graph::{Graph, KnnGraph};
+pub use hnsw::{HnswIndex, HnswParams};
+pub use nndescent::NnDescentParams;
+pub use search::{greedy_search, EntryPolicy, SearchParams, SearchStats};
+pub use store::{VectorStore, VectorView};
+
+pub use mbi_math::{Metric, Neighbor};
+
+/// An object-safe per-block ANN index.
+///
+/// Implementations never own the raw vectors; the caller supplies the block's
+/// [`VectorView`] at search time. Returned ids are **local** to the view
+/// (`0..view.len()`); MBI translates them back to global row ids.
+pub trait BlockIndex: Send + Sync {
+    /// Approximate filtered kNN: return up to `k` neighbours of `query`
+    /// among view rows accepted by `filter`, following Algorithm 2 semantics
+    /// (keep searching until `k` accepted results are found, then expand only
+    /// within `ε ×` the current worst result distance).
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        &self,
+        view: VectorView<'_>,
+        metric: Metric,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: &mut dyn FnMut(u32) -> bool,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor>;
+
+    /// Bytes of heap memory used by the index structure itself (excluding the
+    /// raw vectors, which are shared). This feeds the Table 4 / Figure 7b
+    /// index-size accounting.
+    fn memory_bytes(&self) -> usize;
+
+    /// Short name for reports ("nndescent" / "hnsw").
+    fn kind(&self) -> &'static str;
+}

@@ -1,0 +1,474 @@
+//! Best-first graph search with time filtering — Algorithm 2 of the paper.
+//!
+//! The same routine serves three roles:
+//!
+//! * plain approximate kNN (filter accepts everything);
+//! * **SF** (Search-and-Filtering, §3.2.2): filter accepts only vectors inside
+//!   the query time window, and the search keeps expanding *without* the `ε`
+//!   bound until `k` in-window results exist (line 8 of Algorithm 2) — the
+//!   behaviour that makes SF slow on short windows and that MBI exploits;
+//! * per-block search inside MBI's query process (Algorithm 4, line 8).
+
+use crate::graph::Graph;
+use crate::store::VectorView;
+use mbi_math::{Metric, Neighbor, OrderedF32, TopK};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// How the search picks its starting vertex (Algorithm 2 line 1 samples a
+/// random vertex).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryPolicy {
+    /// Always start from this node id (clamped to the graph size).
+    Fixed(u32),
+    /// Start from a node chosen by hashing the query vector's bits — random
+    /// across queries, deterministic for a given query, so experiments are
+    /// exactly reproducible without threading an RNG through every search.
+    QueryHash,
+}
+
+/// Parameters of the graph search (Algorithm 2).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// `M_C` — maximum size of the candidate set `C`.
+    pub max_candidates: usize,
+    /// `ε ≥ 1` — range factor controlling how far past the current k-th
+    /// distance the search keeps expanding (the paper sweeps 1.0–1.4).
+    pub epsilon: f32,
+    /// Starting-vertex policy.
+    pub entry: EntryPolicy,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            max_candidates: 128,
+            epsilon: 1.1,
+            entry: EntryPolicy::QueryHash,
+        }
+    }
+}
+
+impl SearchParams {
+    /// Convenience constructor for the two tunables the paper varies.
+    pub fn new(max_candidates: usize, epsilon: f32) -> Self {
+        SearchParams { max_candidates, epsilon, entry: EntryPolicy::QueryHash }
+    }
+}
+
+/// Counters accumulated during a search; the experiment harness reports them
+/// and the complexity tests assert on them.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Number of distance evaluations (`σ` calls).
+    pub dist_evals: u64,
+    /// Number of vertices visited (popped from the candidate set).
+    pub visited: u64,
+    /// Number of vertices scanned by brute force (BSBF paths).
+    pub scanned: u64,
+    /// Number of blocks a query touched (filled in by MBI).
+    pub blocks_searched: u64,
+}
+
+impl SearchStats {
+    /// Adds another stats record into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.dist_evals += other.dist_evals;
+        self.visited += other.visited;
+        self.scanned += other.scanned;
+        self.blocks_searched += other.blocks_searched;
+    }
+}
+
+/// FNV-1a over the query's raw bits; used by [`EntryPolicy::QueryHash`].
+fn hash_query(query: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in query {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// A word-packed visited/seen set sized to the graph.
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    #[inline]
+    fn test_and_set(&mut self, i: u32) -> bool {
+        let w = (i / 64) as usize;
+        let b = 1u64 << (i % 64);
+        let was = self.words[w] & b != 0;
+        self.words[w] |= b;
+        was
+    }
+}
+
+/// Algorithm 2: best-first search over `graph` for the `k` nearest rows of
+/// `view` (by `metric`) that satisfy `filter`.
+///
+/// Ids passed to `filter` and returned in the result are view-local. The
+/// candidate set `C` holds unvisited candidates ordered by distance and is
+/// pruned to `params.max_candidates`; while fewer than `k` accepted results
+/// exist the search expands unconditionally (line 9), afterwards only within
+/// `ε ×` the current worst accepted distance (line 11).
+///
+/// Returns accepted results sorted by ascending distance.
+///
+/// ```
+/// use mbi_ann::{greedy_search, NnDescentParams, SearchParams, SearchStats, VectorStore};
+/// use mbi_math::Metric;
+///
+/// let mut store = VectorStore::new(1);
+/// for i in 0..500 {
+///     store.push(&[i as f32]);
+/// }
+/// let graph = NnDescentParams::with_degree(8).build(store.view(), Metric::Euclidean);
+/// let mut stats = SearchStats::default();
+/// // Nearest to 123.4 among ids ≥ 200 only (e.g. a time filter):
+/// let hits = greedy_search(
+///     &graph, store.view(), Metric::Euclidean, &[123.4], 2,
+///     &SearchParams::new(64, 1.2), &mut |id| id >= 200, &mut stats,
+/// );
+/// assert_eq!(hits[0].id, 200);
+/// assert_eq!(hits[1].id, 201);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn greedy_search(
+    graph: &dyn Graph,
+    view: VectorView<'_>,
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+    params: &SearchParams,
+    filter: &mut dyn FnMut(u32) -> bool,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    let n = graph.node_count();
+    debug_assert_eq!(n, view.len(), "graph and view must describe the same rows");
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+
+    let entry = match params.entry {
+        EntryPolicy::Fixed(id) => (id as usize).min(n - 1) as u32,
+        EntryPolicy::QueryHash => (hash_query(query) % n as u64) as u32,
+    };
+
+    // `seen` covers both "currently in C" and "already visited": a node is
+    // offered to C at most once (pruned candidates are not re-offered; see
+    // DESIGN.md for the deviation note — standard in HNSW-style searchers).
+    let mut seen = BitSet::new(n);
+    let mut candidates: BTreeSet<(OrderedF32, u32)> = BTreeSet::new();
+    let mut results = TopK::new(k);
+
+    let d0 = metric.distance(query, view.get(entry as usize));
+    stats.dist_evals += 1;
+    seen.test_and_set(entry);
+    candidates.insert((OrderedF32(d0), entry));
+
+    while let Some(&(dist, id)) = candidates.iter().next() {
+        // Early termination: candidates are visited in ascending distance,
+        // so once the best unvisited candidate exceeds the ε-range bound no
+        // future vertex can enter C (line 11 admits only σ < ε·max_R σ) and
+        // none of the remaining ones can improve R. Only applies once R is
+        // full — while |R| < k the search must keep expanding (line 9),
+        // which is what makes SF slow on short windows. This is the bound
+        // implied by the paper's O(log n + k) query complexity (§4.4.3).
+        if results.is_full() && dist.get() > params.epsilon * results.worst() {
+            break;
+        }
+        candidates.remove(&(dist, id));
+        stats.visited += 1;
+
+        // Line 12: the visited vertex joins R iff it passes the filter.
+        if filter(id) {
+            results.offer(id, dist.get());
+        }
+
+        // Expansion bound (lines 8–11).
+        let bound = if results.is_full() {
+            params.epsilon * results.worst()
+        } else {
+            f32::INFINITY
+        };
+
+        for &nb in graph.neighbors(id) {
+            if seen.test_and_set(nb) {
+                continue;
+            }
+            let d = metric.distance(query, view.get(nb as usize));
+            stats.dist_evals += 1;
+            if d < bound {
+                candidates.insert((OrderedF32(d), nb));
+            }
+        }
+
+        // Line 16–17: retain the M_C nearest candidates.
+        while candidates.len() > params.max_candidates {
+            let worst = *candidates.iter().next_back().expect("non-empty");
+            candidates.remove(&worst);
+        }
+    }
+
+    results.into_sorted_vec()
+}
+
+impl crate::BlockIndex for crate::KnnGraph {
+    fn search(
+        &self,
+        view: VectorView<'_>,
+        metric: Metric,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: &mut dyn FnMut(u32) -> bool,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        greedy_search(self, view, metric, query, k, params, filter, stats)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        KnnGraph::memory_bytes(self)
+    }
+
+    fn kind(&self) -> &'static str {
+        "knn_graph"
+    }
+}
+
+use crate::KnnGraph;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nndescent::exact_graph;
+    use crate::store::VectorStore;
+    use crate::BlockIndex;
+
+    /// 1-D line dataset where distances are obvious.
+    fn line(n: usize) -> VectorStore {
+        let mut s = VectorStore::new(2);
+        for i in 0..n {
+            s.push(&[i as f32, 0.0]);
+        }
+        s
+    }
+
+    fn accept_all(_: u32) -> bool {
+        true
+    }
+
+    #[test]
+    fn finds_exact_nn_on_line() {
+        let s = line(200);
+        let g = exact_graph(s.view(), Metric::Euclidean, 8);
+        let mut stats = SearchStats::default();
+        let q = [57.3f32, 0.0];
+        let res = greedy_search(
+            &g,
+            s.view(),
+            Metric::Euclidean,
+            &q,
+            3,
+            &SearchParams::new(64, 1.2),
+            &mut accept_all,
+            &mut stats,
+        );
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0].id, 57);
+        let ids: Vec<u32> = res.iter().map(|r| r.id).collect();
+        assert!(ids.contains(&58));
+        assert!(stats.dist_evals > 0);
+        assert!(stats.visited > 0);
+    }
+
+    #[test]
+    fn empty_graph_returns_nothing() {
+        let s = VectorStore::new(2);
+        let g = exact_graph(s.view(), Metric::Euclidean, 4);
+        let mut stats = SearchStats::default();
+        let res = greedy_search(
+            &g,
+            s.view(),
+            Metric::Euclidean,
+            &[0.0, 0.0],
+            5,
+            &SearchParams::default(),
+            &mut accept_all,
+            &mut stats,
+        );
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let s = line(10);
+        let g = exact_graph(s.view(), Metric::Euclidean, 4);
+        let mut stats = SearchStats::default();
+        let res = greedy_search(
+            &g,
+            s.view(),
+            Metric::Euclidean,
+            &[3.0, 0.0],
+            0,
+            &SearchParams::default(),
+            &mut accept_all,
+            &mut stats,
+        );
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn filter_restricts_results() {
+        let s = line(100);
+        let g = exact_graph(s.view(), Metric::Euclidean, 6);
+        let mut stats = SearchStats::default();
+        // Only ids in [80, 90) are acceptable; the query sits at 10.
+        let mut filter = |id: u32| (80..90).contains(&id);
+        let res = greedy_search(
+            &g,
+            s.view(),
+            Metric::Euclidean,
+            &[10.0, 0.0],
+            4,
+            &SearchParams::new(64, 1.1),
+            &mut filter,
+            &mut stats,
+        );
+        assert_eq!(res.len(), 4, "must keep expanding until k in-filter results");
+        assert_eq!(res[0].id, 80);
+        for r in &res {
+            assert!((80..90).contains(&r.id));
+        }
+    }
+
+    #[test]
+    fn filter_with_fewer_than_k_matches_returns_all_matches() {
+        let s = line(50);
+        let g = exact_graph(s.view(), Metric::Euclidean, 6);
+        let mut stats = SearchStats::default();
+        let mut filter = |id: u32| id == 30 || id == 31;
+        let res = greedy_search(
+            &g,
+            s.view(),
+            Metric::Euclidean,
+            &[0.0, 0.0],
+            10,
+            &SearchParams::new(64, 1.1),
+            &mut filter,
+            &mut stats,
+        );
+        // Search exhausts the graph (|R| < k never triggers the ε bound), so
+        // both acceptable vertices are found.
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].id, 30);
+        assert_eq!(res[1].id, 31);
+    }
+
+    #[test]
+    fn results_are_sorted_ascending() {
+        let s = line(100);
+        let g = exact_graph(s.view(), Metric::Euclidean, 8);
+        let mut stats = SearchStats::default();
+        let res = greedy_search(
+            &g,
+            s.view(),
+            Metric::Euclidean,
+            &[42.0, 0.0],
+            10,
+            &SearchParams::new(64, 1.3),
+            &mut accept_all,
+            &mut stats,
+        );
+        for w in res.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn entry_policy_fixed_clamps() {
+        let s = line(10);
+        let g = exact_graph(s.view(), Metric::Euclidean, 4);
+        let mut stats = SearchStats::default();
+        let params = SearchParams {
+            entry: EntryPolicy::Fixed(9999),
+            ..SearchParams::default()
+        };
+        let res = greedy_search(
+            &g,
+            s.view(),
+            Metric::Euclidean,
+            &[5.0, 0.0],
+            1,
+            &params,
+            &mut accept_all,
+            &mut stats,
+        );
+        assert_eq!(res[0].id, 5);
+    }
+
+    #[test]
+    fn larger_epsilon_visits_at_least_as_much() {
+        let s = line(400);
+        let g = exact_graph(s.view(), Metric::Euclidean, 6);
+        let q = [123.0f32, 0.0];
+        let mut narrow = SearchStats::default();
+        let mut wide = SearchStats::default();
+        greedy_search(
+            &g, s.view(), Metric::Euclidean, &q, 5,
+            &SearchParams { epsilon: 1.0, ..SearchParams::new(128, 1.0) },
+            &mut accept_all, &mut narrow,
+        );
+        greedy_search(
+            &g, s.view(), Metric::Euclidean, &q, 5,
+            &SearchParams { epsilon: 1.4, ..SearchParams::new(128, 1.4) },
+            &mut accept_all, &mut wide,
+        );
+        assert!(wide.dist_evals >= narrow.dist_evals);
+    }
+
+    #[test]
+    fn block_index_impl_for_knn_graph() {
+        let s = line(60);
+        let g = exact_graph(s.view(), Metric::Euclidean, 6);
+        let idx: &dyn BlockIndex = &g;
+        let mut stats = SearchStats::default();
+        let res = idx.search(
+            s.view(),
+            Metric::Euclidean,
+            &[20.0, 0.0],
+            2,
+            &SearchParams::default(),
+            &mut accept_all,
+            &mut stats,
+        );
+        assert_eq!(res[0].id, 20);
+        assert_eq!(idx.kind(), "knn_graph");
+        assert!(idx.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn query_hash_is_deterministic() {
+        assert_eq!(hash_query(&[1.0, 2.0]), hash_query(&[1.0, 2.0]));
+        assert_ne!(hash_query(&[1.0, 2.0]), hash_query(&[2.0, 1.0]));
+    }
+
+    #[test]
+    fn bitset_test_and_set() {
+        let mut b = BitSet::new(130);
+        assert!(!b.test_and_set(0));
+        assert!(b.test_and_set(0));
+        assert!(!b.test_and_set(129));
+        assert!(b.test_and_set(129));
+        assert!(!b.test_and_set(64));
+    }
+}

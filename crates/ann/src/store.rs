@@ -1,0 +1,297 @@
+//! Contiguous row-major vector storage.
+
+/// An append-only store of `d`-dimensional `f32` vectors.
+///
+/// MBI appends strictly in timestamp order (§4.2), so all raw vectors for the
+/// whole database live once in a single `VectorStore`; each block of the index
+/// is just a row range. This keeps raw-data memory `O(|D|)` while the per-level
+/// *graphs* account for the `O(|D| log |D|)` index size of §4.4.1.
+///
+/// ```
+/// use mbi_ann::VectorStore;
+///
+/// let mut store = VectorStore::new(3);
+/// let id = store.push(&[1.0, 2.0, 3.0]);
+/// store.push(&[4.0, 5.0, 6.0]);
+/// assert_eq!(id, 0);
+/// assert_eq!(store.get(1), &[4.0, 5.0, 6.0]);
+/// assert_eq!(store.slice(1..2).len(), 1);   // zero-copy block view
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VectorStore {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl VectorStore {
+    /// Creates an empty store of `dim`-dimensional vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        VectorStore { dim, data: Vec::new() }
+    }
+
+    /// Creates an empty store with room for `capacity` vectors.
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        VectorStore {
+            dim,
+            data: Vec::with_capacity(dim * capacity),
+        }
+    }
+
+    /// Builds a store from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "flat buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        VectorStore { dim, data }
+    }
+
+    /// The dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the store holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a vector, returning its row id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim`.
+    pub fn push(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dim, "vector has wrong dimension");
+        let id = self.len() as u32;
+        self.data.extend_from_slice(v);
+        id
+    }
+
+    /// Returns row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[f32] {
+        let start = i * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// A view over all rows.
+    #[inline]
+    pub fn view(&self) -> VectorView<'_> {
+        VectorView {
+            dim: self.dim,
+            data: &self.data,
+        }
+    }
+
+    /// A view over rows `range.start..range.end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    #[inline]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> VectorView<'_> {
+        assert!(range.start <= range.end && range.end <= self.len(), "row range out of bounds");
+        VectorView {
+            dim: self.dim,
+            data: &self.data[range.start * self.dim..range.end * self.dim],
+        }
+    }
+
+    /// The underlying flat buffer (row-major).
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Bytes of heap memory used by the raw vectors.
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+
+    /// Bytes occupied by the *stored* vectors only (length, not capacity) —
+    /// this is the "Input Data Size" column of Table 4.
+    #[inline]
+    pub fn data_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// A borrowed, immutable view over a contiguous run of rows.
+#[derive(Clone, Copy, Debug)]
+pub struct VectorView<'a> {
+    dim: usize,
+    data: &'a [f32],
+}
+
+impl<'a> VectorView<'a> {
+    /// Builds a view from a flat row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn from_flat(dim: usize, data: &'a [f32]) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "flat slice length not a multiple of dim");
+        VectorView { dim, data }
+    }
+
+    /// The dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns row `i` (local to the view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &'a [f32] {
+        let start = i * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Iterates over rows in order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut s = VectorStore::new(3);
+        assert!(s.is_empty());
+        let a = s.push(&[1.0, 2.0, 3.0]);
+        let b = s.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.get(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn push_rejects_wrong_dim() {
+        let mut s = VectorStore::new(3);
+        s.push(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_rejected() {
+        VectorStore::new(0);
+    }
+
+    #[test]
+    fn from_flat_and_as_flat() {
+        let s = VectorStore::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1), &[3.0, 4.0]);
+        assert_eq!(s.as_flat(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged() {
+        VectorStore::from_flat(3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn slice_views_are_local() {
+        let mut s = VectorStore::new(2);
+        for i in 0..5 {
+            s.push(&[i as f32, -(i as f32)]);
+        }
+        let v = s.slice(2..4);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(0), &[2.0, -2.0]);
+        assert_eq!(v.get(1), &[3.0, -3.0]);
+        let rows: Vec<&[f32]> = v.iter().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], &[3.0, -3.0]);
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let s = VectorStore::from_flat(4, vec![0.0; 8]);
+        let v = s.slice(1..1);
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rejects_out_of_range() {
+        let s = VectorStore::from_flat(2, vec![0.0; 4]);
+        s.slice(0..3);
+    }
+
+    #[test]
+    fn data_bytes_counts_rows() {
+        let s = VectorStore::from_flat(2, vec![0.0; 8]);
+        assert_eq!(s.data_bytes(), 8 * 4);
+        assert!(s.memory_bytes() >= s.data_bytes());
+    }
+
+    #[test]
+    fn view_from_flat() {
+        let data = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let v = VectorView::from_flat(3, &data);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.get(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn with_capacity_reserves() {
+        let s = VectorStore::with_capacity(4, 100);
+        assert!(s.memory_bytes() >= 100 * 4 * 4);
+        assert_eq!(s.len(), 0);
+    }
+}

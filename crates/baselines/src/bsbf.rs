@@ -1,0 +1,202 @@
+//! Binary Search and Brute-Force (Algorithm 1).
+
+use mbi_ann::{brute_force, SearchStats, VectorStore};
+use mbi_core::{MbiError, TimeWindow, Timestamp, TknnResult};
+use mbi_math::Metric;
+
+/// The BSBF baseline: the sorted database *is* the index.
+///
+/// Insertion is an `O(1)` append (plus a monotonicity check); a query is a
+/// binary search for the window bounds followed by an exact scan. There is no
+/// auxiliary structure, so its "index size" is just the data itself — the SF
+/// row of Table 4 is the interesting comparison, but BSBF's near-1.0× ratio
+/// is the floor.
+///
+/// ```
+/// use mbi_baselines::BsbfIndex;
+/// use mbi_core::TimeWindow;
+/// use mbi_math::Metric;
+///
+/// let mut index = BsbfIndex::new(2, Metric::Euclidean);
+/// for i in 0..100i64 {
+///     index.insert(&[i as f32, 0.0], i).unwrap();
+/// }
+/// // Exact by construction: recall is always 1.0.
+/// let hits = index.query(&[70.0, 0.0], 2, TimeWindow::new(0, 50));
+/// assert_eq!(hits[0].id, 49);
+/// assert_eq!(hits[1].id, 48);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BsbfIndex {
+    metric: Metric,
+    store: VectorStore,
+    timestamps: Vec<Timestamp>,
+}
+
+impl BsbfIndex {
+    /// Creates an empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        BsbfIndex {
+            metric,
+            store: VectorStore::new(dim),
+            timestamps: Vec::new(),
+        }
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Appends a timestamped vector; timestamps must be non-decreasing
+    /// (BSBF's only structural requirement — the sort order).
+    pub fn insert(&mut self, vector: &[f32], t: Timestamp) -> Result<u32, MbiError> {
+        if vector.len() != self.store.dim() {
+            return Err(MbiError::DimensionMismatch {
+                expected: self.store.dim(),
+                got: vector.len(),
+            });
+        }
+        if let Some(&newest) = self.timestamps.last() {
+            if t < newest {
+                return Err(MbiError::NonMonotonicTimestamp { newest, got: t });
+            }
+        }
+        let id = self.store.push(vector);
+        self.timestamps.push(t);
+        Ok(id)
+    }
+
+    /// Rows whose timestamps fall in `window`, as `[lo, hi)` (the binary
+    /// search of Algorithm 1 line 1).
+    pub fn window_rows(&self, window: TimeWindow) -> (usize, usize) {
+        let lo = self.timestamps.partition_point(|&t| t < window.start);
+        let hi = self.timestamps.partition_point(|&t| t < window.end);
+        (lo, hi)
+    }
+
+    /// Exact TkNN (Algorithm 1): binary search then brute force. BSBF is not
+    /// approximate — its recall is always 1.0 — so there are no tuning knobs.
+    pub fn query(&self, query: &[f32], k: usize, window: TimeWindow) -> Vec<TknnResult> {
+        self.query_with_stats(query, k, window).0
+    }
+
+    /// [`Self::query`] plus work counters.
+    pub fn query_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+    ) -> (Vec<TknnResult>, SearchStats) {
+        assert_eq!(query.len(), self.store.dim(), "query has wrong dimension");
+        let (lo, hi) = self.window_rows(window);
+        let mut stats = SearchStats::default();
+        let results = brute_force(self.store.slice(lo..hi), self.metric, query, k, &mut stats)
+            .into_iter()
+            .map(|n| {
+                let id = lo as u32 + n.id;
+                TknnResult {
+                    id,
+                    timestamp: self.timestamps[id as usize],
+                    dist: n.dist,
+                }
+            })
+            .collect();
+        stats.blocks_searched = 1;
+        (results, stats)
+    }
+
+    /// Bytes of auxiliary index structure — none beyond the data; reported
+    /// as the timestamp column (the store is counted as input data).
+    pub fn index_memory_bytes(&self) -> usize {
+        self.timestamps.len() * std::mem::size_of::<Timestamp>()
+    }
+
+    /// Bytes of raw input data (vectors + timestamps).
+    pub fn data_bytes(&self) -> usize {
+        self.store.data_bytes() + self.timestamps.len() * std::mem::size_of::<Timestamp>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> BsbfIndex {
+        let mut idx = BsbfIndex::new(2, Metric::Euclidean);
+        for i in 0..n {
+            idx.insert(&[i as f32, 0.0], i as i64).unwrap();
+        }
+        idx
+    }
+
+    #[test]
+    fn exact_results_within_window() {
+        let idx = line(100);
+        let res = idx.query(&[50.0, 0.0], 3, TimeWindow::new(10, 40));
+        let ids: Vec<u32> = res.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![39, 38, 37]);
+        for r in &res {
+            assert!((10..40).contains(&r.timestamp));
+        }
+    }
+
+    #[test]
+    fn scan_cost_tracks_window_size() {
+        let idx = line(1000);
+        let (_, small) = idx.query_with_stats(&[0.0, 0.0], 5, TimeWindow::new(0, 10));
+        let (_, large) = idx.query_with_stats(&[0.0, 0.0], 5, TimeWindow::new(0, 900));
+        assert_eq!(small.scanned, 10);
+        assert_eq!(large.scanned, 900);
+    }
+
+    #[test]
+    fn rejects_bad_inserts() {
+        let mut idx = line(5);
+        assert!(idx.insert(&[0.0], 10).is_err());
+        assert!(idx.insert(&[0.0, 0.0], 2).is_err());
+        assert!(idx.insert(&[0.0, 0.0], 4).is_ok(), "tie with newest allowed");
+    }
+
+    #[test]
+    fn empty_and_missing_windows() {
+        let idx = line(10);
+        assert!(idx.query(&[0.0, 0.0], 3, TimeWindow::new(5, 5)).is_empty());
+        assert!(idx.query(&[0.0, 0.0], 3, TimeWindow::new(100, 200)).is_empty());
+        let empty = BsbfIndex::new(2, Metric::Euclidean);
+        assert!(empty.query(&[0.0, 0.0], 3, TimeWindow::all()).is_empty());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn fewer_matches_than_k() {
+        let idx = line(10);
+        let res = idx.query(&[0.0, 0.0], 8, TimeWindow::new(7, 10));
+        assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    fn accounting() {
+        let idx = line(10);
+        assert_eq!(idx.data_bytes(), 10 * 2 * 4 + 10 * 8);
+        assert_eq!(idx.index_memory_bytes(), 80);
+        assert_eq!(idx.dim(), 2);
+        assert_eq!(idx.metric(), Metric::Euclidean);
+        assert_eq!(idx.len(), 10);
+    }
+}

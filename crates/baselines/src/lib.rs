@@ -1,0 +1,27 @@
+//! The two baseline TkNN methods the MBI paper compares against (§3.2).
+//!
+//! * [`BsbfIndex`] — **Binary Search and Brute-Force** (Algorithm 1): keep
+//!   the data sorted by timestamp, binary-search the window bounds, scan the
+//!   window exhaustively with a size-`k` heap. `O(log n)` to locate the
+//!   window, `O(m log k)` to scan its `m` rows — excellent for short windows,
+//!   hopeless for long ones.
+//! * [`SfIndex`] — **Search and Filtering** (Algorithm 2): one graph index
+//!   over the *entire* database ignoring timestamps; at query time run the
+//!   best-first search but only admit in-window vertices into the result set,
+//!   continuing until `k` are found. Excellent for long windows, hopeless for
+//!   short ones (expected `O(log n + k·n/m)` distance work).
+//!
+//! MBI's block structure makes it behave like BSBF on short windows and like
+//! SF on long ones (§4, challenge C1); these implementations are kept
+//! deliberately faithful — including SF's unbounded expansion while `|R| < k`
+//! — because the crossover between them is the phenomenon Figures 5 and 9
+//! measure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bsbf;
+mod sf;
+
+pub use bsbf::BsbfIndex;
+pub use sf::{SfConfig, SfIndex};

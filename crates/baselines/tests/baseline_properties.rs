@@ -1,0 +1,127 @@
+//! Property tests for the baselines: BSBF is exact by construction; SF is
+//! sound and converges to the exact answer as ε grows on easy inputs.
+
+use mbi_baselines::{BsbfIndex, SfConfig, SfIndex};
+use mbi_core::TimeWindow;
+use mbi_ann::{NnDescentParams, SearchParams};
+use mbi_math::Metric;
+use proptest::prelude::*;
+
+fn vec_for(i: usize, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|j| (i as f32 * 0.7 + j as f32 * 1.3).sin() * 10.0)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// BSBF equals the naive filter+sort reference for every window.
+    #[test]
+    fn bsbf_is_exact(
+        n in 1usize..400,
+        k in 1usize..10,
+        s in 0i64..400,
+        len in 0i64..400,
+    ) {
+        let dim = 3;
+        let mut idx = BsbfIndex::new(dim, Metric::Euclidean);
+        for i in 0..n {
+            idx.insert(&vec_for(i, dim), i as i64).unwrap();
+        }
+        let s = s.min(n as i64);
+        let e = (s + len).min(n as i64);
+        let w = TimeWindow::new(s, e);
+        let q = vec_for(9999, dim);
+        let got: Vec<u32> = idx.query(&q, k, w).into_iter().map(|r| r.id).collect();
+
+        let mut reference: Vec<(f32, u32)> = (0..n as u32)
+            .filter(|&i| w.contains(i as i64))
+            .map(|i| (Metric::Euclidean.distance(&q, &vec_for(i as usize, dim)), i))
+            .collect();
+        reference.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        reference.truncate(k);
+        let expect: Vec<u32> = reference.into_iter().map(|(_, i)| i).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// SF results are sound: in-window, sorted, no duplicates, never more
+    /// than k, and each position never beats the exact answer.
+    #[test]
+    fn sf_results_are_sound(
+        n in 20usize..300,
+        k in 1usize..8,
+        s_frac in 0.0f64..0.8,
+        len_frac in 0.05f64..1.0,
+        eps_step in 0usize..5,
+    ) {
+        let dim = 4;
+        let mut cfg = SfConfig::new(dim, Metric::Euclidean);
+        cfg.graph = NnDescentParams { degree: 6, max_iters: 3, ..Default::default() };
+        let idx = SfIndex::build(
+            cfg,
+            (0..n).map(|i| {
+                let v: &'static [f32] = Box::leak(vec_for(i, dim).into_boxed_slice());
+                (v, i as i64)
+            }),
+        )
+        .unwrap();
+        let s = (s_frac * n as f64) as i64;
+        let e = (s + (len_frac * n as f64) as i64).min(n as i64);
+        let w = TimeWindow::new(s, e);
+        let q = vec_for(777, dim);
+        let eps = 1.0 + eps_step as f32 * 0.1;
+        let (got, stats) = idx.query_with_params(&q, k, w, &SearchParams::new(48, eps));
+
+        let mut exact: Vec<(f32, u32)> = (0..n as u32)
+            .filter(|&i| w.contains(i as i64))
+            .map(|i| (Metric::Euclidean.distance(&q, &vec_for(i as usize, dim)), i))
+            .collect();
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        prop_assert!(got.len() <= k);
+        let mut seen = std::collections::HashSet::new();
+        for (i, r) in got.iter().enumerate() {
+            prop_assert!(w.contains(r.timestamp));
+            prop_assert!(seen.insert(r.id));
+            if i > 0 {
+                prop_assert!(got[i - 1].dist <= r.dist);
+            }
+            prop_assert!(r.dist >= exact[i].0 - 1e-5);
+        }
+        prop_assert!(stats.dist_evals > 0);
+        prop_assert_eq!(stats.blocks_searched, 1);
+    }
+
+    /// SF finds everything when the window matches fewer vectors than k —
+    /// the |R| < k branch must exhaust the graph rather than stop early.
+    #[test]
+    fn sf_exhausts_when_matches_are_scarce(
+        n in 30usize..200,
+        match_count in 1usize..5,
+    ) {
+        let dim = 4;
+        let mut cfg = SfConfig::new(dim, Metric::Euclidean);
+        cfg.graph = NnDescentParams { degree: 6, max_iters: 3, ..Default::default() };
+        let idx = SfIndex::build(
+            cfg,
+            (0..n).map(|i| {
+                let v: &'static [f32] = Box::leak(vec_for(i, dim).into_boxed_slice());
+                (v, i as i64)
+            }),
+        )
+        .unwrap();
+        // A window matching exactly `match_count` vectors at the far end.
+        let s = (n - match_count) as i64;
+        let w = TimeWindow::new(s, n as i64);
+        let (got, _) = idx.query_with_params(
+            &vec_for(1, dim),
+            10,
+            w,
+            // A beam at least as wide as the graph: nothing is pruned, so
+            // the exhaustive |R| < k expansion must find every match.
+            &SearchParams::new(n, 1.1),
+        );
+        prop_assert_eq!(got.len(), match_count, "all scarce matches must be found");
+    }
+}

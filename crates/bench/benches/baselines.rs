@@ -1,0 +1,51 @@
+//! Baseline query micro-benchmarks — BSBF (scan cost ∝ window) and SF
+//! (traversal cost ∝ 1/window), the two regimes MBI interpolates between.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbi_baselines::{BsbfIndex, SfConfig, SfIndex};
+use mbi_ann::{NnDescentParams, SearchParams};
+use mbi_data::{windows_for_fraction, DriftingMixture};
+use mbi_math::Metric;
+
+fn bench_baselines(c: &mut Criterion) {
+    let n = 16_384usize;
+    let dataset = DriftingMixture::new(32, 31).generate("b", Metric::Euclidean, n, 8);
+
+    let mut bsbf = BsbfIndex::new(32, Metric::Euclidean);
+    for (v, t) in dataset.iter() {
+        bsbf.insert(v, t).unwrap();
+    }
+    let mut sf_cfg = SfConfig::new(32, Metric::Euclidean);
+    sf_cfg.graph = NnDescentParams { degree: 16, ..Default::default() };
+    sf_cfg.search = SearchParams::new(64, 1.1);
+    let sf = SfIndex::build(sf_cfg, dataset.iter()).unwrap();
+
+    let mut group = c.benchmark_group("baselines");
+    for pct in [1u32, 10, 50, 95] {
+        let windows = windows_for_fraction(&dataset.timestamps, pct as f64 / 100.0, 16, 7);
+        group.bench_with_input(BenchmarkId::new("bsbf_fraction_pct", pct), &pct, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                let q = dataset.test.get(i % dataset.test.len());
+                bsbf.query(black_box(q), 10, windows[i % windows.len()])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sf_fraction_pct", pct), &pct, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                let q = dataset.test.get(i % dataset.test.len());
+                sf.query(black_box(q), 10, windows[i % windows.len()])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Block-selection micro-benchmark (Algorithm 4 lines 11–20): pure index
+//! arithmetic over the postorder layout, independent of the data dimension.
+//! Confirms selection overhead is negligible next to a single distance
+//! evaluation batch.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbi_core::{GraphBackend, MbiConfig, MbiIndex, TimeWindow};
+use mbi_ann::NnDescentParams;
+use mbi_data::DriftingMixture;
+use mbi_math::Metric;
+
+fn bench_selection(c: &mut Criterion) {
+    // Small dim + tiny graph degree: we only care about the tree walk.
+    let n = 65_536usize;
+    let dataset = DriftingMixture::new(4, 41).generate("sel", Metric::Euclidean, n, 1);
+    let config = MbiConfig::new(4, Metric::Euclidean)
+        .with_leaf_size(512) // 128 leaves → 255 blocks
+        .with_backend(GraphBackend::NnDescent(NnDescentParams {
+            degree: 4,
+            max_iters: 2,
+            ..Default::default()
+        }))
+        .with_parallel_build(true);
+    let mut index = MbiIndex::new(config);
+    for (v, t) in dataset.iter() {
+        index.insert(v, t).unwrap();
+    }
+    assert!(index.blocks().len() >= 255);
+
+    let mut group = c.benchmark_group("block_selection");
+    for (label, tau) in [("tau03", 0.3), ("tau05", 0.5), ("tau09", 0.9)] {
+        let mut idx = index.clone();
+        idx.set_tau(tau);
+        group.bench_with_input(BenchmarkId::new("select", label), &tau, |b, _| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i = (i + 7919) % (n as i64 / 2);
+                let w = TimeWindow::new(i, i + n as i64 / 3);
+                idx.block_selection(black_box(w))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_selection
+}
+criterion_main!(benches);

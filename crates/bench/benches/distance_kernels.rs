@@ -1,0 +1,39 @@
+//! Micro-benchmarks for the distance kernels at the paper's dimensionalities
+//! (32 = MovieLens, 128 = COMS/SIFT, 960 = GIST). Distance evaluation is the
+//! unit of work in every query-complexity statement of §4.4.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbi_math::{angular_distance, dot, squared_euclidean};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn vectors(dim: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let a = (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+    let b = (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+    (a, b)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    for dim in [32usize, 128, 960] {
+        let (a, b) = vectors(dim, dim as u64);
+        group.bench_with_input(BenchmarkId::new("squared_euclidean", dim), &dim, |bch, _| {
+            bch.iter(|| squared_euclidean(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("angular", dim), &dim, |bch, _| {
+            bch.iter(|| angular_distance(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bch, _| {
+            bch.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Graph construction micro-benchmarks: NNDescent (the per-block builder,
+//! §4.4.2 charges it `O(n^1.14)`) and HNSW (the ablation backend), at two
+//! block sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbi_ann::{HnswIndex, HnswParams, NnDescentParams};
+use mbi_data::DriftingMixture;
+use mbi_math::Metric;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let dataset = DriftingMixture::new(32, 3).generate("b", Metric::Euclidean, n, 1);
+        let view = dataset.train.view();
+        group.bench_with_input(BenchmarkId::new("nndescent_deg16", n), &n, |b, _| {
+            b.iter(|| NnDescentParams { degree: 16, ..Default::default() }.build(view, Metric::Euclidean))
+        });
+        group.bench_with_input(BenchmarkId::new("hnsw_m8", n), &n, |b, _| {
+            b.iter(|| {
+                HnswIndex::build(
+                    HnswParams { m: 8, ef_construction: 60, seed: 5 },
+                    view,
+                    Metric::Euclidean,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_build
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Beam-search micro-benchmarks (Algorithm 2): unfiltered kNN vs the
+//! time-filtered variants at several in-window densities — the density is
+//! exactly what separates SF's good and bad regimes (§3.2.2).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbi_ann::{greedy_search, NnDescentParams, SearchParams, SearchStats};
+use mbi_data::DriftingMixture;
+use mbi_math::Metric;
+
+fn bench_search(c: &mut Criterion) {
+    let n = 20_000usize;
+    let dataset = DriftingMixture::new(32, 9).generate("s", Metric::Euclidean, n, 8);
+    let graph = NnDescentParams { degree: 16, ..Default::default() }
+        .build(dataset.train.view(), Metric::Euclidean);
+    let params = SearchParams::new(64, 1.1);
+
+    let mut group = c.benchmark_group("graph_search");
+    group.bench_function("unfiltered_k10", |b| {
+        let mut qi = 0usize;
+        b.iter(|| {
+            qi = (qi + 1) % dataset.test.len();
+            let q = dataset.test.get(qi);
+            let mut stats = SearchStats::default();
+            greedy_search(
+                &graph,
+                dataset.train.view(),
+                Metric::Euclidean,
+                black_box(q),
+                10,
+                &params,
+                &mut |_| true,
+                &mut stats,
+            )
+        })
+    });
+
+    // Filtered: accept a contiguous band of ids covering `density` of rows.
+    for density_pct in [1u32, 10, 50] {
+        let band = n as u32 * density_pct / 100;
+        group.bench_with_input(
+            BenchmarkId::new("filtered_k10_density", density_pct),
+            &density_pct,
+            |b, _| {
+                let mut qi = 0usize;
+                b.iter(|| {
+                    qi = (qi + 1) % dataset.test.len();
+                    let q = dataset.test.get(qi);
+                    let lo = 4_000u32;
+                    let mut stats = SearchStats::default();
+                    greedy_search(
+                        &graph,
+                        dataset.train.view(),
+                        Metric::Euclidean,
+                        black_box(q),
+                        10,
+                        &params,
+                        &mut |id| id >= lo && id < lo + band,
+                        &mut stats,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_search
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! MBI insertion micro-benchmarks: amortized append cost (Algorithm 3,
+//! §4.4.2 predicts `O(n^0.14 log n)` amortized) for serial vs parallel
+//! bottom-up merging — the Figure 7a inner loop at small scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbi_core::{GraphBackend, MbiConfig, MbiIndex};
+use mbi_ann::NnDescentParams;
+use mbi_data::DriftingMixture;
+use mbi_math::Metric;
+
+fn bench_insert(c: &mut Criterion) {
+    let n = 4_096usize;
+    let dataset = DriftingMixture::new(32, 17).generate("i", Metric::Euclidean, n, 1);
+
+    let mut group = c.benchmark_group("mbi_insert");
+    group.sample_size(10);
+    for parallel in [false, true] {
+        let label = if parallel { "parallel" } else { "serial" };
+        group.bench_with_input(BenchmarkId::new("build_4k_leaf512", label), &parallel, |b, &par| {
+            b.iter(|| {
+                let config = MbiConfig::new(32, Metric::Euclidean)
+                    .with_leaf_size(512)
+                    .with_backend(GraphBackend::NnDescent(NnDescentParams {
+                        degree: 12,
+                        ..Default::default()
+                    }))
+                    .with_parallel_build(par);
+                let mut idx = MbiIndex::new(config);
+                for (v, t) in dataset.iter() {
+                    idx.insert(v, t).unwrap();
+                }
+                idx
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_insert
+}
+criterion_main!(benches);

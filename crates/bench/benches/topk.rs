@@ -1,0 +1,32 @@
+//! Micro-benchmark for the bounded top-k heap — the `O(m log k)` factor in
+//! BSBF's cost (§3.2.1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbi_math::TopK;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    let mut rng = SmallRng::seed_from_u64(1);
+    let dists: Vec<f32> = (0..100_000).map(|_| rng.gen_range(0.0..1.0f32)).collect();
+    for k in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("push_100k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut t = TopK::new(k);
+                for (i, &d) in dists.iter().enumerate() {
+                    t.offer(i as u32, black_box(d));
+                }
+                t.into_sorted_vec()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_topk
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Backend ablation — swaps the per-block graph index (NNDescent kNN graph,
+//! the paper's choice, vs HNSW) and compares build time, index size, and
+//! query throughput at the recall-0.995 operating point.
+//!
+//! §4.1 of the paper states any kNN index can back a block; this experiment
+//! quantifies that design choice (it is called out in DESIGN.md).
+//!
+//! ```sh
+//! cargo run -p mbi-bench --release --bin ablation [-- --dataset movielens]
+//! ```
+
+use mbi_bench::*;
+use mbi_core::{GraphBackend, MbiConfig, MbiIndex};
+use mbi_data::{ground_truth, preset_by_name};
+use mbi_eval::report::{fmt3, print_table, write_json};
+use mbi_eval::qps_at_recall;
+use mbi_ann::HnswParams;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    backend: &'static str,
+    build_s: f64,
+    index_mb: f64,
+    fraction: f64,
+    qps: f64,
+    recall: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let seed: u64 = args.get("seed", 7);
+    let n_queries: usize = args.get("queries", 30);
+    let out = args.get_str("out", "results");
+    let name = args.get_str("dataset", "movielens");
+    let k = 10;
+
+    let preset = preset_by_name(&name).expect("known dataset");
+    let dataset = generate(preset, scale, seed);
+    let params = params_for(preset, &dataset);
+
+    let backends: [(&'static str, GraphBackend); 2] = [
+        ("nndescent", GraphBackend::NnDescent(params.nndescent(0x5EED))),
+        (
+            "hnsw",
+            GraphBackend::Hnsw(HnswParams {
+                m: (params.neighbors / 2).max(8),
+                ef_construction: params.max_candidates.max(64),
+                seed: 0x5EED,
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, backend) in backends {
+        eprintln!("[{name}] building with {label} blocks…");
+        let config = MbiConfig::new(dataset.dim(), dataset.metric)
+            .with_leaf_size(params.leaf_size)
+            .with_tau(params.tau)
+            .with_backend(backend)
+            .with_parallel_build(true);
+        let t = Instant::now();
+        let mut index = MbiIndex::new(config);
+        for (v, ts) in dataset.iter() {
+            index.insert(v, ts).expect("ordered");
+        }
+        let build_s = t.elapsed().as_secs_f64();
+        let index_mb = index.index_memory_bytes() as f64 / (1 << 20) as f64;
+
+        for fraction in [0.05, 0.4, 0.95] {
+            let workload = make_workload(&dataset, fraction, n_queries, seed);
+            let truth = ground_truth(
+                &dataset.train,
+                &dataset.timestamps,
+                &workload,
+                k,
+                dataset.metric,
+                0,
+            );
+            let op = qps_at_recall(
+                &index,
+                &workload,
+                &truth,
+                k,
+                params.max_candidates,
+                params.target_recall,
+                &coarse_epsilon_grid(),
+            );
+            eprintln!(
+                "[{name}] {label} f={fraction:.2} qps={:>9.0} recall={:.3}",
+                op.qps, op.recall
+            );
+            rows.push(Row {
+                backend: label,
+                build_s,
+                index_mb,
+                fraction,
+                qps: op.qps,
+                recall: op.recall,
+            });
+        }
+    }
+
+    print_table(
+        &format!("Backend ablation [{name}]: NNDescent vs HNSW block indexes"),
+        &["backend", "build s", "index MB", "fraction", "qps", "recall"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.backend.to_string(),
+                    format!("{:.2}", r.build_s),
+                    format!("{:.1}", r.index_mb),
+                    format!("{:.0}%", r.fraction * 100.0),
+                    fmt3(r.qps),
+                    format!("{:.3}", r.recall),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    match write_json(&out, "ablation", &rows) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("could not write json: {e}"),
+    }
+}

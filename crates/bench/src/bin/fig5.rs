@@ -1,0 +1,153 @@
+//! Regenerates **Figure 5** — queries per second vs query-window fraction at
+//! recall@k ≥ 0.995 for k ∈ {10, 50, 100}, comparing MBI, BSBF and SF.
+//!
+//! Expected shape (paper §5.2): BSBF throughput falls as the window grows
+//! (it scans the window), SF throughput falls as the window *shrinks* (it
+//! must expand the search until k in-window hits), and MBI stays near the
+//! upper envelope everywhere — up to 10.88× faster than the better baseline
+//! at mid-length windows.
+//!
+//! ```sh
+//! cargo run -p mbi-bench --release --bin fig5 \
+//!   [-- --datasets movielens,sift1m --queries 30 --ks 10 --full]
+//! ```
+
+use mbi_bench::*;
+use mbi_data::{ground_truth, preset_by_name};
+use mbi_eval::report::{fmt3, print_table, write_json};
+use mbi_eval::{epsilon_grid, qps_at_recall, TknnMethod};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    dataset: String,
+    k: usize,
+    fraction: f64,
+    method: &'static str,
+    qps: f64,
+    recall: f64,
+    epsilon: f32,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let seed: u64 = args.get("seed", 7);
+    let n_queries: usize = args.get("queries", 30);
+    let out = args.get_str("out", "results");
+    let datasets = args.get_str("datasets", "movielens,sift1m");
+    let ks: Vec<usize> = args
+        .get_str("ks", "10")
+        .split(',')
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let grid = if args.flag("full") { epsilon_grid() } else { coarse_epsilon_grid() };
+
+    let mut points: Vec<Point> = Vec::new();
+    for name in datasets.split(',') {
+        let Some(preset) = preset_by_name(name.trim()) else {
+            eprintln!("unknown dataset {name}, skipping");
+            continue;
+        };
+        eprintln!("[{name}] generating + building…");
+        let dataset = generate(preset, scale, seed);
+        let params = params_for(preset, &dataset);
+        let mbi = build_mbi(&dataset, &params, params.tau, true);
+        let bsbf = build_bsbf(&dataset);
+        let sf = build_sf(&dataset, &params);
+        let methods: [(&'static str, &dyn TknnMethod); 3] =
+            [("MBI", &mbi), ("BSBF", &bsbf), ("SF", &sf)];
+
+        for &k in &ks {
+            for &fraction in &fraction_grid() {
+                let workload = make_workload(&dataset, fraction, n_queries, seed);
+                let truth = ground_truth(
+                    &dataset.train,
+                    &dataset.timestamps,
+                    &workload,
+                    k,
+                    dataset.metric,
+                    0,
+                );
+                for (label, method) in methods {
+                    let op = qps_at_recall(
+                        method,
+                        &workload,
+                        &truth,
+                        k,
+                        params.max_candidates,
+                        params.target_recall,
+                        &grid,
+                    );
+                    eprintln!(
+                        "[{name}] k={k} f={fraction:.2} {label:<4} qps={:>10.0} recall={:.3} eps={:.2}",
+                        op.qps, op.recall, op.epsilon
+                    );
+                    points.push(Point {
+                        dataset: preset.name.to_string(),
+                        k,
+                        fraction,
+                        method: label,
+                        qps: op.qps,
+                        recall: op.recall,
+                        epsilon: op.epsilon,
+                    });
+                }
+            }
+        }
+    }
+
+    // Print one table per (dataset, k): rows = fraction, cols = methods.
+    let mut keys: Vec<(String, usize)> = points
+        .iter()
+        .map(|p| (p.dataset.clone(), p.k))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    for (ds, k) in keys {
+        let rows: Vec<Vec<String>> = fraction_grid()
+            .iter()
+            .map(|&f| {
+                let mut row = vec![format!("{:.0}%", f * 100.0)];
+                let mut best_baseline = 0.0f64;
+                let mut mbi_qps = 0.0f64;
+                for m in ["MBI", "BSBF", "SF"] {
+                    let p = points
+                        .iter()
+                        .find(|p| p.dataset == ds && p.k == k && p.fraction == f && p.method == m);
+                    match p {
+                        Some(p) => {
+                            row.push(fmt3(p.qps));
+                            row.push(format!("{:.3}", p.recall));
+                            if m == "MBI" {
+                                mbi_qps = p.qps;
+                            } else {
+                                best_baseline = best_baseline.max(p.qps);
+                            }
+                        }
+                        None => {
+                            row.push("—".into());
+                            row.push("—".into());
+                        }
+                    }
+                }
+                row.push(if best_baseline > 0.0 {
+                    format!("{:.2}x", mbi_qps / best_baseline)
+                } else {
+                    "—".into()
+                });
+                row
+            })
+            .collect();
+        print_table(
+            &format!("Figure 5 [{ds}, k={k}]: window fraction vs QPS at recall ≥ 0.995"),
+            &["fraction", "MBI qps", "r", "BSBF qps", "r", "SF qps", "r", "MBI/best-baseline"],
+            &rows,
+        );
+    }
+
+    match write_json(&out, "fig5", &points) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("could not write json: {e}"),
+    }
+}

@@ -1,0 +1,92 @@
+//! Regenerates **Figure 6** — recall@10 vs queries-per-second Pareto curves
+//! on the COMS stand-in at window ratios 10%, 30% and 80%, sweeping
+//! ε ∈ [1, 1.4] (step 0.02) for MBI and SF; BSBF is exact (a single point at
+//! recall 1.0).
+//!
+//! ```sh
+//! cargo run -p mbi-bench --release --bin fig6 [-- --queries 50 --scale 1.0]
+//! ```
+
+use mbi_bench::*;
+use mbi_data::presets::COMS;
+use mbi_data::ground_truth;
+use mbi_eval::report::{fmt3, print_table, write_json};
+use mbi_eval::{epsilon_grid, pareto_frontier, sweep_epsilon, SweepPoint, TknnMethod};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    ratio: f64,
+    method: &'static str,
+    points: Vec<SweepPoint>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let seed: u64 = args.get("seed", 7);
+    let n_queries: usize = args.get("queries", 40);
+    let out = args.get_str("out", "results");
+    let k = 10;
+
+    eprintln!("[coms] generating + building…");
+    let dataset = generate(&COMS, scale, seed);
+    let params = params_for(&COMS, &dataset);
+    let mbi = build_mbi(&dataset, &params, params.tau, true);
+    let bsbf = build_bsbf(&dataset);
+    let sf = build_sf(&dataset, &params);
+    let methods: [(&'static str, &dyn TknnMethod); 3] =
+        [("MBI", &mbi), ("BSBF", &bsbf), ("SF", &sf)];
+
+    let mut series = Vec::new();
+    for ratio in [0.1, 0.3, 0.8] {
+        let workload = make_workload(&dataset, ratio, n_queries, seed);
+        let truth = ground_truth(
+            &dataset.train,
+            &dataset.timestamps,
+            &workload,
+            k,
+            dataset.metric,
+            0,
+        );
+        for (label, method) in methods {
+            let sweep = sweep_epsilon(
+                method,
+                &workload,
+                &truth,
+                k,
+                params.max_candidates,
+                &epsilon_grid(),
+            );
+            let frontier = pareto_frontier(&sweep);
+            eprintln!(
+                "[coms] ratio {ratio:.0}% {label}: {} grid points → {} frontier points",
+                sweep.len(),
+                frontier.len()
+            );
+            series.push(Series { ratio, method: label, points: frontier });
+        }
+    }
+
+    for s in &series {
+        print_table(
+            &format!(
+                "Figure 6 [coms, window {}%] — {} Pareto frontier (recall@10 vs QPS)",
+                (s.ratio * 100.0) as u32,
+                s.method
+            ),
+            &["epsilon", "recall@10", "qps"],
+            &s.points
+                .iter()
+                .map(|p| {
+                    vec![format!("{:.2}", p.epsilon), format!("{:.4}", p.recall), fmt3(p.qps)]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    match write_json(&out, "fig6", &series) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("could not write json: {e}"),
+    }
+}

@@ -1,0 +1,173 @@
+//! Regenerates **Figure 7** — scalability of indexing time (7a) and index
+//! size (7b) on the SIFT stand-in, doubling the dataset size.
+//!
+//! Expected shape (paper §5.3): on a log-log plot MBI's indexing time and
+//! index size grow with slope → 1.29 (the extra `log n` factor over linear),
+//! SF grows with slope ≈ 1.1–1.2 (NNDescent's empirical `n^1.14`), and
+//! *parallel* MBI's wall-clock build time comes back down toward SF's
+//! (the paper reports up to 5.08× build speedup from parallel merging).
+//!
+//! ```sh
+//! cargo run -p mbi-bench --release --bin fig7 [-- --sizes 2000,4000,8000,16000,32000 --seed 7]
+//! ```
+
+use mbi_bench::*;
+use mbi_data::presets::SIFT1M;
+use mbi_eval::report::{print_table, write_json};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    n: usize,
+    mbi_serial_s: f64,
+    mbi_parallel_s: f64,
+    sf_s: f64,
+    mbi_bytes: usize,
+    sf_bytes: usize,
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed", 7);
+    let out = args.get_str("out", "results");
+    let sizes: Vec<usize> = args
+        .get_str("sizes", "2000,4000,8000,16000,32000")
+        .split(',')
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let max_n = sizes.iter().copied().max().unwrap_or(0);
+
+    // One generation at the largest size; prefixes give the smaller runs
+    // (the data distribution is stationary for SIFT-like, so prefixes are
+    // unbiased samples).
+    let fraction_of_paper = max_n as f64 / SIFT1M.paper_train as f64;
+    let dataset = SIFT1M.generate(fraction_of_paper, seed);
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let n = n.min(dataset.len());
+        let prefix = mbi_data::Dataset {
+            name: dataset.name.clone(),
+            metric: dataset.metric,
+            train: mbi_ann::VectorStore::from_flat(
+                dataset.dim(),
+                dataset.train.as_flat()[..n * dataset.dim()].to_vec(),
+            ),
+            timestamps: dataset.timestamps[..n].to_vec(),
+            test: dataset.test.clone(),
+        };
+        let params = ExperimentParamsShim::scaled(n);
+
+        let t = Instant::now();
+        let mbi = build_mbi(&prefix, &params, params.tau, false);
+        let mbi_serial_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let _mbi_par = build_mbi(&prefix, &params, params.tau, true);
+        let mbi_parallel_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let sf = build_sf(&prefix, &params);
+        let sf_s = t.elapsed().as_secs_f64();
+
+        eprintln!(
+            "n={n}: MBI serial {mbi_serial_s:.2}s, parallel {mbi_parallel_s:.2}s, SF {sf_s:.2}s"
+        );
+        rows.push(Row {
+            n,
+            mbi_serial_s,
+            mbi_parallel_s,
+            sf_s,
+            mbi_bytes: mbi.index_memory_bytes(),
+            sf_bytes: sf.index_memory_bytes(),
+        });
+    }
+
+    print_table(
+        "Figure 7a: indexing time vs data size (seconds)",
+        &["n", "MBI serial", "MBI parallel", "SF", "par speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    format!("{:.2}", r.mbi_serial_s),
+                    format!("{:.2}", r.mbi_parallel_s),
+                    format!("{:.2}", r.sf_s),
+                    format!("{:.2}x", r.mbi_serial_s / r.mbi_parallel_s.max(1e-9)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Figure 7b: index size vs data size (MB)",
+        &["n", "MBI", "SF", "MBI/SF"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    format!("{:.1}", r.mbi_bytes as f64 / (1 << 20) as f64),
+                    format!("{:.1}", r.sf_bytes as f64 / (1 << 20) as f64),
+                    format!("{:.2}x", r.mbi_bytes as f64 / r.sf_bytes as f64),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // Per-segment slopes show the "gradually decreasing" behaviour the
+    // paper describes for MBI (the log factor's marginal contribution
+    // shrinks as levels accumulate).
+    let seg: Vec<String> = rows
+        .windows(2)
+        .map(|w| {
+            let s = loglog_slope(&[
+                (w[0].n as f64, w[0].mbi_serial_s),
+                (w[1].n as f64, w[1].mbi_serial_s),
+            ]);
+            format!("{:.2}", s)
+        })
+        .collect();
+    println!("\nMBI per-doubling time slopes: [{}] (should decrease toward ~1.14 + o(1))", seg.join(", "));
+    println!(
+        "note: this machine reports {} core(s); the paper's 5.08x parallel-build gain requires multiple cores.",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let pts_time: Vec<(f64, f64)> = rows.iter().map(|r| (r.n as f64, r.mbi_serial_s)).collect();
+    let pts_sf: Vec<(f64, f64)> = rows.iter().map(|r| (r.n as f64, r.sf_s)).collect();
+    let pts_size: Vec<(f64, f64)> = rows.iter().map(|r| (r.n as f64, r.mbi_bytes as f64)).collect();
+    let pts_sf_size: Vec<(f64, f64)> = rows.iter().map(|r| (r.n as f64, r.sf_bytes as f64)).collect();
+    println!(
+        "\nlog-log slopes — MBI time: {:.2} (paper: 1.29), SF time: {:.2} (paper ≈ 1.14); \
+         MBI size: {:.2} (paper: 1.29 → 1 + log factor), SF size: {:.2} (≈ 1.0)",
+        loglog_slope(&pts_time),
+        loglog_slope(&pts_sf),
+        loglog_slope(&pts_size),
+        loglog_slope(&pts_sf_size),
+    );
+
+    match write_json(&out, "fig7", &rows) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write json: {e}"),
+    }
+}
+
+/// Small helper: Figure 7 fixes the *parameters* while n varies (the paper
+/// keeps S_L at 15,625 for SIFT across sizes); we pin the scaled parameters
+/// of the largest size so the tree depth grows with n as in the paper.
+struct ExperimentParamsShim;
+
+impl ExperimentParamsShim {
+    fn scaled(_n: usize) -> mbi_eval::ExperimentParams {
+        mbi_eval::ExperimentParams {
+            neighbors: 20,
+            max_candidates: 64,
+            leaf_size: 2_000,
+            tau: 0.5,
+            k: 10,
+            target_recall: 0.995,
+        }
+    }
+}

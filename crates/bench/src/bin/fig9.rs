@@ -1,0 +1,168 @@
+//! Regenerates **Figure 9** — the effect of the block-selection threshold τ:
+//! window fraction vs QPS at recall@10 ≥ 0.995 for τ ∈ {0.1 … 0.9}, with
+//! BSBF and SF as reference curves.
+//!
+//! Expected shape (paper §5.4.2): τ > 0.5 degrades as τ grows (many blocks
+//! searched); for τ ≤ 0.5, high τ wins on short windows, low τ wins on long
+//! windows, and τ ≈ 0.5 is a good default everywhere (Lemma 4.1 caps the
+//! block count at two).
+//!
+//! ```sh
+//! cargo run -p mbi-bench --release --bin fig9 [-- --dataset movielens --taus 0.1,0.3,0.5,0.7,0.9]
+//! ```
+
+use mbi_bench::*;
+use mbi_data::{ground_truth, preset_by_name};
+use mbi_eval::report::{fmt3, print_table, write_json};
+use mbi_eval::{epsilon_grid, qps_at_recall, TknnMethod};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    dataset: String,
+    tau: f64,
+    fraction: f64,
+    method: String,
+    qps: f64,
+    recall: f64,
+    avg_blocks: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let seed: u64 = args.get("seed", 7);
+    let n_queries: usize = args.get("queries", 30);
+    let out = args.get_str("out", "results");
+    let name = args.get_str("dataset", "movielens");
+    let k = 10;
+    let taus: Vec<f64> = args
+        .get_str("taus", "0.1,0.3,0.5,0.7,0.9")
+        .split(',')
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let grid = if args.flag("full") { epsilon_grid() } else { coarse_epsilon_grid() };
+
+    let preset = preset_by_name(&name).expect("known dataset");
+    eprintln!("[{name}] generating + building…");
+    let dataset = generate(preset, scale, seed);
+    let params = params_for(preset, &dataset);
+
+    // One MBI per τ (τ is a query-time parameter, but building per τ keeps
+    // the comparison honest about per-instance state; graphs are identical
+    // since seeds are fixed, so we reuse a single build and override τ).
+    let mbi = build_mbi(&dataset, &params, 0.5, true);
+    let bsbf = build_bsbf(&dataset);
+    let sf = build_sf(&dataset, &params);
+
+    let mut points = Vec::new();
+    for &fraction in &fraction_grid() {
+        let workload = make_workload(&dataset, fraction, n_queries, seed);
+        let truth = ground_truth(
+            &dataset.train,
+            &dataset.timestamps,
+            &workload,
+            k,
+            dataset.metric,
+            0,
+        );
+
+        for &tau in &taus {
+            // Rebind the index with this τ (cheap: clone of config only —
+            // block graphs are shared via clone-on-write semantics of the
+            // underlying Vecs; we rebuild the config wrapper instead).
+            let mbi_tau = retau(&mbi, tau);
+            let op = qps_at_recall(
+                &mbi_tau,
+                &workload,
+                &truth,
+                k,
+                params.max_candidates,
+                params.target_recall,
+                &grid,
+            );
+            // Blocks searched per query at this τ (from the selection alone).
+            let avg_blocks = workload
+                .iter()
+                .map(|(_, w)| mbi_tau.block_selection(*w).places() as f64)
+                .sum::<f64>()
+                / workload.len() as f64;
+            eprintln!(
+                "[{name}] f={fraction:.2} tau={tau:.1} qps={:>9.0} recall={:.3} blocks={avg_blocks:.2}",
+                op.qps, op.recall
+            );
+            points.push(Point {
+                dataset: preset.name.into(),
+                tau,
+                fraction,
+                method: format!("MBI(tau={tau})"),
+                qps: op.qps,
+                recall: op.recall,
+                avg_blocks,
+            });
+        }
+
+        for (label, method) in [("BSBF", &bsbf as &dyn TknnMethod), ("SF", &sf)] {
+            let op = qps_at_recall(
+                method,
+                &workload,
+                &truth,
+                k,
+                params.max_candidates,
+                params.target_recall,
+                &grid,
+            );
+            points.push(Point {
+                dataset: preset.name.into(),
+                tau: f64::NAN,
+                fraction,
+                method: label.into(),
+                qps: op.qps,
+                recall: op.recall,
+                avg_blocks: 1.0,
+            });
+        }
+    }
+
+    // Table: rows = fraction, columns = τ series + baselines.
+    let mut header: Vec<String> = vec!["fraction".into()];
+    header.extend(taus.iter().map(|t| format!("tau={t}")));
+    header.push("BSBF".into());
+    header.push("SF".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = fraction_grid()
+        .iter()
+        .map(|&f| {
+            let mut row = vec![format!("{:.0}%", f * 100.0)];
+            for &tau in &taus {
+                let p = points.iter().find(|p| {
+                    p.fraction == f && p.method == format!("MBI(tau={tau})")
+                });
+                row.push(p.map_or("—".into(), |p| fmt3(p.qps)));
+            }
+            for m in ["BSBF", "SF"] {
+                let p = points.iter().find(|p| p.fraction == f && p.method == m);
+                row.push(p.map_or("—".into(), |p| fmt3(p.qps)));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        &format!("Figure 9 [{name}]: window fraction vs QPS at recall@10 ≥ 0.995, by τ"),
+        &header_refs,
+        &rows,
+    );
+
+    match write_json(&out, "fig9", &points) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("could not write json: {e}"),
+    }
+}
+
+/// Clones the index with a different τ (graphs and data are shared up to the
+/// clone; this is memory-heavy but simple — experiments run one at a time).
+fn retau(mbi: &mbi_core::MbiIndex, tau: f64) -> mbi_core::MbiIndex {
+    let mut clone = mbi.clone();
+    clone.set_tau(tau);
+    clone
+}

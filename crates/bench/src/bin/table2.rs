@@ -1,0 +1,71 @@
+//! Regenerates **Table 2** — the dataset summary — for both the paper's
+//! cardinalities and the synthetic stand-ins actually generated at the
+//! current scale.
+//!
+//! ```sh
+//! cargo run -p mbi-bench --release --bin table2 [-- --scale 1.0 --seed 7]
+//! ```
+
+use mbi_bench::{generate, Args};
+use mbi_data::all_presets;
+use mbi_eval::report::{print_table, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    paper_train: usize,
+    paper_test: usize,
+    generated_train: usize,
+    generated_test: usize,
+    dim: usize,
+    distance: &'static str,
+    source: &'static str,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let seed: u64 = args.get("seed", 7);
+    let out = args.get_str("out", "results");
+
+    let mut rows = Vec::new();
+    for preset in all_presets() {
+        let d = generate(preset, scale, seed);
+        rows.push(Row {
+            dataset: preset.name,
+            paper_train: preset.paper_train,
+            paper_test: preset.paper_test,
+            generated_train: d.len(),
+            generated_test: d.test.len(),
+            dim: preset.dim,
+            distance: preset.metric.name(),
+            source: preset.source,
+        });
+    }
+
+    print_table(
+        "Table 2: the summary of datasets (paper cardinality → generated stand-in)",
+        &["dataset", "paper train", "paper test", "gen train", "gen test", "dim", "distance", "source"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.to_string(),
+                    r.paper_train.to_string(),
+                    r.paper_test.to_string(),
+                    r.generated_train.to_string(),
+                    r.generated_test.to_string(),
+                    r.dim.to_string(),
+                    r.distance.to_string(),
+                    r.source.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    match write_json(&out, "table2", &rows) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("could not write json: {e}"),
+    }
+}

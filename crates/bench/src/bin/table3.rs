@@ -1,0 +1,78 @@
+//! Regenerates **Table 3** — the default parameters — showing both the
+//! paper's full-scale values and the scaled values the experiment binaries
+//! actually use at the current dataset sizes.
+//!
+//! ```sh
+//! cargo run -p mbi-bench --release --bin table3 [-- --scale 1.0]
+//! ```
+
+use mbi_bench::{default_train_size, Args};
+use mbi_data::all_presets;
+use mbi_eval::params::TABLE3;
+use mbi_eval::report::{print_table, write_json};
+use mbi_eval::ExperimentParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    paper_neighbors: usize,
+    paper_mc: usize,
+    paper_taus: [f64; 2],
+    paper_leaf: usize,
+    run_n: usize,
+    run_neighbors: usize,
+    run_mc: usize,
+    run_leaf: usize,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let out = args.get_str("out", "results");
+
+    let mut rows = Vec::new();
+    for (preset, t3) in all_presets().into_iter().zip(TABLE3.iter()) {
+        assert_eq!(preset.name, t3.dataset);
+        let n = (default_train_size(preset) as f64 * scale) as usize;
+        let p = ExperimentParams::for_dataset(preset.name, n, preset.paper_train)
+            .expect("row exists");
+        rows.push(Row {
+            dataset: preset.name,
+            paper_neighbors: t3.neighbors,
+            paper_mc: t3.max_candidates,
+            paper_taus: t3.taus,
+            paper_leaf: t3.leaf_size,
+            run_n: n,
+            run_neighbors: p.neighbors,
+            run_mc: p.max_candidates,
+            run_leaf: p.leaf_size,
+        });
+    }
+
+    print_table(
+        "Table 3: default parameters (paper values | this run's scaled values). ε ∈ [1, 1.4] by 0.02; k ∈ {10, 50, 100}",
+        &["dataset", "#nbrs", "M_C", "taus", "S_L", "run n", "run #nbrs", "run M_C", "run S_L"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.to_string(),
+                    r.paper_neighbors.to_string(),
+                    r.paper_mc.to_string(),
+                    format!("{}/{}", r.paper_taus[0], r.paper_taus[1]),
+                    r.paper_leaf.to_string(),
+                    r.run_n.to_string(),
+                    r.run_neighbors.to_string(),
+                    r.run_mc.to_string(),
+                    r.run_leaf.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    match write_json(&out, "table3", &rows) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("could not write json: {e}"),
+    }
+}

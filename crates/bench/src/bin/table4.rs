@@ -1,0 +1,93 @@
+//! Regenerates **Table 4** — index sizes of MBI and SF relative to the input
+//! data — for every dataset stand-in.
+//!
+//! The paper reports MBI at 2.15×–8.72× the input size (the `log(n/S_L)`
+//! levels each store a graph) and SF at 1.21×–2.49× (one graph). The
+//! *ratios* are the reproducible quantity; absolute GB depend on scale.
+//!
+//! ```sh
+//! cargo run -p mbi-bench --release --bin table4 [-- --scale 1.0 --datasets movielens,sift1m]
+//! ```
+
+use mbi_bench::{build_mbi, build_sf, generate, params_for, Args};
+use mbi_data::all_presets;
+use mbi_eval::report::{fmt_mb, print_table, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    n: usize,
+    input_mb: f64,
+    mbi_mb: f64,
+    mbi_ratio: f64,
+    sf_mb: f64,
+    sf_ratio: f64,
+    mbi_levels: usize,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let seed: u64 = args.get("seed", 7);
+    let out = args.get_str("out", "results");
+    let datasets = args.get_str("datasets", "all");
+
+    let mut rows = Vec::new();
+    for preset in all_presets() {
+        if datasets != "all" && !datasets.split(',').any(|d| d.eq_ignore_ascii_case(preset.name)) {
+            continue;
+        }
+        eprintln!("building {}…", preset.name);
+        let dataset = generate(preset, scale, seed);
+        let params = params_for(preset, &dataset);
+        let mbi = build_mbi(&dataset, &params, params.tau, true);
+        let sf = build_sf(&dataset, &params);
+
+        let input = mbi.data_bytes() as f64;
+        let mbi_bytes = mbi.index_memory_bytes() as f64;
+        let sf_bytes = sf.index_memory_bytes() as f64;
+        let levels = mbi
+            .blocks()
+            .iter()
+            .map(|b| b.height)
+            .max()
+            .map_or(0, |h| h as usize + 1);
+        rows.push(Row {
+            dataset: preset.name,
+            n: dataset.len(),
+            input_mb: input / (1 << 20) as f64,
+            mbi_mb: mbi_bytes / (1 << 20) as f64,
+            mbi_ratio: mbi_bytes / input,
+            sf_mb: sf_bytes / (1 << 20) as f64,
+            sf_ratio: sf_bytes / input,
+            mbi_levels: levels,
+        });
+    }
+
+    print_table(
+        "Table 4: index sizes of MBI and SF (MB; ratio vs input data)",
+        &["dataset", "n", "input MB", "MBI MB", "MBI ratio", "SF MB", "SF ratio", "levels"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.to_string(),
+                    r.n.to_string(),
+                    fmt_mb((r.input_mb * (1 << 20) as f64) as usize),
+                    fmt_mb((r.mbi_mb * (1 << 20) as f64) as usize),
+                    format!("{:.2}x", r.mbi_ratio),
+                    fmt_mb((r.sf_mb * (1 << 20) as f64) as usize),
+                    format!("{:.2}x", r.sf_ratio),
+                    r.mbi_levels.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("\npaper ratios — MBI: 2.15x–8.72x, SF: 1.21x–2.49x; MBI/SF ratio grows with the number of levels (log n/S_L).");
+
+    match write_json(&out, "table4", &rows) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write json: {e}"),
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal subcommand + `--flag value` argument parsing (no external
+//! dependency; the workspace's allowed-crate list has no CLI parser).
+
+use crate::CliError;
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options and bare
+/// `--switch` flags.
+#[derive(Debug, Default, Clone)]
+pub struct CliArgs {
+    /// The subcommand (`build`, `query`, …).
+    pub command: String,
+    options: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl CliArgs {
+    /// Parses an argv-style slice (without the program name).
+    pub fn parse(argv: &[String]) -> Result<CliArgs, CliError> {
+        let mut it = argv.iter().peekable();
+        let command = it
+            .next()
+            .filter(|c| !c.starts_with("--"))
+            .cloned()
+            .ok_or_else(|| CliError("missing subcommand (try `mbi help`)".into()))?;
+        let mut options = HashMap::new();
+        let mut switches = Vec::new();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(CliError(format!("unexpected positional argument {a:?}")));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    options.insert(key.to_string(), it.next().expect("peeked").clone());
+                }
+                _ => switches.push(key.to_string()),
+            }
+        }
+        Ok(CliArgs { command, options, switches })
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError(format!("missing required option --{key}")))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A typed option with a default; malformed values are an error, not a
+    /// silent fallback.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("bad value for --{key}: {v:?}"))),
+        }
+    }
+
+    /// Whether a bare `--switch` was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_options_switches() {
+        let a = CliArgs::parse(&argv("build --input x.fvecs --leaf-size 512 --parallel")).unwrap();
+        assert_eq!(a.command, "build");
+        assert_eq!(a.require("input").unwrap(), "x.fvecs");
+        assert_eq!(a.get_parsed("leaf-size", 0usize).unwrap(), 512);
+        assert!(a.switch("parallel"));
+        assert!(!a.switch("quiet"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn missing_subcommand_is_error() {
+        assert!(CliArgs::parse(&[]).is_err());
+        assert!(CliArgs::parse(&argv("--input x")).is_err());
+    }
+
+    #[test]
+    fn missing_required_option_is_error() {
+        let a = CliArgs::parse(&argv("query")).unwrap();
+        assert!(a.require("index").is_err());
+    }
+
+    #[test]
+    fn malformed_typed_value_is_error() {
+        let a = CliArgs::parse(&argv("build --tau abc")).unwrap();
+        assert!(a.get_parsed("tau", 0.5f64).is_err());
+        let a = CliArgs::parse(&argv("build --tau 0.4")).unwrap();
+        assert_eq!(a.get_parsed("tau", 0.5f64).unwrap(), 0.4);
+    }
+
+    #[test]
+    fn positional_arguments_rejected() {
+        assert!(CliArgs::parse(&argv("build stray")).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Vector-file formats: TEXMEX fvecs, CSV, and timestamp files.
+
+use crate::CliError;
+use mbi_ann::VectorStore;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads an **fvecs** file: per vector, a little-endian `i32` dimension then
+/// that many little-endian `f32`s. All vectors must share one dimension.
+pub fn read_fvecs(path: impl AsRef<Path>) -> Result<VectorStore, CliError> {
+    let mut file = BufReader::new(std::fs::File::open(&path)?);
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    parse_fvecs(&bytes)
+}
+
+/// Parses fvecs bytes (separated from file handling for tests).
+pub fn parse_fvecs(bytes: &[u8]) -> Result<VectorStore, CliError> {
+    let mut pos = 0usize;
+    let mut store: Option<VectorStore> = None;
+    let mut row = Vec::new();
+    while pos < bytes.len() {
+        if pos + 4 > bytes.len() {
+            return Err(CliError("truncated fvecs: partial dimension header".into()));
+        }
+        let dim = i32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        pos += 4;
+        if dim <= 0 || dim > 1 << 20 {
+            return Err(CliError(format!("implausible fvecs dimension {dim}")));
+        }
+        let dim = dim as usize;
+        let need = dim * 4;
+        if pos + need > bytes.len() {
+            return Err(CliError("truncated fvecs: partial vector payload".into()));
+        }
+        row.clear();
+        for i in 0..dim {
+            let off = pos + i * 4;
+            row.push(f32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")));
+        }
+        pos += need;
+        let store = store.get_or_insert_with(|| VectorStore::new(dim));
+        if store.dim() != dim {
+            return Err(CliError(format!(
+                "inconsistent fvecs dimensions: {} then {dim}",
+                store.dim()
+            )));
+        }
+        store.push(&row);
+    }
+    store.ok_or_else(|| CliError("empty fvecs file".into()))
+}
+
+/// Writes a store as fvecs.
+pub fn write_fvecs(path: impl AsRef<Path>, store: &VectorStore) -> Result<(), CliError> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    for i in 0..store.len() {
+        out.write_all(&(store.dim() as i32).to_le_bytes())?;
+        for &v in store.get(i) {
+            out.write_all(&v.to_le_bytes())?;
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a timestamp file: one `i64` per non-empty line.
+pub fn read_timestamps(path: impl AsRef<Path>) -> Result<Vec<i64>, CliError> {
+    let file = BufReader::new(std::fs::File::open(&path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in file.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let t: i64 = trimmed
+            .parse()
+            .map_err(|_| CliError(format!("line {}: bad timestamp {trimmed:?}", lineno + 1)))?;
+        out.push(t);
+    }
+    Ok(out)
+}
+
+/// Writes timestamps, one per line.
+pub fn write_timestamps(path: impl AsRef<Path>, ts: &[i64]) -> Result<(), CliError> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    for t in ts {
+        writeln!(out, "{t}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a CSV file of `timestamp,x0,x1,…` rows (header lines that fail to
+/// parse as numbers are skipped). Returns the vectors and their timestamps.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<(VectorStore, Vec<i64>), CliError> {
+    let file = BufReader::new(std::fs::File::open(&path)?);
+    let mut store: Option<VectorStore> = None;
+    let mut timestamps = Vec::new();
+    let mut row = Vec::new();
+    for (lineno, line) in file.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let first = fields.next().unwrap_or_default().trim();
+        let t: i64 = match first.parse() {
+            Ok(t) => t,
+            Err(_) if lineno == 0 => continue, // header row
+            Err(_) => {
+                return Err(CliError(format!("line {}: bad timestamp {first:?}", lineno + 1)))
+            }
+        };
+        row.clear();
+        for f in fields {
+            let x: f32 = f
+                .trim()
+                .parse()
+                .map_err(|_| CliError(format!("line {}: bad value {f:?}", lineno + 1)))?;
+            row.push(x);
+        }
+        if row.is_empty() {
+            return Err(CliError(format!("line {}: no vector components", lineno + 1)));
+        }
+        let store = store.get_or_insert_with(|| VectorStore::new(row.len()));
+        if store.dim() != row.len() {
+            return Err(CliError(format!(
+                "line {}: dimension {} (expected {})",
+                lineno + 1,
+                row.len(),
+                store.dim()
+            )));
+        }
+        store.push(&row);
+        timestamps.push(t);
+    }
+    let store = store.ok_or_else(|| CliError("empty csv file".into()))?;
+    Ok((store, timestamps))
+}
+
+/// Parses an inline comma-separated vector literal (`"0.1,0.2,0.3"`).
+pub fn parse_vector_literal(s: &str) -> Result<Vec<f32>, CliError> {
+    let v: Result<Vec<f32>, _> = s.split(',').map(|f| f.trim().parse::<f32>()).collect();
+    let v = v.map_err(|_| CliError(format!("bad vector literal {s:?}")))?;
+    if v.is_empty() {
+        return Err(CliError("empty vector literal".into()));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mbi_cli_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let mut s = VectorStore::new(3);
+        s.push(&[1.0, 2.5, -3.0]);
+        s.push(&[0.0, 0.25, 9.0]);
+        let path = tmp("roundtrip.fvecs");
+        write_fvecs(&path, &s).unwrap();
+        let loaded = read_fvecs(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.dim(), 3);
+        assert_eq!(loaded.get(0), &[1.0, 2.5, -3.0]);
+        assert_eq!(loaded.get(1), &[0.0, 0.25, 9.0]);
+    }
+
+    #[test]
+    fn fvecs_rejects_truncation_and_garbage() {
+        assert!(parse_fvecs(&[1, 0]).is_err(), "partial header");
+        // dim = 2 but only one f32 of payload.
+        let mut bytes = 2i32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(parse_fvecs(&bytes).is_err(), "partial payload");
+        // Negative dimension.
+        let bytes = (-3i32).to_le_bytes().to_vec();
+        assert!(parse_fvecs(&bytes).is_err());
+        // Inconsistent dimensions.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1i32.to_le_bytes());
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        bytes.extend_from_slice(&2i32.to_le_bytes());
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        bytes.extend_from_slice(&2.0f32.to_le_bytes());
+        assert!(parse_fvecs(&bytes).is_err());
+        // Empty file.
+        assert!(parse_fvecs(&[]).is_err());
+    }
+
+    #[test]
+    fn timestamps_roundtrip_and_validation() {
+        let path = tmp("ts.txt");
+        write_timestamps(&path, &[1, 5, 5, 900]).unwrap();
+        assert_eq!(read_timestamps(&path).unwrap(), vec![1, 5, 5, 900]);
+        std::fs::write(&path, "1\nnot_a_number\n").unwrap();
+        assert!(read_timestamps(&path).is_err());
+        std::fs::write(&path, "1\n\n  2 \n").unwrap();
+        assert_eq!(read_timestamps(&path).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn csv_parsing() {
+        let path = tmp("data.csv");
+        std::fs::write(&path, "t,x,y\n10,0.5,1.5\n20,-1.0,2.0\n").unwrap();
+        let (store, ts) = read_csv(&path).unwrap();
+        assert_eq!(ts, vec![10, 20]);
+        assert_eq!(store.get(1), &[-1.0, 2.0]);
+
+        std::fs::write(&path, "10,1.0\n20,2.0,3.0\n").unwrap();
+        assert!(read_csv(&path).is_err(), "ragged rows rejected");
+
+        std::fs::write(&path, "10,1.0\nbad,2.0\n").unwrap();
+        assert!(read_csv(&path).is_err(), "bad timestamp mid-file rejected");
+    }
+
+    #[test]
+    fn vector_literals() {
+        assert_eq!(parse_vector_literal("1, 2.5 ,-3").unwrap(), vec![1.0, 2.5, -3.0]);
+        assert!(parse_vector_literal("1,abc").is_err());
+        assert!(parse_vector_literal("").is_err());
+    }
+}

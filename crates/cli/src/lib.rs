@@ -1,0 +1,52 @@
+//! `mbi` — a command-line tool for Multi-level Block Indexing.
+//!
+//! Wraps the library in the workflows a downstream user actually runs:
+//!
+//! ```text
+//! mbi generate  --preset sift1m --count 50000 --out data.fvecs --timestamps ts.txt
+//! mbi build     --input data.fvecs --timestamps ts.txt --out index.mbi \
+//!               --metric euclidean --leaf-size 4096 --tau 0.5 --degree 24
+//! mbi info      --index index.mbi
+//! mbi query     --index index.mbi --vector q.fvecs --k 10 --from 1000 --to 30000
+//! mbi tune      --index index.mbi --queries q.fvecs --target-recall 0.95
+//! ```
+//!
+//! Vector files use the TEXMEX **fvecs** format (the format of the paper's
+//! SIFT1M/GIST1M datasets): for each vector a little-endian `i32` dimension
+//! followed by that many `f32`s. Timestamps are a text file with one `i64`
+//! per line; when omitted, row index is used (the paper's virtual-timestamp
+//! rule). CSV input (`--input data.csv`) expects `timestamp,x0,x1,…` rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod io;
+
+pub use args::CliArgs;
+pub use commands::run;
+
+/// CLI error type: message + suggestion of `--help`.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+impl From<mbi_core::MbiError> for CliError {
+    fn from(e: mbi_core::MbiError) -> Self {
+        CliError(e.to_string())
+    }
+}

@@ -1,0 +1,18 @@
+//! `mbi` binary entry point — see [`mbi_cli`] for the command reference.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match mbi_cli::CliArgs::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = mbi_cli::run(&args, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the CLI's file formats: fvecs and timestamp
+//! round-trips over arbitrary contents, and parser robustness against
+//! arbitrary byte strings (errors, never panics).
+
+use mbi_ann::VectorStore;
+use mbi_cli::io::{
+    parse_fvecs, parse_vector_literal, read_fvecs, read_timestamps, write_fvecs,
+    write_timestamps,
+};
+use proptest::prelude::*;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("mbi_cli_prop_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fvecs_roundtrip_arbitrary_vectors(
+        dim in 1usize..64,
+        n_rows in 1usize..40,
+        case in 0u64..u64::MAX,
+    ) {
+        let mut store = VectorStore::new(dim);
+        for i in 0..n_rows {
+            let row: Vec<f32> = (0..dim)
+                .map(|j| ((case as f32).sin() + i as f32 * 0.5 + j as f32 * 0.25) % 1000.0)
+                .collect();
+            store.push(&row);
+        }
+        let path = tmp(&format!("prop_{case}.fvecs"));
+        write_fvecs(&path, &store).unwrap();
+        let loaded = read_fvecs(&path).unwrap();
+        prop_assert_eq!(loaded.dim(), store.dim());
+        prop_assert_eq!(loaded.len(), store.len());
+        prop_assert_eq!(loaded.as_flat(), store.as_flat());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Arbitrary bytes never panic the fvecs parser.
+    #[test]
+    fn fvecs_parser_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = parse_fvecs(&bytes); // must not panic; Ok or Err both fine
+    }
+
+    #[test]
+    fn timestamps_roundtrip(ts in prop::collection::vec(any::<i64>(), 0..200), case in 0u64..u64::MAX) {
+        let path = tmp(&format!("ts_{case}.txt"));
+        write_timestamps(&path, &ts).unwrap();
+        let loaded = read_timestamps(&path).unwrap();
+        prop_assert_eq!(loaded, ts);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Vector literals: parse(format(v)) == v for finite floats.
+    #[test]
+    fn vector_literal_roundtrip(v in prop::collection::vec(-1e4f32..1e4, 1..32)) {
+        let lit: Vec<String> = v.iter().map(|x| format!("{x:?}")).collect();
+        let parsed = parse_vector_literal(&lit.join(",")).unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+}

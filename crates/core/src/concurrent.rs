@@ -1,0 +1,172 @@
+//! Concurrent reads during ingestion.
+//!
+//! Time-accumulating workloads (the satellite feed, the upload stream of the
+//! paper's introduction) query *while* new data arrives. [`ConcurrentMbi`]
+//! wraps [`MbiIndex`] in a `parking_lot::RwLock`: many queries proceed in
+//! parallel, an insert takes the write lock only for the append (plus,
+//! occasionally, a block-merge chain). This is the simplest correct
+//! concurrency model; block builds themselves already parallelise internally
+//! when `parallel_build` is set (§4.2).
+
+use crate::config::MbiConfig;
+use crate::error::MbiError;
+use crate::index::{MbiIndex, QueryOutput, TknnResult};
+use crate::select::TimeWindow;
+use crate::Timestamp;
+use mbi_ann::SearchParams;
+use parking_lot::RwLock;
+
+/// A thread-safe MBI handle: `&self` inserts and queries.
+///
+/// ```
+/// use mbi_core::{ConcurrentMbi, MbiConfig, TimeWindow};
+/// use mbi_math::Metric;
+///
+/// let index = ConcurrentMbi::new(MbiConfig::new(2, Metric::Euclidean).with_leaf_size(8));
+/// std::thread::scope(|s| {
+///     s.spawn(|| {
+///         for i in 0..32i64 {
+///             index.insert(&[i as f32, 0.0], i).unwrap();
+///         }
+///     });
+/// });
+/// let hits = index.query(&[10.0, 0.0], 3, TimeWindow::all());
+/// assert_eq!(hits[0].id, 10);
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentMbi {
+    inner: RwLock<MbiIndex>,
+}
+
+impl ConcurrentMbi {
+    /// Creates an empty concurrent index.
+    pub fn new(config: MbiConfig) -> Self {
+        ConcurrentMbi { inner: RwLock::new(MbiIndex::new(config)) }
+    }
+
+    /// Wraps an existing index.
+    pub fn from_index(index: MbiIndex) -> Self {
+        ConcurrentMbi { inner: RwLock::new(index) }
+    }
+
+    /// Unwraps back into the plain index.
+    pub fn into_inner(self) -> MbiIndex {
+        self.inner.into_inner()
+    }
+
+    /// Appends a timestamped vector (write lock).
+    pub fn insert(&self, vector: &[f32], t: Timestamp) -> Result<u32, MbiError> {
+        self.inner.write().insert(vector, t)
+    }
+
+    /// Approximate TkNN query (read lock, shared).
+    pub fn query(&self, query: &[f32], k: usize, window: TimeWindow) -> Vec<TknnResult> {
+        self.inner.read().query(query, k, window)
+    }
+
+    /// Query with explicit search parameters and instrumentation.
+    pub fn query_with_params(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+    ) -> QueryOutput {
+        self.inner.read().query_with_params(query, k, window, params)
+    }
+
+    /// Exact TkNN (read lock).
+    pub fn exact_query(&self, query: &[f32], k: usize, window: TimeWindow) -> Vec<TknnResult> {
+        self.inner.read().exact_query(query, k, window)
+    }
+
+    /// Number of vectors currently indexed.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Runs `f` with shared access to the underlying index (for stats,
+    /// persistence, block inspection).
+    pub fn with_read<R>(&self, f: impl FnOnce(&MbiIndex) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbi_math::Metric;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn config() -> MbiConfig {
+        MbiConfig::new(2, Metric::Euclidean).with_leaf_size(32)
+    }
+
+    #[test]
+    fn basic_insert_and_query() {
+        let idx = ConcurrentMbi::new(config());
+        for i in 0..100i64 {
+            idx.insert(&[i as f32, 0.0], i).unwrap();
+        }
+        assert_eq!(idx.len(), 100);
+        let res = idx.query(&[50.0, 0.0], 3, TimeWindow::new(0, 100));
+        assert_eq!(res[0].id, 50);
+    }
+
+    #[test]
+    fn queries_run_while_inserting() {
+        let idx = ConcurrentMbi::new(config());
+        for i in 0..200i64 {
+            idx.insert(&[i as f32, 0.0], i).unwrap();
+        }
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            // Writer: keep appending.
+            s.spawn(|| {
+                for i in 200..600i64 {
+                    idx.insert(&[i as f32, 0.0], i).unwrap();
+                }
+                done.store(true, Ordering::Release);
+            });
+            // Readers: query a stable historical window throughout.
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let mut rounds = 0u32;
+                    while !done.load(Ordering::Acquire) || rounds < 5 {
+                        let res = idx.query(&[100.0, 0.0], 5, TimeWindow::new(0, 200));
+                        assert_eq!(res.len(), 5);
+                        assert_eq!(res[0].id, 100);
+                        rounds += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(idx.len(), 600);
+    }
+
+    #[test]
+    fn with_read_and_into_inner() {
+        let idx = ConcurrentMbi::new(config());
+        idx.insert(&[1.0, 1.0], 0).unwrap();
+        let n = idx.with_read(|i| i.len());
+        assert_eq!(n, 1);
+        let plain = idx.into_inner();
+        assert_eq!(plain.len(), 1);
+    }
+
+    #[test]
+    fn exact_query_through_wrapper() {
+        let idx = ConcurrentMbi::new(config());
+        for i in 0..50i64 {
+            idx.insert(&[i as f32, 0.0], i).unwrap();
+        }
+        let res = idx.exact_query(&[25.0, 0.0], 2, TimeWindow::new(10, 40));
+        assert_eq!(res[0].id, 25);
+        assert!(!idx.is_empty());
+    }
+}

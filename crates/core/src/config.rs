@@ -1,0 +1,178 @@
+//! Index configuration — the knobs of Table 3.
+
+use mbi_ann::{HnswParams, NnDescentParams, SearchParams};
+use mbi_math::Metric;
+use serde::{Deserialize, Serialize};
+
+/// Which graph implementation backs each block's index.
+///
+/// The paper's evaluation uses NNDescent kNN graphs (§5.1.3) but notes any
+/// index supporting efficient kNN search works (§4.1); HNSW is provided for
+/// the backend ablation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum GraphBackend {
+    /// NNDescent-constructed kNN graph (the paper's choice).
+    NnDescent(NnDescentParams),
+    /// Hierarchical navigable small world graph.
+    Hnsw(HnswParams),
+}
+
+impl GraphBackend {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphBackend::NnDescent(_) => "nndescent",
+            GraphBackend::Hnsw(_) => "hnsw",
+        }
+    }
+}
+
+impl Default for GraphBackend {
+    fn default() -> Self {
+        GraphBackend::NnDescent(NnDescentParams::default())
+    }
+}
+
+/// Configuration of an [`crate::MbiIndex`].
+///
+/// The two MBI-specific parameters studied in §5.4 are the leaf block size
+/// `S_L` (indexing-time knob, Figure 8) and the block-selection threshold `τ`
+/// (query-time knob, Figure 9; Lemma 4.1 guarantees ≤ 2 searched blocks when
+/// `τ ≤ 0.5`, and the paper recommends `τ ≈ 0.5` absent prior information).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MbiConfig {
+    /// Vector dimensionality `d`.
+    pub dim: usize,
+    /// Distance function `σ`.
+    pub metric: Metric,
+    /// Leaf block size `S_L`.
+    pub leaf_size: usize,
+    /// Block-selection threshold `τ ∈ (0, 1]`.
+    pub tau: f64,
+    /// Per-block graph backend.
+    pub backend: GraphBackend,
+    /// Default search parameters (`M_C`, `ε`) used when the caller does not
+    /// override them per query.
+    pub search: SearchParams,
+    /// Build the graphs of a bottom-up merge chain in parallel (§4.2
+    /// "Parallelization of MBI").
+    pub parallel_build: bool,
+}
+
+impl MbiConfig {
+    /// A configuration with the paper's recommended defaults
+    /// (`τ = 0.5`, `S_L = 1024`, NNDescent blocks, serial build).
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        MbiConfig {
+            dim,
+            metric,
+            leaf_size: 1024,
+            tau: 0.5,
+            backend: GraphBackend::default(),
+            search: SearchParams::default(),
+            parallel_build: false,
+        }
+    }
+
+    /// Sets `S_L`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_size == 0`.
+    pub fn with_leaf_size(mut self, leaf_size: usize) -> Self {
+        assert!(leaf_size > 0, "leaf size must be positive");
+        self.leaf_size = leaf_size;
+        self
+    }
+
+    /// Sets `τ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < tau <= 1`.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1], got {tau}");
+        self.tau = tau;
+        self
+    }
+
+    /// Sets the per-block graph backend.
+    pub fn with_backend(mut self, backend: GraphBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the default search parameters.
+    pub fn with_search(mut self, search: SearchParams) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Enables or disables parallel bottom-up merging.
+    pub fn with_parallel_build(mut self, parallel: bool) -> Self {
+        self.parallel_build = parallel;
+        self
+    }
+
+    /// Expected out-degree of a block graph under the configured backend —
+    /// the per-visit cost factor in the query planner's scan-vs-graph
+    /// dispatch (each visited vertex evaluates ≈ degree neighbour
+    /// distances).
+    pub fn search_degree_estimate(&self) -> usize {
+        match &self.backend {
+            GraphBackend::NnDescent(p) => p.degree + 1, // + connectivity ring edge
+            GraphBackend::Hnsw(p) => p.m * 2,           // base-layer cap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = MbiConfig::new(8, Metric::Angular)
+            .with_leaf_size(256)
+            .with_tau(0.3)
+            .with_parallel_build(true)
+            .with_search(SearchParams::new(64, 1.2));
+        assert_eq!(c.dim, 8);
+        assert_eq!(c.leaf_size, 256);
+        assert_eq!(c.tau, 0.3);
+        assert!(c.parallel_build);
+        assert_eq!(c.search.max_candidates, 64);
+        assert_eq!(c.backend.name(), "nndescent");
+    }
+
+    #[test]
+    fn defaults_match_paper_recommendation() {
+        let c = MbiConfig::new(4, Metric::Euclidean);
+        assert_eq!(c.tau, 0.5, "§5.4.2 recommends τ = 0.5 by default");
+        assert!(!c.parallel_build);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be in (0, 1]")]
+    fn tau_zero_rejected() {
+        MbiConfig::new(4, Metric::Euclidean).with_tau(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be in (0, 1]")]
+    fn tau_above_one_rejected() {
+        MbiConfig::new(4, Metric::Euclidean).with_tau(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf size must be positive")]
+    fn zero_leaf_rejected() {
+        MbiConfig::new(4, Metric::Euclidean).with_leaf_size(0);
+    }
+
+    #[test]
+    fn hnsw_backend_name() {
+        let b = GraphBackend::Hnsw(HnswParams::default());
+        assert_eq!(b.name(), "hnsw");
+    }
+}

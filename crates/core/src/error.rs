@@ -1,0 +1,83 @@
+//! Error type for MBI operations.
+
+use std::fmt;
+
+/// Errors surfaced by the MBI index.
+#[derive(Debug)]
+pub enum MbiError {
+    /// A vector of the wrong dimensionality was offered.
+    DimensionMismatch {
+        /// Dimension the index was configured with.
+        expected: usize,
+        /// Dimension of the offered vector.
+        got: usize,
+    },
+    /// A timestamp older than the newest stored one was offered. MBI appends
+    /// in timestamp order (§4.2: "a new vector has a later timestamp than all
+    /// existing vectors"); equal timestamps are allowed per the tie rule of
+    /// §3.1.
+    NonMonotonicTimestamp {
+        /// Newest timestamp already in the index.
+        newest: i64,
+        /// Offered timestamp.
+        got: i64,
+    },
+    /// The persisted byte stream is malformed or truncated.
+    Corrupt(String),
+    /// An I/O error during save/load.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MbiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MbiError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: index is {expected}-d, vector is {got}-d")
+            }
+            MbiError::NonMonotonicTimestamp { newest, got } => write!(
+                f,
+                "non-monotonic timestamp: {got} precedes newest stored timestamp {newest}"
+            ),
+            MbiError::Corrupt(msg) => write!(f, "corrupt index data: {msg}"),
+            MbiError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MbiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MbiError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MbiError {
+    fn from(e: std::io::Error) -> Self {
+        MbiError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MbiError::DimensionMismatch { expected: 4, got: 3 };
+        assert!(e.to_string().contains("4-d"));
+        let e = MbiError::NonMonotonicTimestamp { newest: 10, got: 5 };
+        assert!(e.to_string().contains("5 precedes"));
+        let e = MbiError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: MbiError = io.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,979 @@
+//! The MBI index: incremental construction (Algorithm 3) and query
+//! processing (Algorithm 4).
+
+use crate::block::{Block, BlockGraph};
+use crate::config::MbiConfig;
+use crate::error::MbiError;
+use crate::select::{select_blocks, SearchBlockSet, TimeWindow};
+use crate::Timestamp;
+use mbi_ann::{brute_force, SearchParams, SearchStats, VectorStore};
+use mbi_math::{Neighbor, TopK};
+
+/// One TkNN answer: a vector id (insertion order), its timestamp, and its
+/// distance to the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TknnResult {
+    /// Row id — the value returned by [`MbiIndex::insert`].
+    pub id: u32,
+    /// The vector's timestamp.
+    pub timestamp: Timestamp,
+    /// Distance to the query under the index metric.
+    pub dist: f32,
+}
+
+/// A query answer plus per-query instrumentation.
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    /// Up to `k` results, ascending by distance.
+    pub results: Vec<TknnResult>,
+    /// Work counters (distance evaluations, vertices visited, rows scanned,
+    /// blocks searched).
+    pub stats: SearchStats,
+    /// The search block set the query used.
+    pub selection: SearchBlockSet,
+}
+
+/// One row of [`MbiIndex::level_stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Tree height (leaf = 0).
+    pub height: u32,
+    /// Number of materialised blocks at this height.
+    pub blocks: usize,
+    /// Total rows covered by blocks at this height.
+    pub rows: usize,
+    /// Total graph bytes at this height.
+    pub graph_bytes: usize,
+}
+
+/// Appends the postorder layout of a complete subtree over `leaves` leaves
+/// starting at `first_leaf` (used by [`MbiIndex::validate`]).
+fn push_subtree(
+    first_leaf: usize,
+    leaves: usize,
+    leaf_size: usize,
+    out: &mut Vec<(std::ops::Range<usize>, u32)>,
+) {
+    if leaves > 1 {
+        push_subtree(first_leaf, leaves / 2, leaf_size, out);
+        push_subtree(first_leaf + leaves / 2, leaves / 2, leaf_size, out);
+    }
+    let start = first_leaf * leaf_size;
+    out.push((start..start + leaves * leaf_size, leaves.trailing_zeros()));
+}
+
+/// Multi-level Block Index over timestamped vectors.
+///
+/// See the [crate docs](crate) for the structure; invariants maintained here:
+///
+/// 1. `store` and `timestamps` are parallel arrays in non-decreasing
+///    timestamp order (appends validate monotonicity).
+/// 2. Rows `[0, num_leaves · S_L)` are covered by materialised blocks; rows
+///    past that are the *tail* (the first non-full leaf of Algorithm 3).
+/// 3. `blocks` is a postorder layout of the forest of maximal complete
+///    subtrees determined by `num_leaves` (binary decomposition).
+#[derive(Clone, Debug)]
+pub struct MbiIndex {
+    pub(crate) config: MbiConfig,
+    pub(crate) store: VectorStore,
+    pub(crate) timestamps: Vec<Timestamp>,
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) num_leaves: usize,
+}
+
+impl MbiIndex {
+    /// Creates an empty index.
+    pub fn new(config: MbiConfig) -> Self {
+        MbiIndex {
+            store: VectorStore::new(config.dim),
+            timestamps: Vec::new(),
+            blocks: Vec::new(),
+            num_leaves: 0,
+            config,
+        }
+    }
+
+    /// The configuration this index was created with.
+    pub fn config(&self) -> &MbiConfig {
+        &self.config
+    }
+
+    /// Changes the block-selection threshold `τ` — a query-time parameter
+    /// (§5.4.2); no blocks are rebuilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < tau <= 1`.
+    pub fn set_tau(&mut self, tau: f64) {
+        assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1], got {tau}");
+        self.config.tau = tau;
+    }
+
+    /// Number of indexed vectors (including the tail).
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Whether the index holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// All materialised blocks in postorder.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of sealed (full) leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Row range of the non-full tail leaf (possibly empty).
+    pub fn tail_rows(&self) -> std::ops::Range<usize> {
+        self.num_leaves * self.config.leaf_size..self.len()
+    }
+
+    /// The timestamp column (ascending).
+    pub fn timestamps(&self) -> &[Timestamp] {
+        &self.timestamps
+    }
+
+    /// The raw vector store.
+    pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+
+    /// Timestamp of row `id`.
+    pub fn timestamp_of(&self, id: u32) -> Timestamp {
+        self.timestamps[id as usize]
+    }
+
+    /// Vector of row `id`.
+    pub fn vector_of(&self, id: u32) -> &[f32] {
+        self.store.get(id as usize)
+    }
+
+    /// Bytes of heap memory used by the index *structures* (graphs + block
+    /// metadata), excluding the raw vectors. Table 4 / Figure 7b accounting.
+    pub fn index_memory_bytes(&self) -> usize {
+        self.blocks.iter().map(Block::memory_bytes).sum()
+    }
+
+    /// Bytes of the raw input data (vectors + timestamps) — the "Input Data
+    /// Size" column of Table 4.
+    pub fn data_bytes(&self) -> usize {
+        self.store.data_bytes() + self.timestamps.len() * std::mem::size_of::<Timestamp>()
+    }
+
+    /// Appends a timestamped vector (Algorithm 3). Returns the new row id.
+    ///
+    /// Timestamps must be non-decreasing: MBI ingests data in time order
+    /// (§4.2); ties are permitted and keep insertion order (§3.1 tie rule).
+    pub fn insert(&mut self, vector: &[f32], t: Timestamp) -> Result<u32, MbiError> {
+        if vector.len() != self.config.dim {
+            return Err(MbiError::DimensionMismatch {
+                expected: self.config.dim,
+                got: vector.len(),
+            });
+        }
+        if let Some(&newest) = self.timestamps.last() {
+            if t < newest {
+                return Err(MbiError::NonMonotonicTimestamp { newest, got: t });
+            }
+        }
+        let id = self.store.push(vector);
+        self.timestamps.push(t);
+
+        // Lines 4–14: seal the leaf when it reaches S_L, then merge upward.
+        if self.tail_rows().len() == self.config.leaf_size {
+            self.seal_tail();
+        }
+        Ok(id)
+    }
+
+    /// Appends many timestamped vectors.
+    pub fn insert_batch<'a, I>(&mut self, items: I) -> Result<(), MbiError>
+    where
+        I: IntoIterator<Item = (&'a [f32], Timestamp)>,
+    {
+        for (v, t) in items {
+            self.insert(v, t)?;
+        }
+        Ok(())
+    }
+
+    /// Seals the now-full tail leaf and performs bottom-up block merging:
+    /// after the `num_leaves`-th leaf, one ancestor block is created per
+    /// trailing zero bit of `num_leaves` (the `while j is even` loop of
+    /// Algorithm 3).
+    fn seal_tail(&mut self) {
+        let s_l = self.config.leaf_size;
+        self.num_leaves += 1;
+        let end = self.num_leaves * s_l;
+        debug_assert_eq!(end, self.len());
+
+        // Pending blocks: the leaf (height 0) plus one ancestor per merge.
+        // The ancestor of height h covers the last 2^h leaves.
+        let merges = self.num_leaves.trailing_zeros();
+        let pending: Vec<(std::ops::Range<usize>, u32)> = (0..=merges)
+            .map(|h| (end - (1usize << h) * s_l..end, h))
+            .collect();
+
+        let graphs = self.build_graphs(&pending);
+        for ((rows, height), graph) in pending.into_iter().zip(graphs) {
+            let start_ts = self.timestamps[rows.start];
+            let end_ts = self.timestamps[rows.end - 1] + 1;
+            self.blocks.push(Block { rows, height, start_ts, end_ts, graph });
+        }
+    }
+
+    /// Builds the pending blocks' graphs, in parallel when configured —
+    /// §4.2 "Parallelization of MBI": each block of a merge chain is
+    /// independent, so its graph can be built concurrently; remaining cores
+    /// go to intra-build parallelism (NNDescent's local-join distances).
+    /// Either way the produced graphs are identical to a serial build.
+    fn build_graphs(&self, pending: &[(std::ops::Range<usize>, u32)]) -> Vec<BlockGraph> {
+        let backend = &self.config.backend;
+        let metric = self.config.metric;
+        let base_id = self.blocks.len() as u64;
+
+        if !self.config.parallel_build {
+            return pending
+                .iter()
+                .enumerate()
+                .map(|(i, (rows, _))| {
+                    BlockGraph::build(backend, self.store.slice(rows.clone()), metric, base_id + i as u64)
+                })
+                .collect();
+        }
+
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let inner_threads = (cores / pending.len()).max(1);
+        if pending.len() == 1 {
+            let (rows, _) = &pending[0];
+            return vec![BlockGraph::build_threaded(
+                backend,
+                self.store.slice(rows.clone()),
+                metric,
+                base_id,
+                inner_threads,
+            )];
+        }
+
+        let mut graphs: Vec<Option<BlockGraph>> = (0..pending.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (i, slot) in graphs.iter_mut().enumerate() {
+                let rows = pending[i].0.clone();
+                let store = &self.store;
+                scope.spawn(move || {
+                    *slot = Some(BlockGraph::build_threaded(
+                        backend,
+                        store.slice(rows),
+                        metric,
+                        base_id + i as u64,
+                        inner_threads,
+                    ));
+                });
+            }
+        });
+        graphs
+            .into_iter()
+            .map(|g| g.expect("every scoped builder ran to completion"))
+            .collect()
+    }
+
+    /// Computes the search block set for `window` (Algorithm 4 line 3).
+    pub fn block_selection(&self, window: TimeWindow) -> SearchBlockSet {
+        let blocks = select_blocks(&self.blocks, self.num_leaves, self.config.tau, window);
+        let tail_rows = self.tail_rows();
+        let tail = !tail_rows.is_empty() && {
+            let ts = self.timestamps[tail_rows.start];
+            let te = self.timestamps[self.len() - 1] + 1;
+            window.overlap_with(ts, te) > 0
+        };
+        SearchBlockSet { blocks, tail }
+    }
+
+    /// Approximate TkNN query with the configured default search parameters.
+    pub fn query(&self, query: &[f32], k: usize, window: TimeWindow) -> Vec<TknnResult> {
+        self.query_with_params(query, k, window, &self.config.search).results
+    }
+
+    /// Approximate TkNN query (Algorithm 4) with explicit `M_C`/`ε`,
+    /// returning results plus instrumentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != dim`.
+    pub fn query_with_params(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+    ) -> QueryOutput {
+        let selection = self.block_selection(window);
+        self.query_on_selection(query, k, window, params, &selection)
+    }
+
+    /// Runs the per-block search + merge of Algorithm 4 over an explicit
+    /// search block set. Exposed so callers (e.g. the `τ` tuner) can select
+    /// blocks under a different `τ` without rebuilding the index.
+    pub fn query_on_selection(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+        selection: &SearchBlockSet,
+    ) -> QueryOutput {
+        assert_eq!(query.len(), self.config.dim, "query has wrong dimension");
+        let mut stats = SearchStats::default();
+        let mut merged = TopK::new(k);
+
+        // Full blocks: SF-style filtered graph search (Algorithm 4 line 8) —
+        // unless the window covers so few of the block's rows that an exact
+        // scan is cheaper. Cost model: the filtered graph search must visit
+        // ≈ k/ρ vertices to collect k in-window results (ρ = m/|B| is the
+        // in-window density) at ≈ degree distance evaluations per visit,
+        // i.e. ≈ k·degree·|B|/m evals, while a BSBF scan of the block's
+        // in-window rows costs exactly m. Dispatching on the cheaper side is
+        // what makes MBI "operate like BSBF when the query time window is
+        // short" (challenge C1, §4) even below leaf granularity.
+        let (wlo, whi) = self.window_rows(window);
+        for &bi in &selection.blocks {
+            let block = &self.blocks[bi];
+            let base = block.rows.start as u32;
+            let lo = wlo.max(block.rows.start);
+            let hi = whi.min(block.rows.end);
+            let m = hi.saturating_sub(lo);
+            if m == 0 {
+                continue;
+            }
+            let degree = self.config.search_degree_estimate();
+            // The beam typically visits ~2k vertices before the ε bound
+            // stops it, hence the factor 2 on the k/ρ visit estimate.
+            let graph_cost = (2 * k as u64)
+                .saturating_mul(degree as u64)
+                .saturating_mul(block.len() as u64)
+                / m as u64;
+            if (m as u64) < graph_cost {
+                // Exact scan of the in-window rows of this block.
+                for n in brute_force(
+                    self.store.slice(lo..hi),
+                    self.config.metric,
+                    query,
+                    k,
+                    &mut stats,
+                ) {
+                    merged.offer(lo as u32 + n.id, n.dist);
+                }
+                continue;
+            }
+            let view = self.store.slice(block.rows.clone());
+            let fully_covered =
+                window.start <= block.start_ts && block.end_ts <= window.end;
+            let ts = &self.timestamps;
+            let mut filter = |lid: u32| {
+                fully_covered || window.contains(ts[(base + lid) as usize])
+            };
+            let local = block.graph.search(
+                view,
+                self.config.metric,
+                query,
+                k,
+                params,
+                &mut filter,
+                &mut stats,
+            );
+            for n in local {
+                merged.offer(base + n.id, n.dist);
+            }
+        }
+
+        // Tail: binary search + brute force (Algorithm 4 line 6 — the
+        // non-full leaf has no graph, so BSBF applies).
+        if selection.tail {
+            let tail = self.tail_rows();
+            let (lo, hi) = self.window_rows(window);
+            let lo = lo.max(tail.start);
+            let hi = hi.max(lo);
+            for n in brute_force(
+                self.store.slice(lo..hi),
+                self.config.metric,
+                query,
+                k,
+                &mut stats,
+            ) {
+                merged.offer(lo as u32 + n.id, n.dist);
+            }
+        }
+
+        stats.blocks_searched = selection.places() as u64;
+        QueryOutput {
+            results: self.to_results(merged),
+            stats,
+            selection: selection.clone(),
+        }
+    }
+
+    /// Exact TkNN by binary search + brute force over the whole store — the
+    /// BSBF procedure (Algorithm 1) applied to this index's own data. Used
+    /// as ground truth by the τ tuner and in tests.
+    pub fn exact_query(&self, query: &[f32], k: usize, window: TimeWindow) -> Vec<TknnResult> {
+        assert_eq!(query.len(), self.config.dim, "query has wrong dimension");
+        let (lo, hi) = self.window_rows(window);
+        let mut stats = SearchStats::default();
+        let top = brute_force(
+            self.store.slice(lo..hi),
+            self.config.metric,
+            query,
+            k,
+            &mut stats,
+        );
+        let mut merged = TopK::new(k);
+        for n in top {
+            merged.offer(lo as u32 + n.id, n.dist);
+        }
+        self.to_results(merged)
+    }
+
+    /// Rows whose timestamps fall in `window`, as `[lo, hi)` — the binary
+    /// search step of Algorithm 1 (timestamps are sorted by construction).
+    pub fn window_rows(&self, window: TimeWindow) -> (usize, usize) {
+        let lo = self.timestamps.partition_point(|&t| t < window.start);
+        let hi = self.timestamps.partition_point(|&t| t < window.end);
+        (lo, hi)
+    }
+
+    /// Number of vectors whose timestamps fall in `window` (`|D[t_s:t_e)|`).
+    pub fn window_len(&self, window: TimeWindow) -> usize {
+        let (lo, hi) = self.window_rows(window);
+        hi - lo
+    }
+
+    /// Answers many queries, fanning out across `threads` workers (0 → all
+    /// available cores). Queries are read-only, so this is embarrassingly
+    /// parallel; result order matches input order.
+    pub fn query_batch(
+        &self,
+        queries: &[(Vec<f32>, usize, TimeWindow)],
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<Vec<TknnResult>> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        let mut out: Vec<Vec<TknnResult>> = vec![Vec::new(); queries.len()];
+        if threads <= 1 {
+            for ((q, k, w), slot) in queries.iter().zip(out.iter_mut()) {
+                *slot = self.query_with_params(q, *k, *w, params).results;
+            }
+            return out;
+        }
+        let chunk = queries.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for ((q, k, w), slot) in qchunk.iter().zip(ochunk.iter_mut()) {
+                        *slot = self.query_with_params(q, *k, *w, params).results;
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Per-level summary of the block tree: `(height, block count, total
+    /// rows covered at that height, total graph bytes)`. Feeds the size
+    /// accounting of §4.4.1 (`Σ 2^i · Ψ(|D|/2^i)`) and the reports.
+    pub fn level_stats(&self) -> Vec<LevelStats> {
+        let max_h = self.blocks.iter().map(|b| b.height).max().map_or(0, |h| h + 1);
+        let mut levels: Vec<LevelStats> = (0..max_h)
+            .map(|h| LevelStats { height: h, blocks: 0, rows: 0, graph_bytes: 0 })
+            .collect();
+        for b in &self.blocks {
+            let l = &mut levels[b.height as usize];
+            l.blocks += 1;
+            l.rows += b.len();
+            l.graph_bytes += b.graph.memory_bytes();
+        }
+        levels
+    }
+
+    /// Renders the block tree as indented ASCII, one line per block in
+    /// postorder, deepest roots last — a debugging aid exposed by
+    /// `mbi info --tree`:
+    ///
+    /// ```text
+    /// ├─ B0  h0  rows [0, 8)      t [0, 8)      8.2 KiB
+    /// ├─ B1  h0  rows [8, 16)     t [8, 16)     8.2 KiB
+    /// └─ B2  h1  rows [0, 16)     t [0, 16)    16.4 KiB
+    /// tail: rows [16, 19) (3 vectors, exact scan)
+    /// ```
+    pub fn render_tree(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let max_h = self.blocks.iter().map(|b| b.height).max().unwrap_or(0);
+        for (i, b) in self.blocks.iter().enumerate() {
+            let indent = "  ".repeat((max_h - b.height) as usize);
+            let glyph = if b.height == max_h { "└─" } else { "├─" };
+            let _ = writeln!(
+                out,
+                "{indent}{glyph} B{i}  h{}  rows [{}, {})  t [{}, {})  {:.1} KiB",
+                b.height,
+                b.rows.start,
+                b.rows.end,
+                b.start_ts,
+                b.end_ts,
+                b.memory_bytes() as f64 / 1024.0
+            );
+        }
+        let tail = self.tail_rows();
+        if !tail.is_empty() {
+            let _ = writeln!(
+                out,
+                "tail: rows [{}, {}) ({} vectors, exact scan)",
+                tail.start,
+                tail.end,
+                tail.len()
+            );
+        }
+        if out.is_empty() {
+            out.push_str("(empty index)\n");
+        }
+        out
+    }
+
+    /// Exhaustively checks every structural invariant of the index;
+    /// returns a description of the first violation, if any. Run after
+    /// loading persisted bytes from an untrusted source, and by tests.
+    ///
+    /// Checked invariants:
+    /// 1. timestamps are non-decreasing and parallel to the store;
+    /// 2. sealed rows = `num_leaves · S_L ≤ len`;
+    /// 3. the block array is the postorder layout of the maximal-subtree
+    ///    forest implied by `num_leaves` (heights, row ranges, child
+    ///    arithmetic);
+    /// 4. every block's timestamp bounds match its rows;
+    /// 5. every graph edge stays inside its block.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.store.len() != self.timestamps.len() {
+            return Err(format!(
+                "store has {} rows but {} timestamps",
+                self.store.len(),
+                self.timestamps.len()
+            ));
+        }
+        if self.timestamps.windows(2).any(|w| w[1] < w[0]) {
+            return Err("timestamps not sorted".into());
+        }
+        let sealed = self.num_leaves * self.config.leaf_size;
+        if sealed > self.len() {
+            return Err(format!("{sealed} sealed rows exceed {} stored", self.len()));
+        }
+
+        // Reconstruct the expected postorder layout.
+        let mut expected: Vec<(std::ops::Range<usize>, u32)> = Vec::new();
+        let mut first_leaf = 0usize;
+        for b in (0..usize::BITS).rev() {
+            if self.num_leaves & (1 << b) == 0 {
+                continue;
+            }
+            push_subtree(first_leaf, 1 << b, self.config.leaf_size, &mut expected);
+            first_leaf += 1 << b;
+        }
+        if expected.len() != self.blocks.len() {
+            return Err(format!(
+                "expected {} blocks for {} leaves, found {}",
+                expected.len(),
+                self.num_leaves,
+                self.blocks.len()
+            ));
+        }
+        for (i, ((rows, height), block)) in expected.iter().zip(&self.blocks).enumerate() {
+            if block.rows != *rows || block.height != *height {
+                return Err(format!(
+                    "block {i}: expected rows {rows:?} height {height}, found {:?} height {}",
+                    block.rows, block.height
+                ));
+            }
+            let start_ts = self.timestamps[rows.start];
+            let end_ts = self.timestamps[rows.end - 1] + 1;
+            if block.start_ts != start_ts || block.end_ts != end_ts {
+                return Err(format!(
+                    "block {i}: timestamp bounds [{}, {}) do not match rows ([{start_ts}, {end_ts}))",
+                    block.start_ts, block.end_ts
+                ));
+            }
+            if let crate::block::BlockGraph::Knn(g) = &block.graph {
+                use mbi_ann::Graph;
+                if g.node_count() != block.len() {
+                    return Err(format!(
+                        "block {i}: graph has {} nodes for {} rows",
+                        g.node_count(),
+                        block.len()
+                    ));
+                }
+                for node in 0..g.node_count() as u32 {
+                    for &nb in g.neighbors(node) {
+                        if nb as usize >= block.len() {
+                            return Err(format!("block {i}: edge {node}→{nb} escapes the block"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn to_results(&self, merged: TopK) -> Vec<TknnResult> {
+        merged
+            .into_sorted_vec()
+            .into_iter()
+            .map(|Neighbor { id, dist }| TknnResult {
+                id,
+                timestamp: self.timestamps[id as usize],
+                dist,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbi_math::Metric;
+
+    fn small_config() -> MbiConfig {
+        MbiConfig::new(2, Metric::Euclidean)
+            .with_leaf_size(8)
+            .with_search(SearchParams::new(64, 1.2))
+    }
+
+    /// Inserts `n` points on a line, timestamp == id.
+    fn line_index(n: usize, config: MbiConfig) -> MbiIndex {
+        let mut idx = MbiIndex::new(config);
+        for i in 0..n {
+            idx.insert(&[i as f32, 0.0], i as i64).unwrap();
+        }
+        idx
+    }
+
+    #[test]
+    fn empty_index_queries_cleanly() {
+        let idx = MbiIndex::new(small_config());
+        assert!(idx.is_empty());
+        assert!(idx.query(&[0.0, 0.0], 5, TimeWindow::all()).is_empty());
+        assert!(idx.exact_query(&[0.0, 0.0], 5, TimeWindow::all()).is_empty());
+    }
+
+    #[test]
+    fn insert_validates_dimension_and_monotonicity() {
+        let mut idx = MbiIndex::new(small_config());
+        assert!(matches!(
+            idx.insert(&[1.0], 0),
+            Err(MbiError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+        idx.insert(&[0.0, 0.0], 10).unwrap();
+        assert!(matches!(
+            idx.insert(&[0.0, 0.0], 9),
+            Err(MbiError::NonMonotonicTimestamp { newest: 10, got: 9 })
+        ));
+        // Equal timestamps are allowed (tie rule).
+        idx.insert(&[0.0, 1.0], 10).unwrap();
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn block_structure_follows_postorder() {
+        // 32 points, S_L = 8 → 4 leaves → blocks (postorder):
+        // leaf0, leaf1, parent01, leaf2, leaf3, parent23, root.
+        let idx = line_index(32, small_config());
+        assert_eq!(idx.num_leaves(), 4);
+        assert_eq!(idx.blocks().len(), 7);
+        let heights: Vec<u32> = idx.blocks().iter().map(|b| b.height).collect();
+        assert_eq!(heights, vec![0, 0, 1, 0, 0, 1, 2]);
+        let root = &idx.blocks()[6];
+        assert_eq!(root.rows, 0..32);
+        assert_eq!(root.start_ts, 0);
+        assert_eq!(root.end_ts, 32);
+        // Sibling arithmetic: right child at 5, left child at 6 − 2^2 = 2.
+        assert_eq!(idx.blocks()[5].rows, 16..32);
+        assert_eq!(idx.blocks()[2].rows, 0..16);
+        assert!(idx.tail_rows().is_empty());
+    }
+
+    #[test]
+    fn tail_holds_unsealed_rows() {
+        let idx = line_index(19, small_config());
+        assert_eq!(idx.num_leaves(), 2);
+        assert_eq!(idx.tail_rows(), 16..19);
+        assert_eq!(idx.blocks().len(), 3); // leaf, leaf, parent
+    }
+
+    #[test]
+    fn query_matches_exact_on_easy_data() {
+        let idx = line_index(64, small_config());
+        for (s, e) in [(0i64, 64i64), (5, 20), (30, 34), (0, 8), (56, 64), (11, 53)] {
+            let w = TimeWindow::new(s, e);
+            let got = idx.query(&[17.3, 0.0], 5, w);
+            let exact = idx.exact_query(&[17.3, 0.0], 5, w);
+            let got_ids: Vec<u32> = got.iter().map(|r| r.id).collect();
+            let exact_ids: Vec<u32> = exact.iter().map(|r| r.id).collect();
+            assert_eq!(got_ids, exact_ids, "window [{s},{e})");
+            for r in &got {
+                assert!(w.contains(r.timestamp));
+            }
+        }
+    }
+
+    #[test]
+    fn query_respects_window_strictly() {
+        let idx = line_index(40, small_config());
+        // Query vector sits at 10 but window is [30, 35).
+        let res = idx.query(&[10.0, 0.0], 3, TimeWindow::new(30, 35));
+        assert_eq!(res.len(), 3);
+        for r in &res {
+            assert!((30..35).contains(&r.timestamp), "{:?}", r);
+        }
+        assert_eq!(res[0].id, 30);
+    }
+
+    #[test]
+    fn empty_window_returns_nothing() {
+        let idx = line_index(40, small_config());
+        assert!(idx.query(&[5.0, 0.0], 3, TimeWindow::new(20, 20)).is_empty());
+        assert!(idx.query(&[5.0, 0.0], 3, TimeWindow::new(100, 200)).is_empty());
+    }
+
+    #[test]
+    fn fewer_matches_than_k() {
+        let idx = line_index(40, small_config());
+        let res = idx.query(&[0.0, 0.0], 10, TimeWindow::new(35, 38));
+        assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    fn tail_only_window() {
+        let idx = line_index(20, small_config()); // tail = rows 16..20
+        let res = idx.query(&[19.0, 0.0], 2, TimeWindow::new(17, 20));
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].id, 19);
+        assert_eq!(res[1].id, 18);
+        let sel = idx.block_selection(TimeWindow::new(17, 20));
+        assert!(sel.tail);
+        assert!(sel.blocks.is_empty());
+    }
+
+    #[test]
+    fn selection_covers_sealed_and_tail() {
+        let idx = line_index(20, small_config());
+        let sel = idx.block_selection(TimeWindow::new(0, 20));
+        assert!(sel.tail);
+        assert!(!sel.blocks.is_empty());
+        let out = idx.query_with_params(
+            &[9.5, 0.0],
+            4,
+            TimeWindow::new(0, 20),
+            &SearchParams::new(64, 1.2),
+        );
+        assert_eq!(out.stats.blocks_searched, sel.places() as u64);
+        assert_eq!(out.results.len(), 4);
+    }
+
+    #[test]
+    fn lemma_4_1_two_blocks_max_on_complete_tree() {
+        // 64 points, S_L = 8 → 8 leaves → complete tree; τ = 0.5.
+        let idx = line_index(64, small_config().with_tau(0.5));
+        for s in (0..60).step_by(3) {
+            for e in ((s + 1)..64).step_by(5) {
+                let sel = idx.block_selection(TimeWindow::new(s as i64, e as i64));
+                assert!(
+                    sel.blocks.len() <= 2,
+                    "window [{s},{e}) used {} blocks",
+                    sel.blocks.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let serial = line_index(64, small_config());
+        let parallel = line_index(64, small_config().with_parallel_build(true));
+        assert_eq!(serial.blocks().len(), parallel.blocks().len());
+        for (a, b) in serial.blocks().iter().zip(parallel.blocks()) {
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.height, b.height);
+            let (BlockGraph::Knn(ga), BlockGraph::Knn(gb)) = (&a.graph, &b.graph) else {
+                panic!("expected knn graphs");
+            };
+            assert_eq!(ga.as_flat(), gb.as_flat(), "same seeds → identical graphs");
+        }
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_levels() {
+        let idx8 = line_index(8, small_config());
+        let idx64 = line_index(64, small_config());
+        assert!(idx64.index_memory_bytes() > idx8.index_memory_bytes());
+        assert_eq!(idx64.data_bytes(), 64 * 2 * 4 + 64 * 8);
+    }
+
+    #[test]
+    fn window_rows_binary_search() {
+        let idx = line_index(32, small_config());
+        assert_eq!(idx.window_rows(TimeWindow::new(5, 9)), (5, 9));
+        assert_eq!(idx.window_rows(TimeWindow::new(-10, 3)), (0, 3));
+        assert_eq!(idx.window_rows(TimeWindow::new(40, 50)), (32, 32));
+        assert_eq!(idx.window_rows(TimeWindow::all()), (0, 32));
+    }
+
+    #[test]
+    fn duplicate_timestamps_are_searchable() {
+        let mut idx = MbiIndex::new(small_config());
+        for i in 0..24 {
+            // Three vectors share each timestamp.
+            idx.insert(&[i as f32, 0.0], (i / 3) as i64).unwrap();
+        }
+        let res = idx.exact_query(&[6.0, 0.0], 3, TimeWindow::new(2, 3));
+        // Timestamp 2 covers rows 6, 7, 8.
+        let ids: Vec<u32> = res.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![6, 7, 8]);
+        let approx = idx.query(&[6.0, 0.0], 3, TimeWindow::new(2, 3));
+        assert_eq!(approx.len(), 3);
+    }
+
+    #[test]
+    fn insert_batch_works() {
+        let mut idx = MbiIndex::new(small_config());
+        let vecs: Vec<[f32; 2]> = (0..10).map(|i| [i as f32, 0.0]).collect();
+        idx.insert_batch(vecs.iter().map(|v| (v.as_slice(), v[0] as i64)))
+            .unwrap();
+        assert_eq!(idx.len(), 10);
+    }
+
+    #[test]
+    fn hnsw_backend_end_to_end() {
+        let config = MbiConfig::new(2, Metric::Euclidean)
+            .with_leaf_size(16)
+            .with_backend(crate::GraphBackend::Hnsw(mbi_ann::HnswParams::default()));
+        let idx = line_index(80, config);
+        let got = idx.query(&[40.0, 0.0], 5, TimeWindow::new(10, 70));
+        let exact = idx.exact_query(&[40.0, 0.0], 5, TimeWindow::new(10, 70));
+        assert_eq!(got.len(), 5);
+        let got_ids: std::collections::HashSet<u32> = got.iter().map(|r| r.id).collect();
+        let hits = exact.iter().filter(|r| got_ids.contains(&r.id)).count();
+        assert!(hits >= 4, "HNSW-backed recall too low: {hits}/5");
+    }
+
+    #[test]
+    fn render_tree_shows_structure() {
+        let idx = line_index(19, small_config()); // 2 leaves + parent + tail
+        let text = idx.render_tree();
+        assert!(text.contains("B0  h0  rows [0, 8)"), "{text}");
+        assert!(text.contains("B2  h1  rows [0, 16)"), "{text}");
+        assert!(text.contains("tail: rows [16, 19) (3 vectors"), "{text}");
+        assert_eq!(text.lines().count(), 4);
+
+        let empty = MbiIndex::new(small_config());
+        assert_eq!(empty.render_tree(), "(empty index)\n");
+    }
+
+    #[test]
+    fn validate_accepts_healthy_indexes() {
+        for n in [0usize, 5, 8, 17, 32, 57, 64, 100] {
+            let idx = line_index(n, small_config());
+            assert_eq!(idx.validate(), Ok(()), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_tampered_structure() {
+        let mut idx = line_index(32, small_config());
+        idx.num_leaves = 3; // lie about the leaf count
+        assert!(idx.validate().is_err());
+
+        let mut idx = line_index(32, small_config());
+        idx.blocks[2].height = 0; // corrupt a parent's height
+        assert!(idx.validate().is_err());
+
+        let mut idx = line_index(32, small_config());
+        idx.blocks[0].start_ts = 99; // corrupt timestamp bounds
+        assert!(idx.validate().is_err());
+
+        let mut idx = line_index(32, small_config());
+        idx.timestamps[5] = -1; // break sortedness
+        assert!(idx.validate().is_err());
+    }
+
+    #[test]
+    fn level_stats_sum_to_structure() {
+        let idx = line_index(64, small_config()); // 8 leaves, heights 0..=3
+        let levels = idx.level_stats();
+        assert_eq!(levels.len(), 4);
+        assert_eq!(levels[0], LevelStats {
+            height: 0,
+            blocks: 8,
+            rows: 64,
+            graph_bytes: levels[0].graph_bytes,
+        });
+        // Every level covers all 64 rows (the defining property behind the
+        // O(|D| log |D|) size bound of §4.4.1).
+        for l in &levels {
+            assert_eq!(l.rows, 64, "height {}", l.height);
+            assert!(l.graph_bytes > 0);
+        }
+        let total: usize = levels.iter().map(|l| l.graph_bytes).sum();
+        assert!(total <= idx.index_memory_bytes());
+    }
+
+    #[test]
+    fn window_len_matches_rows() {
+        let idx = line_index(40, small_config());
+        assert_eq!(idx.window_len(TimeWindow::new(5, 25)), 20);
+        assert_eq!(idx.window_len(TimeWindow::new(100, 200)), 0);
+    }
+
+    #[test]
+    fn query_batch_matches_sequential() {
+        let idx = line_index(96, small_config());
+        let queries: Vec<(Vec<f32>, usize, TimeWindow)> = (0..13)
+            .map(|i| {
+                (
+                    vec![i as f32 * 7.0, 0.0],
+                    3,
+                    TimeWindow::new(i, i + 50),
+                )
+            })
+            .collect();
+        let serial = idx.query_batch(&queries, &SearchParams::new(64, 1.2), 1);
+        let parallel = idx.query_batch(&queries, &SearchParams::new(64, 1.2), 4);
+        let auto = idx.query_batch(&queries, &SearchParams::new(64, 1.2), 0);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, auto);
+        for (i, res) in serial.iter().enumerate() {
+            let direct = idx.query(&queries[i].0, 3, queries[i].2);
+            assert_eq!(*res, direct);
+        }
+    }
+
+    #[test]
+    fn vector_and_timestamp_accessors() {
+        let idx = line_index(10, small_config());
+        assert_eq!(idx.vector_of(3), &[3.0, 0.0]);
+        assert_eq!(idx.timestamp_of(3), 3);
+        assert_eq!(idx.dim(), 2);
+        assert_eq!(idx.timestamps().len(), 10);
+        assert_eq!(idx.store().len(), 10);
+    }
+}

@@ -1,0 +1,34 @@
+//! Datasets, workloads, ground truth and recall for the MBI evaluation.
+//!
+//! The paper evaluates on six datasets (Table 2): MovieLens (32-d angular),
+//! COMS satellite images (128-d angular), GloVe-100 (100-d angular), SIFT1M
+//! (128-d Euclidean), GIST1M (960-d Euclidean) and DEEP1B (96-d angular).
+//! Those corpora are not redistributable here, so this crate provides
+//! **synthetic stand-ins with the same shape**: matching dimensionality and
+//! metric, clustered structure (drifting Gaussian mixtures whose centres move
+//! over time, mimicking the temporal correlation of satellite frames and
+//! release-year structure), and cardinalities scaled by a caller-chosen
+//! factor. See DESIGN.md ("Substitutions") for why this preserves the
+//! phenomena the paper measures.
+//!
+//! * [`synth`] — the generators ([`DriftingMixture`], timestamp models).
+//! * [`presets`] — one constructor per paper dataset, plus Table 2 metadata.
+//! * [`workload`] — query windows covering a target fraction of the data
+//!   (the x-axis of Figures 5 and 9).
+//! * [`truth`] — exact parallel ground truth for TkNN queries.
+//! * [`recall`] — `recall@k` (Definition in §3.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod presets;
+pub mod recall;
+pub mod synth;
+pub mod truth;
+pub mod workload;
+
+pub use presets::{all_presets, preset_by_name, DatasetPreset};
+pub use recall::{recall_at_k, recall_vs_truth};
+pub use synth::{Dataset, DriftingMixture, TimestampModel};
+pub use truth::ground_truth;
+pub use workload::{window_for_fraction, windows_for_fraction};

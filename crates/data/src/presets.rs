@@ -1,0 +1,235 @@
+//! One synthetic stand-in per paper dataset (Table 2).
+//!
+//! Each preset records the *paper's* cardinalities and generates a scaled
+//! synthetic dataset of the same dimensionality and metric. The experiment
+//! binaries default to small scales so the whole suite runs in minutes;
+//! `--scale 1.0` reproduces full cardinalities if you have the time.
+
+use crate::synth::{Dataset, DriftingMixture, TimestampModel};
+use mbi_math::Metric;
+use serde::{Deserialize, Serialize};
+
+/// Metadata and generator settings for one dataset of Table 2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetPreset {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Train-set size in the paper.
+    pub paper_train: usize,
+    /// Test (query) set size in the paper.
+    pub paper_test: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Distance function.
+    pub metric: Metric,
+    /// Source attribution as listed in Table 2.
+    pub source: &'static str,
+    /// Generator shape: number of clusters.
+    clusters: usize,
+    /// Generator shape: within-cluster spread.
+    spread: f32,
+    /// Generator shape: temporal drift.
+    drift: f32,
+    /// Whether timestamps accelerate (real datasets) or are sequential
+    /// (virtual-timestamp datasets).
+    accelerating: bool,
+}
+
+impl DatasetPreset {
+    /// Generates the synthetic stand-in at `scale` (1.0 = the paper's
+    /// cardinality), with at least 256 train and 8 test vectors.
+    ///
+    /// ```
+    /// use mbi_data::presets::SIFT1M;
+    ///
+    /// let dataset = SIFT1M.generate(0.002, 7); // 0.2% of 1M = 2,000 vectors
+    /// assert_eq!(dataset.len(), 2_000);
+    /// assert_eq!(dataset.dim(), 128);
+    /// assert_eq!(dataset.metric.name(), "euclidean");
+    /// ```
+    pub fn generate(&self, scale: f64, seed: u64) -> Dataset {
+        let n_train = ((self.paper_train as f64 * scale) as usize).max(256);
+        let n_test = ((self.paper_test as f64 * scale) as usize).clamp(8, 1000);
+        let gen = DriftingMixture {
+            dim: self.dim,
+            clusters: self.clusters,
+            spread: self.spread,
+            drift: self.drift,
+            seed: seed ^ fxhash(self.name),
+            timestamps: if self.accelerating {
+                TimestampModel::Accelerating { horizon: (n_train as i64) * 4 }
+            } else {
+                TimestampModel::Sequential
+            },
+        };
+        gen.generate(self.name, self.metric, n_train, n_test)
+    }
+}
+
+/// Stable name hash so each preset gets an uncorrelated stream per seed.
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// MovieLens: 57,571 movies, 32-d matrix-factorisation embeddings, angular,
+/// release year as timestamp (temporally correlated → drift, accelerating
+/// release density).
+pub const MOVIELENS: DatasetPreset = DatasetPreset {
+    name: "movielens",
+    paper_train: 57_571,
+    paper_test: 200,
+    dim: 32,
+    metric: Metric::Angular,
+    source: "GroupLens",
+    clusters: 24,
+    spread: 0.5,
+    drift: 1.0,
+    accelerating: true,
+};
+
+/// COMS: 291,180 weather-satellite frames, 128-d autoencoder embeddings,
+/// angular, capture time as timestamp (strong temporal correlation).
+pub const COMS: DatasetPreset = DatasetPreset {
+    name: "coms",
+    paper_train: 291_180,
+    paper_test: 200,
+    dim: 128,
+    metric: Metric::Angular,
+    source: "KMA",
+    clusters: 32,
+    spread: 0.45,
+    drift: 2.0,
+    accelerating: true,
+};
+
+/// GloVe-100: 1,183,514 word embeddings, 100-d, angular, virtual timestamps.
+pub const GLOVE_100: DatasetPreset = DatasetPreset {
+    name: "glove-100",
+    paper_train: 1_183_514,
+    paper_test: 10_000,
+    dim: 100,
+    metric: Metric::Angular,
+    source: "Pennington et al.",
+    clusters: 40,
+    spread: 0.55,
+    drift: 0.0,
+    accelerating: false,
+};
+
+/// SIFT1M: 1,000,000 image descriptors, 128-d, Euclidean, virtual timestamps.
+pub const SIFT1M: DatasetPreset = DatasetPreset {
+    name: "sift1m",
+    paper_train: 1_000_000,
+    paper_test: 10_000,
+    dim: 128,
+    metric: Metric::Euclidean,
+    source: "Jégou et al.",
+    clusters: 48,
+    spread: 0.5,
+    drift: 0.0,
+    accelerating: false,
+};
+
+/// GIST1M: 1,000,000 image descriptors, 960-d, Euclidean, virtual timestamps.
+pub const GIST1M: DatasetPreset = DatasetPreset {
+    name: "gist1m",
+    paper_train: 1_000_000,
+    paper_test: 1_000,
+    dim: 960,
+    metric: Metric::Euclidean,
+    source: "Jégou et al.",
+    clusters: 32,
+    spread: 0.4,
+    drift: 0.0,
+    accelerating: false,
+};
+
+/// DEEP1B (the 9.99M-item slice the paper uses): 96-d CNN descriptors,
+/// angular, virtual timestamps.
+pub const DEEP1B: DatasetPreset = DatasetPreset {
+    name: "deep1b",
+    paper_train: 9_990_000,
+    paper_test: 10_000,
+    dim: 96,
+    metric: Metric::Angular,
+    source: "Babenko et al.",
+    clusters: 64,
+    spread: 0.5,
+    drift: 0.0,
+    accelerating: false,
+};
+
+/// All six presets in Table 2 order.
+pub fn all_presets() -> [&'static DatasetPreset; 6] {
+    [&MOVIELENS, &COMS, &GLOVE_100, &SIFT1M, &GIST1M, &DEEP1B]
+}
+
+/// Looks a preset up by name (case-insensitive).
+pub fn preset_by_name(name: &str) -> Option<&'static DatasetPreset> {
+    all_presets()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes() {
+        let presets = all_presets();
+        assert_eq!(presets.len(), 6);
+        assert_eq!(MOVIELENS.dim, 32);
+        assert_eq!(COMS.dim, 128);
+        assert_eq!(GLOVE_100.dim, 100);
+        assert_eq!(SIFT1M.dim, 128);
+        assert_eq!(GIST1M.dim, 960);
+        assert_eq!(DEEP1B.dim, 96);
+        assert_eq!(SIFT1M.metric, Metric::Euclidean);
+        assert_eq!(GIST1M.metric, Metric::Euclidean);
+        assert_eq!(DEEP1B.metric, Metric::Angular);
+    }
+
+    #[test]
+    fn generate_scales_counts() {
+        let d = MOVIELENS.generate(0.01, 7);
+        assert_eq!(d.len(), 575);
+        assert_eq!(d.dim(), 32);
+        assert_eq!(d.metric, Metric::Angular);
+        // Accelerating timestamps for MovieLens (release years cluster late).
+        assert!(d.timestamps[0] < d.timestamps[d.len() - 1]);
+    }
+
+    #[test]
+    fn tiny_scale_hits_floors() {
+        let d = SIFT1M.generate(0.000_001, 7);
+        assert_eq!(d.len(), 256, "train floor");
+        assert_eq!(d.test.len(), 8, "test floor");
+    }
+
+    #[test]
+    fn sequential_timestamps_for_descriptor_datasets() {
+        let d = SIFT1M.generate(0.001, 7);
+        assert_eq!(d.timestamps, (0..1000).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(preset_by_name("SIFT1M").is_some());
+        assert!(preset_by_name("coms").is_some());
+        assert!(preset_by_name("imagenet").is_none());
+    }
+
+    #[test]
+    fn presets_generate_distinct_data() {
+        let a = MOVIELENS.generate(0.005, 7);
+        let b = COMS.generate(0.001, 7);
+        assert_ne!(a.dim(), b.dim());
+        assert_ne!(a.name, b.name);
+    }
+}

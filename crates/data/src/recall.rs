@@ -1,0 +1,75 @@
+//! `recall@k` — the paper's quality measure (§3.1):
+//! `recall@k(Â, A) = |Â ∩ A| / k`.
+
+/// `|approx ∩ exact| / k`.
+///
+/// Matches the paper's definition exactly: the denominator is `k`, not
+/// `|exact|`, so a window containing fewer than `k` vectors caps attainable
+/// recall below 1 — the experiment harness avoids that by sizing windows so
+/// `m ≥ k` (as the paper's fraction grid implicitly does).
+pub fn recall_at_k(approx: &[u32], exact: &[u32], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let hits = approx.iter().filter(|id| exact.contains(id)).count();
+    hits as f64 / k as f64
+}
+
+/// Mean recall@k over paired result lists.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn recall_vs_truth(approx: &[Vec<u32>], exact: &[Vec<u32>], k: usize) -> f64 {
+    assert_eq!(approx.len(), exact.len(), "result lists must pair up");
+    if approx.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = approx
+        .iter()
+        .zip(exact)
+        .map(|(a, e)| recall_at_k(a, e, k))
+        .sum();
+    sum / approx.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recall() {
+        assert_eq!(recall_at_k(&[1, 2, 3], &[3, 2, 1], 3), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        assert_eq!(recall_at_k(&[1, 2, 9], &[1, 2, 3], 3), 2.0 / 3.0);
+        assert_eq!(recall_at_k(&[], &[1, 2, 3], 3), 0.0);
+    }
+
+    #[test]
+    fn k_denominator_not_exact_len() {
+        // Window smaller than k: only 2 exact answers exist.
+        assert_eq!(recall_at_k(&[1, 2], &[1, 2], 10), 0.2);
+    }
+
+    #[test]
+    fn k_zero_is_vacuous() {
+        assert_eq!(recall_at_k(&[], &[], 0), 1.0);
+    }
+
+    #[test]
+    fn mean_over_queries() {
+        let approx = vec![vec![1u32, 2], vec![5, 6]];
+        let exact = vec![vec![1u32, 2], vec![7, 8]];
+        assert_eq!(recall_vs_truth(&approx, &exact, 2), 0.5);
+        assert_eq!(recall_vs_truth(&[], &[], 5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_lengths_rejected() {
+        recall_vs_truth(&[vec![]], &[], 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Exact TkNN ground truth, computed in parallel.
+//!
+//! Every recall number in the evaluation is measured against an exhaustive
+//! scan of the query window (which is exact by construction). Queries are
+//! independent, so they are fanned out across threads with
+//! `std::thread::scope`.
+
+use mbi_ann::{brute_force, SearchStats, VectorStore};
+use mbi_core::TimeWindow;
+use mbi_math::Metric;
+
+/// Exact TkNN ids for each `(query, window)` pair, ascending by distance.
+///
+/// `timestamps` must be sorted ascending and parallel to `store` rows.
+/// Returned ids are global row ids. Uses up to `threads` worker threads
+/// (0 → available parallelism).
+pub fn ground_truth(
+    store: &VectorStore,
+    timestamps: &[i64],
+    queries: &[(Vec<f32>, TimeWindow)],
+    k: usize,
+    metric: Metric,
+    threads: usize,
+) -> Vec<Vec<u32>> {
+    assert_eq!(store.len(), timestamps.len(), "store and timestamps must be parallel");
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        threads
+    };
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+    let chunk = queries.len().div_ceil(threads.max(1)).max(1);
+
+    std::thread::scope(|scope| {
+        for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for ((q, w), slot) in qchunk.iter().zip(ochunk.iter_mut()) {
+                    *slot = exact_ids(store, timestamps, q, *w, k, metric);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Exact TkNN ids for one query.
+pub fn exact_ids(
+    store: &VectorStore,
+    timestamps: &[i64],
+    query: &[f32],
+    window: TimeWindow,
+    k: usize,
+    metric: Metric,
+) -> Vec<u32> {
+    let lo = timestamps.partition_point(|&t| t < window.start);
+    let hi = timestamps.partition_point(|&t| t < window.end);
+    let mut stats = SearchStats::default();
+    brute_force(store.slice(lo..hi), metric, query, k, &mut stats)
+        .into_iter()
+        .map(|n| lo as u32 + n.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> (VectorStore, Vec<i64>) {
+        let mut s = VectorStore::new(1);
+        for i in 0..n {
+            s.push(&[i as f32]);
+        }
+        (s, (0..n as i64).collect())
+    }
+
+    #[test]
+    fn exact_ids_respect_window() {
+        let (s, ts) = line(100);
+        let ids = exact_ids(&s, &ts, &[50.0], TimeWindow::new(10, 40), 3, Metric::Euclidean);
+        assert_eq!(ids, vec![39, 38, 37]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (s, ts) = line(500);
+        let queries: Vec<(Vec<f32>, TimeWindow)> = (0..23)
+            .map(|i| {
+                (
+                    vec![(i * 20) as f32],
+                    TimeWindow::new((i * 7) as i64, (i * 7 + 200).min(500) as i64),
+                )
+            })
+            .collect();
+        let par = ground_truth(&s, &ts, &queries, 5, Metric::Euclidean, 4);
+        let ser = ground_truth(&s, &ts, &queries, 5, Metric::Euclidean, 1);
+        assert_eq!(par, ser);
+        for (i, ids) in par.iter().enumerate() {
+            let (_, w) = &queries[i];
+            for &id in ids {
+                assert!(w.contains(ts[id as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_uses_default() {
+        let (s, ts) = line(50);
+        let queries = vec![(vec![25.0f32], TimeWindow::new(0, 50))];
+        let out = ground_truth(&s, &ts, &queries, 2, Metric::Euclidean, 0);
+        assert_eq!(out[0], vec![25, 24]);
+    }
+
+    #[test]
+    fn empty_queries() {
+        let (s, ts) = line(10);
+        let out = ground_truth(&s, &ts, &[], 3, Metric::Euclidean, 2);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the dataset substrate: workload windows, ground
+//! truth, and recall arithmetic under arbitrary shapes.
+
+use mbi_ann::VectorStore;
+use mbi_core::TimeWindow;
+use mbi_data::workload::realized_fraction;
+use mbi_data::{
+    ground_truth, recall_at_k, window_for_fraction, windows_for_fraction, DriftingMixture,
+};
+use mbi_math::Metric;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Windows hit the requested row fraction within 2% regardless of the
+    /// timestamp distribution.
+    #[test]
+    fn windows_hit_target_fraction(
+        n in 10usize..2000,
+        fraction in 0.01f64..1.0,
+        pick in 0.0f64..1.0,
+        skew in 1i64..5,
+    ) {
+        let ts: Vec<i64> = (0..n as i64).map(|i| i * i.pow(skew as u32 % 2 + 1).max(1)).collect();
+        let w = window_for_fraction(&ts, fraction, pick);
+        let realized = realized_fraction(&ts, w);
+        prop_assert!(
+            (realized - fraction).abs() < 0.02 + 1.5 / n as f64,
+            "target {} realized {} (n = {})",
+            fraction, realized, n
+        );
+    }
+
+    /// Generated windows are always within the data's time range and
+    /// non-empty for positive fractions.
+    #[test]
+    fn windows_are_well_formed(
+        n in 2usize..500,
+        fraction in 0.01f64..1.0,
+        count in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let ts: Vec<i64> = (0..n as i64).collect();
+        for w in windows_for_fraction(&ts, fraction, count, seed) {
+            prop_assert!(w.start <= w.end);
+            prop_assert!(w.start >= 0);
+            prop_assert!(w.end <= n as i64 + 1);
+            prop_assert!(realized_fraction(&ts, w) > 0.0);
+        }
+    }
+
+    /// Ground truth equals a naive reference on arbitrary windows.
+    #[test]
+    fn ground_truth_matches_naive(
+        n in 1usize..300,
+        k in 1usize..8,
+        s in 0i64..300,
+        len in 0i64..300,
+        threads in 1usize..4,
+    ) {
+        let mut store = VectorStore::new(2);
+        let mut ts = Vec::new();
+        for i in 0..n {
+            store.push(&[(i as f32 * 0.61).sin() * 9.0, (i as f32 * 0.23).cos() * 9.0]);
+            ts.push(i as i64);
+        }
+        let s = s.min(n as i64);
+        let e = (s + len).min(n as i64);
+        let q = vec![1.5f32, -2.5];
+        let w = TimeWindow::new(s, e);
+        let got = &ground_truth(&store, &ts, &[(q.clone(), w)], k, Metric::Euclidean, threads)[0];
+
+        let mut reference: Vec<(f32, u32)> = (0..n as u32)
+            .filter(|&i| w.contains(ts[i as usize]))
+            .map(|i| (Metric::Euclidean.distance(&q, store.get(i as usize)), i))
+            .collect();
+        reference.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        reference.truncate(k);
+        let expect: Vec<u32> = reference.into_iter().map(|(_, i)| i).collect();
+        prop_assert_eq!(got, &expect);
+    }
+
+    /// recall@k is symmetric in list order, bounded in [0, 1] when
+    /// `|approx| ≤ k`, and equals 1 for identical full lists.
+    #[test]
+    fn recall_properties(ids in prop::collection::vec(0u32..1000, 0..30), k in 1usize..40) {
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let take = dedup.len().min(k);
+        let list = &dedup[..take];
+        prop_assert_eq!(recall_at_k(list, list, k), take as f64 / k as f64);
+        let r = recall_at_k(list, &dedup, k);
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Disjoint lists give 0.
+        let shifted: Vec<u32> = dedup.iter().map(|x| x + 10_000).collect();
+        prop_assert_eq!(recall_at_k(list, &shifted, k), 0.0);
+    }
+
+    /// The generator is seed-deterministic and shape-correct for arbitrary
+    /// parameters.
+    #[test]
+    fn generator_shape(
+        dim in 1usize..40,
+        clusters in 1usize..20,
+        n in 1usize..500,
+        seed in 0u64..500,
+    ) {
+        let gen = DriftingMixture {
+            dim,
+            clusters,
+            spread: 0.3,
+            drift: 0.5,
+            seed,
+            timestamps: mbi_data::TimestampModel::Sequential,
+        };
+        let a = gen.generate("p", Metric::Euclidean, n, 3);
+        let b = gen.generate("p", Metric::Euclidean, n, 3);
+        prop_assert_eq!(a.len(), n);
+        prop_assert_eq!(a.dim(), dim);
+        prop_assert_eq!(a.train.as_flat(), b.train.as_flat());
+        prop_assert!(a.train.as_flat().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment harness for the MBI paper's evaluation (§5).
+//!
+//! The evaluation protocol, shared by every figure:
+//!
+//! 1. generate a dataset and hold out query vectors (§5.1.2);
+//! 2. build the indexes (MBI, BSBF, SF) with the Table 3 parameters;
+//! 3. draw query windows covering a target fraction of the data;
+//! 4. sweep the search-range parameter `ε` from 1.0 to 1.4 in steps of 0.02
+//!    and report points on the recall/QPS Pareto frontier (§5.1.3), or pick
+//!    the fastest configuration whose recall@k clears 0.995 (Figures 5, 9);
+//! 5. measure queries per second.
+//!
+//! * [`TknnMethod`] — object-safe facade over [`mbi_core::MbiIndex`],
+//!   [`mbi_baselines::BsbfIndex`] and [`mbi_baselines::SfIndex`] so the
+//!   harness treats all three identically.
+//! * [`sweep`] — ε sweeps, Pareto frontiers, recall-targeted operating
+//!   points.
+//! * [`params`] — scaled Table 3 parameter sets per dataset preset.
+//! * [`report`] — text tables and JSON result files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod method;
+pub mod params;
+pub mod report;
+pub mod sweep;
+
+pub use latency::{LatencyRecorder, LatencySummary};
+pub use method::{MethodKind, TknnMethod};
+pub use params::ExperimentParams;
+pub use report::{print_table, write_json};
+pub use sweep::{epsilon_grid, pareto_frontier, qps_at_recall, sweep_epsilon, OperatingPoint, SweepPoint};

@@ -1,0 +1,142 @@
+//! Per-dataset experiment parameters — Table 3, scaled.
+//!
+//! Table 3 fixes, per dataset: the graph degree ("# neighbors"), the search
+//! candidate cap `M_C`, the ε range (shared), `k ∈ {10, 50, 100}`, the `τ`
+//! candidates, and the leaf size `S_L`. Those values assume the paper's full
+//! cardinalities; when the synthetic stand-in is generated at `scale < 1`,
+//! degree and `S_L` shrink accordingly (graph quality needed for a given
+//! recall falls with `n`, and `S_L` is "set according to the scale of each
+//! dataset" §5.1.3).
+
+use mbi_ann::NnDescentParams;
+use serde::{Deserialize, Serialize};
+
+/// The Table 3 row for one dataset, plus the paper's `S_L`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Graph degree (# neighbors) at full scale.
+    pub neighbors: usize,
+    /// `M_C` at full scale.
+    pub max_candidates: usize,
+    /// τ values the paper reports as best for this dataset.
+    pub taus: [f64; 2],
+    /// `S_L` at full scale.
+    pub leaf_size: usize,
+}
+
+/// Table 3 as printed in the paper.
+pub const TABLE3: [Table3Row; 6] = [
+    Table3Row { dataset: "movielens", neighbors: 96, max_candidates: 192, taus: [0.5, 0.5], leaf_size: 3550 },
+    Table3Row { dataset: "coms", neighbors: 256, max_candidates: 256, taus: [0.2, 0.4], leaf_size: 1000 },
+    Table3Row { dataset: "glove-100", neighbors: 256, max_candidates: 256, taus: [0.2, 0.7], leaf_size: 36000 },
+    Table3Row { dataset: "sift1m", neighbors: 128, max_candidates: 128, taus: [0.3, 0.5], leaf_size: 15625 },
+    Table3Row { dataset: "gist1m", neighbors: 512, max_candidates: 512, taus: [0.3, 0.5], leaf_size: 15625 },
+    Table3Row { dataset: "deep1b", neighbors: 64, max_candidates: 64, taus: [0.2, 0.5], leaf_size: 78000 },
+];
+
+/// Concrete parameters for one experiment run at a given scale.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Graph degree for NNDescent blocks (and the SF whole-database graph).
+    pub neighbors: usize,
+    /// Candidate cap `M_C`.
+    pub max_candidates: usize,
+    /// Leaf size `S_L`.
+    pub leaf_size: usize,
+    /// Default `τ` (the better of the paper's two reported values).
+    pub tau: f64,
+    /// Number of nearest neighbours `k` (default 10 per §5.1.3).
+    pub k: usize,
+    /// Target recall@k for operating points (0.995 per §5.2).
+    pub target_recall: f64,
+}
+
+impl ExperimentParams {
+    /// Looks up the Table 3 row for `dataset` and scales it for a synthetic
+    /// stand-in of `n_train` vectors.
+    ///
+    /// Scaling rules (documented in DESIGN.md):
+    /// * `S_L` shrinks with the data so the tree keeps a comparable number of
+    ///   levels: `S_L' = clamp(S_L · n/n_paper, 200, S_L)`.
+    /// * degree and `M_C` shrink with `√(n/n_paper)` but never below 16 —
+    ///   graph quality requirements fall slowly with `n`.
+    pub fn for_dataset(dataset: &str, n_train: usize, n_paper: usize) -> Option<Self> {
+        let row = TABLE3
+            .iter()
+            .find(|r| r.dataset.eq_ignore_ascii_case(dataset))?;
+        let ratio = (n_train as f64 / n_paper as f64).min(1.0);
+        let soft = ratio.sqrt();
+        let neighbors = ((row.neighbors as f64 * soft) as usize).clamp(16, row.neighbors);
+        let max_candidates =
+            ((row.max_candidates as f64 * soft) as usize).clamp(neighbors.max(32), row.max_candidates);
+        let leaf_size = ((row.leaf_size as f64 * ratio) as usize).clamp(200, row.leaf_size);
+        Some(ExperimentParams {
+            neighbors,
+            max_candidates,
+            leaf_size,
+            tau: row.taus[0],
+            k: 10,
+            target_recall: 0.995,
+        })
+    }
+
+    /// NNDescent parameters matching this experiment's degree.
+    pub fn nndescent(&self, seed: u64) -> NnDescentParams {
+        NnDescentParams {
+            degree: self.neighbors,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_rows_match_paper() {
+        assert_eq!(TABLE3.len(), 6);
+        let coms = &TABLE3[1];
+        assert_eq!(coms.neighbors, 256);
+        assert_eq!(coms.leaf_size, 1000);
+        assert_eq!(TABLE3[5].leaf_size, 78000);
+        assert_eq!(TABLE3[0].taus, [0.5, 0.5]);
+    }
+
+    #[test]
+    fn full_scale_matches_table() {
+        let p = ExperimentParams::for_dataset("sift1m", 1_000_000, 1_000_000).unwrap();
+        assert_eq!(p.neighbors, 128);
+        assert_eq!(p.max_candidates, 128);
+        assert_eq!(p.leaf_size, 15625);
+        assert_eq!(p.tau, 0.3);
+        assert_eq!(p.k, 10);
+        assert_eq!(p.target_recall, 0.995);
+    }
+
+    #[test]
+    fn small_scale_shrinks_with_floors() {
+        let p = ExperimentParams::for_dataset("sift1m", 40_000, 1_000_000).unwrap();
+        assert!(p.neighbors >= 16 && p.neighbors < 128);
+        assert!(p.leaf_size >= 200 && p.leaf_size < 15625);
+        assert!(p.max_candidates >= p.neighbors);
+        // And the tree still has multiple levels.
+        assert!(40_000 / p.leaf_size >= 4, "leaf {} too big", p.leaf_size);
+    }
+
+    #[test]
+    fn unknown_dataset_is_none() {
+        assert!(ExperimentParams::for_dataset("unknown", 1000, 1000).is_none());
+    }
+
+    #[test]
+    fn nndescent_params_take_degree() {
+        let p = ExperimentParams::for_dataset("coms", 291_180, 291_180).unwrap();
+        let nd = p.nndescent(42);
+        assert_eq!(nd.degree, 256);
+        assert_eq!(nd.seed, 42);
+    }
+}

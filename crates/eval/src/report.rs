@@ -1,0 +1,115 @@
+//! Result output: aligned text tables to stdout, JSON files to `results/`.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Prints an aligned text table: a header row then data rows. Column widths
+/// fit the widest cell. Used by every `figN`/`tableN` binary so reproduction
+/// output looks like the paper's tables.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line_len: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(out, "\n## {title}");
+    let _ = writeln!(out, "{}", "-".repeat(line_len.max(title.len() + 3)));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let _ = writeln!(out, "{}", fmt_row(&header_cells, &widths));
+    let _ = writeln!(out, "{}", "-".repeat(line_len.max(title.len() + 3)));
+    for row in rows {
+        let _ = writeln!(out, "{}", fmt_row(row, &widths));
+    }
+}
+
+/// Serialises `value` as pretty JSON into `dir/name.json`, creating the
+/// directory if needed. Returns the path written.
+pub fn write_json<T: Serialize>(
+    dir: impl AsRef<Path>,
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Formats a float with 3 significant-ish decimals for table cells.
+pub fn fmt3(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Formats a byte count as MB with 2 decimals.
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_json_roundtrip() {
+        #[derive(Serialize)]
+        struct R {
+            a: u32,
+            b: Vec<f64>,
+        }
+        let dir = std::env::temp_dir().join("mbi_report_test");
+        let path = write_json(&dir, "sample", &R { a: 1, b: vec![0.5, 0.25] }).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"a\": 1"));
+        assert!(text.contains("0.25"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt3(0.0), "0");
+        assert_eq!(fmt3(1234.5), "1234");
+        assert_eq!(fmt3(12.345), "12.35");
+        assert_eq!(fmt3(0.12345), "0.1235");
+        assert_eq!(fmt_mb(1024 * 1024), "1.00");
+        assert_eq!(fmt_mb(3 * 1024 * 1024 / 2), "1.50");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "sample",
+            &["col_a", "b"],
+            &[
+                vec!["1".into(), "long value".into()],
+                vec!["2222".into(), "x".into()],
+            ],
+        );
+        print_table("empty", &[], &[]);
+    }
+}

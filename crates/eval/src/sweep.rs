@@ -1,0 +1,241 @@
+//! ε sweeps, Pareto frontiers and recall-targeted operating points.
+//!
+//! §5.1.3: *"We vary the value of ε in increments of 0.02, ranging from 1 to
+//! 1.4, and present the optimal based on the Pareto frontier."* Figures 5
+//! and 9 fix the operating point instead: the fastest configuration whose
+//! recall@k is at least 0.995.
+
+use crate::method::TknnMethod;
+use mbi_ann::SearchParams;
+use mbi_core::TimeWindow;
+use mbi_data::recall_at_k;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One measured `(ε, recall, QPS)` point.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The ε this point was measured at.
+    pub epsilon: f32,
+    /// Mean recall@k over the workload.
+    pub recall: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Mean distance evaluations per query.
+    pub dist_evals: f64,
+}
+
+/// The chosen operating point of a method for one workload.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// ε in use (1.0 for exact methods).
+    pub epsilon: f32,
+    /// Achieved recall@k.
+    pub recall: f64,
+    /// Queries per second at that ε.
+    pub qps: f64,
+}
+
+/// The paper's ε grid: 1.0 to 1.4 in steps of 0.02 (21 points).
+pub fn epsilon_grid() -> Vec<f32> {
+    (0..=20).map(|i| 1.0 + i as f32 * 0.02).collect()
+}
+
+/// Runs the full workload at one ε; returns recall and timing.
+fn run_once(
+    method: &dyn TknnMethod,
+    workload: &[(Vec<f32>, TimeWindow)],
+    truth: &[Vec<u32>],
+    k: usize,
+    search: SearchParams,
+) -> SweepPoint {
+    let start = Instant::now();
+    let mut dist_evals = 0u64;
+    let mut recall_sum = 0.0;
+    for ((q, w), exact) in workload.iter().zip(truth) {
+        let (ids, stats) = method.tknn(q, k, *w, &search);
+        dist_evals += stats.dist_evals;
+        recall_sum += recall_at_k(&ids, exact, k);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let n = workload.len().max(1) as f64;
+    SweepPoint {
+        epsilon: search.epsilon,
+        recall: recall_sum / n,
+        qps: n / elapsed.max(1e-12),
+        dist_evals: dist_evals as f64 / n,
+    }
+}
+
+/// Sweeps the ε grid over a workload. Exact methods (`tunable() == false`)
+/// are measured once at ε = 1.0.
+pub fn sweep_epsilon(
+    method: &dyn TknnMethod,
+    workload: &[(Vec<f32>, TimeWindow)],
+    truth: &[Vec<u32>],
+    k: usize,
+    max_candidates: usize,
+    grid: &[f32],
+) -> Vec<SweepPoint> {
+    assert_eq!(workload.len(), truth.len(), "workload and truth must pair up");
+    let grid: Vec<f32> = if method.tunable() { grid.to_vec() } else { vec![1.0] };
+    grid.into_iter()
+        .map(|eps| {
+            run_once(
+                method,
+                workload,
+                truth,
+                k,
+                SearchParams::new(max_candidates, eps),
+            )
+        })
+        .collect()
+}
+
+/// Keeps the points not dominated by any other (higher recall *and* higher
+/// QPS), sorted by ascending recall — the curve plotted in Figure 6.
+pub fn pareto_frontier(points: &[SweepPoint]) -> Vec<SweepPoint> {
+    let mut sorted: Vec<SweepPoint> = points.to_vec();
+    // Descending by recall; then a point survives iff its QPS beats every
+    // higher-recall point's QPS.
+    sorted.sort_by(|a, b| b.recall.total_cmp(&a.recall).then(b.qps.total_cmp(&a.qps)));
+    let mut frontier: Vec<SweepPoint> = Vec::new();
+    let mut best_qps = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.qps > best_qps {
+            best_qps = p.qps;
+            frontier.push(p);
+        }
+    }
+    frontier.reverse();
+    frontier
+}
+
+/// The Figure 5 / Figure 9 operating point: the fastest ε whose recall@k
+/// clears `target_recall`; falls back to the highest-recall point when no ε
+/// reaches the target (reported recall makes the shortfall visible).
+pub fn qps_at_recall(
+    method: &dyn TknnMethod,
+    workload: &[(Vec<f32>, TimeWindow)],
+    truth: &[Vec<u32>],
+    k: usize,
+    max_candidates: usize,
+    target_recall: f64,
+    grid: &[f32],
+) -> OperatingPoint {
+    let points = sweep_epsilon(method, workload, truth, k, max_candidates, grid);
+    let qualifying = points
+        .iter()
+        .filter(|p| p.recall >= target_recall)
+        .max_by(|a, b| a.qps.total_cmp(&b.qps));
+    let chosen = qualifying.unwrap_or_else(|| {
+        points
+            .iter()
+            .max_by(|a, b| a.recall.total_cmp(&b.recall).then(a.qps.total_cmp(&b.qps)))
+            .expect("grid is non-empty")
+    });
+    OperatingPoint {
+        epsilon: chosen.epsilon,
+        recall: chosen.recall,
+        qps: chosen.qps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbi_baselines::BsbfIndex;
+    use mbi_core::{MbiConfig, MbiIndex};
+    use mbi_data::ground_truth;
+    use mbi_math::Metric;
+
+    #[allow(clippy::type_complexity)]
+    fn setup() -> (MbiIndex, BsbfIndex, Vec<(Vec<f32>, TimeWindow)>, Vec<Vec<u32>>) {
+        let mut mbi = MbiIndex::new(MbiConfig::new(2, Metric::Euclidean).with_leaf_size(64));
+        let mut bsbf = BsbfIndex::new(2, Metric::Euclidean);
+        for i in 0..400i64 {
+            let v = [(i as f32 * 0.13).sin() * 10.0, (i as f32 * 0.29).cos() * 10.0];
+            mbi.insert(&v, i).unwrap();
+            bsbf.insert(&v, i).unwrap();
+        }
+        let workload: Vec<(Vec<f32>, TimeWindow)> = (0..10)
+            .map(|i| {
+                (
+                    vec![(i as f32).sin() * 10.0, (i as f32).cos() * 10.0],
+                    TimeWindow::new(i * 10, i * 10 + 300),
+                )
+            })
+            .collect();
+        let truth = ground_truth(mbi.store(), mbi.timestamps(), &workload, 5, Metric::Euclidean, 2);
+        (mbi, bsbf, workload, truth)
+    }
+
+    #[test]
+    fn grid_matches_paper() {
+        let g = epsilon_grid();
+        assert_eq!(g.len(), 21);
+        assert_eq!(g[0], 1.0);
+        assert!((g[20] - 1.4).abs() < 1e-6);
+        assert!((g[1] - 1.02).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_method_swept_once_with_perfect_recall() {
+        let (_, bsbf, workload, truth) = setup();
+        let pts = sweep_epsilon(&bsbf, &workload, &truth, 5, 64, &epsilon_grid());
+        assert_eq!(pts.len(), 1, "BSBF is exact; one measurement suffices");
+        assert_eq!(pts[0].recall, 1.0);
+        assert!(pts[0].qps > 0.0);
+    }
+
+    #[test]
+    fn mbi_sweep_has_grid_points_and_good_recall() {
+        let (mbi, _, workload, truth) = setup();
+        let pts = sweep_epsilon(&mbi, &workload, &truth, 5, 64, &epsilon_grid());
+        assert_eq!(pts.len(), 21);
+        let best = pts.iter().map(|p| p.recall).fold(0.0, f64::max);
+        assert!(best > 0.9, "best recall {best}");
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone() {
+        let pts = vec![
+            SweepPoint { epsilon: 1.0, recall: 0.5, qps: 100.0, dist_evals: 1.0 },
+            SweepPoint { epsilon: 1.1, recall: 0.7, qps: 120.0, dist_evals: 1.0 }, // dominates the first
+            SweepPoint { epsilon: 1.2, recall: 0.9, qps: 50.0, dist_evals: 1.0 },
+            SweepPoint { epsilon: 1.3, recall: 0.95, qps: 40.0, dist_evals: 1.0 },
+            SweepPoint { epsilon: 1.4, recall: 0.93, qps: 30.0, dist_evals: 1.0 }, // dominated
+        ];
+        let f = pareto_frontier(&pts);
+        let recalls: Vec<f64> = f.iter().map(|p| p.recall).collect();
+        assert_eq!(recalls, vec![0.7, 0.9, 0.95]);
+        // QPS decreases as recall increases along a frontier.
+        for w in f.windows(2) {
+            assert!(w[0].qps >= w[1].qps);
+        }
+    }
+
+    #[test]
+    fn qps_at_recall_picks_qualifying_point() {
+        let (mbi, _, workload, truth) = setup();
+        let op = qps_at_recall(&mbi, &workload, &truth, 5, 64, 0.9, &epsilon_grid());
+        assert!(op.recall >= 0.9, "recall {}", op.recall);
+        assert!(op.qps > 0.0);
+    }
+
+    #[test]
+    fn qps_at_recall_falls_back_when_unreachable() {
+        let (mbi, _, workload, truth) = setup();
+        // recall 1.01 is impossible; fallback returns the best-recall point.
+        let op = qps_at_recall(&mbi, &workload, &truth, 5, 64, 1.01, &epsilon_grid());
+        assert!(op.recall <= 1.0);
+        assert!(op.qps > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_truth_rejected() {
+        let (mbi, _, workload, _) = setup();
+        sweep_epsilon(&mbi, &workload, &[], 5, 64, &epsilon_grid());
+    }
+}

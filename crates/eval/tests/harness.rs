@@ -1,0 +1,117 @@
+//! Integration tests for the experiment harness: the full
+//! sweep → frontier → operating-point pipeline against real indexes.
+
+use mbi_baselines::BsbfIndex;
+use mbi_core::{GraphBackend, MbiConfig, MbiIndex, TimeWindow};
+use mbi_data::{ground_truth, windows_for_fraction, DriftingMixture};
+use mbi_eval::{
+    epsilon_grid, pareto_frontier, qps_at_recall, sweep_epsilon, ExperimentParams, TknnMethod,
+};
+use mbi_ann::NnDescentParams;
+use mbi_math::Metric;
+
+fn setup(n: usize) -> (MbiIndex, BsbfIndex, mbi_data::Dataset) {
+    let dataset = DriftingMixture::new(12, 4242).generate("h", Metric::Euclidean, n, 10);
+    let mut mbi = MbiIndex::new(
+        MbiConfig::new(12, Metric::Euclidean)
+            .with_leaf_size(256)
+            .with_backend(GraphBackend::NnDescent(NnDescentParams {
+                degree: 10,
+                ..Default::default()
+            })),
+    );
+    let mut bsbf = BsbfIndex::new(12, Metric::Euclidean);
+    for (v, t) in dataset.iter() {
+        mbi.insert(v, t).unwrap();
+        bsbf.insert(v, t).unwrap();
+    }
+    (mbi, bsbf, dataset)
+}
+
+#[allow(clippy::type_complexity)]
+fn workload(
+    dataset: &mbi_data::Dataset,
+    fraction: f64,
+    k: usize,
+) -> (Vec<(Vec<f32>, TimeWindow)>, Vec<Vec<u32>>) {
+    let windows = windows_for_fraction(&dataset.timestamps, fraction, 10, 5);
+    let workload: Vec<(Vec<f32>, TimeWindow)> = windows
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| (dataset.test.get(i % dataset.test.len()).to_vec(), w))
+        .collect();
+    let truth = ground_truth(
+        &dataset.train,
+        &dataset.timestamps,
+        &workload,
+        k,
+        dataset.metric,
+        1,
+    );
+    (workload, truth)
+}
+
+#[test]
+fn sweep_recall_is_monotonic_enough_in_epsilon() {
+    let (mbi, _, dataset) = setup(3_000);
+    let (wl, truth) = workload(&dataset, 0.4, 10);
+    let pts = sweep_epsilon(&mbi, &wl, &truth, 10, 64, &epsilon_grid());
+    assert_eq!(pts.len(), 21);
+    // Recall at the top of the grid must beat recall at the bottom (the ε
+    // knob works) and distance work must grow with ε.
+    assert!(pts.last().unwrap().recall >= pts.first().unwrap().recall);
+    assert!(pts.last().unwrap().dist_evals >= pts.first().unwrap().dist_evals);
+}
+
+#[test]
+fn pareto_frontier_of_real_sweep_is_valid() {
+    let (mbi, _, dataset) = setup(3_000);
+    let (wl, truth) = workload(&dataset, 0.3, 10);
+    let pts = sweep_epsilon(&mbi, &wl, &truth, 10, 64, &epsilon_grid());
+    let frontier = pareto_frontier(&pts);
+    assert!(!frontier.is_empty());
+    assert!(frontier.len() <= pts.len());
+    for w in frontier.windows(2) {
+        assert!(w[0].recall <= w[1].recall);
+        assert!(w[0].qps >= w[1].qps, "frontier must trade qps for recall");
+    }
+    // No frontier point is dominated by any sweep point.
+    for f in &frontier {
+        for p in &pts {
+            assert!(
+                !(p.recall > f.recall && p.qps > f.qps),
+                "frontier point dominated"
+            );
+        }
+    }
+}
+
+#[test]
+fn operating_point_meets_target_for_exact_method() {
+    let (_, bsbf, dataset) = setup(2_000);
+    let (wl, truth) = workload(&dataset, 0.5, 10);
+    let op = qps_at_recall(&bsbf, &wl, &truth, 10, 64, 0.995, &epsilon_grid());
+    assert_eq!(op.recall, 1.0);
+    assert_eq!(op.epsilon, 1.0);
+    assert!(op.qps > 0.0);
+}
+
+#[test]
+fn experiment_params_cover_every_preset() {
+    for preset in mbi_data::all_presets() {
+        let p = ExperimentParams::for_dataset(preset.name, 20_000, preset.paper_train)
+            .unwrap_or_else(|| panic!("no Table 3 row for {}", preset.name));
+        assert!(p.neighbors >= 16);
+        assert!(p.leaf_size >= 200);
+        assert!(p.max_candidates >= p.neighbors.min(32));
+        assert_eq!(p.target_recall, 0.995);
+    }
+}
+
+#[test]
+fn method_kinds_and_memory() {
+    let (mbi, bsbf, _) = setup(1_000);
+    assert_eq!(mbi.kind().label(), "MBI");
+    assert_eq!(bsbf.kind().label(), "BSBF");
+    assert!(TknnMethod::index_memory_bytes(&mbi) > TknnMethod::index_memory_bytes(&bsbf));
+}

@@ -1,0 +1,130 @@
+//! A totally ordered `f32` wrapper.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An `f32` with a total order, suitable for use as a key in heaps, sorted
+/// vectors and `BTreeMap`s.
+///
+/// Distances produced by the kernels in this crate are always finite and
+/// non-negative, so the subtleties of IEEE total ordering rarely matter in
+/// practice; nevertheless `OrderedF32` uses [`f32::total_cmp`], which orders
+/// `-NaN < -inf < … < +inf < NaN`, so that *no* input can panic or produce an
+/// inconsistent order. An inconsistent `Ord` inside a `BinaryHeap` would make
+/// search results silently nondeterministic, which is the worst possible
+/// failure mode for a recall-measured system.
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct OrderedF32(pub f32);
+
+impl OrderedF32 {
+    /// Returns the wrapped value.
+    #[inline]
+    pub fn get(self) -> f32 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF32 {}
+
+impl PartialOrd for OrderedF32 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF32 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f32> for OrderedF32 {
+    #[inline]
+    fn from(v: f32) -> Self {
+        OrderedF32(v)
+    }
+}
+
+impl From<OrderedF32> for f32 {
+    #[inline]
+    fn from(v: OrderedF32) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for OrderedF32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl fmt::Display for OrderedF32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::hash::Hash for OrderedF32 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_plain_values() {
+        let mut v = vec![
+            OrderedF32(3.0),
+            OrderedF32(-1.0),
+            OrderedF32(0.0),
+            OrderedF32(2.5),
+        ];
+        v.sort();
+        let raw: Vec<f32> = v.into_iter().map(f32::from).collect();
+        assert_eq!(raw, vec![-1.0, 0.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        let mut v = [OrderedF32(f32::NAN), OrderedF32(1.0), OrderedF32(2.0)];
+        v.sort();
+        assert_eq!(v[0].get(), 1.0);
+        assert_eq!(v[1].get(), 2.0);
+        assert!(v[2].get().is_nan());
+    }
+
+    #[test]
+    fn zero_signs_are_distinguished_consistently() {
+        // total_cmp orders -0.0 < +0.0; we only need consistency, not equality.
+        assert_eq!(OrderedF32(-0.0).cmp(&OrderedF32(0.0)), Ordering::Less);
+        assert_eq!(OrderedF32(0.0).cmp(&OrderedF32(-0.0)), Ordering::Greater);
+    }
+
+    #[test]
+    fn roundtrip_conversions() {
+        let x: OrderedF32 = 1.5f32.into();
+        let y: f32 = x.into();
+        assert_eq!(y, 1.5);
+        assert_eq!(x.get(), 1.5);
+    }
+
+    #[test]
+    fn hash_matches_bits() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(OrderedF32(1.0));
+        assert!(s.contains(&OrderedF32(1.0)));
+        assert!(!s.contains(&OrderedF32(2.0)));
+    }
+
+    #[test]
+    fn infinities_order() {
+        assert!(OrderedF32(f32::NEG_INFINITY) < OrderedF32(-1.0e30));
+        assert!(OrderedF32(f32::INFINITY) > OrderedF32(1.0e30));
+    }
+}

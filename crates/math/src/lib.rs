@@ -1,0 +1,34 @@
+//! Numeric foundations for the MBI time-restricted kNN stack.
+//!
+//! This crate provides the small, hot pieces shared by every other crate in the
+//! workspace:
+//!
+//! * [`Metric`] — the distance functions used by the paper's datasets
+//!   (Euclidean for SIFT/GIST, angular a.k.a. cosine distance for
+//!   MovieLens/COMS/GloVe/DEEP), written as chunked kernels the compiler can
+//!   auto-vectorise.
+//! * [`OrderedF32`] — a totally ordered `f32` wrapper so distances can live in
+//!   heaps and sorted collections without `partial_cmp().unwrap()` noise.
+//! * [`Neighbor`] and [`TopK`] — the `(id, distance)` pair and the bounded
+//!   max-heap used to keep the `k` best candidates in `O(log k)` per insert,
+//!   matching the complexity accounting in §3.2.1 of the paper.
+//! * [`OnlineStats`] — Welford streaming statistics used by the experiment
+//!   harness for timing summaries.
+//!
+//! Everything here is deliberately dependency-free (apart from `serde` for
+//! result reporting) and heavily unit- and property-tested, because a subtle
+//! ordering bug in a distance kernel silently corrupts every recall number in
+//! the evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod float;
+mod metric;
+mod stats;
+mod topk;
+
+pub use float::OrderedF32;
+pub use metric::{angular_distance, dot, norm, squared_euclidean, Metric};
+pub use stats::OnlineStats;
+pub use topk::{topk_by_sort, Neighbor, TopK};

@@ -1,0 +1,143 @@
+//! Property-based tests for the numeric foundations.
+
+use mbi_math::{
+    angular_distance, dot, norm, squared_euclidean, Metric, Neighbor, OnlineStats, OrderedF32,
+    TopK,
+};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1000.0f32..1000.0, len)
+}
+
+proptest! {
+    #[test]
+    fn squared_euclidean_is_symmetric(a in finite_vec(1..64), seed in 0u64..1000) {
+        let b: Vec<f32> = a.iter().enumerate()
+            .map(|(i, x)| x + ((seed as f32 + i as f32) * 0.3).sin())
+            .collect();
+        let ab = squared_euclidean(&a, &b);
+        let ba = squared_euclidean(&b, &a);
+        prop_assert!((ab - ba).abs() <= 1e-3 * ab.abs().max(1.0));
+    }
+
+    #[test]
+    fn squared_euclidean_identity(a in finite_vec(1..64)) {
+        prop_assert_eq!(squared_euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn squared_euclidean_nonnegative(a in finite_vec(1..32), b in finite_vec(1..32)) {
+        let n = a.len().min(b.len());
+        prop_assert!(squared_euclidean(&a[..n], &b[..n]) >= 0.0);
+    }
+
+    #[test]
+    fn dot_is_bilinear_in_scalar(a in finite_vec(1..32), c in -10.0f32..10.0) {
+        let b: Vec<f32> = a.iter().rev().cloned().collect();
+        let scaled: Vec<f32> = a.iter().map(|x| x * c).collect();
+        let lhs = dot(&scaled, &b);
+        let rhs = c * dot(&a, &b);
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn angular_distance_in_range(a in finite_vec(2..32)) {
+        let b: Vec<f32> = a.iter().map(|x| x + 1.0).collect();
+        let d = angular_distance(&a, &b);
+        prop_assert!((-1e-6..=2.0 + 1e-6).contains(&d), "d = {}", d);
+    }
+
+    #[test]
+    fn norm_triangle_inequality(a in finite_vec(4..16)) {
+        let b: Vec<f32> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        prop_assert!(norm(&sum) <= norm(&a) + norm(&b) + 1e-2);
+    }
+
+    #[test]
+    fn ordered_f32_sort_is_total(mut xs in prop::collection::vec(any::<f32>(), 0..64)) {
+        let mut wrapped: Vec<OrderedF32> = xs.iter().copied().map(OrderedF32).collect();
+        wrapped.sort();
+        // sort() must not panic and must be idempotent.
+        let again = {
+            let mut w = wrapped.clone();
+            w.sort();
+            w
+        };
+        prop_assert_eq!(wrapped.len(), again.len());
+        for (a, b) in wrapped.iter().zip(&again) {
+            prop_assert_eq!(a.get().to_bits(), b.get().to_bits());
+        }
+        xs.clear();
+    }
+
+    #[test]
+    fn topk_matches_sorting(
+        dists in prop::collection::vec(0.0f32..1000.0, 0..200),
+        k in 0usize..32
+    ) {
+        let items: Vec<Neighbor> = dists
+            .iter()
+            .enumerate()
+            .map(|(i, d)| Neighbor::new(i as u32, *d))
+            .collect();
+        let mut t = TopK::new(k);
+        for it in &items {
+            t.push(*it);
+        }
+        let got = t.into_sorted_vec();
+        let mut expect = items;
+        expect.sort_unstable();
+        expect.truncate(k);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn topk_worst_is_max_retained(
+        dists in prop::collection::vec(0.0f32..100.0, 1..100),
+        k in 1usize..16
+    ) {
+        let mut t = TopK::new(k);
+        for (i, d) in dists.iter().enumerate() {
+            t.offer(i as u32, *d);
+        }
+        let full = t.is_full();
+        let worst = t.worst();
+        let max_kept = t
+            .iter()
+            .map(|n| OrderedF32(n.dist))
+            .max()
+            .map(|o| o.get())
+            .unwrap();
+        if full {
+            prop_assert_eq!(worst, max_kept);
+        } else {
+            prop_assert_eq!(worst, f32::INFINITY);
+        }
+    }
+
+    #[test]
+    fn online_stats_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+    }
+
+    #[test]
+    fn metric_distance_identity_is_minimal(a in finite_vec(2..32)) {
+        // For Euclidean and Angular, no vector is closer to `a` than `a` itself.
+        let shifted: Vec<f32> = a.iter().map(|x| x + 3.0).collect();
+        for m in [Metric::Euclidean, Metric::Angular] {
+            let self_d = m.distance(&a, &a);
+            let other_d = m.distance(&a, &shifted);
+            prop_assert!(self_d <= other_d + 1e-4, "{m}: {self_d} vs {other_d}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Concurrency integration tests for [`mbi::ConcurrentMbi`]: correctness of
+//! historical queries while ingestion proceeds, and multi-reader throughput
+//! sanity.
+
+use mbi::{ConcurrentMbi, GraphBackend, MbiConfig, Metric, NnDescentParams, TimeWindow};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn config() -> MbiConfig {
+    MbiConfig::new(4, Metric::Euclidean)
+        .with_leaf_size(64)
+        .with_backend(GraphBackend::NnDescent(NnDescentParams {
+            degree: 6,
+            max_iters: 4,
+            ..Default::default()
+        }))
+        .with_parallel_build(true)
+}
+
+fn vec_for(i: i64) -> [f32; 4] {
+    let x = i as f32 * 0.01;
+    [x.sin() * 10.0, x.cos() * 10.0, (3.0 * x).sin() * 10.0, x.fract()]
+}
+
+#[test]
+fn historical_answers_are_stable_under_ingest() {
+    let idx = ConcurrentMbi::new(config());
+    for i in 0..512i64 {
+        idx.insert(&vec_for(i), i).unwrap();
+    }
+    // Snapshot the exact answer for a frozen window.
+    let frozen = TimeWindow::new(0, 512);
+    let q = [5.0f32, -5.0, 2.0, 0.5];
+    let baseline = idx.exact_query(&q, 10, frozen);
+
+    let done = AtomicBool::new(false);
+    let checks = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 512..3_000i64 {
+                idx.insert(&vec_for(i), i).unwrap();
+            }
+            done.store(true, Ordering::Release);
+        });
+        for _ in 0..4 {
+            s.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    // Exact answers over the frozen window never change,
+                    // no matter how much newer data lands.
+                    let now = idx.exact_query(&q, 10, frozen);
+                    assert_eq!(now, baseline);
+                    checks.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert!(checks.load(Ordering::Relaxed) > 0);
+    assert_eq!(idx.len(), 3_000);
+}
+
+#[test]
+fn approximate_queries_stay_in_window_under_ingest() {
+    let idx = ConcurrentMbi::new(config());
+    for i in 0..256i64 {
+        idx.insert(&vec_for(i), i).unwrap();
+    }
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 256..2_048i64 {
+                idx.insert(&vec_for(i), i).unwrap();
+            }
+            done.store(true, Ordering::Release);
+        });
+        for worker in 0..3i64 {
+            let idx = &idx;
+            let done = &done;
+            s.spawn(move || {
+                let q = vec_for(worker * 37);
+                let mut rounds = 0;
+                while !done.load(Ordering::Acquire) || rounds < 3 {
+                    let w = TimeWindow::new(worker * 10, 200 + worker * 10);
+                    let res = idx.query(&q, 5, w);
+                    assert_eq!(res.len(), 5);
+                    for r in &res {
+                        assert!(w.contains(r.timestamp));
+                    }
+                    rounds += 1;
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn interleaved_inserts_from_one_writer_preserve_structure() {
+    // The RwLock serialises writers; verify the final structure matches a
+    // sequentially built index.
+    let concurrent = ConcurrentMbi::new(config());
+    let mut sequential = mbi::MbiIndex::new(config());
+    for i in 0..640i64 {
+        concurrent.insert(&vec_for(i), i).unwrap();
+        sequential.insert(&vec_for(i), i).unwrap();
+    }
+    let inner = concurrent.into_inner();
+    assert_eq!(inner.blocks().len(), sequential.blocks().len());
+    let q = [1.0f32, 2.0, 3.0, 0.1];
+    let w = TimeWindow::new(100, 600);
+    assert_eq!(inner.query(&q, 8, w), sequential.query(&q, 8, w));
+}
