@@ -181,15 +181,11 @@ impl HnswIndex {
     ) -> Vec<Neighbor> {
         let mut visited: HashSet<u32> = entry_points.iter().map(|n| n.id).collect();
         // Min-heap of candidates via Reverse ordering on (dist, id).
-        let mut candidates: BinaryHeap<std::cmp::Reverse<(OrderedF32, u32)>> = entry_points
-            .iter()
-            .map(|n| std::cmp::Reverse((OrderedF32(n.dist), n.id)))
-            .collect();
+        let mut candidates: BinaryHeap<std::cmp::Reverse<(OrderedF32, u32)>> =
+            entry_points.iter().map(|n| std::cmp::Reverse((OrderedF32(n.dist), n.id))).collect();
         // Max-heap of the best `ef` found so far.
-        let mut best: BinaryHeap<(OrderedF32, u32)> = entry_points
-            .iter()
-            .map(|n| (OrderedF32(n.dist), n.id))
-            .collect();
+        let mut best: BinaryHeap<(OrderedF32, u32)> =
+            entry_points.iter().map(|n| (OrderedF32(n.dist), n.id)).collect();
 
         while let Some(std::cmp::Reverse((d, c))) = candidates.pop() {
             let worst = best.peek().map_or(f32::INFINITY, |b| b.0.get());
@@ -217,10 +213,8 @@ impl HnswIndex {
             }
         }
 
-        let mut out: Vec<Neighbor> = best
-            .into_iter()
-            .map(|(d, id)| Neighbor::new(id, d.get()))
-            .collect();
+        let mut out: Vec<Neighbor> =
+            best.into_iter().map(|(d, id)| Neighbor::new(id, d.get())).collect();
         out.sort_unstable();
         out
     }
@@ -242,9 +236,7 @@ impl HnswIndex {
                 break;
             }
             let dominated = selected.iter().any(|s| {
-                self.metric
-                    .distance(view.get(c.id as usize), view.get(s.id as usize))
-                    < c.dist
+                self.metric.distance(view.get(c.id as usize), view.get(s.id as usize)) < c.dist
             });
             if !dominated {
                 selected.push(c);
@@ -409,16 +401,7 @@ impl BlockIndex for HnswIndex {
         }
         let entry = self.descend(query, view, stats);
         let base_params = SearchParams { entry: EntryPolicy::Fixed(entry), ..*params };
-        greedy_search(
-            &BaseLayer(self),
-            view,
-            metric,
-            query,
-            k,
-            &base_params,
-            filter,
-            stats,
-        )
+        greedy_search(&BaseLayer(self), view, metric, query, k, &base_params, filter, stats)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -507,8 +490,7 @@ mod tests {
                 &mut |_| true,
                 &mut st,
             );
-            let exact_ids: std::collections::HashSet<u32> =
-                exact.iter().map(|n| n.id).collect();
+            let exact_ids: std::collections::HashSet<u32> = exact.iter().map(|n| n.id).collect();
             total += exact.len();
             hits += approx.iter().filter(|n| exact_ids.contains(&n.id)).count();
         }
@@ -582,8 +564,24 @@ mod tests {
         let mut sa = SearchStats::default();
         let mut sb = SearchStats::default();
         let q = s.get(17);
-        let ra = a.search(s.view(), Metric::Euclidean, q, 5, &SearchParams::default(), &mut |_| true, &mut sa);
-        let rb = b.search(s.view(), Metric::Euclidean, q, 5, &SearchParams::default(), &mut |_| true, &mut sb);
+        let ra = a.search(
+            s.view(),
+            Metric::Euclidean,
+            q,
+            5,
+            &SearchParams::default(),
+            &mut |_| true,
+            &mut sa,
+        );
+        let rb = b.search(
+            s.view(),
+            Metric::Euclidean,
+            q,
+            5,
+            &SearchParams::default(),
+            &mut |_| true,
+            &mut sb,
+        );
         assert_eq!(ra, rb);
     }
 }

@@ -54,13 +54,7 @@ pub struct NnDescentParams {
 
 impl Default for NnDescentParams {
     fn default() -> Self {
-        NnDescentParams {
-            degree: 24,
-            rho: 0.5,
-            delta: 0.001,
-            max_iters: 12,
-            seed: 0x5EED_1234,
-        }
+        NnDescentParams { degree: 24, rho: 0.5, delta: 0.001, max_iters: 12, seed: 0x5EED_1234 }
     }
 }
 
@@ -84,12 +78,7 @@ impl NnDescentParams {
     /// parallel; this is the intra-block half of that story). The result is
     /// **bit-identical** for every thread count — updates are applied in a
     /// normalized order — so parallelism is purely a wall-clock optimisation.
-    pub fn build_threaded(
-        &self,
-        view: VectorView<'_>,
-        metric: Metric,
-        threads: usize,
-    ) -> KnnGraph {
+    pub fn build_threaded(&self, view: VectorView<'_>, metric: Metric, threads: usize) -> KnnGraph {
         let n = view.len();
         if n <= 1 {
             return KnnGraph::from_lists(self.degree.max(1), &vec![Vec::new(); n]);
@@ -193,11 +182,8 @@ impl<'a> Builder<'a> {
             }
         }
 
-        let lists: Vec<Vec<u32>> = self
-            .lists
-            .iter()
-            .map(|l| l.iter().map(|e| e.id).collect())
-            .collect();
+        let lists: Vec<Vec<u32>> =
+            self.lists.iter().map(|l| l.iter().map(|e| e.id).collect()).collect();
         with_ring(k, lists)
     }
 
@@ -217,7 +203,9 @@ impl<'a> Builder<'a> {
                 let dist = self.metric.distance(self.view.get(v), self.view.get(u));
                 list.push(Entry { id: u as u32, dist, is_new: true });
             }
-            list.sort_unstable_by(|a, b| (a.dist, a.id).partial_cmp(&(b.dist, b.id)).expect("finite"));
+            list.sort_unstable_by(|a, b| {
+                (a.dist, a.id).partial_cmp(&(b.dist, b.id)).expect("finite")
+            });
             self.lists.push(list);
         }
     }

@@ -41,11 +41,7 @@ pub struct SearchParams {
 
 impl Default for SearchParams {
     fn default() -> Self {
-        SearchParams {
-            max_candidates: 128,
-            epsilon: 1.1,
-            entry: EntryPolicy::QueryHash,
-        }
+        SearchParams { max_candidates: 128, epsilon: 1.1, entry: EntryPolicy::QueryHash }
     }
 }
 
@@ -58,7 +54,7 @@ impl SearchParams {
 
 /// Counters accumulated during a search; the experiment harness reports them
 /// and the complexity tests assert on them.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchStats {
     /// Number of distance evaluations (`σ` calls).
     pub dist_evals: u64,
@@ -66,19 +62,36 @@ pub struct SearchStats {
     pub visited: u64,
     /// Number of vertices scanned by brute force (BSBF paths).
     pub scanned: u64,
-    /// Number of blocks a query touched (filled in by MBI).
+    /// Number of places (blocks or tail scan) a query actually searched —
+    /// places whose row range was empty under the window are *not* counted
+    /// (filled in by MBI).
     pub blocks_searched: u64,
+    /// Of `blocks_searched`, how many were answered by an exact scan instead
+    /// of a graph search: full blocks the cost model dispatched to brute
+    /// force, plus the tail scan (filled in by MBI).
+    pub blocks_bruteforced: u64,
 }
 
 impl SearchStats {
-    /// Adds another stats record into this one.
+    /// Adds another stats record into this one. Merging per-worker records
+    /// in any order yields the same totals — every field is a sum.
     pub fn merge(&mut self, other: &SearchStats) {
         self.dist_evals += other.dist_evals;
         self.visited += other.visited;
         self.scanned += other.scanned;
         self.blocks_searched += other.blocks_searched;
+        self.blocks_bruteforced += other.blocks_bruteforced;
     }
 }
+
+// The intra-query fan-out shares these across scoped worker threads; keep
+// them thread-friendly or that code stops compiling.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SearchParams>();
+    assert_send_sync::<SearchStats>();
+    assert_send_sync::<crate::KnnGraph>();
+};
 
 /// FNV-1a over the query's raw bits; used by [`EntryPolicy::QueryHash`].
 fn hash_query(query: &[f32]) -> u64 {
@@ -195,11 +208,8 @@ pub fn greedy_search(
         }
 
         // Expansion bound (lines 8–11).
-        let bound = if results.is_full() {
-            params.epsilon * results.worst()
-        } else {
-            f32::INFINITY
-        };
+        let bound =
+            if results.is_full() { params.epsilon * results.worst() } else { f32::INFINITY };
 
         for &nb in graph.neighbors(id) {
             if seen.test_and_set(nb) {
@@ -399,10 +409,7 @@ mod tests {
         let s = line(10);
         let g = exact_graph(s.view(), Metric::Euclidean, 4);
         let mut stats = SearchStats::default();
-        let params = SearchParams {
-            entry: EntryPolicy::Fixed(9999),
-            ..SearchParams::default()
-        };
+        let params = SearchParams { entry: EntryPolicy::Fixed(9999), ..SearchParams::default() };
         let res = greedy_search(
             &g,
             s.view(),
@@ -424,14 +431,24 @@ mod tests {
         let mut narrow = SearchStats::default();
         let mut wide = SearchStats::default();
         greedy_search(
-            &g, s.view(), Metric::Euclidean, &q, 5,
+            &g,
+            s.view(),
+            Metric::Euclidean,
+            &q,
+            5,
             &SearchParams { epsilon: 1.0, ..SearchParams::new(128, 1.0) },
-            &mut accept_all, &mut narrow,
+            &mut accept_all,
+            &mut narrow,
         );
         greedy_search(
-            &g, s.view(), Metric::Euclidean, &q, 5,
+            &g,
+            s.view(),
+            Metric::Euclidean,
+            &q,
+            5,
             &SearchParams { epsilon: 1.4, ..SearchParams::new(128, 1.4) },
-            &mut accept_all, &mut wide,
+            &mut accept_all,
+            &mut wide,
         );
         assert!(wide.dist_evals >= narrow.dist_evals);
     }

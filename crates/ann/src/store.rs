@@ -37,10 +37,7 @@ impl VectorStore {
     /// Creates an empty store with room for `capacity` vectors.
     pub fn with_capacity(dim: usize, capacity: usize) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
-        VectorStore {
-            dim,
-            data: Vec::with_capacity(dim * capacity),
-        }
+        VectorStore { dim, data: Vec::with_capacity(dim * capacity) }
     }
 
     /// Builds a store from a flat row-major buffer.
@@ -104,10 +101,7 @@ impl VectorStore {
     /// A view over all rows.
     #[inline]
     pub fn view(&self) -> VectorView<'_> {
-        VectorView {
-            dim: self.dim,
-            data: &self.data,
-        }
+        VectorView { dim: self.dim, data: &self.data }
     }
 
     /// A view over rows `range.start..range.end`.
@@ -118,10 +112,7 @@ impl VectorStore {
     #[inline]
     pub fn slice(&self, range: std::ops::Range<usize>) -> VectorView<'_> {
         assert!(range.start <= range.end && range.end <= self.len(), "row range out of bounds");
-        VectorView {
-            dim: self.dim,
-            data: &self.data[range.start * self.dim..range.end * self.dim],
-        }
+        VectorView { dim: self.dim, data: &self.data[range.start * self.dim..range.end * self.dim] }
     }
 
     /// The underlying flat buffer (row-major).

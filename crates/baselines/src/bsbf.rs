@@ -36,11 +36,7 @@ pub struct BsbfIndex {
 impl BsbfIndex {
     /// Creates an empty index for `dim`-dimensional vectors.
     pub fn new(dim: usize, metric: Metric) -> Self {
-        BsbfIndex {
-            metric,
-            store: VectorStore::new(dim),
-            timestamps: Vec::new(),
-        }
+        BsbfIndex { metric, store: VectorStore::new(dim), timestamps: Vec::new() }
     }
 
     /// Number of stored vectors.
@@ -110,11 +106,7 @@ impl BsbfIndex {
             .into_iter()
             .map(|n| {
                 let id = lo as u32 + n.id;
-                TknnResult {
-                    id,
-                    timestamp: self.timestamps[id as usize],
-                    dist: n.dist,
-                }
+                TknnResult { id, timestamp: self.timestamps[id as usize], dist: n.dist }
             })
             .collect();
         stats.blocks_searched = 1;

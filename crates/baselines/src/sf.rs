@@ -21,12 +21,7 @@ pub struct SfConfig {
 impl SfConfig {
     /// A configuration with default graph/search parameters.
     pub fn new(dim: usize, metric: Metric) -> Self {
-        SfConfig {
-            dim,
-            metric,
-            graph: NnDescentParams::default(),
-            search: SearchParams::default(),
-        }
+        SfConfig { dim, metric, graph: NnDescentParams::default(), search: SearchParams::default() }
     }
 }
 
@@ -140,9 +135,7 @@ impl SfIndex {
     /// workers (result identical for every thread count).
     pub fn rebuild_threaded(&mut self, threads: usize) {
         self.graph =
-            self.config
-                .graph
-                .build_threaded(self.store.view(), self.config.metric, threads);
+            self.config.graph.build_threaded(self.store.view(), self.config.metric, threads);
         self.indexed = self.len();
     }
 
@@ -185,11 +178,7 @@ impl SfIndex {
             &mut stats,
         )
         .into_iter()
-        .map(|n| TknnResult {
-            id: n.id,
-            timestamp: self.timestamps[n.id as usize],
-            dist: n.dist,
-        })
+        .map(|n| TknnResult { id: n.id, timestamp: self.timestamps[n.id as usize], dist: n.dist })
         .collect();
         stats.blocks_searched = 1;
         (results, stats)
@@ -266,10 +255,10 @@ mod tests {
     fn short_window_visits_more_than_long_window() {
         let idx = build_line(300);
         let q = [150.0f32, 0.0];
-        let (_, short) = idx.query_with_params(
-            &q, 5, TimeWindow::new(0, 15), &SearchParams::new(64, 1.1));
-        let (_, long) = idx.query_with_params(
-            &q, 5, TimeWindow::new(0, 300), &SearchParams::new(64, 1.1));
+        let (_, short) =
+            idx.query_with_params(&q, 5, TimeWindow::new(0, 15), &SearchParams::new(64, 1.1));
+        let (_, long) =
+            idx.query_with_params(&q, 5, TimeWindow::new(0, 300), &SearchParams::new(64, 1.1));
         assert!(
             short.visited > long.visited,
             "SF should struggle on short windows: {} <= {}",

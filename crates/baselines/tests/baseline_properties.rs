@@ -1,16 +1,14 @@
 //! Property tests for the baselines: BSBF is exact by construction; SF is
 //! sound and converges to the exact answer as ε grows on easy inputs.
 
+use mbi_ann::{NnDescentParams, SearchParams};
 use mbi_baselines::{BsbfIndex, SfConfig, SfIndex};
 use mbi_core::TimeWindow;
-use mbi_ann::{NnDescentParams, SearchParams};
 use mbi_math::Metric;
 use proptest::prelude::*;
 
 fn vec_for(i: usize, dim: usize) -> Vec<f32> {
-    (0..dim)
-        .map(|j| (i as f32 * 0.7 + j as f32 * 1.3).sin() * 10.0)
-        .collect()
+    (0..dim).map(|j| (i as f32 * 0.7 + j as f32 * 1.3).sin() * 10.0).collect()
 }
 
 proptest! {

@@ -2,8 +2,8 @@
 //! (traversal cost ∝ 1/window), the two regimes MBI interpolates between.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use mbi_baselines::{BsbfIndex, SfConfig, SfIndex};
 use mbi_ann::{NnDescentParams, SearchParams};
+use mbi_baselines::{BsbfIndex, SfConfig, SfIndex};
 use mbi_data::{windows_for_fraction, DriftingMixture};
 use mbi_math::Metric;
 

@@ -4,8 +4,8 @@
 //! evaluation batch.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use mbi_core::{GraphBackend, MbiConfig, MbiIndex, TimeWindow};
 use mbi_ann::NnDescentParams;
+use mbi_core::{GraphBackend, MbiConfig, MbiIndex, TimeWindow};
 use mbi_data::DriftingMixture;
 use mbi_math::Metric;
 

@@ -14,7 +14,9 @@ fn bench_build(c: &mut Criterion) {
         let dataset = DriftingMixture::new(32, 3).generate("b", Metric::Euclidean, n, 1);
         let view = dataset.train.view();
         group.bench_with_input(BenchmarkId::new("nndescent_deg16", n), &n, |b, _| {
-            b.iter(|| NnDescentParams { degree: 16, ..Default::default() }.build(view, Metric::Euclidean))
+            b.iter(|| {
+                NnDescentParams { degree: 16, ..Default::default() }.build(view, Metric::Euclidean)
+            })
         });
         group.bench_with_input(BenchmarkId::new("hnsw_m8", n), &n, |b, _| {
             b.iter(|| {

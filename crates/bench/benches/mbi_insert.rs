@@ -3,8 +3,8 @@
 //! bottom-up merging — the Figure 7a inner loop at small scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mbi_core::{GraphBackend, MbiConfig, MbiIndex};
 use mbi_ann::NnDescentParams;
+use mbi_core::{GraphBackend, MbiConfig, MbiIndex};
 use mbi_data::DriftingMixture;
 use mbi_math::Metric;
 
@@ -16,22 +16,26 @@ fn bench_insert(c: &mut Criterion) {
     group.sample_size(10);
     for parallel in [false, true] {
         let label = if parallel { "parallel" } else { "serial" };
-        group.bench_with_input(BenchmarkId::new("build_4k_leaf512", label), &parallel, |b, &par| {
-            b.iter(|| {
-                let config = MbiConfig::new(32, Metric::Euclidean)
-                    .with_leaf_size(512)
-                    .with_backend(GraphBackend::NnDescent(NnDescentParams {
-                        degree: 12,
-                        ..Default::default()
-                    }))
-                    .with_parallel_build(par);
-                let mut idx = MbiIndex::new(config);
-                for (v, t) in dataset.iter() {
-                    idx.insert(v, t).unwrap();
-                }
-                idx
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_4k_leaf512", label),
+            &parallel,
+            |b, &par| {
+                b.iter(|| {
+                    let config = MbiConfig::new(32, Metric::Euclidean)
+                        .with_leaf_size(512)
+                        .with_backend(GraphBackend::NnDescent(NnDescentParams {
+                            degree: 12,
+                            ..Default::default()
+                        }))
+                        .with_parallel_build(par);
+                    let mut idx = MbiIndex::new(config);
+                    for (v, t) in dataset.iter() {
+                        idx.insert(v, t).unwrap();
+                    }
+                    idx
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -2,8 +2,8 @@
 //! small scale: throughput by window fraction and by τ.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use mbi_core::{GraphBackend, MbiConfig, MbiIndex};
 use mbi_ann::{NnDescentParams, SearchParams};
+use mbi_core::{GraphBackend, MbiConfig, MbiIndex};
 use mbi_data::{windows_for_fraction, DriftingMixture};
 use mbi_math::Metric;
 
@@ -12,10 +12,7 @@ fn build(n: usize, tau: f64) -> (MbiIndex, mbi_data::Dataset) {
     let config = MbiConfig::new(32, Metric::Euclidean)
         .with_leaf_size(1024)
         .with_tau(tau)
-        .with_backend(GraphBackend::NnDescent(NnDescentParams {
-            degree: 16,
-            ..Default::default()
-        }))
+        .with_backend(GraphBackend::NnDescent(NnDescentParams { degree: 16, ..Default::default() }))
         .with_search(SearchParams::new(64, 1.1))
         .with_parallel_build(true);
     let mut idx = MbiIndex::new(config);

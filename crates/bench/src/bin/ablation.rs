@@ -9,12 +9,12 @@
 //! cargo run -p mbi-bench --release --bin ablation [-- --dataset movielens]
 //! ```
 
+use mbi_ann::HnswParams;
 use mbi_bench::*;
 use mbi_core::{GraphBackend, MbiConfig, MbiIndex};
 use mbi_data::{ground_truth, preset_by_name};
-use mbi_eval::report::{fmt3, print_table, write_json};
 use mbi_eval::qps_at_recall;
-use mbi_ann::HnswParams;
+use mbi_eval::report::{fmt3, print_table, write_json};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -71,14 +71,8 @@ fn main() {
 
         for fraction in [0.05, 0.4, 0.95] {
             let workload = make_workload(&dataset, fraction, n_queries, seed);
-            let truth = ground_truth(
-                &dataset.train,
-                &dataset.timestamps,
-                &workload,
-                k,
-                dataset.metric,
-                0,
-            );
+            let truth =
+                ground_truth(&dataset.train, &dataset.timestamps, &workload, k, dataset.metric, 0);
             let op = qps_at_recall(
                 &index,
                 &workload,

@@ -36,11 +36,8 @@ fn main() {
     let n_queries: usize = args.get("queries", 30);
     let out = args.get_str("out", "results");
     let datasets = args.get_str("datasets", "movielens,sift1m");
-    let ks: Vec<usize> = args
-        .get_str("ks", "10")
-        .split(',')
-        .filter_map(|s| s.parse().ok())
-        .collect();
+    let ks: Vec<usize> =
+        args.get_str("ks", "10").split(',').filter_map(|s| s.parse().ok()).collect();
     let grid = if args.flag("full") { epsilon_grid() } else { coarse_epsilon_grid() };
 
     let mut points: Vec<Point> = Vec::new();
@@ -98,10 +95,7 @@ fn main() {
     }
 
     // Print one table per (dataset, k): rows = fraction, cols = methods.
-    let mut keys: Vec<(String, usize)> = points
-        .iter()
-        .map(|p| (p.dataset.clone(), p.k))
-        .collect();
+    let mut keys: Vec<(String, usize)> = points.iter().map(|p| (p.dataset.clone(), p.k)).collect();
     keys.sort();
     keys.dedup();
     for (ds, k) in keys {

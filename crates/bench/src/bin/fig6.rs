@@ -8,8 +8,8 @@
 //! ```
 
 use mbi_bench::*;
-use mbi_data::presets::COMS;
 use mbi_data::ground_truth;
+use mbi_data::presets::COMS;
 use mbi_eval::report::{fmt3, print_table, write_json};
 use mbi_eval::{epsilon_grid, pareto_frontier, sweep_epsilon, SweepPoint, TknnMethod};
 use serde::Serialize;
@@ -41,23 +41,11 @@ fn main() {
     let mut series = Vec::new();
     for ratio in [0.1, 0.3, 0.8] {
         let workload = make_workload(&dataset, ratio, n_queries, seed);
-        let truth = ground_truth(
-            &dataset.train,
-            &dataset.timestamps,
-            &workload,
-            k,
-            dataset.metric,
-            0,
-        );
+        let truth =
+            ground_truth(&dataset.train, &dataset.timestamps, &workload, k, dataset.metric, 0);
         for (label, method) in methods {
-            let sweep = sweep_epsilon(
-                method,
-                &workload,
-                &truth,
-                k,
-                params.max_candidates,
-                &epsilon_grid(),
-            );
+            let sweep =
+                sweep_epsilon(method, &workload, &truth, k, params.max_candidates, &epsilon_grid());
             let frontier = pareto_frontier(&sweep);
             eprintln!(
                 "[coms] ratio {ratio:.0}% {label}: {} grid points → {} frontier points",
@@ -78,9 +66,7 @@ fn main() {
             &["epsilon", "recall@10", "qps"],
             &s.points
                 .iter()
-                .map(|p| {
-                    vec![format!("{:.2}", p.epsilon), format!("{:.4}", p.recall), fmt3(p.qps)]
-                })
+                .map(|p| vec![format!("{:.2}", p.epsilon), format!("{:.4}", p.recall), fmt3(p.qps)])
                 .collect::<Vec<_>>(),
         );
     }

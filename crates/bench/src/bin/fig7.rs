@@ -129,7 +129,10 @@ fn main() {
             format!("{:.2}", s)
         })
         .collect();
-    println!("\nMBI per-doubling time slopes: [{}] (should decrease toward ~1.14 + o(1))", seg.join(", "));
+    println!(
+        "\nMBI per-doubling time slopes: [{}] (should decrease toward ~1.14 + o(1))",
+        seg.join(", ")
+    );
     println!(
         "note: this machine reports {} core(s); the paper's 5.08x parallel-build gain requires multiple cores.",
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -138,7 +141,8 @@ fn main() {
     let pts_time: Vec<(f64, f64)> = rows.iter().map(|r| (r.n as f64, r.mbi_serial_s)).collect();
     let pts_sf: Vec<(f64, f64)> = rows.iter().map(|r| (r.n as f64, r.sf_s)).collect();
     let pts_size: Vec<(f64, f64)> = rows.iter().map(|r| (r.n as f64, r.mbi_bytes as f64)).collect();
-    let pts_sf_size: Vec<(f64, f64)> = rows.iter().map(|r| (r.n as f64, r.sf_bytes as f64)).collect();
+    let pts_sf_size: Vec<(f64, f64)> =
+        rows.iter().map(|r| (r.n as f64, r.sf_bytes as f64)).collect();
     println!(
         "\nlog-log slopes — MBI time: {:.2} (paper: 1.29), SF time: {:.2} (paper ≈ 1.14); \
          MBI size: {:.2} (paper: 1.29 → 1 + log factor), SF size: {:.2} (≈ 1.0)",

@@ -10,12 +10,12 @@
 //! cargo run -p mbi-bench --release --bin fig8 [-- --leaves 500,1000,2000,4000 --checkpoints 16]
 //! ```
 
+use mbi_ann::SearchParams;
 use mbi_bench::*;
 use mbi_core::{GraphBackend, MbiConfig, MbiIndex};
 use mbi_data::presets::MOVIELENS;
 use mbi_data::windows_for_fraction;
 use mbi_eval::report::{fmt3, print_table, write_json};
-use mbi_ann::SearchParams;
 use serde::Serialize;
 use std::time::Instant;
 

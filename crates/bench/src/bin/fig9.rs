@@ -58,14 +58,8 @@ fn main() {
     let mut points = Vec::new();
     for &fraction in &fraction_grid() {
         let workload = make_workload(&dataset, fraction, n_queries, seed);
-        let truth = ground_truth(
-            &dataset.train,
-            &dataset.timestamps,
-            &workload,
-            k,
-            dataset.metric,
-            0,
-        );
+        let truth =
+            ground_truth(&dataset.train, &dataset.timestamps, &workload, k, dataset.metric, 0);
 
         for &tau in &taus {
             // Rebind the index with this τ (cheap: clone of config only —
@@ -135,9 +129,9 @@ fn main() {
         .map(|&f| {
             let mut row = vec![format!("{:.0}%", f * 100.0)];
             for &tau in &taus {
-                let p = points.iter().find(|p| {
-                    p.fraction == f && p.method == format!("MBI(tau={tau})")
-                });
+                let p = points
+                    .iter()
+                    .find(|p| p.fraction == f && p.method == format!("MBI(tau={tau})"));
                 row.push(p.map_or("—".into(), |p| fmt3(p.qps)));
             }
             for m in ["BSBF", "SF"] {

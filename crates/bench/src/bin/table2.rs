@@ -46,7 +46,16 @@ fn main() {
 
     print_table(
         "Table 2: the summary of datasets (paper cardinality → generated stand-in)",
-        &["dataset", "paper train", "paper test", "gen train", "gen test", "dim", "distance", "source"],
+        &[
+            "dataset",
+            "paper train",
+            "paper test",
+            "gen train",
+            "gen test",
+            "dim",
+            "distance",
+            "source",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -35,8 +35,8 @@ fn main() {
     for (preset, t3) in all_presets().into_iter().zip(TABLE3.iter()) {
         assert_eq!(preset.name, t3.dataset);
         let n = (default_train_size(preset) as f64 * scale) as usize;
-        let p = ExperimentParams::for_dataset(preset.name, n, preset.paper_train)
-            .expect("row exists");
+        let p =
+            ExperimentParams::for_dataset(preset.name, n, preset.paper_train).expect("row exists");
         rows.push(Row {
             dataset: preset.name,
             paper_neighbors: t3.neighbors,

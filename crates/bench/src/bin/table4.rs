@@ -47,12 +47,7 @@ fn main() {
         let input = mbi.data_bytes() as f64;
         let mbi_bytes = mbi.index_memory_bytes() as f64;
         let sf_bytes = sf.index_memory_bytes() as f64;
-        let levels = mbi
-            .blocks()
-            .iter()
-            .map(|b| b.height)
-            .max()
-            .map_or(0, |h| h as usize + 1);
+        let levels = mbi.blocks().iter().map(|b| b.height).max().map_or(0, |h| h as usize + 1);
         rows.push(Row {
             dataset: preset.name,
             n: dataset.len(),

@@ -64,10 +64,7 @@ impl Args {
 
     /// Typed lookup with default.
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.map
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        self.map.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
 
     /// String lookup with default.
@@ -107,7 +104,12 @@ pub fn params_for(preset: &DatasetPreset, dataset: &Dataset) -> ExperimentParams
 }
 
 /// Builds an MBI index over the dataset.
-pub fn build_mbi(dataset: &Dataset, params: &ExperimentParams, tau: f64, parallel: bool) -> MbiIndex {
+pub fn build_mbi(
+    dataset: &Dataset,
+    params: &ExperimentParams,
+    tau: f64,
+    parallel: bool,
+) -> MbiIndex {
     let config = MbiConfig::new(dataset.dim(), dataset.metric)
         .with_leaf_size(params.leaf_size)
         .with_tau(tau)
@@ -194,10 +196,12 @@ mod tests {
     #[test]
     fn loglog_slope_recovers_exponents() {
         // y = x^1.3
-        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
-            let x = (1 << i) as f64;
-            (x, x.powf(1.3))
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                (x, x.powf(1.3))
+            })
+            .collect();
         assert!((loglog_slope(&pts) - 1.3).abs() < 1e-9);
         assert_eq!(loglog_slope(&pts[..1]), 0.0);
     }

@@ -57,9 +57,7 @@ impl CliArgs {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| CliError(format!("bad value for --{key}: {v:?}"))),
+            Some(v) => v.parse().map_err(|_| CliError(format!("bad value for --{key}: {v:?}"))),
         }
     }
 

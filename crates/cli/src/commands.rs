@@ -40,6 +40,7 @@ USAGE:
   mbi info     --index <index.mbi> [--tree]
   mbi query    --index <index.mbi> (--vector \"x0,x1,…\" | --queries <q.fvecs>)
                [--k <n>] [--from <ts>] [--to <ts>] [--mc <n>] [--epsilon <f>]
+               [--query-threads <n>]   (0 = auto; results identical at any width)
   mbi tune     --index <index.mbi> --queries <q.fvecs> [--target-recall <f>] [--k <n>]
   mbi bench-query --index <index.mbi> --queries <q.fvecs>
                [--fraction <f>] [--rounds <n>] [--k <n>] [--mc <n>] [--epsilon <f>]
@@ -100,8 +101,7 @@ fn build(args: &CliArgs, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(ts_path) = args.get("timestamps") {
         timestamps = Some(io::read_timestamps(ts_path)?);
     }
-    let timestamps =
-        timestamps.unwrap_or_else(|| (0..store.len() as i64).collect());
+    let timestamps = timestamps.unwrap_or_else(|| (0..store.len() as i64).collect());
     if timestamps.len() != store.len() {
         return Err(CliError(format!(
             "{} vectors but {} timestamps",
@@ -117,10 +117,7 @@ fn build(args: &CliArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let config = MbiConfig::new(store.dim(), metric)
         .with_leaf_size(leaf_size)
         .with_tau(tau)
-        .with_backend(GraphBackend::NnDescent(NnDescentParams {
-            degree,
-            ..Default::default()
-        }))
+        .with_backend(GraphBackend::NnDescent(NnDescentParams { degree, ..Default::default() }))
         .with_parallel_build(args.switch("parallel"));
 
     let t0 = Instant::now();
@@ -150,7 +147,12 @@ fn info(args: &CliArgs, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "leaf size S_L : {}", c.leaf_size)?;
     writeln!(out, "tau           : {}", c.tau)?;
     writeln!(out, "backend       : {}", c.backend.name())?;
-    writeln!(out, "sealed leaves : {} (+{} tail rows)", index.num_leaves(), index.tail_rows().len())?;
+    writeln!(
+        out,
+        "sealed leaves : {} (+{} tail rows)",
+        index.num_leaves(),
+        index.tail_rows().len()
+    )?;
     if !index.is_empty() {
         let ts = index.timestamps();
         writeln!(out, "time range    : [{}, {}]", ts[0], ts[ts.len() - 1])?;
@@ -198,6 +200,7 @@ fn query(args: &CliArgs, out: &mut dyn Write) -> Result<(), CliError> {
         args.get_parsed("mc", index.config().search.max_candidates)?,
         args.get_parsed("epsilon", index.config().search.epsilon)?,
     );
+    let query_threads: usize = args.get_parsed("query-threads", index.config().query_threads)?;
 
     let queries: Vec<Vec<f32>> = match (args.get("vector"), args.get("queries")) {
         (Some(lit), None) => vec![io::parse_vector_literal(lit)?],
@@ -217,18 +220,26 @@ fn query(args: &CliArgs, out: &mut dyn Write) -> Result<(), CliError> {
             )));
         }
         let t0 = Instant::now();
-        let result = index.query_with_params(q, k, window, &search);
+        let result = index.query_with_params_threaded(q, k, window, &search, query_threads);
         let took = t0.elapsed();
         writeln!(
             out,
-            "query {qi}: {} results in {:.1?} ({} blocks, {} distance evals)",
+            "query {qi}: {} results in {:.1?} ({} blocks searched, {} by scan, {} distance evals)",
             result.results.len(),
             took,
             result.stats.blocks_searched,
+            result.stats.blocks_bruteforced,
             result.stats.dist_evals
         )?;
         for (rank, r) in result.results.iter().enumerate() {
-            writeln!(out, "  {:>2}. id={:<10} t={:<12} dist={:.6}", rank + 1, r.id, r.timestamp, r.dist)?;
+            writeln!(
+                out,
+                "  {:>2}. id={:<10} t={:<12} dist={:.6}",
+                rank + 1,
+                r.id,
+                r.timestamp,
+                r.dist
+            )?;
         }
     }
     Ok(())
@@ -363,10 +374,9 @@ mod tests {
         let out = run_cmd(&format!("query --index {index} --queries {queries} --k 5")).unwrap();
         assert!(out.contains("1. id="), "{out}");
 
-        let out = run_cmd(&format!(
-            "tune --index {index} --queries {queries} --target-recall 0.5 --k 5"
-        ))
-        .unwrap();
+        let out =
+            run_cmd(&format!("tune --index {index} --queries {queries} --target-recall 0.5 --k 5"))
+                .unwrap();
         assert!(out.contains("best tau"), "{out}");
     }
 
@@ -374,14 +384,8 @@ mod tests {
     fn query_with_inline_vector_and_window() {
         let data = tmp("q.fvecs");
         let index = tmp("q.mbi");
-        run_cmd(&format!(
-            "generate --preset sift1m --count 1500 --out {data}"
-        ))
-        .unwrap();
-        run_cmd(&format!(
-            "build --input {data} --out {index} --leaf-size 200 --degree 8"
-        ))
-        .unwrap();
+        run_cmd(&format!("generate --preset sift1m --count 1500 --out {data}")).unwrap();
+        run_cmd(&format!("build --input {data} --out {index} --leaf-size 200 --degree 8")).unwrap();
         // 128-d inline vector of zeros with a couple of spikes.
         let mut v = vec!["0".to_string(); 128];
         v[3] = "1.5".into();
@@ -448,10 +452,8 @@ mod tests {
         assert!(out.contains("throughput"), "{out}");
         assert!(out.contains("p99"), "{out}");
         // Bad fraction rejected.
-        assert!(run_cmd(&format!(
-            "bench-query --index {index} --queries {queries} --fraction 0"
-        ))
-        .is_err());
+        assert!(run_cmd(&format!("bench-query --index {index} --queries {queries} --fraction 0"))
+            .is_err());
     }
 
     #[test]
@@ -470,10 +472,8 @@ mod tests {
             body.push_str(&format!("{i},{},{}\n", (i as f32 * 0.1).sin(), (i as f32 * 0.1).cos()));
         }
         std::fs::write(&csv, body).unwrap();
-        let out = run_cmd(&format!(
-            "build --input {csv} --out {index} --leaf-size 128 --degree 6"
-        ))
-        .unwrap();
+        let out = run_cmd(&format!("build --input {csv} --out {index} --leaf-size 128 --degree 6"))
+            .unwrap();
         assert!(out.contains("indexed 600 vectors"), "{out}");
         let out = run_cmd(&format!("info --index {index}")).unwrap();
         assert!(out.contains("validation    : ok"));

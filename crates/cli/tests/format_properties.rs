@@ -4,8 +4,7 @@
 
 use mbi_ann::VectorStore;
 use mbi_cli::io::{
-    parse_fvecs, parse_vector_literal, read_fvecs, read_timestamps, write_fvecs,
-    write_timestamps,
+    parse_fvecs, parse_vector_literal, read_fvecs, read_timestamps, write_fvecs, write_timestamps,
 };
 use proptest::prelude::*;
 

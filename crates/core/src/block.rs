@@ -22,7 +22,12 @@ impl BlockGraph {
     ///
     /// `seed_salt` (derived from the block id) decorrelates the randomised
     /// builds of different blocks while keeping everything reproducible.
-    pub fn build(backend: &GraphBackend, view: VectorView<'_>, metric: Metric, seed_salt: u64) -> Self {
+    pub fn build(
+        backend: &GraphBackend,
+        view: VectorView<'_>,
+        metric: Metric,
+        seed_salt: u64,
+    ) -> Self {
         Self::build_threaded(backend, view, metric, seed_salt, 1)
     }
 
@@ -155,19 +160,8 @@ mod tests {
 
     fn test_block(n: usize) -> (VectorStore, Block) {
         let s = store(n);
-        let g = BlockGraph::build(
-            &GraphBackend::default(),
-            s.view(),
-            Metric::Euclidean,
-            0,
-        );
-        let b = Block {
-            rows: 0..n,
-            height: 0,
-            start_ts: 0,
-            end_ts: n as i64,
-            graph: g,
-        };
+        let g = BlockGraph::build(&GraphBackend::default(), s.view(), Metric::Euclidean, 0);
+        let b = Block { rows: 0..n, height: 0, start_ts: 0, end_ts: n as i64, graph: g };
         (s, b)
     }
 

@@ -80,6 +80,20 @@ impl ConcurrentMbi {
         self.inner.read().exact_query(query, k, window)
     }
 
+    /// Answers many queries under one shared read lock — see
+    /// [`MbiIndex::query_batch`] for the thread-budget rule (outer workers
+    /// take priority; intra-query fan-out only uses leftover cores). The
+    /// lock is held for the whole batch, so a concurrent insert waits; split
+    /// very large batches if ingestion latency matters.
+    pub fn query_batch(
+        &self,
+        queries: &[(Vec<f32>, usize, TimeWindow)],
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<Vec<TknnResult>> {
+        self.inner.read().query_batch(queries, params, threads)
+    }
+
     /// Number of vectors currently indexed.
     pub fn len(&self) -> usize {
         self.inner.read().len()
@@ -157,6 +171,20 @@ mod tests {
         assert_eq!(n, 1);
         let plain = idx.into_inner();
         assert_eq!(plain.len(), 1);
+    }
+
+    #[test]
+    fn query_batch_through_wrapper() {
+        let idx = ConcurrentMbi::new(config());
+        for i in 0..100i64 {
+            idx.insert(&[i as f32, 0.0], i).unwrap();
+        }
+        let queries: Vec<(Vec<f32>, usize, TimeWindow)> =
+            (0..5).map(|i| (vec![i as f32 * 20.0, 0.0], 2, TimeWindow::new(0, 100))).collect();
+        let batched = idx.query_batch(&queries, &SearchParams::default(), 2);
+        for (res, (q, k, w)) in batched.iter().zip(&queries) {
+            assert_eq!(*res, idx.query(q, *k, *w));
+        }
     }
 
     #[test]

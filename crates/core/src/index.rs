@@ -9,6 +9,11 @@ use crate::Timestamp;
 use mbi_ann::{brute_force, SearchParams, SearchStats, VectorStore};
 use mbi_math::{Neighbor, TopK};
 
+/// Minimum total rows under the selected full blocks before auto-mode
+/// intra-query fan-out spawns workers; below this a scoped-thread spawn
+/// costs more than the per-block searches it would parallelise.
+const MIN_PARALLEL_ROWS: usize = 8 * 1024;
+
 /// One TkNN answer: a vector id (insertion order), its timestamp, and its
 /// distance to the query.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -221,9 +226,8 @@ impl MbiIndex {
         // Pending blocks: the leaf (height 0) plus one ancestor per merge.
         // The ancestor of height h covers the last 2^h leaves.
         let merges = self.num_leaves.trailing_zeros();
-        let pending: Vec<(std::ops::Range<usize>, u32)> = (0..=merges)
-            .map(|h| (end - (1usize << h) * s_l..end, h))
-            .collect();
+        let pending: Vec<(std::ops::Range<usize>, u32)> =
+            (0..=merges).map(|h| (end - (1usize << h) * s_l..end, h)).collect();
 
         let graphs = self.build_graphs(&pending);
         for ((rows, height), graph) in pending.into_iter().zip(graphs) {
@@ -248,7 +252,12 @@ impl MbiIndex {
                 .iter()
                 .enumerate()
                 .map(|(i, (rows, _))| {
-                    BlockGraph::build(backend, self.store.slice(rows.clone()), metric, base_id + i as u64)
+                    BlockGraph::build(
+                        backend,
+                        self.store.slice(rows.clone()),
+                        metric,
+                        base_id + i as u64,
+                    )
                 })
                 .collect();
         }
@@ -282,10 +291,7 @@ impl MbiIndex {
                 });
             }
         });
-        graphs
-            .into_iter()
-            .map(|g| g.expect("every scoped builder ran to completion"))
-            .collect()
+        graphs.into_iter().map(|g| g.expect("every scoped builder ran to completion")).collect()
     }
 
     /// Computes the search block set for `window` (Algorithm 4 line 3).
@@ -325,6 +331,9 @@ impl MbiIndex {
     /// Runs the per-block search + merge of Algorithm 4 over an explicit
     /// search block set. Exposed so callers (e.g. the `τ` tuner) can select
     /// blocks under a different `τ` without rebuilding the index.
+    ///
+    /// Fan-out width comes from [`MbiConfig::query_threads`]; see
+    /// [`MbiIndex::query_on_selection_threaded`] for an explicit override.
     pub fn query_on_selection(
         &self,
         query: &[f32],
@@ -333,94 +342,214 @@ impl MbiIndex {
         params: &SearchParams,
         selection: &SearchBlockSet,
     ) -> QueryOutput {
+        self.query_on_selection_threaded(
+            query,
+            k,
+            window,
+            params,
+            selection,
+            self.config.query_threads,
+        )
+    }
+
+    /// [`MbiIndex::query_with_params`] with an explicit fan-out width
+    /// (`threads` as in [`MbiIndex::query_on_selection_threaded`]).
+    pub fn query_with_params_threaded(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+        threads: usize,
+    ) -> QueryOutput {
+        let selection = self.block_selection(window);
+        self.query_on_selection_threaded(query, k, window, params, &selection, threads)
+    }
+
+    /// [`MbiIndex::query_on_selection`] with an explicit fan-out width,
+    /// overriding [`MbiConfig::query_threads`]: `0` = auto (cores, with the
+    /// adaptive sequential fallback), `n > 0` forces up to `n` workers.
+    ///
+    /// Results and merged [`SearchStats`] are bit-identical for every
+    /// `threads` value: each worker fills a local [`TopK`] whose retention
+    /// depends only on the *set* of offered `(dist, id)` pairs (total order,
+    /// deterministic tie-break on id), workers are merged in block order,
+    /// and the stats fields are order-independent sums.
+    pub fn query_on_selection_threaded(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+        selection: &SearchBlockSet,
+        threads: usize,
+    ) -> QueryOutput {
         assert_eq!(query.len(), self.config.dim, "query has wrong dimension");
         let mut stats = SearchStats::default();
         let mut merged = TopK::new(k);
-
-        // Full blocks: SF-style filtered graph search (Algorithm 4 line 8) —
-        // unless the window covers so few of the block's rows that an exact
-        // scan is cheaper. Cost model: the filtered graph search must visit
-        // ≈ k/ρ vertices to collect k in-window results (ρ = m/|B| is the
-        // in-window density) at ≈ degree distance evaluations per visit,
-        // i.e. ≈ k·degree·|B|/m evals, while a BSBF scan of the block's
-        // in-window rows costs exactly m. Dispatching on the cheaper side is
-        // what makes MBI "operate like BSBF when the query time window is
-        // short" (challenge C1, §4) even below leaf granularity.
         let (wlo, whi) = self.window_rows(window);
-        for &bi in &selection.blocks {
-            let block = &self.blocks[bi];
-            let base = block.rows.start as u32;
-            let lo = wlo.max(block.rows.start);
-            let hi = whi.min(block.rows.end);
-            let m = hi.saturating_sub(lo);
-            if m == 0 {
-                continue;
-            }
-            let degree = self.config.search_degree_estimate();
-            // The beam typically visits ~2k vertices before the ε bound
-            // stops it, hence the factor 2 on the k/ρ visit estimate.
-            let graph_cost = (2 * k as u64)
-                .saturating_mul(degree as u64)
-                .saturating_mul(block.len() as u64)
-                / m as u64;
-            if (m as u64) < graph_cost {
-                // Exact scan of the in-window rows of this block.
-                for n in brute_force(
-                    self.store.slice(lo..hi),
-                    self.config.metric,
+
+        let workers = self.effective_query_threads(threads, selection);
+        if workers <= 1 {
+            for &bi in &selection.blocks {
+                self.search_one_block(
+                    bi,
                     query,
                     k,
+                    wlo,
+                    whi,
+                    window,
+                    params,
+                    &mut merged,
                     &mut stats,
-                ) {
-                    merged.offer(lo as u32 + n.id, n.dist);
-                }
-                continue;
+                );
             }
-            let view = self.store.slice(block.rows.clone());
-            let fully_covered =
-                window.start <= block.start_ts && block.end_ts <= window.end;
-            let ts = &self.timestamps;
-            let mut filter = |lid: u32| {
-                fully_covered || window.contains(ts[(base + lid) as usize])
-            };
-            let local = block.graph.search(
-                view,
-                self.config.metric,
-                query,
-                k,
-                params,
-                &mut filter,
-                &mut stats,
-            );
-            for n in local {
-                merged.offer(base + n.id, n.dist);
+        } else {
+            // Scoped fan-out over contiguous chunks of the selection. Chunks
+            // are merged in block order below; per the determinism argument
+            // in the doc comment the order is immaterial to the output, but
+            // keeping it fixed makes that claim trivially auditable.
+            let chunk = selection.blocks.len().div_ceil(workers);
+            let mut parts: Vec<Option<(TopK, SearchStats)>> =
+                (0..selection.blocks.len().div_ceil(chunk)).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (slot, blocks) in parts.iter_mut().zip(selection.blocks.chunks(chunk)) {
+                    scope.spawn(move || {
+                        let mut local = TopK::new(k);
+                        let mut local_stats = SearchStats::default();
+                        for &bi in blocks {
+                            self.search_one_block(
+                                bi,
+                                query,
+                                k,
+                                wlo,
+                                whi,
+                                window,
+                                params,
+                                &mut local,
+                                &mut local_stats,
+                            );
+                        }
+                        *slot = Some((local, local_stats));
+                    });
+                }
+            });
+            for part in parts {
+                let (local, local_stats) = part.expect("every scoped worker ran to completion");
+                merged.merge(local);
+                stats.merge(&local_stats);
             }
         }
 
         // Tail: binary search + brute force (Algorithm 4 line 6 — the
-        // non-full leaf has no graph, so BSBF applies).
+        // non-full leaf has no graph, so BSBF applies). Stays on the calling
+        // thread: it is a single bounded scan, never worth a spawn.
         if selection.tail {
             let tail = self.tail_rows();
-            let (lo, hi) = self.window_rows(window);
-            let lo = lo.max(tail.start);
-            let hi = hi.max(lo);
-            for n in brute_force(
-                self.store.slice(lo..hi),
-                self.config.metric,
-                query,
-                k,
-                &mut stats,
-            ) {
-                merged.offer(lo as u32 + n.id, n.dist);
+            let lo = wlo.max(tail.start);
+            let hi = whi.max(lo);
+            if hi > lo {
+                stats.blocks_searched += 1;
+                stats.blocks_bruteforced += 1;
+                for n in
+                    brute_force(self.store.slice(lo..hi), self.config.metric, query, k, &mut stats)
+                {
+                    merged.offer(lo as u32 + n.id, n.dist);
+                }
             }
         }
 
-        stats.blocks_searched = selection.places() as u64;
-        QueryOutput {
-            results: self.to_results(merged),
-            stats,
-            selection: selection.clone(),
+        QueryOutput { results: self.to_results(merged), stats, selection: selection.clone() }
+    }
+
+    /// Searches one selected full block, merging hits into `merged` and
+    /// counters into `stats` — the per-block body shared by the sequential
+    /// and fan-out paths of [`MbiIndex::query_on_selection_threaded`].
+    ///
+    /// The block is answered by an SF-style filtered graph search (Algorithm
+    /// 4 line 8) — unless the window covers so few of the block's rows that
+    /// an exact scan is cheaper. Cost model: the filtered graph search must
+    /// visit ≈ k/ρ vertices to collect k in-window results (ρ = m/|B| is the
+    /// in-window density) at ≈ degree distance evaluations per visit, i.e.
+    /// ≈ k·degree·|B|/m evals, while a BSBF scan of the block's in-window
+    /// rows costs exactly m. Dispatching on the cheaper side is what makes
+    /// MBI "operate like BSBF when the query time window is short"
+    /// (challenge C1, §4) even below leaf granularity.
+    ///
+    /// `stats.blocks_searched` counts only blocks whose in-window row range
+    /// is non-empty — a block selected on timestamp overlap can still hold
+    /// zero in-window rows (timestamp gaps) and is skipped untouched.
+    #[allow(clippy::too_many_arguments)]
+    fn search_one_block(
+        &self,
+        bi: usize,
+        query: &[f32],
+        k: usize,
+        wlo: usize,
+        whi: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+        merged: &mut TopK,
+        stats: &mut SearchStats,
+    ) {
+        let block = &self.blocks[bi];
+        let base = block.rows.start as u32;
+        let lo = wlo.max(block.rows.start);
+        let hi = whi.min(block.rows.end);
+        let m = hi.saturating_sub(lo);
+        if m == 0 {
+            return;
         }
+        stats.blocks_searched += 1;
+        let degree = self.config.search_degree_estimate();
+        // The beam typically visits ~2k vertices before the ε bound
+        // stops it, hence the factor 2 on the k/ρ visit estimate.
+        let graph_cost =
+            (2 * k as u64).saturating_mul(degree as u64).saturating_mul(block.len() as u64)
+                / m as u64;
+        if (m as u64) < graph_cost {
+            // Exact scan of the in-window rows of this block.
+            stats.blocks_bruteforced += 1;
+            for n in brute_force(self.store.slice(lo..hi), self.config.metric, query, k, stats) {
+                merged.offer(lo as u32 + n.id, n.dist);
+            }
+            return;
+        }
+        let view = self.store.slice(block.rows.clone());
+        let fully_covered = window.start <= block.start_ts && block.end_ts <= window.end;
+        let ts = &self.timestamps;
+        let mut filter = |lid: u32| fully_covered || window.contains(ts[(base + lid) as usize]);
+        let local =
+            block.graph.search(view, self.config.metric, query, k, params, &mut filter, stats);
+        for n in local {
+            merged.offer(base + n.id, n.dist);
+        }
+    }
+
+    /// Resolves a requested fan-out width to the worker count actually used.
+    ///
+    /// An explicit request (`requested > 0`) is honoured up to one worker
+    /// per selected block. Auto mode (`0`) uses the available cores but
+    /// falls back to sequential when there is nothing to amortise a spawn
+    /// against: fewer than two selected full blocks, a single core, or
+    /// fewer than [`MIN_PARALLEL_ROWS`] total rows under selection.
+    fn effective_query_threads(&self, requested: usize, selection: &SearchBlockSet) -> usize {
+        let nblocks = selection.blocks.len();
+        if nblocks <= 1 {
+            return 1;
+        }
+        if requested != 0 {
+            return requested.min(nblocks);
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores <= 1 {
+            return 1;
+        }
+        let total_rows: usize = selection.blocks.iter().map(|&bi| self.blocks[bi].len()).sum();
+        if total_rows < MIN_PARALLEL_ROWS {
+            return 1;
+        }
+        cores.min(nblocks)
     }
 
     /// Exact TkNN by binary search + brute force over the whole store — the
@@ -430,13 +559,7 @@ impl MbiIndex {
         assert_eq!(query.len(), self.config.dim, "query has wrong dimension");
         let (lo, hi) = self.window_rows(window);
         let mut stats = SearchStats::default();
-        let top = brute_force(
-            self.store.slice(lo..hi),
-            self.config.metric,
-            query,
-            k,
-            &mut stats,
-        );
+        let top = brute_force(self.store.slice(lo..hi), self.config.metric, query, k, &mut stats);
         let mut merged = TopK::new(k);
         for n in top {
             merged.offer(lo as u32 + n.id, n.dist);
@@ -461,17 +584,21 @@ impl MbiIndex {
     /// Answers many queries, fanning out across `threads` workers (0 → all
     /// available cores). Queries are read-only, so this is embarrassingly
     /// parallel; result order matches input order.
+    ///
+    /// Thread-budget rule: inter-query parallelism takes priority. Each
+    /// worker runs its queries with an intra-query fan-out of
+    /// `max(1, cores / workers)` — so when the batch already saturates the
+    /// cores every inner query degrades to sequential, and leftover cores
+    /// (small batches on wide machines) go to intra-query fan-out. The
+    /// combined spawn count never exceeds the core count.
     pub fn query_batch(
         &self,
         queries: &[(Vec<f32>, usize, TimeWindow)],
         params: &SearchParams,
         threads: usize,
     ) -> Vec<Vec<TknnResult>> {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            threads
-        };
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = if threads == 0 { cores } else { threads };
         let mut out: Vec<Vec<TknnResult>> = vec![Vec::new(); queries.len()];
         if threads <= 1 {
             for ((q, k, w), slot) in queries.iter().zip(out.iter_mut()) {
@@ -480,11 +607,14 @@ impl MbiIndex {
             return out;
         }
         let chunk = queries.len().div_ceil(threads).max(1);
+        // Workers actually spawned (≤ `threads` for short batches).
+        let workers = queries.len().div_ceil(chunk);
+        let inner = if workers >= cores { 1 } else { (cores / workers).max(1) };
         std::thread::scope(|scope| {
             for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
                 scope.spawn(move || {
                     for ((q, k, w), slot) in qchunk.iter().zip(ochunk.iter_mut()) {
-                        *slot = self.query_with_params(q, *k, *w, params).results;
+                        *slot = self.query_with_params_threaded(q, *k, *w, params, inner).results;
                     }
                 });
             }
@@ -797,11 +927,7 @@ mod tests {
         for s in (0..60).step_by(3) {
             for e in ((s + 1)..64).step_by(5) {
                 let sel = idx.block_selection(TimeWindow::new(s as i64, e as i64));
-                assert!(
-                    sel.blocks.len() <= 2,
-                    "window [{s},{e}) used {} blocks",
-                    sel.blocks.len()
-                );
+                assert!(sel.blocks.len() <= 2, "window [{s},{e}) used {} blocks", sel.blocks.len());
             }
         }
     }
@@ -857,8 +983,7 @@ mod tests {
     fn insert_batch_works() {
         let mut idx = MbiIndex::new(small_config());
         let vecs: Vec<[f32; 2]> = (0..10).map(|i| [i as f32, 0.0]).collect();
-        idx.insert_batch(vecs.iter().map(|v| (v.as_slice(), v[0] as i64)))
-            .unwrap();
+        idx.insert_batch(vecs.iter().map(|v| (v.as_slice(), v[0] as i64))).unwrap();
         assert_eq!(idx.len(), 10);
     }
 
@@ -921,12 +1046,10 @@ mod tests {
         let idx = line_index(64, small_config()); // 8 leaves, heights 0..=3
         let levels = idx.level_stats();
         assert_eq!(levels.len(), 4);
-        assert_eq!(levels[0], LevelStats {
-            height: 0,
-            blocks: 8,
-            rows: 64,
-            graph_bytes: levels[0].graph_bytes,
-        });
+        assert_eq!(
+            levels[0],
+            LevelStats { height: 0, blocks: 8, rows: 64, graph_bytes: levels[0].graph_bytes }
+        );
         // Every level covers all 64 rows (the defining property behind the
         // O(|D| log |D|) size bound of §4.4.1).
         for l in &levels {
@@ -947,15 +1070,8 @@ mod tests {
     #[test]
     fn query_batch_matches_sequential() {
         let idx = line_index(96, small_config());
-        let queries: Vec<(Vec<f32>, usize, TimeWindow)> = (0..13)
-            .map(|i| {
-                (
-                    vec![i as f32 * 7.0, 0.0],
-                    3,
-                    TimeWindow::new(i, i + 50),
-                )
-            })
-            .collect();
+        let queries: Vec<(Vec<f32>, usize, TimeWindow)> =
+            (0..13).map(|i| (vec![i as f32 * 7.0, 0.0], 3, TimeWindow::new(i, i + 50))).collect();
         let serial = idx.query_batch(&queries, &SearchParams::new(64, 1.2), 1);
         let parallel = idx.query_batch(&queries, &SearchParams::new(64, 1.2), 4);
         let auto = idx.query_batch(&queries, &SearchParams::new(64, 1.2), 0);

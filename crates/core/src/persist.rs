@@ -26,13 +26,16 @@ use crate::config::{GraphBackend, MbiConfig};
 use crate::error::MbiError;
 use crate::index::MbiIndex;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use mbi_ann::{EntryPolicy, HnswIndex, HnswParams, KnnGraph, NnDescentParams, SearchParams, VectorStore};
+use mbi_ann::{
+    EntryPolicy, HnswIndex, HnswParams, KnnGraph, NnDescentParams, SearchParams, VectorStore,
+};
 use mbi_math::Metric;
 use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"MBI1";
-const VERSION: u32 = 1;
+// v2 appended `query_threads` to the config record.
+const VERSION: u32 = 2;
 
 impl MbiIndex {
     /// Serialises the index to `w`.
@@ -65,9 +68,7 @@ impl MbiIndex {
 
     /// Serialises the index into one contiguous buffer.
     pub fn to_bytes(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(
-            64 + self.data_bytes() + self.index_memory_bytes(),
-        );
+        let mut b = BytesMut::with_capacity(64 + self.data_bytes() + self.index_memory_bytes());
         b.put_slice(MAGIC);
         b.put_u32_le(VERSION);
         write_config(&mut b, &self.config);
@@ -131,10 +132,7 @@ impl MbiIndex {
         check_len(&b, 16)?;
         let num_leaves = b.get_u64_le() as usize;
         let num_blocks = b.get_u64_le() as usize;
-        if num_leaves
-            .checked_mul(config.leaf_size)
-            .is_none_or(|rows| rows > n)
-        {
+        if num_leaves.checked_mul(config.leaf_size).is_none_or(|rows| rows > n) {
             return Err(MbiError::Corrupt("leaf count exceeds data".into()));
         }
         let mut blocks = Vec::with_capacity(num_blocks.min(1 << 20));
@@ -207,6 +205,7 @@ fn write_config(b: &mut BytesMut, c: &MbiConfig) {
         }
     }
     b.put_u8(u8::from(c.parallel_build));
+    b.put_u64_le(c.query_threads as u64);
 }
 
 fn read_config(b: &mut Bytes) -> Result<MbiConfig, MbiError> {
@@ -249,8 +248,9 @@ fn read_config(b: &mut Bytes) -> Result<MbiConfig, MbiError> {
         }
         t => return Err(MbiError::Corrupt(format!("unknown entry tag {t}"))),
     };
-    check_len(b, 1)?;
+    check_len(b, 1 + 8)?;
     let parallel_build = b.get_u8() != 0;
+    let query_threads = b.get_u64_le() as usize;
     Ok(MbiConfig {
         dim,
         metric,
@@ -259,6 +259,7 @@ fn read_config(b: &mut Bytes) -> Result<MbiConfig, MbiError> {
         backend,
         search: SearchParams { max_candidates, epsilon, entry },
         parallel_build,
+        query_threads,
     })
 }
 
@@ -375,7 +376,9 @@ fn read_graph(b: &mut Bytes, block_len: usize) -> Result<BlockGraph, MbiError> {
                     for _ in 0..len {
                         let nb = b.get_u32_le();
                         if nb as usize >= n {
-                            return Err(MbiError::Corrupt(format!("hnsw edge to missing node {nb}")));
+                            return Err(MbiError::Corrupt(format!(
+                                "hnsw edge to missing node {nb}"
+                            )));
                         }
                         layer.push(nb);
                     }
@@ -383,9 +386,7 @@ fn read_graph(b: &mut Bytes, block_len: usize) -> Result<BlockGraph, MbiError> {
                 }
                 links.push(node);
             }
-            Ok(BlockGraph::Hnsw(HnswIndex::from_parts(
-                params, metric, entry, max_level, links,
-            )))
+            Ok(BlockGraph::Hnsw(HnswIndex::from_parts(params, metric, entry, max_level, links)))
         }
         t => Err(MbiError::Corrupt(format!("unknown graph tag {t}"))),
     }
@@ -397,9 +398,7 @@ mod tests {
     use crate::select::TimeWindow;
 
     fn build_index(backend: GraphBackend, n: usize) -> MbiIndex {
-        let config = MbiConfig::new(3, Metric::Euclidean)
-            .with_leaf_size(16)
-            .with_backend(backend);
+        let config = MbiConfig::new(3, Metric::Euclidean).with_leaf_size(16).with_backend(backend);
         let mut idx = MbiIndex::new(config);
         for i in 0..n {
             let x = i as f32;
@@ -494,7 +493,7 @@ mod tests {
         let empty = MbiIndex::new(*idx.config()).to_bytes();
         let header_len = empty.len() - 8 - 16; // minus n, num_leaves, num_blocks
         let ts_start = header_len + 8; // after n
-        // Swap the first two i64 timestamps (0 and 1 → 1 and 0).
+                                       // Swap the first two i64 timestamps (0 and 1 → 1 and 0).
         raw[ts_start..ts_start + 8].copy_from_slice(&1i64.to_le_bytes());
         raw[ts_start + 8..ts_start + 16].copy_from_slice(&0i64.to_le_bytes());
         let err = MbiIndex::from_bytes(Bytes::from(raw)).unwrap_err();

@@ -122,10 +122,20 @@ impl SearchBlockSet {
 
 /// The overlap ratio `r_o(q, B_c)` of §4.3:
 /// `max(0, min(B.t_e, t_e) − max(B.t_s, t_s)) / (B.t_e − B.t_s)`.
+///
+/// Blocks built by [`crate::MbiIndex`] always have a positive span (`end_ts`
+/// is exclusive, one past the last timestamp), but generic [`BlockMeta`]
+/// stand-ins can present a zero-span block. The ratio's limit as the span
+/// shrinks to a point is 1 when the window contains that instant and 0
+/// otherwise, so a degenerate block is treated as fully covered or disjoint
+/// instead of dividing by zero (a panic in debug, NaN — which silently fails
+/// every `> τ` comparison — in release).
 pub fn overlap_ratio<B: BlockMeta>(window: TimeWindow, block: &B) -> f64 {
     let num = window.overlap_with(block.start_ts(), block.end_ts());
     let den = block.end_ts() - block.start_ts();
-    debug_assert!(den > 0, "block span must be positive (end_ts is exclusive)");
+    if den <= 0 {
+        return if window.contains(block.start_ts()) { 1.0 } else { 0.0 };
+    }
     num as f64 / den as f64
 }
 
@@ -229,11 +239,7 @@ mod tests {
             build(first_leaf, leaves / 2, span, out);
             build(first_leaf + leaves / 2, leaves / 2, span, out);
             let s = first_leaf as i64 * span;
-            out.push(Meta {
-                s,
-                e: s + leaves as i64 * span,
-                h: leaves.trailing_zeros(),
-            });
+            out.push(Meta { s, e: s + leaves as i64 * span, h: leaves.trailing_zeros() });
         }
         out
     }
@@ -280,6 +286,20 @@ mod tests {
     }
 
     #[test]
+    fn overlap_ratio_zero_span_block() {
+        let b = Meta { s: 50, e: 50, h: 0 };
+        assert_eq!(overlap_ratio(TimeWindow::new(0, 100), &b), 1.0);
+        assert_eq!(overlap_ratio(TimeWindow::new(50, 51), &b), 1.0);
+        assert_eq!(overlap_ratio(TimeWindow::new(0, 50), &b), 0.0);
+        assert_eq!(overlap_ratio(TimeWindow::new(51, 100), &b), 0.0);
+        // And through selection: a zero-span leaf inside the window is
+        // selected rather than panicking or vanishing behind a NaN ratio.
+        let blocks = vec![Meta { s: 50, e: 50, h: 0 }];
+        assert_eq!(select_blocks(&blocks, 1, 0.5, TimeWindow::new(0, 100)), vec![0]);
+        assert!(select_blocks(&blocks, 1, 0.5, TimeWindow::new(0, 50)).is_empty());
+    }
+
+    #[test]
     fn full_window_selects_single_root_with_low_tau() {
         let blocks = complete_tree(8, 10); // 15 blocks, root = 14, span [0, 80)
         let sel = select_blocks(&blocks, 8, 0.5, TimeWindow::new(0, 80));
@@ -312,12 +332,7 @@ mod tests {
         let blocks = complete_tree(16, 5); // span [0, 80)
         for (s, e) in [(0, 80), (3, 41), (17, 22), (0, 1), (79, 80), (10, 70), (35, 45)] {
             let sel = select_blocks(&blocks, 16, 0.5, TimeWindow::new(s, e));
-            assert!(
-                sel.len() <= 2,
-                "window [{s},{e}) selected {} blocks: {:?}",
-                sel.len(),
-                sel
-            );
+            assert!(sel.len() <= 2, "window [{s},{e}) selected {} blocks: {:?}", sel.len(), sel);
         }
     }
 
@@ -335,16 +350,12 @@ mod tests {
             for (ai, &a) in sel.iter().enumerate() {
                 for &b in &sel[ai + 1..] {
                     let (ba, bb) = (&blocks[a], &blocks[b]);
-                    let overlap =
-                        ba.e.min(bb.e) - ba.s.max(bb.s);
+                    let overlap = ba.e.min(bb.e) - ba.s.max(bb.s);
                     assert!(overlap <= 0, "blocks {a} and {b} overlap (tau {tau})");
                 }
             }
             // Union of selected blocks covers the whole window.
-            let covered: i64 = sel
-                .iter()
-                .map(|&i| w.overlap_with(blocks[i].s, blocks[i].e))
-                .sum();
+            let covered: i64 = sel.iter().map(|&i| w.overlap_with(blocks[i].s, blocks[i].e)).sum();
             assert_eq!(covered, w.len(), "tau {tau} left part of the window uncovered");
         }
     }

@@ -118,11 +118,7 @@ impl TauTuner {
                 .iter()
                 .zip(&windows)
                 .map(|(q, &w)| {
-                    index
-                        .exact_query(q, config.k, w)
-                        .into_iter()
-                        .map(|r| r.id)
-                        .collect()
+                    index.exact_query(q, config.k, w).into_iter().map(|r| r.id).collect()
                 })
                 .collect();
 
@@ -272,8 +268,7 @@ mod tests {
         let idx = build(256);
         let q = [10.0f32, -5.0];
         let w = TimeWindow::new(20, 200);
-        let via_override =
-            query_with_tau(&idx, &q, 5, w, idx.config().tau, &idx.config().search);
+        let via_override = query_with_tau(&idx, &q, 5, w, idx.config().tau, &idx.config().search);
         let via_config: Vec<u32> = idx.query(&q, 5, w).into_iter().map(|r| r.id).collect();
         assert_eq!(via_override, via_config);
     }

@@ -2,8 +2,8 @@
 //! arbitrary index shapes (size, leaf size, metric, τ, backend) and
 //! structural equality of the reloaded index.
 
-use mbi_core::{GraphBackend, MbiConfig, MbiIndex, TimeWindow};
 use mbi_ann::{HnswParams, NnDescentParams, SearchParams};
+use mbi_core::{GraphBackend, MbiConfig, MbiIndex, TimeWindow};
 use mbi_math::Metric;
 use proptest::prelude::*;
 
@@ -29,8 +29,11 @@ fn build(
     );
     for i in 0..n {
         let x = i as f32;
-        idx.insert(&[(x * 0.31).sin() + 1.5, (x * 0.17).cos() + 1.5, 0.1 * x], i as i64 * ts_stride)
-            .unwrap();
+        idx.insert(
+            &[(x * 0.31).sin() + 1.5, (x * 0.17).cos() + 1.5, 0.1 * x],
+            i as i64 * ts_stride,
+        )
+        .unwrap();
     }
     idx
 }

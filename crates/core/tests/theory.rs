@@ -34,11 +34,7 @@ fn complete_tree(leaves: usize) -> Vec<Meta> {
             build(first, leaves / 2, out);
             build(first + leaves / 2, leaves / 2, out);
         }
-        out.push(Meta {
-            s: first as i64,
-            e: (first + leaves) as i64,
-            h: leaves.trailing_zeros(),
-        });
+        out.push(Meta { s: first as i64, e: (first + leaves) as i64, h: leaves.trailing_zeros() });
     }
     let mut out = Vec::new();
     build(0, leaves, &mut out);
@@ -173,19 +169,18 @@ proptest! {
 /// size is `O(|D| log |D|)`. Checked on a real built index.
 #[test]
 fn index_size_is_flat_per_level() {
-    use mbi_core::{GraphBackend, MbiConfig, MbiIndex};
     use mbi_ann::NnDescentParams;
+    use mbi_core::{GraphBackend, MbiConfig, MbiIndex};
     use mbi_math::Metric;
 
-    let mut idx = MbiIndex::new(
-        MbiConfig::new(4, Metric::Euclidean)
-            .with_leaf_size(64)
-            .with_backend(GraphBackend::NnDescent(NnDescentParams {
+    let mut idx =
+        MbiIndex::new(MbiConfig::new(4, Metric::Euclidean).with_leaf_size(64).with_backend(
+            GraphBackend::NnDescent(NnDescentParams {
                 degree: 8,
                 max_iters: 2,
                 ..Default::default()
-            })),
-    );
+            }),
+        ));
     for i in 0..(64 * 16) {
         let x = i as f32;
         idx.insert(&[x.sin(), x.cos(), x * 0.01, 1.0], i as i64).unwrap();
@@ -195,10 +190,7 @@ fn index_size_is_flat_per_level() {
     let bytes: Vec<usize> = levels.iter().map(|l| l.graph_bytes).collect();
     let max = *bytes.iter().max().unwrap() as f64;
     let min = *bytes.iter().min().unwrap() as f64;
-    assert!(
-        max / min < 1.5,
-        "levels should cost ~equal bytes (flat profile): {bytes:?}"
-    );
+    assert!(max / min < 1.5, "levels should cost ~equal bytes (flat profile): {bytes:?}");
     // Total ≈ levels × one level's bytes — the log factor in O(|D| log |D|).
     let total: usize = bytes.iter().sum();
     assert!(total as f64 >= 4.0 * min, "log-many levels: {bytes:?}");

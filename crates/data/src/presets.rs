@@ -171,9 +171,7 @@ pub fn all_presets() -> [&'static DatasetPreset; 6] {
 
 /// Looks a preset up by name (case-insensitive).
 pub fn preset_by_name(name: &str) -> Option<&'static DatasetPreset> {
-    all_presets()
-        .into_iter()
-        .find(|p| p.name.eq_ignore_ascii_case(name))
+    all_presets().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -25,11 +25,7 @@ pub fn recall_vs_truth(approx: &[Vec<u32>], exact: &[Vec<u32>], k: usize) -> f64
     if approx.is_empty() {
         return 1.0;
     }
-    let sum: f64 = approx
-        .iter()
-        .zip(exact)
-        .map(|(a, e)| recall_at_k(a, e, k))
-        .sum();
+    let sum: f64 = approx.iter().zip(exact).map(|(a, e)| recall_at_k(a, e, k)).sum();
     sum / approx.len() as f64
 }
 

@@ -147,9 +147,8 @@ impl DriftingMixture {
         let centers: Vec<Vec<f32>> = (0..self.clusters)
             .map(|_| (0..self.dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
             .collect();
-        let directions: Vec<Vec<f32>> = (0..self.clusters)
-            .map(|_| random_unit(&mut rng, self.dim))
-            .collect();
+        let directions: Vec<Vec<f32>> =
+            (0..self.clusters).map(|_| random_unit(&mut rng, self.dim)).collect();
 
         let timestamps = self.timestamps.generate(n_train);
         let mut train = VectorStore::with_capacity(self.dim, n_train);
@@ -220,10 +219,8 @@ mod tests {
 
     #[test]
     fn timestamps_are_sorted_both_models() {
-        for model in [
-            TimestampModel::Sequential,
-            TimestampModel::Accelerating { horizon: 10_000 },
-        ] {
+        for model in [TimestampModel::Sequential, TimestampModel::Accelerating { horizon: 10_000 }]
+        {
             let mut gen = DriftingMixture::new(4, 2);
             gen.timestamps = model;
             let d = gen.generate("t", Metric::Euclidean, 300, 5);
@@ -267,11 +264,12 @@ mod tests {
         // Distances within the dataset should be bimodal-ish: nearer than
         // uniform for same-cluster pairs. Weak check: the minimum pairwise
         // distance among 200 points is far below the mean.
-        let d = DriftingMixture {
-            spread: 0.05,
-            ..DriftingMixture::new(16, 5)
-        }
-        .generate("t", Metric::Euclidean, 200, 1);
+        let d = DriftingMixture { spread: 0.05, ..DriftingMixture::new(16, 5) }.generate(
+            "t",
+            Metric::Euclidean,
+            200,
+            1,
+        );
         let mut min = f32::INFINITY;
         let mut sum = 0.0f64;
         let mut count = 0u64;
@@ -289,12 +287,8 @@ mod tests {
 
     #[test]
     fn drift_moves_the_distribution() {
-        let gen = DriftingMixture {
-            drift: 3.0,
-            clusters: 1,
-            spread: 0.01,
-            ..DriftingMixture::new(8, 6)
-        };
+        let gen =
+            DriftingMixture { drift: 3.0, clusters: 1, spread: 0.01, ..DriftingMixture::new(8, 6) };
         let d = gen.generate("t", Metric::Euclidean, 1000, 1);
         let early = d.train.get(0);
         let late = d.train.get(999);

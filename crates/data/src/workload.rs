@@ -50,9 +50,7 @@ pub fn windows_for_fraction(
     seed: u64,
 ) -> Vec<TimeWindow> {
     let mut rng = SmallRng::seed_from_u64(seed ^ (fraction * 1e6) as u64);
-    (0..count)
-        .map(|_| window_for_fraction(timestamps, fraction, rng.gen_range(0.0..1.0)))
-        .collect()
+    (0..count).map(|_| window_for_fraction(timestamps, fraction, rng.gen_range(0.0..1.0))).collect()
 }
 
 /// The realised fraction of rows a window covers (for reporting).

@@ -82,8 +82,7 @@ impl LatencyRecorder {
             self.micros.sort_unstable();
             self.sorted = true;
         }
-        let rank = ((q * self.micros.len() as f64).ceil() as usize)
-            .clamp(1, self.micros.len());
+        let rank = ((q * self.micros.len() as f64).ceil() as usize).clamp(1, self.micros.len());
         self.micros[rank - 1] as f64
     }
 

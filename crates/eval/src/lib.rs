@@ -31,4 +31,6 @@ pub use latency::{LatencyRecorder, LatencySummary};
 pub use method::{MethodKind, TknnMethod};
 pub use params::ExperimentParams;
 pub use report::{print_table, write_json};
-pub use sweep::{epsilon_grid, pareto_frontier, qps_at_recall, sweep_epsilon, OperatingPoint, SweepPoint};
+pub use sweep::{
+    epsilon_grid, pareto_frontier, qps_at_recall, sweep_epsilon, OperatingPoint, SweepPoint,
+};

@@ -134,9 +134,7 @@ mod tests {
     fn all_three_methods_agree_on_easy_data() {
         let data = line_data(200);
 
-        let mut mbi = MbiIndex::new(
-            MbiConfig::new(2, Metric::Euclidean).with_leaf_size(32),
-        );
+        let mut mbi = MbiIndex::new(MbiConfig::new(2, Metric::Euclidean).with_leaf_size(32));
         let mut bsbf = BsbfIndex::new(2, Metric::Euclidean);
         let mut sf_cfg = SfConfig::new(2, Metric::Euclidean);
         sf_cfg.graph = mbi_ann::NnDescentParams { degree: 8, ..Default::default() };

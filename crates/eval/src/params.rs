@@ -28,12 +28,48 @@ pub struct Table3Row {
 
 /// Table 3 as printed in the paper.
 pub const TABLE3: [Table3Row; 6] = [
-    Table3Row { dataset: "movielens", neighbors: 96, max_candidates: 192, taus: [0.5, 0.5], leaf_size: 3550 },
-    Table3Row { dataset: "coms", neighbors: 256, max_candidates: 256, taus: [0.2, 0.4], leaf_size: 1000 },
-    Table3Row { dataset: "glove-100", neighbors: 256, max_candidates: 256, taus: [0.2, 0.7], leaf_size: 36000 },
-    Table3Row { dataset: "sift1m", neighbors: 128, max_candidates: 128, taus: [0.3, 0.5], leaf_size: 15625 },
-    Table3Row { dataset: "gist1m", neighbors: 512, max_candidates: 512, taus: [0.3, 0.5], leaf_size: 15625 },
-    Table3Row { dataset: "deep1b", neighbors: 64, max_candidates: 64, taus: [0.2, 0.5], leaf_size: 78000 },
+    Table3Row {
+        dataset: "movielens",
+        neighbors: 96,
+        max_candidates: 192,
+        taus: [0.5, 0.5],
+        leaf_size: 3550,
+    },
+    Table3Row {
+        dataset: "coms",
+        neighbors: 256,
+        max_candidates: 256,
+        taus: [0.2, 0.4],
+        leaf_size: 1000,
+    },
+    Table3Row {
+        dataset: "glove-100",
+        neighbors: 256,
+        max_candidates: 256,
+        taus: [0.2, 0.7],
+        leaf_size: 36000,
+    },
+    Table3Row {
+        dataset: "sift1m",
+        neighbors: 128,
+        max_candidates: 128,
+        taus: [0.3, 0.5],
+        leaf_size: 15625,
+    },
+    Table3Row {
+        dataset: "gist1m",
+        neighbors: 512,
+        max_candidates: 512,
+        taus: [0.3, 0.5],
+        leaf_size: 15625,
+    },
+    Table3Row {
+        dataset: "deep1b",
+        neighbors: 64,
+        max_candidates: 64,
+        taus: [0.2, 0.5],
+        leaf_size: 78000,
+    },
 ];
 
 /// Concrete parameters for one experiment run at a given scale.
@@ -63,14 +99,12 @@ impl ExperimentParams {
     /// * degree and `M_C` shrink with `√(n/n_paper)` but never below 16 —
     ///   graph quality requirements fall slowly with `n`.
     pub fn for_dataset(dataset: &str, n_train: usize, n_paper: usize) -> Option<Self> {
-        let row = TABLE3
-            .iter()
-            .find(|r| r.dataset.eq_ignore_ascii_case(dataset))?;
+        let row = TABLE3.iter().find(|r| r.dataset.eq_ignore_ascii_case(dataset))?;
         let ratio = (n_train as f64 / n_paper as f64).min(1.0);
         let soft = ratio.sqrt();
         let neighbors = ((row.neighbors as f64 * soft) as usize).clamp(16, row.neighbors);
-        let max_candidates =
-            ((row.max_candidates as f64 * soft) as usize).clamp(neighbors.max(32), row.max_candidates);
+        let max_candidates = ((row.max_candidates as f64 * soft) as usize)
+            .clamp(neighbors.max(32), row.max_candidates);
         let leaf_size = ((row.leaf_size as f64 * ratio) as usize).clamp(200, row.leaf_size);
         Some(ExperimentParams {
             neighbors,
@@ -84,11 +118,7 @@ impl ExperimentParams {
 
     /// NNDescent parameters matching this experiment's degree.
     pub fn nndescent(&self, seed: u64) -> NnDescentParams {
-        NnDescentParams {
-            degree: self.neighbors,
-            seed,
-            ..Default::default()
-        }
+        NnDescentParams { degree: self.neighbors, seed, ..Default::default() }
     }
 }
 

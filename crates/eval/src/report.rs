@@ -105,10 +105,7 @@ mod tests {
         print_table(
             "sample",
             &["col_a", "b"],
-            &[
-                vec!["1".into(), "long value".into()],
-                vec!["2222".into(), "x".into()],
-            ],
+            &[vec!["1".into(), "long value".into()], vec!["2222".into(), "x".into()]],
         );
         print_table("empty", &[], &[]);
     }

@@ -80,15 +80,7 @@ pub fn sweep_epsilon(
     assert_eq!(workload.len(), truth.len(), "workload and truth must pair up");
     let grid: Vec<f32> = if method.tunable() { grid.to_vec() } else { vec![1.0] };
     grid.into_iter()
-        .map(|eps| {
-            run_once(
-                method,
-                workload,
-                truth,
-                k,
-                SearchParams::new(max_candidates, eps),
-            )
-        })
+        .map(|eps| run_once(method, workload, truth, k, SearchParams::new(max_candidates, eps)))
         .collect()
 }
 
@@ -124,21 +116,15 @@ pub fn qps_at_recall(
     grid: &[f32],
 ) -> OperatingPoint {
     let points = sweep_epsilon(method, workload, truth, k, max_candidates, grid);
-    let qualifying = points
-        .iter()
-        .filter(|p| p.recall >= target_recall)
-        .max_by(|a, b| a.qps.total_cmp(&b.qps));
+    let qualifying =
+        points.iter().filter(|p| p.recall >= target_recall).max_by(|a, b| a.qps.total_cmp(&b.qps));
     let chosen = qualifying.unwrap_or_else(|| {
         points
             .iter()
             .max_by(|a, b| a.recall.total_cmp(&b.recall).then(a.qps.total_cmp(&b.qps)))
             .expect("grid is non-empty")
     });
-    OperatingPoint {
-        epsilon: chosen.epsilon,
-        recall: chosen.recall,
-        qps: chosen.qps,
-    }
+    OperatingPoint { epsilon: chosen.epsilon, recall: chosen.recall, qps: chosen.qps }
 }
 
 #[cfg(test)]

@@ -1,25 +1,21 @@
 //! Integration tests for the experiment harness: the full
 //! sweep → frontier → operating-point pipeline against real indexes.
 
+use mbi_ann::NnDescentParams;
 use mbi_baselines::BsbfIndex;
 use mbi_core::{GraphBackend, MbiConfig, MbiIndex, TimeWindow};
 use mbi_data::{ground_truth, windows_for_fraction, DriftingMixture};
 use mbi_eval::{
     epsilon_grid, pareto_frontier, qps_at_recall, sweep_epsilon, ExperimentParams, TknnMethod,
 };
-use mbi_ann::NnDescentParams;
 use mbi_math::Metric;
 
 fn setup(n: usize) -> (MbiIndex, BsbfIndex, mbi_data::Dataset) {
     let dataset = DriftingMixture::new(12, 4242).generate("h", Metric::Euclidean, n, 10);
-    let mut mbi = MbiIndex::new(
-        MbiConfig::new(12, Metric::Euclidean)
-            .with_leaf_size(256)
-            .with_backend(GraphBackend::NnDescent(NnDescentParams {
-                degree: 10,
-                ..Default::default()
-            })),
-    );
+    let mut mbi =
+        MbiIndex::new(MbiConfig::new(12, Metric::Euclidean).with_leaf_size(256).with_backend(
+            GraphBackend::NnDescent(NnDescentParams { degree: 10, ..Default::default() }),
+        ));
     let mut bsbf = BsbfIndex::new(12, Metric::Euclidean);
     for (v, t) in dataset.iter() {
         mbi.insert(v, t).unwrap();
@@ -40,14 +36,7 @@ fn workload(
         .enumerate()
         .map(|(i, w)| (dataset.test.get(i % dataset.test.len()).to_vec(), w))
         .collect();
-    let truth = ground_truth(
-        &dataset.train,
-        &dataset.timestamps,
-        &workload,
-        k,
-        dataset.metric,
-        1,
-    );
+    let truth = ground_truth(&dataset.train, &dataset.timestamps, &workload, k, dataset.metric, 1);
     (workload, truth)
 }
 
@@ -78,10 +67,7 @@ fn pareto_frontier_of_real_sweep_is_valid() {
     // No frontier point is dominated by any sweep point.
     for f in &frontier {
         for p in &pts {
-            assert!(
-                !(p.recall > f.recall && p.qps > f.qps),
-                "frontier point dominated"
-            );
+            assert!(!(p.recall > f.recall && p.qps > f.qps), "frontier point dominated");
         }
     }
 }

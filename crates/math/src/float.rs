@@ -78,12 +78,7 @@ mod tests {
 
     #[test]
     fn orders_plain_values() {
-        let mut v = vec![
-            OrderedF32(3.0),
-            OrderedF32(-1.0),
-            OrderedF32(0.0),
-            OrderedF32(2.5),
-        ];
+        let mut v = vec![OrderedF32(3.0), OrderedF32(-1.0), OrderedF32(0.0), OrderedF32(2.5)];
         v.sort();
         let raw: Vec<f32> = v.into_iter().map(f32::from).collect();
         assert_eq!(raw, vec![-1.0, 0.0, 2.5, 3.0]);

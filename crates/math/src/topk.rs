@@ -77,10 +77,7 @@ pub struct TopK {
 impl TopK {
     /// Creates a collector for the `k` nearest entries.
     pub fn new(k: usize) -> Self {
-        TopK {
-            k,
-            heap: BinaryHeap::with_capacity(k.saturating_add(1)),
-        }
+        TopK { k, heap: BinaryHeap::with_capacity(k.saturating_add(1)) }
     }
 
     /// Capacity `k` this collector was created with.
@@ -131,10 +128,7 @@ impl TopK {
             return true;
         }
         // Full: replace the worst entry iff strictly better (distance, id).
-        let worst = self
-            .heap
-            .peek()
-            .expect("heap is full and k > 0, so peek succeeds");
+        let worst = self.heap.peek().expect("heap is full and k > 0, so peek succeeds");
         if n < *worst {
             self.heap.pop();
             self.heap.push(n);

@@ -1,8 +1,7 @@
 //! Property-based tests for the numeric foundations.
 
 use mbi_math::{
-    angular_distance, dot, norm, squared_euclidean, Metric, Neighbor, OnlineStats, OrderedF32,
-    TopK,
+    angular_distance, dot, norm, squared_euclidean, Metric, Neighbor, OnlineStats, OrderedF32, TopK,
 };
 use proptest::prelude::*;
 

@@ -12,11 +12,12 @@ use mbi::{GraphBackend, MbiConfig, MbiIndex, Metric, NnDescentParams, SearchPara
 use mbi_data::DriftingMixture;
 
 fn main() {
-    let dataset = DriftingMixture {
-        drift: 1.0,
-        ..DriftingMixture::new(32, 99)
-    }
-    .generate("inspect", Metric::Euclidean, 10_000, 32);
+    let dataset = DriftingMixture { drift: 1.0, ..DriftingMixture::new(32, 99) }.generate(
+        "inspect",
+        Metric::Euclidean,
+        10_000,
+        32,
+    );
 
     let mut index = MbiIndex::new(
         MbiConfig::new(32, Metric::Euclidean)

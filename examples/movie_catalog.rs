@@ -60,9 +60,8 @@ fn main() {
     // Calibrate τ per window length — short windows prefer larger τ (smaller
     // blocks), long windows prefer smaller τ (one big block).
     println!("\ncalibrating τ per window length…");
-    let queries: Vec<Vec<f32>> = (0..dataset.test.len().min(8))
-        .map(|i| dataset.test.get(i).to_vec())
-        .collect();
+    let queries: Vec<Vec<f32>> =
+        (0..dataset.test.len().min(8)).map(|i| dataset.test.get(i).to_vec()).collect();
     let tuner_cfg = TunerConfig {
         taus: vec![0.1, 0.3, 0.5, 0.7, 0.9],
         bucket_edges: vec![0.05, 0.2, 0.5, 1.0],

@@ -78,11 +78,8 @@ fn main() {
         let window = TimeWindow::new(t_s, t_e);
         println!("\n=== {label} ===");
 
-        let exact: Vec<u32> = bsbf
-            .query(camera_roll, 10, window)
-            .into_iter()
-            .map(|r| r.id)
-            .collect();
+        let exact: Vec<u32> =
+            bsbf.query(camera_roll, 10, window).into_iter().map(|r| r.id).collect();
 
         // Time each method over repeated queries.
         let reps = 50;

@@ -12,11 +12,12 @@ fn main() {
     // A synthetic stream: 20,000 16-dimensional vectors whose distribution
     // drifts over time (like a photo library whose subjects change), plus 5
     // held-out query vectors.
-    let dataset: Dataset = DriftingMixture {
-        drift: 1.0,
-        ..DriftingMixture::new(16, 42)
-    }
-    .generate("quickstart", Metric::Euclidean, 20_000, 5);
+    let dataset: Dataset = DriftingMixture { drift: 1.0, ..DriftingMixture::new(16, 42) }.generate(
+        "quickstart",
+        Metric::Euclidean,
+        20_000,
+        5,
+    );
 
     // Configure MBI: leaf blocks of 1024 vectors, τ = 0.5 (the paper's
     // recommendation when nothing is known about the workload).

@@ -101,7 +101,12 @@ fn main() {
 
     let t = Instant::now();
     let restored = MbiIndex::load_file(&path).expect("load index");
-    println!("reloaded in {:.2?} ({} vectors, {} blocks)", t.elapsed(), restored.len(), restored.blocks().len());
+    println!(
+        "reloaded in {:.2?} ({} vectors, {} blocks)",
+        t.elapsed(),
+        restored.len(),
+        restored.blocks().len()
+    );
 
     // The restored index answers identically.
     let q = dataset.test.get(0);

@@ -58,21 +58,13 @@ fn well_separated_clusters_remain_searchable() {
 fn every_block_graph_is_strongly_connected() {
     use mbi::ann::Graph;
 
-    let dataset = DriftingMixture {
-        clusters: 8,
-        spread: 0.02,
-        ..DriftingMixture::new(8, 7)
-    }
-    .generate("conn", Metric::Euclidean, 1_500, 1);
+    let dataset = DriftingMixture { clusters: 8, spread: 0.02, ..DriftingMixture::new(8, 7) }
+        .generate("conn", Metric::Euclidean, 1_500, 1);
 
-    let mut index = MbiIndex::new(
-        MbiConfig::new(8, Metric::Euclidean)
-            .with_leaf_size(200)
-            .with_backend(GraphBackend::NnDescent(NnDescentParams {
-                degree: 6,
-                ..Default::default()
-            })),
-    );
+    let mut index =
+        MbiIndex::new(MbiConfig::new(8, Metric::Euclidean).with_leaf_size(200).with_backend(
+            GraphBackend::NnDescent(NnDescentParams { degree: 6, ..Default::default() }),
+        ));
     for (v, t) in dataset.iter() {
         index.insert(v, t).unwrap();
     }

@@ -20,11 +20,8 @@ struct Fixture {
 }
 
 fn fixture(metric: Metric, backend: GraphBackend) -> Fixture {
-    let dataset = DriftingMixture {
-        drift: 0.8,
-        ..DriftingMixture::new(24, 1234)
-    }
-    .generate("e2e", metric, 6_000, 20);
+    let dataset = DriftingMixture { drift: 0.8, ..DriftingMixture::new(24, 1234) }
+        .generate("e2e", metric, 6_000, 20);
 
     let search = SearchParams::new(96, 1.25);
     let mut mbi = MbiIndex::new(
@@ -57,14 +54,8 @@ fn workload(f: &Fixture, fraction: f64) -> (Vec<(Vec<f32>, TimeWindow)>, Vec<Vec
         .enumerate()
         .map(|(i, w)| (f.dataset.test.get(i % f.dataset.test.len()).to_vec(), w))
         .collect();
-    let truth = ground_truth(
-        &f.dataset.train,
-        &f.dataset.timestamps,
-        &workload,
-        K,
-        f.dataset.metric,
-        2,
-    );
+    let truth =
+        ground_truth(&f.dataset.train, &f.dataset.timestamps, &workload, K, f.dataset.metric, 2);
     (workload, truth)
 }
 
@@ -85,10 +76,7 @@ fn mbi_reaches_high_recall_across_window_lengths() {
             })
             .collect();
         let recall = recall_vs_truth(&results, &truth, K);
-        assert!(
-            recall >= 0.9,
-            "MBI recall {recall:.3} too low at fraction {fraction}"
-        );
+        assert!(recall >= 0.9, "MBI recall {recall:.3} too low at fraction {fraction}");
     }
 }
 
@@ -102,12 +90,7 @@ fn mbi_with_hnsw_blocks_reaches_high_recall() {
     let results: Vec<Vec<u32>> = workload
         .iter()
         .map(|(q, w)| {
-            f.mbi
-                .query_with_params(q, K, *w, &f.search)
-                .results
-                .into_iter()
-                .map(|r| r.id)
-                .collect()
+            f.mbi.query_with_params(q, K, *w, &f.search).results.into_iter().map(|r| r.id).collect()
         })
         .collect();
     let recall = recall_vs_truth(&results, &truth, K);
@@ -121,12 +104,7 @@ fn angular_metric_end_to_end() {
     let results: Vec<Vec<u32>> = workload
         .iter()
         .map(|(q, w)| {
-            f.mbi
-                .query_with_params(q, K, *w, &f.search)
-                .results
-                .into_iter()
-                .map(|r| r.id)
-                .collect()
+            f.mbi.query_with_params(q, K, *w, &f.search).results.into_iter().map(|r| r.id).collect()
         })
         .collect();
     let recall = recall_vs_truth(&results, &truth, K);

@@ -20,8 +20,7 @@ fn build_index(n: usize, leaf_size: usize, tau: f64) -> MbiIndex {
     let mut idx = MbiIndex::new(config);
     for i in 0..n {
         let x = i as f32;
-        idx.insert(&[(x * 0.37).sin() * 20.0, (x * 0.89).cos() * 20.0], i as i64)
-            .unwrap();
+        idx.insert(&[(x * 0.37).sin() * 20.0, (x * 0.89).cos() * 20.0], i as i64).unwrap();
     }
     idx
 }

@@ -18,8 +18,14 @@ fn build(backend: GraphBackend, n: usize) -> MbiIndex {
     for i in 0..n {
         let x = i as f32 * 0.05;
         let v = [
-            x.sin(), x.cos(), (2.0 * x).sin(), (2.0 * x).cos(),
-            (0.5 * x).sin(), (0.5 * x).cos(), 1.0, x.fract() + 0.1,
+            x.sin(),
+            x.cos(),
+            (2.0 * x).sin(),
+            (2.0 * x).cos(),
+            (0.5 * x).sin(),
+            (0.5 * x).cos(),
+            1.0,
+            x.fract() + 0.1,
         ];
         idx.insert(&v, (i as i64) * 3 + 1).unwrap();
     }
@@ -41,20 +47,15 @@ fn same_behaviour(a: &MbiIndex, b: &MbiIndex) {
 
 #[test]
 fn roundtrip_nndescent_1000() {
-    let idx = build(
-        GraphBackend::NnDescent(NnDescentParams { degree: 10, ..Default::default() }),
-        1000,
-    );
+    let idx =
+        build(GraphBackend::NnDescent(NnDescentParams { degree: 10, ..Default::default() }), 1000);
     let loaded = MbiIndex::from_bytes(idx.to_bytes()).unwrap();
     same_behaviour(&idx, &loaded);
 }
 
 #[test]
 fn roundtrip_hnsw_1000() {
-    let idx = build(
-        GraphBackend::Hnsw(HnswParams { m: 8, ef_construction: 48, seed: 9 }),
-        1000,
-    );
+    let idx = build(GraphBackend::Hnsw(HnswParams { m: 8, ef_construction: 48, seed: 9 }), 1000);
     let loaded = MbiIndex::from_bytes(idx.to_bytes()).unwrap();
     same_behaviour(&idx, &loaded);
 }
@@ -69,9 +70,7 @@ fn roundtrip_with_tail_and_partial_tree() {
     // The loaded index keeps accepting inserts.
     let mut loaded = loaded;
     let last_ts = loaded.timestamps()[loaded.len() - 1];
-    loaded
-        .insert(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.5], last_ts + 1)
-        .unwrap();
+    loaded.insert(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.5], last_ts + 1).unwrap();
     assert_eq!(loaded.len(), 778);
 }
 
@@ -108,10 +107,8 @@ fn bitflip_fuzz_never_panics() {
 
 #[test]
 fn loaded_index_preserves_config() {
-    let idx = build(
-        GraphBackend::NnDescent(NnDescentParams { degree: 10, ..Default::default() }),
-        500,
-    );
+    let idx =
+        build(GraphBackend::NnDescent(NnDescentParams { degree: 10, ..Default::default() }), 500);
     let loaded = MbiIndex::from_bytes(idx.to_bytes()).unwrap();
     assert_eq!(loaded.config().leaf_size, 128);
     assert_eq!(loaded.config().tau, 0.4);

@@ -10,11 +10,12 @@ use mbi::{GraphBackend, MbiConfig, MbiIndex, Metric, NnDescentParams, SearchPara
 const K: usize = 10;
 
 fn dataset(n: usize) -> mbi::data::Dataset {
-    DriftingMixture {
-        drift: 0.5,
-        ..DriftingMixture::new(16, 777)
-    }
-    .generate("scaling", Metric::Euclidean, n, 4)
+    DriftingMixture { drift: 0.5, ..DriftingMixture::new(16, 777) }.generate(
+        "scaling",
+        Metric::Euclidean,
+        n,
+        4,
+    )
 }
 
 fn build_all(d: &mbi::data::Dataset) -> (MbiIndex, BsbfIndex, SfIndex) {
@@ -41,11 +42,7 @@ fn build_all(d: &mbi::data::Dataset) -> (MbiIndex, BsbfIndex, SfIndex) {
 }
 
 /// Work per query by window fraction; averaged over several windows.
-fn mean_dist_evals(
-    run: impl Fn(TimeWindow) -> u64,
-    n: i64,
-    fraction: f64,
-) -> f64 {
+fn mean_dist_evals(run: impl Fn(TimeWindow) -> u64, n: i64, fraction: f64) -> f64 {
     let len = (n as f64 * fraction) as i64;
     let offsets = [0i64, n / 7, n / 3, n / 2];
     let mut total = 0u64;
@@ -64,13 +61,7 @@ fn bsbf_work_is_linear_in_window() {
     let (_, bsbf, _) = build_all(&d);
     let q = d.test.get(0).to_vec();
     let n = d.len() as i64;
-    let w = |frac: f64| {
-        mean_dist_evals(
-            |win| bsbf.query_with_stats(&q, K, win).1.scanned,
-            n,
-            frac,
-        )
-    };
+    let w = |frac: f64| mean_dist_evals(|win| bsbf.query_with_stats(&q, K, win).1.scanned, n, frac);
     let at_5 = w(0.05);
     let at_80 = w(0.80);
     // 16× more window ⇒ ~16× more scanning (tolerate rounding).
@@ -117,15 +108,10 @@ fn mbi_work_is_bounded_across_window_lengths() {
             frac,
         )
     };
-    let bsbf_work = |frac: f64| {
-        mean_dist_evals(|win| bsbf.query_with_stats(&q, K, win).1.scanned, n, frac)
-    };
+    let bsbf_work =
+        |frac: f64| mean_dist_evals(|win| bsbf.query_with_stats(&q, K, win).1.scanned, n, frac);
     let sf_work = |frac: f64| {
-        mean_dist_evals(
-            |win| sf.query_with_params(&q, K, win, &params).1.dist_evals,
-            n,
-            frac,
-        )
+        mean_dist_evals(|win| sf.query_with_params(&q, K, win, &params).1.dist_evals, n, frac)
     };
 
     // MBI must be within a constant factor of the *better* baseline at both
@@ -186,10 +172,7 @@ fn index_size_grows_superlinearly_but_gently() {
         ratios.push(mbi.index_memory_bytes() as f64 / sf.index_memory_bytes() as f64);
     }
     for w in ratios.windows(2) {
-        assert!(
-            w[1] > w[0],
-            "MBI/SF size ratio should grow with data: {ratios:?}"
-        );
+        assert!(w[1] > w[0], "MBI/SF size ratio should grow with data: {ratios:?}");
     }
     // But by less than a full doubling per step (it's a log factor).
     for w in ratios.windows(2) {
@@ -210,9 +193,6 @@ fn amortized_insert_cost_grows_sublinearly() {
     let per_vec_small = mbi_small.index_memory_bytes() as f64 / 4_096.0;
     let per_vec_big = mbi_big.index_memory_bytes() as f64 / 16_384.0;
     let growth = per_vec_big / per_vec_small;
-    assert!(
-        growth < 2.5,
-        "per-vector index cost grew {growth:.2}× over a 4× data increase"
-    );
+    assert!(growth < 2.5, "per-vector index cost grew {growth:.2}× over a 4× data increase");
     assert!(growth > 1.0, "per-vector cost should still grow (log levels)");
 }

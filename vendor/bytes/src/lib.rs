@@ -1,0 +1,260 @@
+//! Offline stand-in for `bytes` (see `vendor/README.md`).
+//!
+//! [`Bytes`] is a `Vec<u8>` plus a read cursor; [`BytesMut`] is an appendable
+//! `Vec<u8>`. The `Buf`/`BufMut` traits carry the little-endian accessor
+//! methods directly, as upstream does, so `use bytes::{Buf, BufMut}` brings
+//! them into scope. No refcounted zero-copy splitting — `slice` copies —
+//! which is irrelevant at this workspace's persistence sizes.
+
+use std::ops::{Deref, Range};
+
+macro_rules! buf_get_le {
+    ($($name:ident -> $t:ty;)*) => {
+        $(fn $name(&mut self) -> $t {
+            let mut b = [0u8; std::mem::size_of::<$t>()];
+            self.copy_to_slice(&mut b);
+            <$t>::from_le_bytes(b)
+        })*
+    };
+}
+
+/// Read-side cursor methods.
+///
+/// # Panics
+///
+/// All `get_*`/`copy_to_slice` methods panic when fewer bytes remain than
+/// requested, as upstream `bytes` does; length-check before reading.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, n: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    buf_get_le! {
+        get_u16_le -> u16;
+        get_u32_le -> u32;
+        get_u64_le -> u64;
+        get_i16_le -> i16;
+        get_i32_le -> i32;
+        get_i64_le -> i64;
+        get_f32_le -> f32;
+        get_f64_le -> f64;
+    }
+}
+
+macro_rules! bufmut_put_le {
+    ($($name:ident($t:ty);)*) => {
+        $(fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        })*
+    };
+}
+
+/// Write-side append methods.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    bufmut_put_le! {
+        put_u16_le(u16);
+        put_u32_le(u32);
+        put_u64_le(u64);
+        put_i16_le(i16);
+        put_i32_le(i32);
+        put_i64_le(i64);
+        put_f32_le(f32);
+        put_f64_le(f64);
+    }
+}
+
+/// An immutable byte buffer with a consuming read cursor.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Length of the unread content.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the sub-range `range` of the unread content into a new `Bytes`.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        Bytes::from(self.chunk()[range].to_vec())
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.chunk().to_vec()
+    }
+
+    /// Copies (upstream borrows; irrelevant at these sizes).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.pos += n;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// An appendable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_i64_le(-5);
+        w.put_f32_le(1.5);
+        w.put_slice(b"xy");
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 1 + 4 + 8 + 4 + 2);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_i64_le(), -5);
+        assert_eq!(r.get_f32_le(), 1.5);
+        let mut tail = [0u8; 2];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xy");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_and_eq_track_cursor() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        b.advance(1);
+        assert_eq!(b.slice(0..2).to_vec(), vec![2, 3]);
+        assert_eq!(b, Bytes::from(vec![2, 3, 4]));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1]);
+        let _ = b.get_u32_le();
+    }
+}

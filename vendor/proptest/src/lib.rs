@@ -1,0 +1,332 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Supports the subset this workspace uses: the `proptest! { #[test] fn
+//! name(pat in strategy, ...) { ... } }` block form with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(N))]` header, strategies
+//! over numeric ranges, `prop::collection::vec`, `any::<T>()`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberate: **no shrinking** (a failing case
+//! reports its inputs via the panic message of the underlying `assert!`),
+//! and case generation is a fixed deterministic stream per test (seeded from
+//! the test's module path and name), so failures always reproduce.
+
+/// Deterministic per-test random source (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// FNV-1a over a string; seeds each test's stream from its name.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A generator of values for one test argument.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    #[inline]
+    fn unit_f64(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    #[inline]
+    fn unit_f32(bits: u64) -> f32 {
+        (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty)*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    let v = rng.next_u64() as u128 % width;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let width = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = rng.next_u64() as u128 % width;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty, $unit:ident;)*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    self.start + (self.end - self.start) * $unit(rng.next_u64())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    lo + (hi - lo) * $unit(rng.next_u64())
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, unit_f32; f64, unit_f64;);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Marker for types `any::<T>()` can generate.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Full-domain generator: floats get raw bit patterns (NaN and
+    /// infinities included), integers and bool the full range.
+    pub struct Any<A> {
+        _marker: std::marker::PhantomData<A>,
+    }
+
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any { _marker: std::marker::PhantomData }
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    macro_rules! arbitrary_from_bits {
+        ($($t:ty => $conv:expr;)*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    #[allow(clippy::redundant_closure_call)]
+                    ($conv)(rng.next_u64())
+                }
+            }
+        )*};
+    }
+
+    arbitrary_from_bits! {
+        u8 => |b| b as u8;
+        u16 => |b| b as u16;
+        u32 => |b| b as u32;
+        u64 => |b| b;
+        usize => |b| b as usize;
+        i8 => |b| b as i8;
+        i16 => |b| b as i16;
+        i32 => |b| b as i32;
+        i64 => |b| b as i64;
+        isize => |b| b as isize;
+        bool => |b: u64| b & 1 == 1;
+        f32 => |b: u64| f32::from_bits(b as u32);
+        f64 => |b: u64| f64::from_bits(b);
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Length specifications `vec` accepts. Implemented only for `usize`
+    /// ranges so unsuffixed literals (`0..600`) infer as `usize` instead of
+    /// hitting integer fallback (upstream's `Into<SizeRange>` trick).
+    pub trait IntoSizeRange {
+        /// Returns inclusive `(lo, hi)` bounds.
+        fn into_size_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn into_size_bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec length range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn into_size_bounds(self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty vec length range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    /// `vec(element_strategy, length_range)`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = len.into_size_bounds();
+        VecStrategy { elem, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let width = (self.hi - self.lo) as u64 + 1;
+            let n = self.lo + (rng.next_u64() % width) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-block runner configuration; only `cases` is supported.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirrors upstream's `prelude::prop` module alias so
+    /// `prop::collection::vec(...)` works after a glob import.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::from_seed(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// No shrinking here: these delegate to `assert!`, so a failure panics with
+/// the formatted message immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<f32>> {
+        prop::collection::vec(-10.0f32..10.0, 0..8)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_and_vecs(x in 1usize..10, v in small_vec(), b in any::<bool>(), mut acc in 0u32..5) {
+            prop_assert!(x >= 1 && x < 10);
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|f| (-10.0..10.0).contains(f)));
+            let _ = b;
+            acc += 1;
+            prop_assert_eq!(acc >= 1, true);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(y in -5i64..=5) {
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert_ne!(y, 99);
+        }
+    }
+}

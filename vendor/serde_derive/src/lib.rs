@@ -1,0 +1,204 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` with a
+//! hand-rolled token walk (no `syn`/`quote` available offline). Supported
+//! shapes — exactly what this workspace declares:
+//!
+//! * non-generic structs with named fields;
+//! * non-generic enums whose variants are unit or 1-tuple.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<(String, bool)> }, // (name, has_payload)
+}
+
+/// Skips an attribute (`#` + bracket group, or `#![..]`) starting at `i`;
+/// returns the index just past it, or `i` if not at an attribute.
+fn skip_attr(tokens: &[TokenTree], i: usize) -> usize {
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '#' {
+            let mut j = i + 1;
+            if let Some(TokenTree::Punct(q)) = tokens.get(j) {
+                if q.as_char() == '!' {
+                    j += 1;
+                }
+            }
+            if matches!(tokens.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                return j + 1;
+            }
+        }
+    }
+    i
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        let j = skip_attr(tokens, i);
+        if j != i {
+            i = j;
+            continue;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                // `pub(crate)` / `pub(super)` etc.
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        return i;
+    }
+}
+
+fn parse(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected `struct`/`enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic type `{name}` is not supported");
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => i += 1,
+            None => panic!("serde stand-in derive: `{name}` has no brace-delimited body"),
+        }
+    };
+    let body: Vec<TokenTree> = body.stream().into_iter().collect();
+    match kind.as_str() {
+        "struct" => Shape::Struct { name, fields: parse_struct_fields(&body) },
+        "enum" => Shape::Enum { name, variants: parse_enum_variants(&body) },
+        other => panic!("serde stand-in derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn parse_struct_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let Some(TokenTree::Ident(field)) = body.get(i) else {
+            break;
+        };
+        fields.push(field.to_string());
+        i += 1;
+        assert!(
+            matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde stand-in derive: only named-field structs are supported"
+        );
+        // Skip the type up to the next top-level comma (angle-bracket aware).
+        let mut angle = 0i32;
+        while let Some(t) = body.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+    }
+    fields
+}
+
+fn parse_enum_variants(body: &[TokenTree]) -> Vec<(String, bool)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let Some(TokenTree::Ident(variant)) = body.get(i) else {
+            break;
+        };
+        i += 1;
+        let mut payload = false;
+        if let Some(TokenTree::Group(g)) = body.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    payload = true;
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde stand-in derive: struct enum variants are not supported")
+                }
+                _ => {}
+            }
+        }
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while let Some(t) = body.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        variants.push((variant.to_string(), payload));
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, payload)| {
+                    if *payload {
+                        format!(
+                            "{name}::{v}(x) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(x))]),"
+                        )
+                    } else {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse(input) {
+        Shape::Struct { name, .. } | Shape::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}").parse().expect("generated impl parses")
+}

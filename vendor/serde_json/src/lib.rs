@@ -1,0 +1,139 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`): renders the
+//! serde stand-in's [`serde::Value`] tree as JSON text. Only serialisation is
+//! provided — nothing in this workspace parses JSON.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialisation error. The stand-in serialiser is total, so this is never
+/// produced today; the type exists for signature compatibility.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` as compact JSON.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialises `value` as pretty JSON (2-space indent, `": "` separators).
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // `{}` on f64 prints the shortest roundtrip form but elides
+                // the decimal point for integral values; JSON readers treat
+                // both as numbers, so plain Display is fine here.
+                out.push_str(&x.to_string());
+            } else {
+                out.push_str("null"); // matches serde_json's lossy default
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_seq(out, items, indent, depth, '[', ']', |o, it, ind, d| {
+            write_value(o, it, ind, d)
+        }),
+        Value::Map(entries) => {
+            write_seq(out, entries, indent, depth, '{', '}', |o, (k, val), ind, d| {
+                write_string(o, k);
+                o.push(':');
+                if ind.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, val, ind, d);
+            })
+        }
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: &[T],
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, &T, Option<usize>, usize),
+) {
+    out.push(open);
+    if items.is_empty() {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_expected_shape() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Seq(vec![Value::Float(0.5), Value::Float(0.25)])),
+        ]);
+        struct W(Value);
+        impl Serialize for W {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let text = to_string_pretty(&W(v)).unwrap();
+        assert!(text.contains("\"a\": 1"), "{text}");
+        assert!(text.contains("0.25"), "{text}");
+        let compact = to_string(&W(Value::Str("x\"y".into()))).unwrap();
+        assert_eq!(compact, "\"x\\\"y\"");
+    }
+}
