@@ -7,7 +7,11 @@
 
 use crate::store::VectorView;
 use crate::SearchStats;
-use mbi_math::{Metric, Neighbor, TopK};
+use mbi_math::{Metric, Neighbor, PreparedQuery, TopK};
+
+/// Rows per batched-kernel call in the unfiltered scan: large enough to
+/// amortise the dispatch, small enough that the distance buffer stays in L1.
+const SCAN_BATCH: usize = 256;
 
 /// Exact kNN over every row of `view`; returns ascending by distance.
 pub fn brute_force(
@@ -17,7 +21,46 @@ pub fn brute_force(
     k: usize,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
-    brute_force_filtered(view, metric, query, k, &mut |_| true, stats)
+    let pq = PreparedQuery::new(metric, query);
+    brute_force_prepared(view, &pq, k, stats)
+}
+
+/// Exact kNN over every row of `view` under a [`PreparedQuery`].
+///
+/// Streams the view's flat buffer through the 1-to-many batched kernels,
+/// `SCAN_BATCH` contiguous rows at a time, feeding the cached inverse-norm
+/// column when present. Results, tie-breaking, and stats totals are
+/// identical to the per-row scan this replaces.
+pub fn brute_force_prepared(
+    view: VectorView<'_>,
+    pq: &PreparedQuery<'_>,
+    k: usize,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    let n = view.len();
+    let mut top = TopK::new(k);
+    if n == 0 {
+        return top.into_sorted_vec();
+    }
+    assert_eq!(pq.query().len(), view.dim(), "query has wrong dimension");
+
+    let dim = view.dim();
+    let flat = view.as_flat();
+    let inv = view.inv_norms();
+    let mut dists: Vec<f32> = Vec::with_capacity(SCAN_BATCH.min(n));
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + SCAN_BATCH).min(n);
+        dists.clear();
+        pq.distance_batch(&flat[start * dim..end * dim], inv.map(|s| &s[start..end]), &mut dists);
+        for (j, &d) in dists.iter().enumerate() {
+            top.offer((start + j) as u32, d);
+        }
+        start = end;
+    }
+    stats.scanned += n as u64;
+    stats.dist_evals += n as u64;
+    top.into_sorted_vec()
 }
 
 /// Exact kNN over the rows of `view` accepted by `filter`.
@@ -33,6 +76,21 @@ pub fn brute_force_filtered(
     filter: &mut dyn FnMut(u32) -> bool,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
+    let pq = PreparedQuery::new(metric, query);
+    brute_force_filtered_prepared(view, &pq, k, filter, stats)
+}
+
+/// [`brute_force_filtered`] under a [`PreparedQuery`]. The accepted rows are
+/// not contiguous in general, so this stays a per-row loop, but each distance
+/// still goes through the prepared path (cached norms on angular views).
+pub fn brute_force_filtered_prepared(
+    view: VectorView<'_>,
+    pq: &PreparedQuery<'_>,
+    k: usize,
+    filter: &mut dyn FnMut(u32) -> bool,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    let inv = view.inv_norms();
     let mut top = TopK::new(k);
     for i in 0..view.len() {
         let id = i as u32;
@@ -41,7 +99,7 @@ pub fn brute_force_filtered(
         }
         stats.scanned += 1;
         stats.dist_evals += 1;
-        let d = metric.distance(query, view.get(i));
+        let d = pq.distance_to_row(view.get(i), inv.map(|s| s[i]));
         top.offer(id, d);
     }
     top.into_sorted_vec()
@@ -110,6 +168,48 @@ mod tests {
         let mut stats = SearchStats::default();
         let res = brute_force(s.view(), Metric::Euclidean, &[0.0, 0.0, 0.0], 5, &mut stats);
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn batched_scan_crosses_chunk_boundaries() {
+        // 600 rows > 2×SCAN_BATCH, so the scan takes two full chunks plus a
+        // partial tail; ids must stay global across chunk seams.
+        let s = line(600);
+        let mut stats = SearchStats::default();
+        let res = brute_force(s.view(), Metric::Euclidean, &[255.6], 4, &mut stats);
+        let ids: Vec<u32> = res.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![256, 255, 257, 254]);
+        assert_eq!(stats.scanned, 600);
+        assert_eq!(stats.dist_evals, 600);
+    }
+
+    #[test]
+    fn cached_angular_scan_matches_uncached() {
+        let mut cached = VectorStore::new(3);
+        cached.enable_norm_cache();
+        let mut plain = VectorStore::new(3);
+        let mut state = 1u32;
+        for _ in 0..300 {
+            let v: Vec<f32> = (0..3)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    ((state >> 8) as f32 / (1 << 24) as f32) - 0.5
+                })
+                .collect();
+            cached.push(&v);
+            plain.push(&v);
+        }
+        let q = [0.3f32, -0.1, 0.2];
+        let mut s1 = SearchStats::default();
+        let mut s2 = SearchStats::default();
+        let a = brute_force(cached.view(), Metric::Angular, &q, 5, &mut s1);
+        let b = brute_force(plain.view(), Metric::Angular, &q, 5, &mut s2);
+        assert_eq!(s1, s2);
+        let ids = |r: &[Neighbor]| r.iter().map(|n| n.id).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.dist - y.dist).abs() <= 1e-5);
+        }
     }
 
     #[test]

@@ -15,10 +15,11 @@
 //! so that `ε`/`M_C`/time-filter semantics are identical across both backends.
 
 use crate::graph::Graph;
-use crate::search::{greedy_search, EntryPolicy, SearchParams, SearchStats};
+use crate::scratch::SearchScratch;
+use crate::search::{greedy_search_prepared, EntryPolicy, SearchParams, SearchStats};
 use crate::store::VectorView;
 use crate::BlockIndex;
-use mbi_math::{Metric, Neighbor, OrderedF32};
+use mbi_math::{Metric, Neighbor, OrderedF32, PreparedQuery};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -118,7 +119,6 @@ impl HnswIndex {
     }
 
     fn insert(&mut self, id: u32, level: usize, view: VectorView<'_>) {
-        let q = view.get(id as usize);
         self.nodes.push(NodeLinks { links: vec![Vec::new(); level + 1] });
 
         if self.nodes.len() == 1 {
@@ -127,16 +127,18 @@ impl HnswIndex {
             return;
         }
 
-        // Greedy descent through layers above the insertion level.
+        // Greedy descent through layers above the insertion level. All
+        // build-path distances are row-to-row, so they go through
+        // `pair_distance` and pick up the store's cached inverse norms.
         let mut curr = self.entry;
-        let mut curr_dist = self.metric.distance(q, view.get(curr as usize));
+        let mut curr_dist = view.pair_distance(self.metric, id as usize, curr as usize);
         for layer in (level + 1..=self.max_level).rev() {
             loop {
                 let mut improved = false;
                 // Collect first to end the immutable borrow before relinking.
                 let nbrs = self.nodes[curr as usize].links[layer].clone();
                 for nb in nbrs {
-                    let d = self.metric.distance(q, view.get(nb as usize));
+                    let d = view.pair_distance(self.metric, id as usize, nb as usize);
                     if d < curr_dist {
                         curr = nb;
                         curr_dist = d;
@@ -153,8 +155,8 @@ impl HnswIndex {
         let mut entry_points = vec![Neighbor::new(curr, curr_dist)];
         for layer in (0..=level.min(self.max_level)).rev() {
             let found =
-                self.search_layer(q, &entry_points, self.params.ef_construction, layer, view);
-            let selected = self.select_neighbors(q, &found, self.max_degree(layer), view);
+                self.search_layer(id, &entry_points, self.params.ef_construction, layer, view);
+            let selected = self.select_neighbors(&found, self.max_degree(layer), view);
             for &nb in &selected {
                 self.nodes[id as usize].links[layer].push(nb.id);
                 self.nodes[nb.id as usize].links[layer].push(id);
@@ -169,11 +171,12 @@ impl HnswIndex {
         }
     }
 
-    /// Classic `SEARCH-LAYER`: beam of width `ef` within one layer.
+    /// Classic `SEARCH-LAYER`: beam of width `ef` within one layer. The
+    /// "query" is the row being inserted, so distances are row-to-row.
     /// Returns candidates sorted ascending by distance.
     fn search_layer(
         &self,
-        q: &[f32],
+        q_id: u32,
         entry_points: &[Neighbor],
         ef: usize,
         layer: usize,
@@ -201,7 +204,7 @@ impl HnswIndex {
                 if !visited.insert(nb) {
                     continue;
                 }
-                let dist = self.metric.distance(q, view.get(nb as usize));
+                let dist = view.pair_distance(self.metric, q_id as usize, nb as usize);
                 let worst = best.peek().map_or(f32::INFINITY, |b| b.0.get());
                 if best.len() < ef || dist < worst {
                     candidates.push(std::cmp::Reverse((OrderedF32(dist), nb)));
@@ -225,7 +228,6 @@ impl HnswIndex {
     /// directionally, which is what gives HNSW its navigability.
     fn select_neighbors(
         &self,
-        _q: &[f32],
         candidates: &[Neighbor],
         m: usize,
         view: VectorView<'_>,
@@ -235,9 +237,9 @@ impl HnswIndex {
             if selected.len() >= m {
                 break;
             }
-            let dominated = selected.iter().any(|s| {
-                self.metric.distance(view.get(c.id as usize), view.get(s.id as usize)) < c.dist
-            });
+            let dominated = selected
+                .iter()
+                .any(|s| view.pair_distance(self.metric, c.id as usize, s.id as usize) < c.dist);
             if !dominated {
                 selected.push(c);
             }
@@ -263,21 +265,29 @@ impl HnswIndex {
         if self.nodes[node as usize].links[layer].len() <= cap {
             return;
         }
-        let base = view.get(node as usize);
         let mut cands: Vec<Neighbor> = self.nodes[node as usize].links[layer]
             .iter()
-            .map(|&nb| Neighbor::new(nb, self.metric.distance(base, view.get(nb as usize))))
+            .map(|&nb| {
+                Neighbor::new(nb, view.pair_distance(self.metric, node as usize, nb as usize))
+            })
             .collect();
         cands.sort_unstable();
-        let selected = self.select_neighbors(base, &cands, cap, view);
+        let selected = self.select_neighbors(&cands, cap, view);
         self.nodes[node as usize].links[layer] = selected.into_iter().map(|n| n.id).collect();
     }
 
     /// Greedy descent from the top layer to layer 1; returns the entry point
     /// for the base-layer beam search.
-    fn descend(&self, q: &[f32], view: VectorView<'_>, stats: &mut SearchStats) -> u32 {
+    fn descend(
+        &self,
+        pq: &PreparedQuery<'_>,
+        view: VectorView<'_>,
+        stats: &mut SearchStats,
+    ) -> u32 {
+        let inv = view.inv_norms();
         let mut curr = self.entry;
-        let mut curr_dist = self.metric.distance(q, view.get(curr as usize));
+        let mut curr_dist =
+            pq.distance_to_row(view.get(curr as usize), inv.map(|s| s[curr as usize]));
         stats.dist_evals += 1;
         for layer in (1..=self.max_level).rev() {
             loop {
@@ -289,7 +299,7 @@ impl HnswIndex {
                 };
                 let mut best = (curr, curr_dist);
                 for &nb in links {
-                    let d = self.metric.distance(q, view.get(nb as usize));
+                    let d = pq.distance_to_row(view.get(nb as usize), inv.map(|s| s[nb as usize]));
                     stats.dist_evals += 1;
                     if d < best.1 {
                         best = (nb, d);
@@ -385,23 +395,35 @@ fn sample_level(rng: &mut SmallRng, ml: f64) -> usize {
 }
 
 impl BlockIndex for HnswIndex {
-    fn search(
+    fn search_prepared(
         &self,
         view: VectorView<'_>,
-        metric: Metric,
-        query: &[f32],
+        pq: &PreparedQuery<'_>,
         k: usize,
         params: &SearchParams,
         filter: &mut dyn FnMut(u32) -> bool,
         stats: &mut SearchStats,
-    ) -> Vec<Neighbor> {
-        debug_assert_eq!(metric, self.metric, "index was built with a different metric");
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        debug_assert_eq!(pq.metric(), self.metric, "index was built with a different metric");
+        out.clear();
         if self.nodes.is_empty() || k == 0 {
-            return Vec::new();
+            return;
         }
-        let entry = self.descend(query, view, stats);
+        let entry = self.descend(pq, view, stats);
         let base_params = SearchParams { entry: EntryPolicy::Fixed(entry), ..*params };
-        greedy_search(&BaseLayer(self), view, metric, query, k, &base_params, filter, stats)
+        greedy_search_prepared(
+            &BaseLayer(self),
+            view,
+            pq,
+            k,
+            &base_params,
+            filter,
+            stats,
+            scratch,
+            out,
+        );
     }
 
     fn memory_bytes(&self) -> usize {

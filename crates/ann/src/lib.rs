@@ -21,7 +21,11 @@
 //! * [`brute_force`] — exact (optionally filtered) kNN, used by the BSBF
 //!   baseline, by MBI's non-full tail leaf, and for ground truth.
 //! * [`BlockIndex`] — the object-safe trait MBI blocks use to dispatch to
-//!   either graph implementation.
+//!   either graph implementation. Its required method takes a
+//!   [`PreparedQuery`] plus a caller-owned [`SearchScratch`], so the hot
+//!   query path never re-derives the query norm and never allocates;
+//!   [`with_thread_scratch`] supplies a thread-local scratch for callers
+//!   that don't manage their own.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,17 +34,21 @@ mod bruteforce;
 mod graph;
 mod hnsw;
 mod nndescent;
+mod scratch;
 mod search;
 mod store;
 
-pub use bruteforce::{brute_force, brute_force_filtered};
+pub use bruteforce::{
+    brute_force, brute_force_filtered, brute_force_filtered_prepared, brute_force_prepared,
+};
 pub use graph::{Graph, KnnGraph};
 pub use hnsw::{HnswIndex, HnswParams};
 pub use nndescent::NnDescentParams;
-pub use search::{greedy_search, EntryPolicy, SearchParams, SearchStats};
+pub use scratch::{with_thread_scratch, SearchScratch};
+pub use search::{greedy_search, greedy_search_prepared, EntryPolicy, SearchParams, SearchStats};
 pub use store::{VectorStore, VectorView};
 
-pub use mbi_math::{Metric, Neighbor};
+pub use mbi_math::{Metric, Neighbor, PreparedQuery};
 
 /// An object-safe per-block ANN index.
 ///
@@ -48,10 +56,30 @@ pub use mbi_math::{Metric, Neighbor};
 /// [`VectorView`] at search time. Returned ids are **local** to the view
 /// (`0..view.len()`); MBI translates them back to global row ids.
 pub trait BlockIndex: Send + Sync {
-    /// Approximate filtered kNN: return up to `k` neighbours of `query`
-    /// among view rows accepted by `filter`, following Algorithm 2 semantics
-    /// (keep searching until `k` accepted results are found, then expand only
-    /// within `ε ×` the current worst result distance).
+    /// Approximate filtered kNN under a [`PreparedQuery`], with caller-owned
+    /// working memory: find up to `k` neighbours among view rows accepted by
+    /// `filter`, following Algorithm 2 semantics (keep searching until `k`
+    /// accepted results are found, then expand only within `ε ×` the current
+    /// worst result distance). Results land in `out` (cleared first, sorted
+    /// ascending). This is the hot path: steady-state callers reuse
+    /// `scratch` and `out` across blocks and queries and allocate nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn search_prepared(
+        &self,
+        view: VectorView<'_>,
+        pq: &PreparedQuery<'_>,
+        k: usize,
+        params: &SearchParams,
+        filter: &mut dyn FnMut(u32) -> bool,
+        stats: &mut SearchStats,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    );
+
+    /// Approximate filtered kNN, self-contained: prepares the query, borrows
+    /// the calling thread's reusable [`SearchScratch`], and returns the
+    /// results as a fresh `Vec`. Provided in terms of
+    /// [`search_prepared`](Self::search_prepared).
     #[allow(clippy::too_many_arguments)]
     fn search(
         &self,
@@ -62,7 +90,14 @@ pub trait BlockIndex: Send + Sync {
         params: &SearchParams,
         filter: &mut dyn FnMut(u32) -> bool,
         stats: &mut SearchStats,
-    ) -> Vec<Neighbor>;
+    ) -> Vec<Neighbor> {
+        let pq = PreparedQuery::new(metric, query);
+        with_thread_scratch(|scratch, _| {
+            let mut out = Vec::new();
+            self.search_prepared(view, &pq, k, params, filter, stats, scratch, &mut out);
+            out
+        })
+    }
 
     /// Bytes of heap memory used by the index structure itself (excluding the
     /// raw vectors, which are shared). This feeds the Table 4 / Figure 7b

@@ -98,7 +98,7 @@ pub(crate) fn exact_graph(view: VectorView<'_>, metric: Metric, degree: usize) -
     for i in 0..n {
         let mut all: Vec<(f32, u32)> = (0..n)
             .filter(|&j| j != i)
-            .map(|j| (metric.distance(view.get(i), view.get(j)), j as u32))
+            .map(|j| (view.pair_distance(metric, i, j), j as u32))
             .collect();
         all.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
         lists.push(all.into_iter().take(degree).map(|(_, j)| j).collect());
@@ -200,7 +200,7 @@ impl<'a> Builder<'a> {
                 if u == v || list.iter().any(|e| e.id == u as u32) {
                     continue;
                 }
-                let dist = self.metric.distance(self.view.get(v), self.view.get(u));
+                let dist = self.view.pair_distance(self.metric, v, u);
                 list.push(Entry { id: u as u32, dist, is_new: true });
             }
             list.sort_unstable_by(|a, b| {
@@ -307,12 +307,12 @@ impl<'a> Builder<'a> {
             for i in 0..new_list.len() {
                 let p = new_list[i];
                 for &q in &new_list[i + 1..] {
-                    let d = metric.distance(view.get(p as usize), view.get(q as usize));
+                    let d = view.pair_distance(metric, p as usize, q as usize);
                     out.push((p, q, d));
                 }
                 for &q in old_list {
                     if p != q {
-                        let d = metric.distance(view.get(p as usize), view.get(q as usize));
+                        let d = view.pair_distance(metric, p as usize, q as usize);
                         out.push((p, q, d));
                     }
                 }

@@ -9,11 +9,11 @@
 //!   behaviour that makes SF slow on short windows and that MBI exploits;
 //! * per-block search inside MBI's query process (Algorithm 4, line 8).
 
-use crate::graph::Graph;
+use crate::graph::{Graph, KnnGraph};
+use crate::scratch::{with_thread_scratch, SearchScratch};
 use crate::store::VectorView;
-use mbi_math::{Metric, Neighbor, OrderedF32, TopK};
+use mbi_math::{Metric, Neighbor, OrderedF32, PreparedQuery};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// How the search picks its starting vertex (Algorithm 2 line 1 samples a
 /// random vertex).
@@ -105,34 +105,129 @@ fn hash_query(query: &[f32]) -> u64 {
     h
 }
 
-/// A word-packed visited/seen set sized to the graph.
-struct BitSet {
-    words: Vec<u64>,
-}
-
-impl BitSet {
-    fn new(n: usize) -> Self {
-        BitSet { words: vec![0; n.div_ceil(64)] }
+/// Algorithm 2: best-first search over `graph` for the `k` nearest rows of
+/// `view` that satisfy `filter`, under a [`PreparedQuery`] and with all
+/// working memory supplied by the caller.
+///
+/// This is the allocation-free core: the visited set clears by epoch, the
+/// candidate set and result heap live in `scratch`, and results land in
+/// `out` (cleared first, then sorted ascending). Semantics — visit order,
+/// result set, and every [`SearchStats`] counter — are identical to the
+/// original per-call-allocating implementation; the neighbour expansion
+/// gathers unseen ids first and then evaluates their distances in one tight
+/// pass, so the query row stays hot while candidates stream through the
+/// prepared kernel (norm-cached single-dot-pass on angular views).
+///
+/// Ids passed to `filter` and placed in `out` are view-local. The candidate
+/// set `C` holds unvisited candidates ordered by distance and is pruned to
+/// `params.max_candidates`; while fewer than `k` accepted results exist the
+/// search expands unconditionally (line 9), afterwards only within `ε ×` the
+/// current worst accepted distance (line 11).
+#[allow(clippy::too_many_arguments)]
+pub fn greedy_search_prepared(
+    graph: &dyn Graph,
+    view: VectorView<'_>,
+    pq: &PreparedQuery<'_>,
+    k: usize,
+    params: &SearchParams,
+    filter: &mut dyn FnMut(u32) -> bool,
+    stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
+    out: &mut Vec<Neighbor>,
+) {
+    out.clear();
+    let n = graph.node_count();
+    debug_assert_eq!(n, view.len(), "graph and view must describe the same rows");
+    if n == 0 || k == 0 {
+        return;
     }
 
-    #[inline]
-    fn test_and_set(&mut self, i: u32) -> bool {
-        let w = (i / 64) as usize;
-        let b = 1u64 << (i % 64);
-        let was = self.words[w] & b != 0;
-        self.words[w] |= b;
-        was
+    let entry = match params.entry {
+        EntryPolicy::Fixed(id) => (id as usize).min(n - 1) as u32,
+        EntryPolicy::QueryHash => (hash_query(pq.query()) % n as u64) as u32,
+    };
+
+    scratch.begin(n, k);
+    let SearchScratch { epoch, visited, candidates, results, neighbor_ids, distances } = scratch;
+    let epoch = *epoch;
+    let inv = view.inv_norms();
+
+    // `visited` covers both "currently in C" and "already visited": a node
+    // is offered to C at most once (pruned candidates are not re-offered;
+    // see DESIGN.md for the deviation note — standard in HNSW-style
+    // searchers). `candidates` is sorted descending, so the best candidate
+    // is `last()`.
+    let d0 = pq.distance_to_row(view.get(entry as usize), inv.map(|s| s[entry as usize]));
+    stats.dist_evals += 1;
+    visited[entry as usize] = epoch;
+    candidates.push((OrderedF32(d0), entry));
+
+    while let Some(&(dist, id)) = candidates.last() {
+        // Early termination: candidates are visited in ascending distance,
+        // so once the best unvisited candidate exceeds the ε-range bound no
+        // future vertex can enter C (line 11 admits only σ < ε·max_R σ) and
+        // none of the remaining ones can improve R. Only applies once R is
+        // full — while |R| < k the search must keep expanding (line 9),
+        // which is what makes SF slow on short windows. This is the bound
+        // implied by the paper's O(log n + k) query complexity (§4.4.3).
+        if results.is_full() && dist.get() > params.epsilon * results.worst() {
+            break;
+        }
+        candidates.pop();
+        stats.visited += 1;
+
+        // Line 12: the visited vertex joins R iff it passes the filter.
+        if filter(id) {
+            results.offer(id, dist.get());
+        }
+
+        // Expansion bound (lines 8–11).
+        let bound =
+            if results.is_full() { params.epsilon * results.worst() } else { f32::INFINITY };
+
+        // Gather unseen neighbours, then evaluate their distances in one
+        // pass (1-to-many: the query stays in registers).
+        neighbor_ids.clear();
+        for &nb in graph.neighbors(id) {
+            let mark = &mut visited[nb as usize];
+            if *mark != epoch {
+                *mark = epoch;
+                neighbor_ids.push(nb);
+            }
+        }
+        distances.clear();
+        for &nb in neighbor_ids.iter() {
+            distances.push(pq.distance_to_row(view.get(nb as usize), inv.map(|s| s[nb as usize])));
+        }
+        stats.dist_evals += neighbor_ids.len() as u64;
+
+        for (&nb, &d) in neighbor_ids.iter().zip(distances.iter()) {
+            if d < bound {
+                // Descending order ⇒ compare the probe against the key.
+                let key = (OrderedF32(d), nb);
+                let pos = candidates.binary_search_by(|probe| key.cmp(probe)).unwrap_or_else(|e| e);
+                candidates.insert(pos, key);
+            }
+        }
+
+        // Line 16–17: retain the M_C nearest candidates (the worst ones sit
+        // at the front).
+        if candidates.len() > params.max_candidates {
+            let excess = candidates.len() - params.max_candidates;
+            candidates.drain(..excess);
+        }
     }
+
+    out.extend(results.iter().copied());
+    out.sort_unstable();
 }
 
 /// Algorithm 2: best-first search over `graph` for the `k` nearest rows of
 /// `view` (by `metric`) that satisfy `filter`.
 ///
-/// Ids passed to `filter` and returned in the result are view-local. The
-/// candidate set `C` holds unvisited candidates ordered by distance and is
-/// pruned to `params.max_candidates`; while fewer than `k` accepted results
-/// exist the search expands unconditionally (line 9), afterwards only within
-/// `ε ×` the current worst accepted distance (line 11).
+/// Convenience wrapper over [`greedy_search_prepared`]: prepares the query
+/// and borrows this thread's reusable [`SearchScratch`], so even this entry
+/// point stops allocating once warm (apart from the returned `Vec`).
 ///
 /// Returns accepted results sorted by ascending distance.
 ///
@@ -165,85 +260,27 @@ pub fn greedy_search(
     filter: &mut dyn FnMut(u32) -> bool,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
-    let n = graph.node_count();
-    debug_assert_eq!(n, view.len(), "graph and view must describe the same rows");
-    if n == 0 || k == 0 {
-        return Vec::new();
-    }
-
-    let entry = match params.entry {
-        EntryPolicy::Fixed(id) => (id as usize).min(n - 1) as u32,
-        EntryPolicy::QueryHash => (hash_query(query) % n as u64) as u32,
-    };
-
-    // `seen` covers both "currently in C" and "already visited": a node is
-    // offered to C at most once (pruned candidates are not re-offered; see
-    // DESIGN.md for the deviation note — standard in HNSW-style searchers).
-    let mut seen = BitSet::new(n);
-    let mut candidates: BTreeSet<(OrderedF32, u32)> = BTreeSet::new();
-    let mut results = TopK::new(k);
-
-    let d0 = metric.distance(query, view.get(entry as usize));
-    stats.dist_evals += 1;
-    seen.test_and_set(entry);
-    candidates.insert((OrderedF32(d0), entry));
-
-    while let Some(&(dist, id)) = candidates.iter().next() {
-        // Early termination: candidates are visited in ascending distance,
-        // so once the best unvisited candidate exceeds the ε-range bound no
-        // future vertex can enter C (line 11 admits only σ < ε·max_R σ) and
-        // none of the remaining ones can improve R. Only applies once R is
-        // full — while |R| < k the search must keep expanding (line 9),
-        // which is what makes SF slow on short windows. This is the bound
-        // implied by the paper's O(log n + k) query complexity (§4.4.3).
-        if results.is_full() && dist.get() > params.epsilon * results.worst() {
-            break;
-        }
-        candidates.remove(&(dist, id));
-        stats.visited += 1;
-
-        // Line 12: the visited vertex joins R iff it passes the filter.
-        if filter(id) {
-            results.offer(id, dist.get());
-        }
-
-        // Expansion bound (lines 8–11).
-        let bound =
-            if results.is_full() { params.epsilon * results.worst() } else { f32::INFINITY };
-
-        for &nb in graph.neighbors(id) {
-            if seen.test_and_set(nb) {
-                continue;
-            }
-            let d = metric.distance(query, view.get(nb as usize));
-            stats.dist_evals += 1;
-            if d < bound {
-                candidates.insert((OrderedF32(d), nb));
-            }
-        }
-
-        // Line 16–17: retain the M_C nearest candidates.
-        while candidates.len() > params.max_candidates {
-            let worst = *candidates.iter().next_back().expect("non-empty");
-            candidates.remove(&worst);
-        }
-    }
-
-    results.into_sorted_vec()
+    let pq = PreparedQuery::new(metric, query);
+    with_thread_scratch(|scratch, _| {
+        let mut out = Vec::new();
+        greedy_search_prepared(graph, view, &pq, k, params, filter, stats, scratch, &mut out);
+        out
+    })
 }
 
 impl crate::BlockIndex for crate::KnnGraph {
-    fn search(
+    fn search_prepared(
         &self,
         view: VectorView<'_>,
-        metric: Metric,
-        query: &[f32],
+        pq: &PreparedQuery<'_>,
         k: usize,
         params: &SearchParams,
         filter: &mut dyn FnMut(u32) -> bool,
         stats: &mut SearchStats,
-    ) -> Vec<Neighbor> {
-        greedy_search(self, view, metric, query, k, params, filter, stats)
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        greedy_search_prepared(self, view, pq, k, params, filter, stats, scratch, out);
     }
 
     fn memory_bytes(&self) -> usize {
@@ -254,8 +291,6 @@ impl crate::BlockIndex for crate::KnnGraph {
         "knn_graph"
     }
 }
-
-use crate::KnnGraph;
 
 #[cfg(test)]
 mod tests {
@@ -480,12 +515,55 @@ mod tests {
     }
 
     #[test]
-    fn bitset_test_and_set() {
-        let mut b = BitSet::new(130);
-        assert!(!b.test_and_set(0));
-        assert!(b.test_and_set(0));
-        assert!(!b.test_and_set(129));
-        assert!(b.test_and_set(129));
-        assert!(!b.test_and_set(64));
+    fn prepared_entry_point_matches_wrapper() {
+        let s = line(120);
+        let g = exact_graph(s.view(), Metric::Euclidean, 6);
+        let q = [33.3f32, 0.0];
+        let params = SearchParams::new(64, 1.2);
+
+        let mut legacy_stats = SearchStats::default();
+        let legacy = greedy_search(
+            &g,
+            s.view(),
+            Metric::Euclidean,
+            &q,
+            4,
+            &params,
+            &mut accept_all,
+            &mut legacy_stats,
+        );
+
+        let pq = PreparedQuery::new(Metric::Euclidean, &q);
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        greedy_search_prepared(
+            &g,
+            s.view(),
+            &pq,
+            4,
+            &params,
+            &mut accept_all,
+            &mut stats,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out, legacy);
+        assert_eq!(stats, legacy_stats);
+
+        // Reusing the same scratch on a different query stays correct.
+        let pq2 = PreparedQuery::new(Metric::Euclidean, &[99.9, 0.0]);
+        greedy_search_prepared(
+            &g,
+            s.view(),
+            &pq2,
+            2,
+            &params,
+            &mut accept_all,
+            &mut stats,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out[0].id, 100);
     }
 }

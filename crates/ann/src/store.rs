@@ -1,11 +1,19 @@
 //! Contiguous row-major vector storage.
 
+use mbi_math::{inv_norm_of, Metric};
+
 /// An append-only store of `d`-dimensional `f32` vectors.
 ///
 /// MBI appends strictly in timestamp order (§4.2), so all raw vectors for the
 /// whole database live once in a single `VectorStore`; each block of the index
 /// is just a row range. This keeps raw-data memory `O(|D|)` while the per-level
 /// *graphs* account for the `O(|D| log |D|)` index size of §4.4.1.
+///
+/// For the angular metric the store can additionally carry a per-vector
+/// **inverse-norm column** ([`VectorStore::enable_norm_cache`]): one `f32`
+/// per row, computed once at insert (with `0.0` as the zero-vector sentinel)
+/// and persisted with the index, so angular distance at query time collapses
+/// to a single dot pass.
 ///
 /// ```
 /// use mbi_ann::VectorStore;
@@ -21,6 +29,7 @@
 pub struct VectorStore {
     dim: usize,
     data: Vec<f32>,
+    inv_norms: Option<Vec<f32>>,
 }
 
 impl VectorStore {
@@ -31,13 +40,13 @@ impl VectorStore {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
-        VectorStore { dim, data: Vec::new() }
+        VectorStore { dim, data: Vec::new(), inv_norms: None }
     }
 
     /// Creates an empty store with room for `capacity` vectors.
     pub fn with_capacity(dim: usize, capacity: usize) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
-        VectorStore { dim, data: Vec::with_capacity(dim * capacity) }
+        VectorStore { dim, data: Vec::with_capacity(dim * capacity), inv_norms: None }
     }
 
     /// Builds a store from a flat row-major buffer.
@@ -54,7 +63,7 @@ impl VectorStore {
             data.len(),
             dim
         );
-        VectorStore { dim, data }
+        VectorStore { dim, data, inv_norms: None }
     }
 
     /// The dimensionality `d`.
@@ -84,7 +93,52 @@ impl VectorStore {
         assert_eq!(v.len(), self.dim, "vector has wrong dimension");
         let id = self.len() as u32;
         self.data.extend_from_slice(v);
+        if let Some(inv) = &mut self.inv_norms {
+            inv.push(inv_norm_of(v));
+        }
         id
+    }
+
+    /// Builds a store from a flat buffer plus a precomputed inverse-norm
+    /// column (one entry per row, `0.0` for zero vectors) — the persist-load
+    /// path, which must not pay a recompute pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `dim` or the column length
+    /// does not match the row count.
+    pub fn from_flat_with_inv_norms(dim: usize, data: Vec<f32>, inv_norms: Vec<f32>) -> Self {
+        let mut store = Self::from_flat(dim, data);
+        assert_eq!(inv_norms.len(), store.len(), "inverse-norm column does not match row count");
+        store.inv_norms = Some(inv_norms);
+        store
+    }
+
+    /// Turns on the inverse-norm column, computing it for any rows already
+    /// stored. Subsequent [`push`](Self::push)es maintain it incrementally.
+    /// Idempotent. Indexes enable this automatically when their metric is
+    /// [`Metric::Angular`].
+    pub fn enable_norm_cache(&mut self) {
+        if self.inv_norms.is_some() {
+            return;
+        }
+        let mut inv = Vec::with_capacity(self.len());
+        for row in self.data.chunks_exact(self.dim) {
+            inv.push(inv_norm_of(row));
+        }
+        self.inv_norms = Some(inv);
+    }
+
+    /// Whether the inverse-norm column is present.
+    #[inline]
+    pub fn has_norm_cache(&self) -> bool {
+        self.inv_norms.is_some()
+    }
+
+    /// The inverse-norm column, if enabled.
+    #[inline]
+    pub fn inv_norms(&self) -> Option<&[f32]> {
+        self.inv_norms.as_deref()
     }
 
     /// Returns row `i`.
@@ -98,13 +152,14 @@ impl VectorStore {
         &self.data[start..start + self.dim]
     }
 
-    /// A view over all rows.
+    /// A view over all rows (carrying the inverse-norm column, if enabled).
     #[inline]
     pub fn view(&self) -> VectorView<'_> {
-        VectorView { dim: self.dim, data: &self.data }
+        VectorView { dim: self.dim, data: &self.data, inv_norms: self.inv_norms.as_deref() }
     }
 
-    /// A view over rows `range.start..range.end`.
+    /// A view over rows `range.start..range.end`. The inverse-norm column,
+    /// if enabled, is sliced to the same row range.
     ///
     /// # Panics
     ///
@@ -112,7 +167,11 @@ impl VectorStore {
     #[inline]
     pub fn slice(&self, range: std::ops::Range<usize>) -> VectorView<'_> {
         assert!(range.start <= range.end && range.end <= self.len(), "row range out of bounds");
-        VectorView { dim: self.dim, data: &self.data[range.start * self.dim..range.end * self.dim] }
+        VectorView {
+            dim: self.dim,
+            data: &self.data[range.start * self.dim..range.end * self.dim],
+            inv_norms: self.inv_norms.as_deref().map(|inv| &inv[range.start..range.end]),
+        }
     }
 
     /// The underlying flat buffer (row-major).
@@ -135,15 +194,17 @@ impl VectorStore {
     }
 }
 
-/// A borrowed, immutable view over a contiguous run of rows.
+/// A borrowed, immutable view over a contiguous run of rows, optionally
+/// carrying the matching slice of the store's inverse-norm column.
 #[derive(Clone, Copy, Debug)]
 pub struct VectorView<'a> {
     dim: usize,
     data: &'a [f32],
+    inv_norms: Option<&'a [f32]>,
 }
 
 impl<'a> VectorView<'a> {
-    /// Builds a view from a flat row-major slice.
+    /// Builds a view from a flat row-major slice (no norm column).
     ///
     /// # Panics
     ///
@@ -151,7 +212,7 @@ impl<'a> VectorView<'a> {
     pub fn from_flat(dim: usize, data: &'a [f32]) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
         assert_eq!(data.len() % dim, 0, "flat slice length not a multiple of dim");
-        VectorView { dim, data }
+        VectorView { dim, data, inv_norms: None }
     }
 
     /// The dimensionality `d`.
@@ -186,6 +247,48 @@ impl<'a> VectorView<'a> {
     /// Iterates over rows in order.
     pub fn iter(&self) -> impl Iterator<Item = &'a [f32]> + '_ {
         self.data.chunks_exact(self.dim)
+    }
+
+    /// The underlying flat row-major slice — what the 1-to-many batched
+    /// kernels stream over.
+    #[inline]
+    pub fn as_flat(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// The inverse-norm column slice for exactly these rows, if the owning
+    /// store has the cache enabled.
+    #[inline]
+    pub fn inv_norms(&self) -> Option<&'a [f32]> {
+        self.inv_norms
+    }
+
+    /// Cached inverse norm of row `i`, if the column is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()` and the column is present.
+    #[inline]
+    pub fn inv_norm(&self, i: usize) -> Option<f32> {
+        self.inv_norms.map(|inv| inv[i])
+    }
+
+    /// Distance between rows `i` and `j` of this view — the graph-build
+    /// kernel. Uses the cached inverse norms (single dot pass) when the
+    /// metric is angular and the column is present; otherwise identical to
+    /// `metric.distance(get(i), get(j))`.
+    #[inline]
+    pub fn pair_distance(&self, metric: Metric, i: usize, j: usize) -> f32 {
+        if metric == Metric::Angular {
+            if let Some(inv) = self.inv_norms {
+                return mbi_math::angular_from_parts(
+                    mbi_math::dot(self.get(i), self.get(j)),
+                    inv[i],
+                    inv[j],
+                );
+            }
+        }
+        metric.distance(self.get(i), self.get(j))
     }
 }
 
@@ -284,5 +387,71 @@ mod tests {
         let s = VectorStore::with_capacity(4, 100);
         assert!(s.memory_bytes() >= 100 * 4 * 4);
         assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn norm_cache_is_maintained_by_push() {
+        let mut s = VectorStore::new(2);
+        s.push(&[3.0, 4.0]);
+        s.enable_norm_cache();
+        s.enable_norm_cache(); // idempotent
+        s.push(&[0.0, 0.0]);
+        s.push(&[6.0, 8.0]);
+        assert!(s.has_norm_cache());
+        let inv = s.inv_norms().unwrap();
+        assert_eq!(inv.len(), 3);
+        assert!((inv[0] - 0.2).abs() < 1e-7);
+        assert_eq!(inv[1], 0.0, "zero vector stores the 0.0 sentinel");
+        assert!((inv[2] - 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn views_slice_the_norm_column() {
+        let mut s = VectorStore::new(2);
+        s.enable_norm_cache();
+        for i in 1..=5 {
+            s.push(&[i as f32 * 3.0, i as f32 * 4.0]);
+        }
+        let v = s.slice(2..4);
+        let inv = v.inv_norms().unwrap();
+        assert_eq!(inv.len(), 2);
+        assert!((inv[0] - 1.0 / 15.0).abs() < 1e-7, "column aligned to the row range");
+        assert_eq!(v.inv_norm(1), Some(inv[1]));
+        assert_eq!(v.as_flat().len(), 4);
+        // Views without the cache report None.
+        let plain = VectorStore::from_flat(2, vec![0.0; 4]);
+        assert_eq!(plain.view().inv_norms(), None);
+        assert_eq!(plain.view().inv_norm(0), None);
+    }
+
+    #[test]
+    fn from_flat_with_inv_norms_roundtrips() {
+        let s = VectorStore::from_flat_with_inv_norms(2, vec![3.0, 4.0, 0.0, 0.0], vec![0.2, 0.0]);
+        assert!(s.has_norm_cache());
+        assert_eq!(s.inv_norms().unwrap(), &[0.2, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match row count")]
+    fn from_flat_with_inv_norms_rejects_mismatch() {
+        VectorStore::from_flat_with_inv_norms(2, vec![0.0; 4], vec![0.0; 3]);
+    }
+
+    #[test]
+    fn pair_distance_matches_scalar_metrics() {
+        let mut s = VectorStore::new(3);
+        s.enable_norm_cache();
+        s.push(&[1.0, 0.0, 0.5]);
+        s.push(&[0.0, 2.0, -1.0]);
+        s.push(&[0.0, 0.0, 0.0]);
+        let v = s.view();
+        for m in [Metric::Euclidean, Metric::Angular, Metric::InnerProduct] {
+            for (i, j) in [(0, 1), (1, 0), (0, 2), (1, 1)] {
+                let got = v.pair_distance(m, i, j);
+                let scalar = m.distance(s.get(i), s.get(j));
+                assert!((got - scalar).abs() <= 1e-5, "{m} ({i},{j}): {got} vs {scalar}");
+            }
+        }
+        assert_eq!(v.pair_distance(Metric::Angular, 0, 2), 1.0, "zero vector sentinel");
     }
 }

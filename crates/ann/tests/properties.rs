@@ -2,10 +2,10 @@
 //! soundness, and agreement with the brute-force oracle.
 
 use mbi_ann::{
-    brute_force, brute_force_filtered, greedy_search, Graph, HnswIndex, HnswParams,
-    NnDescentParams, SearchParams, SearchStats, VectorStore,
+    brute_force, brute_force_filtered, greedy_search, greedy_search_prepared, Graph, HnswIndex,
+    HnswParams, NnDescentParams, SearchParams, SearchScratch, SearchStats, VectorStore,
 };
-use mbi_math::Metric;
+use mbi_math::{Metric, PreparedQuery};
 use proptest::prelude::*;
 
 /// Deterministic pseudo-random store (proptest drives only sizes/seeds so
@@ -221,5 +221,78 @@ proptest! {
         let a = params.build_threaded(s.view(), Metric::Euclidean, 1);
         let b = params.build_threaded(s.view(), Metric::Euclidean, threads);
         prop_assert_eq!(a, b);
+    }
+
+    /// The prepared entry point with an explicit reused scratch returns the
+    /// same results and stats as the legacy wrapper, across Euclidean and
+    /// inner-product (bit-identical kernels).
+    #[test]
+    fn prepared_search_equals_wrapper(
+        n in 2usize..200,
+        k in 1usize..8,
+        seed in 0u64..200,
+        metric_pick in 0usize..2,
+    ) {
+        let metric = [Metric::Euclidean, Metric::InnerProduct][metric_pick];
+        let s = store(n, 5, seed);
+        let g = NnDescentParams { degree: 5, seed, max_iters: 3, ..Default::default() }
+            .build(s.view(), metric);
+        let q: Vec<f32> = (0..5).map(|i| (seed as f32 * 0.3 + i as f32).sin()).collect();
+        let params = SearchParams::new(48, 1.2);
+
+        let mut legacy_stats = SearchStats::default();
+        let legacy =
+            greedy_search(&g, s.view(), metric, &q, k, &params, &mut |_| true, &mut legacy_stats);
+
+        // One scratch reused across repeated searches of different sizes.
+        let mut scratch = SearchScratch::new();
+        let pq = PreparedQuery::new(metric, &q);
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            let mut stats = SearchStats::default();
+            greedy_search_prepared(
+                &g, s.view(), &pq, k, &params, &mut |_| true, &mut stats, &mut scratch, &mut out,
+            );
+            prop_assert_eq!(&out, &legacy);
+            prop_assert_eq!(stats, legacy_stats);
+        }
+    }
+
+    /// On an angular graph, searching through a norm-cached view returns the
+    /// same ids as the uncached view, with distances within 1e-5.
+    #[test]
+    fn cached_angular_search_matches_uncached(
+        n in 4usize..200,
+        k in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        let plain = store(n, 5, seed);
+        let mut cached = VectorStore::new(5);
+        cached.enable_norm_cache();
+        for i in 0..n {
+            cached.push(plain.get(i));
+        }
+        // Build once on the uncached store so both searches walk one graph.
+        let g = NnDescentParams { degree: 5, seed, max_iters: 3, ..Default::default() }
+            .build(plain.view(), Metric::Angular);
+        let q: Vec<f32> = (0..5).map(|i| (seed as f32 * 0.7 + i as f32).cos()).collect();
+        let params = SearchParams::new(48, 1.2);
+        let pq = PreparedQuery::new(Metric::Angular, &q);
+        let mut scratch = SearchScratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let mut sa = SearchStats::default();
+        let mut sb = SearchStats::default();
+        greedy_search_prepared(
+            &g, plain.view(), &pq, k, &params, &mut |_| true, &mut sa, &mut scratch, &mut a,
+        );
+        greedy_search_prepared(
+            &g, cached.view(), &pq, k, &params, &mut |_| true, &mut sb, &mut scratch, &mut b,
+        );
+        prop_assert_eq!(sa, sb, "cache must not change traversal accounting");
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert!((x.dist - y.dist).abs() <= 1e-5, "{} vs {}", x.dist, y.dist);
+        }
     }
 }

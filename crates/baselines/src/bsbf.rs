@@ -34,9 +34,15 @@ pub struct BsbfIndex {
 }
 
 impl BsbfIndex {
-    /// Creates an empty index for `dim`-dimensional vectors.
+    /// Creates an empty index for `dim`-dimensional vectors. Under the
+    /// angular metric the store caches per-row inverse norms at insert time,
+    /// so scans use the fused single-pass kernel.
     pub fn new(dim: usize, metric: Metric) -> Self {
-        BsbfIndex { metric, store: VectorStore::new(dim), timestamps: Vec::new() }
+        let mut store = VectorStore::new(dim);
+        if metric == Metric::Angular {
+            store.enable_norm_cache();
+        }
+        BsbfIndex { metric, store, timestamps: Vec::new() }
     }
 
     /// Number of stored vectors.

@@ -58,10 +58,16 @@ pub struct SfIndex {
 }
 
 impl SfIndex {
-    /// Creates an empty index.
+    /// Creates an empty index. Under the angular metric the store caches
+    /// per-row inverse norms at insert time, shared by graph builds and
+    /// searches.
     pub fn new(config: SfConfig) -> Self {
+        let mut store = VectorStore::new(config.dim);
+        if config.metric == Metric::Angular {
+            store.enable_norm_cache();
+        }
         SfIndex {
-            store: VectorStore::new(config.dim),
+            store,
             timestamps: Vec::new(),
             graph: KnnGraph::from_lists(config.graph.degree.max(1), &[]),
             indexed: 0,

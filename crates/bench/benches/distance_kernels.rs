@@ -1,17 +1,45 @@
 //! Micro-benchmarks for the distance kernels at the paper's dimensionalities
 //! (32 = MovieLens, 128 = COMS/SIFT, 960 = GIST). Distance evaluation is the
 //! unit of work in every query-complexity statement of §4.4.
+//!
+//! Two layers are measured:
+//!
+//! * 1-to-1 scalar kernels (`squared_euclidean` / `angular_distance` / `dot`)
+//!   — one call per candidate, the pre-batching baseline;
+//! * 1-to-many batched kernels driven through [`PreparedQuery`], streaming
+//!   `ROWS` contiguous candidates per call, with and without the cached
+//!   inverse-norm column on the angular metric.
+//!
+//! Besides the criterion printout, a machine-readable summary of the
+//! per-call-vs-batched comparison is written to `BENCH_kernels.json` at the
+//! repository root (timed manually with `Instant`, not criterion, so the
+//! speedup numbers come from identical loop shapes).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use mbi_math::{angular_distance, dot, squared_euclidean};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use mbi_math::{angular_distance, dot, inv_norm_of, squared_euclidean, Metric, PreparedQuery};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Candidate rows per batched call — comparable to one block expansion plus
+/// brute-force chunking (`SCAN_BATCH = 256`).
+const ROWS: usize = 256;
 
 fn vectors(dim: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let a = (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
     let b = (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
     (a, b)
+}
+
+/// A query plus `ROWS` contiguous candidate rows and their inverse norms.
+fn batch_input(dim: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+    let rows: Vec<f32> = (0..dim * ROWS).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+    let inv: Vec<f32> = rows.chunks_exact(dim).map(inv_norm_of).collect();
+    (q, rows, inv)
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -29,6 +57,145 @@ fn bench_kernels(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    let mut group = c.benchmark_group("batched_kernels");
+    for dim in [32usize, 128, 960] {
+        let (q, rows, inv) = batch_input(dim, dim as u64 ^ 0xBA7C);
+        for metric in [Metric::Euclidean, Metric::Angular, Metric::InnerProduct] {
+            let pq = PreparedQuery::new(metric, &q);
+            let label = format!("{}_per_call", metric.name());
+            group.bench_with_input(BenchmarkId::new(label, dim), &dim, |bch, _| {
+                bch.iter(|| {
+                    let mut acc = 0.0f32;
+                    for row in rows.chunks_exact(dim) {
+                        acc += metric.distance(black_box(&q), black_box(row));
+                    }
+                    acc
+                })
+            });
+            let label = format!("{}_batched", metric.name());
+            let mut out = Vec::with_capacity(ROWS);
+            group.bench_with_input(BenchmarkId::new(label, dim), &dim, |bch, _| {
+                bch.iter(|| {
+                    out.clear();
+                    pq.distance_batch(black_box(&rows), None, &mut out);
+                    out.iter().sum::<f32>()
+                })
+            });
+        }
+        // Angular with the cached inverse-norm column — the store's layout.
+        let pq = PreparedQuery::new(Metric::Angular, &q);
+        let mut out = Vec::with_capacity(ROWS);
+        group.bench_with_input(BenchmarkId::new("angular_batched_cached", dim), &dim, |bch, _| {
+            bch.iter(|| {
+                out.clear();
+                pq.distance_batch(black_box(&rows), Some(black_box(&inv)), &mut out);
+                out.iter().sum::<f32>()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One row of `BENCH_kernels.json`: nanoseconds per candidate row under each
+/// dispatch strategy, plus the batched-over-per-call speedup.
+#[derive(Serialize)]
+struct KernelRow {
+    metric: &'static str,
+    dim: usize,
+    per_call_ns_per_row: f64,
+    batched_ns_per_row: f64,
+    /// Angular only: batched with the cached inverse-norm column.
+    batched_cached_ns_per_row: Option<f64>,
+    /// per_call / min(batched, batched_cached).
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct KernelSummary {
+    generated_by: &'static str,
+    rows_per_batch: usize,
+    results: Vec<KernelRow>,
+}
+
+/// Times `f` with `Instant`, returning mean ns per candidate row.
+fn time_ns_per_row(mut f: impl FnMut() -> f32) -> f64 {
+    // Warm-up.
+    for _ in 0..8 {
+        black_box(f());
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    let budget = std::time::Duration::from_millis(200);
+    let mut sink = 0.0f32;
+    while start.elapsed() < budget || iters < 32 {
+        sink += black_box(f());
+        iters += 1;
+    }
+    black_box(sink);
+    start.elapsed().as_secs_f64() * 1e9 / (iters as f64 * ROWS as f64)
+}
+
+fn write_summary() {
+    let mut results = Vec::new();
+    for dim in [32usize, 128, 960] {
+        let (q, rows, inv) = batch_input(dim, dim as u64 ^ 0xBA7C);
+        for metric in [Metric::Euclidean, Metric::Angular, Metric::InnerProduct] {
+            let pq = PreparedQuery::new(metric, &q);
+            let per_call = time_ns_per_row(|| {
+                let mut acc = 0.0f32;
+                for row in rows.chunks_exact(dim) {
+                    acc += metric.distance(black_box(&q), black_box(row));
+                }
+                acc
+            });
+            let mut out = Vec::with_capacity(ROWS);
+            let batched = time_ns_per_row(|| {
+                out.clear();
+                pq.distance_batch(black_box(&rows), None, &mut out);
+                out.iter().sum()
+            });
+            let cached = (metric == Metric::Angular).then(|| {
+                time_ns_per_row(|| {
+                    out.clear();
+                    pq.distance_batch(black_box(&rows), Some(black_box(&inv)), &mut out);
+                    out.iter().sum()
+                })
+            });
+            let best = cached.map_or(batched, |c: f64| c.min(batched));
+            results.push(KernelRow {
+                metric: metric.name(),
+                dim,
+                per_call_ns_per_row: per_call,
+                batched_ns_per_row: batched,
+                batched_cached_ns_per_row: cached,
+                speedup: per_call / best,
+            });
+        }
+    }
+    let summary = KernelSummary {
+        generated_by: "cargo bench --bench distance_kernels",
+        rows_per_batch: ROWS,
+        results,
+    };
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_kernels.json");
+    match serde_json::to_string_pretty(&summary) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("could not write {}: {e}", path.display());
+            } else {
+                println!("kernel summary written to {}", path.display());
+                for r in &summary.results {
+                    println!(
+                        "{:<14} d={:<4} per-call {:>7.2} ns/row  batched {:>7.2} ns/row  speedup {:.2}x",
+                        r.metric, r.dim, r.per_call_ns_per_row, r.batched_ns_per_row, r.speedup
+                    );
+                }
+            }
+        }
+        Err(e) => eprintln!("could not serialise kernel summary: {e}"),
+    }
 }
 
 criterion_group! {
@@ -36,4 +203,8 @@ criterion_group! {
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_kernels
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    write_summary();
+}

@@ -8,8 +8,12 @@ use mbi_data::{windows_for_fraction, DriftingMixture};
 use mbi_math::Metric;
 
 fn build(n: usize, tau: f64) -> (MbiIndex, mbi_data::Dataset) {
-    let dataset = DriftingMixture::new(32, 23).generate("q", Metric::Euclidean, n, 8);
-    let config = MbiConfig::new(32, Metric::Euclidean)
+    build_metric(Metric::Euclidean, n, tau)
+}
+
+fn build_metric(metric: Metric, n: usize, tau: f64) -> (MbiIndex, mbi_data::Dataset) {
+    let dataset = DriftingMixture::new(32, 23).generate("q", metric, n, 8);
+    let config = MbiConfig::new(32, metric)
         .with_leaf_size(1024)
         .with_tau(tau)
         .with_backend(GraphBackend::NnDescent(NnDescentParams { degree: 16, ..Default::default() }))
@@ -36,6 +40,22 @@ fn bench_query(c: &mut Criterion) {
                 let q = dataset.test.get(i % dataset.test.len());
                 let w = windows[i % windows.len()];
                 index.query(black_box(q), 10, w)
+            })
+        });
+    }
+
+    // Angular preset: exercises the norm-cached fused kernel end to end
+    // (graph search + brute-forced tail both hit the cached column).
+    let (angular_index, angular_dataset) = build_metric(Metric::Angular, 16_384, 0.5);
+    for pct in [10u32, 50] {
+        let windows = windows_for_fraction(&angular_dataset.timestamps, pct as f64 / 100.0, 16, 7);
+        group.bench_with_input(BenchmarkId::new("angular_fraction_pct", pct), &pct, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                let q = angular_dataset.test.get(i % angular_dataset.test.len());
+                let w = windows[i % windows.len()];
+                angular_index.query(black_box(q), 10, w)
             })
         });
     }

@@ -2,8 +2,10 @@
 
 use crate::config::GraphBackend;
 use crate::Timestamp;
-use mbi_ann::{BlockIndex, HnswIndex, KnnGraph, Neighbor, SearchParams, SearchStats, VectorView};
-use mbi_math::Metric;
+use mbi_ann::{
+    BlockIndex, HnswIndex, KnnGraph, Neighbor, SearchParams, SearchScratch, SearchStats, VectorView,
+};
+use mbi_math::{Metric, PreparedQuery};
 
 /// The graph index of one block — either backend, dispatched statically.
 ///
@@ -77,6 +79,30 @@ impl BlockGraph {
         match self {
             BlockGraph::Knn(g) => g.search(view, metric, query, k, params, filter, stats),
             BlockGraph::Hnsw(h) => h.search(view, metric, query, k, params, filter, stats),
+        }
+    }
+
+    /// [`Self::search`] under a [`PreparedQuery`] with caller-owned scratch
+    /// and output buffer — the hot path used by Algorithm 4's per-block loop.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_prepared(
+        &self,
+        view: VectorView<'_>,
+        pq: &PreparedQuery<'_>,
+        k: usize,
+        params: &SearchParams,
+        filter: &mut dyn FnMut(u32) -> bool,
+        stats: &mut SearchStats,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        match self {
+            BlockGraph::Knn(g) => {
+                g.search_prepared(view, pq, k, params, filter, stats, scratch, out)
+            }
+            BlockGraph::Hnsw(h) => {
+                h.search_prepared(view, pq, k, params, filter, stats, scratch, out)
+            }
         }
     }
 

@@ -6,8 +6,11 @@ use crate::config::MbiConfig;
 use crate::error::MbiError;
 use crate::select::{select_blocks, SearchBlockSet, TimeWindow};
 use crate::Timestamp;
-use mbi_ann::{brute_force, SearchParams, SearchStats, VectorStore};
-use mbi_math::{Neighbor, TopK};
+use mbi_ann::{
+    brute_force_prepared, with_thread_scratch, SearchParams, SearchScratch, SearchStats,
+    VectorStore,
+};
+use mbi_math::{Metric, Neighbor, PreparedQuery, TopK};
 
 /// Minimum total rows under the selected full blocks before auto-mode
 /// intra-query fan-out spawns workers; below this a scoped-thread spawn
@@ -88,14 +91,15 @@ pub struct MbiIndex {
 
 impl MbiIndex {
     /// Creates an empty index.
+    ///
+    /// Under the angular metric the store caches each vector's inverse norm
+    /// at insert time, so graph builds and queries never renormalise rows.
     pub fn new(config: MbiConfig) -> Self {
-        MbiIndex {
-            store: VectorStore::new(config.dim),
-            timestamps: Vec::new(),
-            blocks: Vec::new(),
-            num_leaves: 0,
-            config,
+        let mut store = VectorStore::new(config.dim);
+        if config.metric == Metric::Angular {
+            store.enable_norm_cache();
         }
+        MbiIndex { store, timestamps: Vec::new(), blocks: Vec::new(), num_leaves: 0, config }
     }
 
     /// The configuration this index was created with.
@@ -388,27 +392,36 @@ impl MbiIndex {
         let mut stats = SearchStats::default();
         let mut merged = TopK::new(k);
         let (wlo, whi) = self.window_rows(window);
+        // Prepared once per query: the norm work is shared by every block
+        // this query touches (and every worker — `PreparedQuery` is `Copy`).
+        let pq = PreparedQuery::new(self.config.metric, query);
 
         let workers = self.effective_query_threads(threads, selection);
         if workers <= 1 {
-            for &bi in &selection.blocks {
-                self.search_one_block(
-                    bi,
-                    query,
-                    k,
-                    wlo,
-                    whi,
-                    window,
-                    params,
-                    &mut merged,
-                    &mut stats,
-                );
-            }
+            with_thread_scratch(|scratch, buf| {
+                for &bi in &selection.blocks {
+                    self.search_one_block(
+                        bi,
+                        &pq,
+                        k,
+                        wlo,
+                        whi,
+                        window,
+                        params,
+                        &mut merged,
+                        &mut stats,
+                        scratch,
+                        buf,
+                    );
+                }
+            });
         } else {
             // Scoped fan-out over contiguous chunks of the selection. Chunks
             // are merged in block order below; per the determinism argument
             // in the doc comment the order is immaterial to the output, but
-            // keeping it fixed makes that claim trivially auditable.
+            // keeping it fixed makes that claim trivially auditable. Each
+            // worker borrows its own thread's scratch, so repeated queries
+            // reuse the same allocations per worker thread.
             let chunk = selection.blocks.len().div_ceil(workers);
             let mut parts: Vec<Option<(TopK, SearchStats)>> =
                 (0..selection.blocks.len().div_ceil(chunk)).map(|_| None).collect();
@@ -417,19 +430,23 @@ impl MbiIndex {
                     scope.spawn(move || {
                         let mut local = TopK::new(k);
                         let mut local_stats = SearchStats::default();
-                        for &bi in blocks {
-                            self.search_one_block(
-                                bi,
-                                query,
-                                k,
-                                wlo,
-                                whi,
-                                window,
-                                params,
-                                &mut local,
-                                &mut local_stats,
-                            );
-                        }
+                        with_thread_scratch(|scratch, buf| {
+                            for &bi in blocks {
+                                self.search_one_block(
+                                    bi,
+                                    &pq,
+                                    k,
+                                    wlo,
+                                    whi,
+                                    window,
+                                    params,
+                                    &mut local,
+                                    &mut local_stats,
+                                    scratch,
+                                    buf,
+                                );
+                            }
+                        });
                         *slot = Some((local, local_stats));
                     });
                 }
@@ -451,9 +468,7 @@ impl MbiIndex {
             if hi > lo {
                 stats.blocks_searched += 1;
                 stats.blocks_bruteforced += 1;
-                for n in
-                    brute_force(self.store.slice(lo..hi), self.config.metric, query, k, &mut stats)
-                {
+                for n in brute_force_prepared(self.store.slice(lo..hi), &pq, k, &mut stats) {
                     merged.offer(lo as u32 + n.id, n.dist);
                 }
             }
@@ -483,7 +498,7 @@ impl MbiIndex {
     fn search_one_block(
         &self,
         bi: usize,
-        query: &[f32],
+        pq: &PreparedQuery<'_>,
         k: usize,
         wlo: usize,
         whi: usize,
@@ -491,6 +506,8 @@ impl MbiIndex {
         params: &SearchParams,
         merged: &mut TopK,
         stats: &mut SearchStats,
+        scratch: &mut SearchScratch,
+        buf: &mut Vec<Neighbor>,
     ) {
         let block = &self.blocks[bi];
         let base = block.rows.start as u32;
@@ -510,7 +527,7 @@ impl MbiIndex {
         if (m as u64) < graph_cost {
             // Exact scan of the in-window rows of this block.
             stats.blocks_bruteforced += 1;
-            for n in brute_force(self.store.slice(lo..hi), self.config.metric, query, k, stats) {
+            for n in brute_force_prepared(self.store.slice(lo..hi), pq, k, stats) {
                 merged.offer(lo as u32 + n.id, n.dist);
             }
             return;
@@ -519,9 +536,8 @@ impl MbiIndex {
         let fully_covered = window.start <= block.start_ts && block.end_ts <= window.end;
         let ts = &self.timestamps;
         let mut filter = |lid: u32| fully_covered || window.contains(ts[(base + lid) as usize]);
-        let local =
-            block.graph.search(view, self.config.metric, query, k, params, &mut filter, stats);
-        for n in local {
+        block.graph.search_prepared(view, pq, k, params, &mut filter, stats, scratch, buf);
+        for n in buf.iter() {
             merged.offer(base + n.id, n.dist);
         }
     }
@@ -559,7 +575,8 @@ impl MbiIndex {
         assert_eq!(query.len(), self.config.dim, "query has wrong dimension");
         let (lo, hi) = self.window_rows(window);
         let mut stats = SearchStats::default();
-        let top = brute_force(self.store.slice(lo..hi), self.config.metric, query, k, &mut stats);
+        let pq = PreparedQuery::new(self.config.metric, query);
+        let top = brute_force_prepared(self.store.slice(lo..hi), &pq, k, &mut stats);
         let mut merged = TopK::new(k);
         for n in top {
             merged.offer(lo as u32 + n.id, n.dist);

@@ -34,8 +34,11 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"MBI1";
-// v2 appended `query_threads` to the config record.
-const VERSION: u32 = 2;
+// v2 appended `query_threads` to the config record. v3 appended the optional
+// inverse-norm column (flag byte + `n` f32s) after the vector floats; v2
+// streams are still readable — the column is recomputed for angular indexes.
+const VERSION: u32 = 3;
+const OLDEST_READABLE_VERSION: u32 = 2;
 
 impl MbiIndex {
     /// Serialises the index to `w`.
@@ -68,9 +71,20 @@ impl MbiIndex {
 
     /// Serialises the index into one contiguous buffer.
     pub fn to_bytes(&self) -> Bytes {
+        self.encode(VERSION)
+    }
+
+    /// Serialises in the pre-norm-column v2 layout. Kept (hidden) so the
+    /// backward-compatibility tests can produce genuine v2 streams.
+    #[doc(hidden)]
+    pub fn to_bytes_v2(&self) -> Bytes {
+        self.encode(2)
+    }
+
+    fn encode(&self, version: u32) -> Bytes {
         let mut b = BytesMut::with_capacity(64 + self.data_bytes() + self.index_memory_bytes());
         b.put_slice(MAGIC);
-        b.put_u32_le(VERSION);
+        b.put_u32_le(version);
         write_config(&mut b, &self.config);
 
         let n = self.timestamps.len();
@@ -80,6 +94,17 @@ impl MbiIndex {
         }
         for &v in self.store.as_flat() {
             b.put_f32_le(v);
+        }
+        if version >= 3 {
+            match self.store.inv_norms() {
+                Some(inv) => {
+                    b.put_u8(1);
+                    for &x in inv {
+                        b.put_f32_le(x);
+                    }
+                }
+                None => b.put_u8(0),
+            }
         }
 
         b.put_u64_le(self.num_leaves as u64);
@@ -104,7 +129,7 @@ impl MbiIndex {
             return Err(MbiError::Corrupt("bad magic".into()));
         }
         let version = b.get_u32_le();
-        if version != VERSION {
+        if !(OLDEST_READABLE_VERSION..=VERSION).contains(&version) {
             return Err(MbiError::Corrupt(format!("unsupported version {version}")));
         }
         let config = read_config(&mut b)?;
@@ -127,7 +152,32 @@ impl MbiIndex {
         for _ in 0..floats {
             flat.push(b.get_f32_le());
         }
-        let store = VectorStore::from_flat(config.dim, flat);
+        let has_norms = if version >= 3 {
+            check_len(&b, 1)?;
+            b.get_u8() != 0
+        } else {
+            false
+        };
+        let mut store = if has_norms {
+            check_len(&b, n.checked_mul(4).ok_or_else(overflow)?)?;
+            let mut inv = Vec::with_capacity(n);
+            for _ in 0..n {
+                let x = b.get_f32_le();
+                if !x.is_finite() || x < 0.0 {
+                    return Err(MbiError::Corrupt(format!("invalid inverse norm {x}")));
+                }
+                inv.push(x);
+            }
+            VectorStore::from_flat_with_inv_norms(config.dim, flat, inv)
+        } else {
+            VectorStore::from_flat(config.dim, flat)
+        };
+        // v2 streams (and v3 streams written without the column) predate the
+        // cache; angular indexes recompute it so loaded indexes query
+        // identically to freshly built ones.
+        if config.metric == Metric::Angular && !store.has_norm_cache() {
+            store.enable_norm_cache();
+        }
 
         check_len(&b, 16)?;
         let num_leaves = b.get_u64_le() as usize;
@@ -491,7 +541,8 @@ mod tests {
         // config and subtracting the fixed suffix (n=0 u64 + leaves u64 +
         // blocks u64).
         let empty = MbiIndex::new(*idx.config()).to_bytes();
-        let header_len = empty.len() - 8 - 16; // minus n, num_leaves, num_blocks
+        // minus n, norm-column flag, num_leaves, num_blocks
+        let header_len = empty.len() - 8 - 1 - 16;
         let ts_start = header_len + 8; // after n
                                        // Swap the first two i64 timestamps (0 and 1 → 1 and 0).
         raw[ts_start..ts_start + 8].copy_from_slice(&1i64.to_le_bytes());
@@ -507,5 +558,72 @@ mod tests {
         raw[4] = 99;
         let err = MbiIndex::from_bytes(Bytes::from(raw)).unwrap_err();
         assert!(err.to_string().contains("version"));
+    }
+
+    fn build_angular_index(n: usize) -> MbiIndex {
+        let config = MbiConfig::new(3, Metric::Angular).with_leaf_size(16);
+        let mut idx = MbiIndex::new(config);
+        for i in 0..n {
+            let x = i as f32 * 0.37;
+            idx.insert(&[x.sin(), x.cos(), (x * 0.5).sin()], i as i64).unwrap();
+        }
+        idx
+    }
+
+    #[test]
+    fn v3_roundtrips_norm_column() {
+        let idx = build_angular_index(70);
+        assert!(idx.store().has_norm_cache());
+        let loaded = MbiIndex::from_bytes(idx.to_bytes()).unwrap();
+        assert_eq!(loaded.store().inv_norms(), idx.store().inv_norms());
+        for (q, w) in [(0.3f32, (0i64, 60i64)), (0.9, (10, 50)), (-0.4, (40, 70))] {
+            let qa = idx.query(&[q, 0.2, -q], 5, TimeWindow::new(w.0, w.1));
+            let qb = loaded.query(&[q, 0.2, -q], 5, TimeWindow::new(w.0, w.1));
+            assert_eq!(qa, qb);
+        }
+    }
+
+    #[test]
+    fn euclidean_v3_has_no_norm_column() {
+        let idx = build_index(GraphBackend::default(), 40);
+        assert!(!idx.store().has_norm_cache());
+        let loaded = MbiIndex::from_bytes(idx.to_bytes()).unwrap();
+        assert!(!loaded.store().has_norm_cache());
+        assert_same_answers(&idx, &loaded);
+    }
+
+    #[test]
+    fn reads_v2_streams_and_recomputes_norms() {
+        let idx = build_angular_index(70);
+        let v2 = idx.to_bytes_v2();
+        assert!(v2.len() < idx.to_bytes().len(), "v2 must lack the norm column");
+        let loaded = MbiIndex::from_bytes(v2).unwrap();
+        // The column is recomputed on load, bit-identical to insert-time.
+        assert_eq!(loaded.store().inv_norms(), idx.store().inv_norms());
+        for (q, w) in [(0.3f32, (0i64, 60i64)), (0.9, (10, 50))] {
+            let qa = idx.query(&[q, 0.2, -q], 5, TimeWindow::new(w.0, w.1));
+            let qb = loaded.query(&[q, 0.2, -q], 5, TimeWindow::new(w.0, w.1));
+            assert_eq!(qa, qb);
+        }
+
+        // Euclidean v2 streams load without growing a cache.
+        let e = build_index(GraphBackend::default(), 40);
+        let loaded = MbiIndex::from_bytes(e.to_bytes_v2()).unwrap();
+        assert!(!loaded.store().has_norm_cache());
+        assert_same_answers(&e, &loaded);
+    }
+
+    #[test]
+    fn rejects_corrupt_norm_column() {
+        let idx = build_angular_index(40);
+        let empty = MbiIndex::new(*idx.config()).to_bytes();
+        let header_len = empty.len() - 8 - 1 - 16;
+        let n = idx.len();
+        // Norm column starts after n, timestamps, floats, and the flag byte.
+        let norms_start = header_len + 8 + n * 8 + n * 3 * 4 + 1;
+        let mut raw = idx.to_bytes().to_vec();
+        raw[norms_start..norms_start + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        let err = MbiIndex::from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(err.to_string().contains("inverse norm"), "{err}");
     }
 }

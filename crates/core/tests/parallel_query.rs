@@ -17,7 +17,18 @@ const DIM: usize = 4;
 /// Builds an index over `n` pseudo-random vectors with mildly clumpy
 /// timestamps (duplicates and gaps), deterministically from `seed`.
 fn random_index(n: usize, leaf_size: usize, tau: f64, seed: u64) -> MbiIndex {
-    let config = MbiConfig::new(DIM, Metric::Euclidean)
+    random_metric_index(Metric::Euclidean, n, leaf_size, tau, seed)
+}
+
+/// [`random_index`] under an arbitrary metric.
+fn random_metric_index(
+    metric: Metric,
+    n: usize,
+    leaf_size: usize,
+    tau: f64,
+    seed: u64,
+) -> MbiIndex {
+    let config = MbiConfig::new(DIM, metric)
         .with_leaf_size(leaf_size)
         .with_tau(tau)
         .with_search(SearchParams::new(48, 1.2));
@@ -65,6 +76,43 @@ proptest! {
             prop_assert_eq!(&sequential.selection.blocks, &fanned.selection.blocks);
             prop_assert_eq!(sequential.selection.tail, fanned.selection.tail);
         }
+    }
+
+    /// The norm-cached angular pipeline: fan-out width stays observationally
+    /// invisible, every returned distance agrees with a scalar recompute
+    /// within 1e-5, and the persisted index answers identically.
+    #[test]
+    fn angular_cached_pipeline_is_equivalent(
+        n in 48usize..220,
+        leaf_size in 4usize..24,
+        k in 1usize..9,
+        seed in 0u64..1_000_000,
+        wlo in 0i64..150,
+        wspan in 1i64..180,
+    ) {
+        let idx = random_metric_index(Metric::Angular, n, leaf_size, 0.5, seed);
+        prop_assert!(idx.store().has_norm_cache());
+        let query = random_query(seed ^ 0xDEAD_BEEF);
+        let window = TimeWindow::new(wlo, wlo + wspan);
+        let params = SearchParams::new(48, 1.2);
+
+        let sequential = idx.query_with_params_threaded(&query, k, window, &params, 1);
+        for threads in [2usize, 4, 0] {
+            let fanned = idx.query_with_params_threaded(&query, k, window, &params, threads);
+            prop_assert_eq!(&sequential.results, &fanned.results, "threads = {}", threads);
+            prop_assert_eq!(&sequential.stats, &fanned.stats, "threads = {}", threads);
+        }
+        // Cached distances match the scalar three-pass kernel within 1e-5.
+        for r in &sequential.results {
+            let scalar = Metric::Angular.distance(&query, idx.vector_of(r.id));
+            prop_assert!((r.dist - scalar).abs() <= 1e-5, "{} vs {}", r.dist, scalar);
+            prop_assert!(window.contains(r.timestamp));
+        }
+        // Round-tripping through the v3 norm column changes nothing.
+        let loaded = MbiIndex::from_bytes(idx.to_bytes()).unwrap();
+        let reloaded = loaded.query_with_params_threaded(&query, k, window, &params, 1);
+        prop_assert_eq!(&sequential.results, &reloaded.results);
+        prop_assert_eq!(&sequential.stats, &reloaded.stats);
     }
 }
 

@@ -7,6 +7,9 @@
 //!   (Euclidean for SIFT/GIST, angular a.k.a. cosine distance for
 //!   MovieLens/COMS/GloVe/DEEP), written as chunked kernels the compiler can
 //!   auto-vectorise.
+//! * [`PreparedQuery`] and the `*_batch` kernels — the norm-cached,
+//!   1-to-many fast paths used by every search loop (see DESIGN.md
+//!   "Distance-kernel architecture").
 //! * [`OrderedF32`] — a totally ordered `f32` wrapper so distances can live in
 //!   heaps and sorted collections without `partial_cmp().unwrap()` noise.
 //! * [`Neighbor`] and [`TopK`] — the `(id, distance)` pair and the bounded
@@ -24,11 +27,16 @@
 #![warn(missing_docs)]
 
 mod float;
+mod kernels;
 mod metric;
 mod stats;
 mod topk;
 
 pub use float::OrderedF32;
+pub use kernels::{
+    angular_batch, angular_from_parts, dot_batch, inv_norm_of, squared_euclidean_batch,
+    PreparedQuery,
+};
 pub use metric::{angular_distance, dot, norm, squared_euclidean, Metric};
 pub use stats::OnlineStats;
 pub use topk::{topk_by_sort, Neighbor, TopK};

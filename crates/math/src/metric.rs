@@ -99,6 +99,37 @@ fn chunked_reduce(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32) -> f32 {
     total
 }
 
+/// Computes `(⟨a,b⟩, ‖b‖²)` in a single fused pass over both slices.
+///
+/// The accumulation order per component is identical to running
+/// [`chunked_reduce`] twice, so each half of the result is bit-equal to the
+/// corresponding standalone kernel (`dot(a, b)` and `dot(b, b)`), while
+/// touching `b` only once. This is the workhorse of the prepared-query
+/// angular path, where the query norm is already known.
+#[inline]
+pub(crate) fn dot_norm2(a: &[f32], b: &[f32]) -> (f32, f32) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc_dp = [0.0f32; LANES];
+    let mut acc_nb = [0.0f32; LANES];
+    let a_chunks = a.chunks_exact(LANES);
+    let b_chunks = b.chunks_exact(LANES);
+    let a_rem = a_chunks.remainder();
+    let b_rem = b_chunks.remainder();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        for i in 0..LANES {
+            acc_dp[i] += ca[i] * cb[i];
+            acc_nb[i] += cb[i] * cb[i];
+        }
+    }
+    let mut dp: f32 = acc_dp.iter().sum();
+    let mut nb2: f32 = acc_nb.iter().sum();
+    for (x, y) in a_rem.iter().zip(b_rem) {
+        dp += x * y;
+        nb2 += y * y;
+    }
+    (dp, nb2)
+}
+
 /// Squared Euclidean distance `‖a − b‖²`.
 #[inline]
 pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
@@ -224,6 +255,18 @@ mod tests {
         assert_eq!(Metric::Angular.name(), "angular");
         assert_eq!(Metric::InnerProduct.name(), "inner_product");
         assert_eq!(Metric::Angular.to_string(), "angular");
+    }
+
+    #[test]
+    fn dot_norm2_matches_standalone_kernels_bitwise() {
+        // Same accumulation order ⇒ bit-equal halves, across chunk tails.
+        for len in [1usize, 7, 8, 9, 16, 37, 64, 65] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.91).cos()).collect();
+            let (dp, nb2) = dot_norm2(&a, &b);
+            assert_eq!(dp.to_bits(), dot(&a, &b).to_bits(), "len={len}");
+            assert_eq!(nb2.to_bits(), dot(&b, &b).to_bits(), "len={len}");
+        }
     }
 
     #[test]

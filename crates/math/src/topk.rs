@@ -80,6 +80,14 @@ impl TopK {
         TopK { k, heap: BinaryHeap::with_capacity(k.saturating_add(1)) }
     }
 
+    /// Clears the collector and re-arms it for `k` entries, keeping the
+    /// heap's allocation. This is what lets a reused search scratch run
+    /// queries of varying `k` without touching the allocator.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+    }
+
     /// Capacity `k` this collector was created with.
     #[inline]
     pub fn k(&self) -> usize {
@@ -165,11 +173,20 @@ impl TopK {
     }
 }
 
-/// Exact top-k by full sort — the reference implementation used in tests and
-/// for tiny inputs where heap bookkeeping is not worth it.
+/// Exact top-k via selection: partition the `k` smallest entries to the
+/// front with `select_nth_unstable` (`O(n)` expected), then sort only those
+/// `k` survivors. Hot in BSBF tail scans with large windows, where sorting
+/// the full candidate list was pure waste.
 pub fn topk_by_sort(mut items: Vec<Neighbor>, k: usize) -> Vec<Neighbor> {
+    if k == 0 {
+        items.clear();
+        return items;
+    }
+    if items.len() > k {
+        items.select_nth_unstable(k - 1);
+        items.truncate(k);
+    }
     items.sort_unstable();
-    items.truncate(k);
     items
 }
 
@@ -268,6 +285,37 @@ mod tests {
             }
             assert_eq!(t.into_sorted_vec(), topk_by_sort(items.clone(), k), "k={k}");
         }
+    }
+
+    #[test]
+    fn sort_reference_handles_ties_and_degenerate_k() {
+        // Duplicated distances exercise the selection pivot on equal keys.
+        let items: Vec<Neighbor> =
+            [(9u32, 1.0f32), (2, 1.0), (5, 0.5), (7, 1.0), (0, 2.0), (3, 0.5)]
+                .into_iter()
+                .map(|(id, d)| n(id, d))
+                .collect();
+        assert_eq!(topk_by_sort(items.clone(), 0), vec![]);
+        assert_eq!(topk_by_sort(items.clone(), 3), vec![n(3, 0.5), n(5, 0.5), n(2, 1.0)]);
+        let mut all = items.clone();
+        all.sort_unstable();
+        assert_eq!(topk_by_sort(items.clone(), 6), all);
+        assert_eq!(topk_by_sort(items, 100), all);
+    }
+
+    #[test]
+    fn reset_reuses_allocation_across_k() {
+        let mut t = TopK::new(3);
+        for (i, d) in [5.0, 1.0, 4.0].iter().enumerate() {
+            t.offer(i as u32, *d);
+        }
+        t.reset(2);
+        assert!(t.is_empty());
+        assert_eq!(t.k(), 2);
+        for (i, d) in [9.0, 3.0, 6.0, 2.0].iter().enumerate() {
+            t.offer(i as u32, *d);
+        }
+        assert_eq!(t.into_sorted_vec(), vec![n(3, 2.0), n(1, 3.0)]);
     }
 
     #[test]

@@ -1,12 +1,27 @@
 //! Property-based tests for the numeric foundations.
 
 use mbi_math::{
-    angular_distance, dot, norm, squared_euclidean, Metric, Neighbor, OnlineStats, OrderedF32, TopK,
+    angular_batch, angular_distance, dot, dot_batch, inv_norm_of, norm, squared_euclidean,
+    squared_euclidean_batch, topk_by_sort, Metric, Neighbor, OnlineStats, OrderedF32,
+    PreparedQuery, TopK,
 };
 use proptest::prelude::*;
 
 fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-1000.0f32..1000.0, len)
+}
+
+/// Carves a query plus `n` rows of dimension `dim` out of a flat value pool.
+/// Dims 1..=257 exercise the chunked kernels' vector body *and* scalar tail
+/// (the vendored proptest has no `prop_flat_map`, hence the slicing).
+fn carve_query_and_rows(dim: usize, n: usize, pool: &[f32]) -> (&[f32], &[f32]) {
+    (&pool[..dim], &pool[dim..dim * (n + 1)])
+}
+
+/// Pool strategy sized for the worst case of `carve_query_and_rows`
+/// (dim 257, 5 rows + the query).
+fn value_pool() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-8.0f32..8.0, 257 * 6)
 }
 
 proptest! {
@@ -127,6 +142,112 @@ proptest! {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
         prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
         prop_assert!((s.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+    }
+
+    #[test]
+    fn batched_kernels_agree_with_scalar_across_dims(
+        dim in 1usize..258,
+        n in 1usize..6,
+        pool in value_pool(),
+    ) {
+        let (q, rows) = carve_query_and_rows(dim, n, &pool);
+        let inv: Vec<f32> = rows.chunks_exact(dim).map(inv_norm_of).collect();
+        let q_inv = inv_norm_of(q);
+
+        let (mut se, mut dp, mut ang_c, mut ang_u) = (vec![], vec![], vec![], vec![]);
+        squared_euclidean_batch(q, rows, &mut se);
+        dot_batch(q, rows, &mut dp);
+        angular_batch(q, q_inv, rows, Some(&inv), &mut ang_c);
+        angular_batch(q, q_inv, rows, None, &mut ang_u);
+
+        for (i, row) in rows.chunks_exact(dim).enumerate() {
+            // Euclidean / dot: bit-identical to the per-call kernels.
+            prop_assert_eq!(se[i].to_bits(), squared_euclidean(q, row).to_bits());
+            prop_assert_eq!(dp[i].to_bits(), dot(q, row).to_bits());
+            // Angular: within 1e-5 of the three-pass scalar kernel, cached
+            // and uncached alike.
+            let scalar = angular_distance(q, row);
+            prop_assert!((ang_c[i] - scalar).abs() <= 1e-5, "cached: {} vs {}", ang_c[i], scalar);
+            prop_assert!((ang_u[i] - scalar).abs() <= 1e-5, "uncached: {} vs {}", ang_u[i], scalar);
+        }
+    }
+
+    #[test]
+    fn prepared_query_agrees_with_metric_across_dims(
+        dim in 1usize..258,
+        n in 1usize..6,
+        pool in value_pool(),
+    ) {
+        let (q, rows) = carve_query_and_rows(dim, n, &pool);
+        let inv: Vec<f32> = rows.chunks_exact(dim).map(inv_norm_of).collect();
+        for metric in [Metric::Euclidean, Metric::Angular, Metric::InnerProduct] {
+            let pq = PreparedQuery::new(metric, q);
+            let mut batch = Vec::new();
+            pq.distance_batch(rows, Some(&inv), &mut batch);
+            for (i, row) in rows.chunks_exact(dim).enumerate() {
+                let scalar = metric.distance(q, row);
+                if metric == Metric::Angular {
+                    prop_assert!((pq.distance_to(row) - scalar).abs() <= 1e-5);
+                    prop_assert!((pq.distance_to_cached(row, inv[i]) - scalar).abs() <= 1e-5);
+                    prop_assert!((batch[i] - scalar).abs() <= 1e-5);
+                } else {
+                    prop_assert_eq!(pq.distance_to(row).to_bits(), scalar.to_bits());
+                    prop_assert_eq!(pq.distance_to_cached(row, inv[i]).to_bits(), scalar.to_bits());
+                    prop_assert_eq!(batch[i].to_bits(), scalar.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_angular_preserves_topk_ids(
+        dim in 1usize..258,
+        n in 1usize..6,
+        pool in value_pool(),
+        k in 1usize..5,
+    ) {
+        // The tentpole ranking contract: ranking by the cached kernel keeps
+        // the same top-k ID set as the scalar kernel, up to genuine 1e-5
+        // near-ties.
+        let (q, rows) = carve_query_and_rows(dim, n, &pool);
+        let q_inv = inv_norm_of(q);
+        let inv: Vec<f32> = rows.chunks_exact(dim).map(inv_norm_of).collect();
+        let mut cached = Vec::new();
+        angular_batch(q, q_inv, rows, Some(&inv), &mut cached);
+        let scalar: Vec<f32> = rows.chunks_exact(dim).map(|r| angular_distance(q, r)).collect();
+
+        let top = |d: &[f32]| {
+            let items: Vec<Neighbor> =
+                d.iter().enumerate().map(|(i, &x)| Neighbor::new(i as u32, x)).collect();
+            topk_by_sort(items, k)
+        };
+        let (a, b) = (top(&cached), top(&scalar));
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            // Per-rank distances agree; an ID swap is only legal on a near-tie.
+            prop_assert!((x.dist - y.dist).abs() <= 1e-5, "{} vs {}", x.dist, y.dist);
+            if x.id != y.id {
+                prop_assert!((scalar[x.id as usize] - scalar[y.id as usize]).abs() <= 2e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn topk_by_sort_matches_full_sort(
+        dists in prop::collection::vec(0.0f32..100.0, 0..120),
+        k in 0usize..140,
+    ) {
+        // Duplicate-heavy distances (coarse grid) stress tie handling in the
+        // selection pivot.
+        let items: Vec<Neighbor> = dists
+            .iter()
+            .enumerate()
+            .map(|(i, d)| Neighbor::new(i as u32, (d * 4.0).round() / 4.0))
+            .collect();
+        let mut expect = items.clone();
+        expect.sort_unstable();
+        expect.truncate(k);
+        prop_assert_eq!(topk_by_sort(items, k), expect);
     }
 
     #[test]
