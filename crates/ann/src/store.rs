@@ -174,6 +174,57 @@ impl VectorStore {
         }
     }
 
+    /// Copies rows `range.start..range.end` into a new owned store, carrying
+    /// the matching slice of the inverse-norm column when present — so the
+    /// copy is bit-identical to what a fresh insert-time computation would
+    /// produce, without paying for one. Used by the streaming engine to hand
+    /// a build worker an immutable chunk and to publish snapshot prefixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn materialize(&self, range: std::ops::Range<usize>) -> VectorStore {
+        assert!(range.start <= range.end && range.end <= self.len(), "row range out of bounds");
+        VectorStore {
+            dim: self.dim,
+            data: self.data[range.start * self.dim..range.end * self.dim].to_vec(),
+            inv_norms: self.inv_norms.as_deref().map(|inv| inv[range].to_vec()),
+        }
+    }
+
+    /// Removes the first `rows` vectors (and their inverse norms), shifting
+    /// the remainder down — the streaming engine trims its write-side tail
+    /// with this after a sealed prefix is published.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > len()`.
+    pub fn drop_front(&mut self, rows: usize) {
+        assert!(rows <= self.len(), "cannot drop {rows} of {} rows", self.len());
+        self.data.drain(..rows * self.dim);
+        if let Some(inv) = &mut self.inv_norms {
+            inv.drain(..rows);
+        }
+    }
+
+    /// Appends every row of `view`. When this store keeps an inverse-norm
+    /// column the values are copied from the view's column if it has one
+    /// (bit-identical, no recompute) and computed otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's dimensionality differs.
+    pub fn extend_from_view(&mut self, view: VectorView<'_>) {
+        assert_eq!(view.dim(), self.dim, "view has wrong dimension");
+        self.data.extend_from_slice(view.as_flat());
+        if let Some(inv) = &mut self.inv_norms {
+            match view.inv_norms() {
+                Some(col) => inv.extend_from_slice(col),
+                None => inv.extend(view.iter().map(inv_norm_of)),
+            }
+        }
+    }
+
     /// The underlying flat buffer (row-major).
     #[inline]
     pub fn as_flat(&self) -> &[f32] {
@@ -435,6 +486,79 @@ mod tests {
     #[should_panic(expected = "does not match row count")]
     fn from_flat_with_inv_norms_rejects_mismatch() {
         VectorStore::from_flat_with_inv_norms(2, vec![0.0; 4], vec![0.0; 3]);
+    }
+
+    #[test]
+    fn materialize_copies_rows_and_norms() {
+        let mut s = VectorStore::new(2);
+        s.enable_norm_cache();
+        for i in 0..6 {
+            s.push(&[i as f32 * 3.0, i as f32 * 4.0]);
+        }
+        let m = s.materialize(2..5);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.get(0), s.get(2));
+        assert_eq!(m.inv_norms().unwrap(), &s.inv_norms().unwrap()[2..5]);
+        // Without the cache the copy has none either.
+        let plain = VectorStore::from_flat(2, vec![0.0; 8]);
+        assert!(!plain.materialize(0..4).has_norm_cache());
+        assert!(s.materialize(3..3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn materialize_rejects_out_of_range() {
+        VectorStore::from_flat(2, vec![0.0; 4]).materialize(0..3);
+    }
+
+    #[test]
+    fn drop_front_shifts_rows() {
+        let mut s = VectorStore::new(2);
+        s.enable_norm_cache();
+        for i in 0..5 {
+            s.push(&[i as f32 * 3.0, i as f32 * 4.0]);
+        }
+        let tail_norms = s.inv_norms().unwrap()[3..].to_vec();
+        s.drop_front(3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), &[9.0, 12.0]);
+        assert_eq!(s.inv_norms().unwrap(), &tail_norms[..]);
+        s.drop_front(2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drop")]
+    fn drop_front_rejects_overdrain() {
+        VectorStore::from_flat(2, vec![0.0; 4]).drop_front(3);
+    }
+
+    #[test]
+    fn extend_from_view_appends_rows() {
+        let mut src = VectorStore::new(2);
+        src.enable_norm_cache();
+        src.push(&[3.0, 4.0]);
+        src.push(&[6.0, 8.0]);
+        // Cached column is copied verbatim when both sides have one.
+        let mut dst = VectorStore::new(2);
+        dst.enable_norm_cache();
+        dst.extend_from_view(src.view());
+        assert_eq!(dst.as_flat(), src.as_flat());
+        assert_eq!(dst.inv_norms(), src.inv_norms());
+        // And recomputed when the source view has none.
+        let plain = VectorStore::from_flat(2, vec![3.0, 4.0]);
+        dst.extend_from_view(plain.view());
+        assert_eq!(dst.len(), 3);
+        assert!((dst.inv_norms().unwrap()[2] - 0.2).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn extend_from_view_rejects_wrong_dim() {
+        let mut dst = VectorStore::new(3);
+        let src = VectorStore::from_flat(2, vec![0.0; 4]);
+        dst.extend_from_view(src.view());
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Streaming-ingest benchmark (engine subsystem): per-insert latency when
+//! merge-chain builds run on background builder threads ([`StreamingMbi`])
+//! versus inline under the write lock ([`ConcurrentMbi`]), and query latency
+//! while a writer ingests concurrently.
+//!
+//! Criterion's per-iteration distribution is the report here: the streaming
+//! insert row should show a tight spread (appends + a channel send), while
+//! the locked row's tail carries entire merge-chain builds. The
+//! `query_under_ingest` rows show the read side of the same story — snapshot
+//! queries never wait for a build, read-lock queries occasionally do.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mbi_ann::{NnDescentParams, SearchParams};
+use mbi_core::{ConcurrentMbi, EngineConfig, GraphBackend, MbiConfig, StreamingMbi, TimeWindow};
+use mbi_data::DriftingMixture;
+use mbi_math::Metric;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const DIM: usize = 16;
+const PREFILL: usize = 4_096; // 8 sealed leaves before measurement starts
+const ROW_CAP: usize = 200_000; // writer throttles here to bound memory
+
+fn config() -> MbiConfig {
+    MbiConfig::new(DIM, Metric::Euclidean)
+        .with_leaf_size(512)
+        .with_backend(GraphBackend::NnDescent(NnDescentParams {
+            degree: 8,
+            max_iters: 4,
+            ..Default::default()
+        }))
+        .with_parallel_build(true)
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig::default()
+        .with_builder_threads(2)
+        .with_queue_depth(8)
+        .with_record_insert_latency(false)
+}
+
+fn bench_insert_latency(c: &mut Criterion) {
+    let dataset = DriftingMixture::new(DIM, 23).generate("si", Metric::Euclidean, PREFILL, 1);
+    let mut group = c.benchmark_group("streaming_ingest");
+
+    group.bench_function("insert/streaming", |b| {
+        let engine = StreamingMbi::with_engine_config(config(), engine_config());
+        let mut t = 0i64;
+        b.iter(|| {
+            let v = dataset.train.get(t as usize % dataset.train.len());
+            t += 1;
+            engine.insert(black_box(v), t).unwrap()
+        });
+        engine.flush();
+    });
+
+    group.bench_function("insert/locked", |b| {
+        let idx = ConcurrentMbi::new(config());
+        let mut t = 0i64;
+        b.iter(|| {
+            let v = dataset.train.get(t as usize % dataset.train.len());
+            t += 1;
+            idx.insert(black_box(v), t).unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_query_under_ingest(c: &mut Criterion) {
+    let dataset = DriftingMixture::new(DIM, 29).generate("sq", Metric::Euclidean, PREFILL, 16);
+    let params = SearchParams::new(64, 1.2);
+    let window = TimeWindow::new(0, PREFILL as i64);
+    let mut group = c.benchmark_group("streaming_ingest");
+
+    {
+        let engine = Arc::new(StreamingMbi::with_engine_config(config(), engine_config()));
+        for (v, t) in dataset.iter() {
+            engine.insert(v, t).unwrap();
+        }
+        engine.flush();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let pool = dataset.train.clone();
+            std::thread::spawn(move || {
+                let mut t = PREFILL as i64;
+                while !stop.load(Ordering::Acquire) {
+                    if engine.len() < ROW_CAP {
+                        engine.insert(pool.get(t as usize % pool.len()), t).unwrap();
+                        t += 1;
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+            })
+        };
+        group.bench_function("query_under_ingest/streaming", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                let q = dataset.test.get(i % dataset.test.len());
+                engine.query_with_params(black_box(q), 10, window, &params)
+            })
+        });
+        stop.store(true, Ordering::Release);
+        writer.join().unwrap();
+    }
+
+    {
+        let idx = Arc::new(ConcurrentMbi::new(config()));
+        for (v, t) in dataset.iter() {
+            idx.insert(v, t).unwrap();
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            let pool = dataset.train.clone();
+            std::thread::spawn(move || {
+                let mut t = PREFILL as i64;
+                while !stop.load(Ordering::Acquire) {
+                    if idx.len() < ROW_CAP {
+                        idx.insert(pool.get(t as usize % pool.len()), t).unwrap();
+                        t += 1;
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+            })
+        };
+        group.bench_function("query_under_ingest/locked", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                let q = dataset.test.get(i % dataset.test.len());
+                idx.query_with_params(black_box(q), 10, window, &params)
+            })
+        });
+        stop.store(true, Ordering::Release);
+        writer.join().unwrap();
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_insert_latency, bench_query_under_ingest
+}
+criterion_main!(benches);

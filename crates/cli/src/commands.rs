@@ -5,7 +5,9 @@ use crate::io;
 use crate::CliError;
 use mbi_ann::{NnDescentParams, SearchParams};
 use mbi_core::tuner::TunerConfig;
-use mbi_core::{GraphBackend, MbiConfig, MbiIndex, TauTuner, TimeWindow};
+use mbi_core::{
+    EngineConfig, GraphBackend, MbiConfig, MbiIndex, StreamingMbi, TauTuner, TimeWindow,
+};
 use mbi_data::preset_by_name;
 use mbi_math::Metric;
 use std::io::Write;
@@ -44,6 +46,10 @@ USAGE:
   mbi tune     --index <index.mbi> --queries <q.fvecs> [--target-recall <f>] [--k <n>]
   mbi bench-query --index <index.mbi> --queries <q.fvecs>
                [--fraction <f>] [--rounds <n>] [--k <n>] [--mc <n>] [--epsilon <f>]
+               [--streaming] [--builders <n>]
+               (--streaming replays the data through the StreamingMbi engine —
+                inserts on a writer thread, queries interleaved — and reports
+                ingest latency percentiles next to the query ones)
   mbi help
 ";
 
@@ -300,6 +306,9 @@ fn bench_query(args: &CliArgs, out: &mut dyn Write) -> Result<(), CliError> {
     );
 
     let windows = mbi_data::windows_for_fraction(index.timestamps(), fraction, store.len(), 7);
+    if args.switch("streaming") {
+        return bench_query_streaming(args, out, &index, &store, &windows, k, rounds, &search);
+    }
     let mut recorder = mbi_eval::latency::LatencyRecorder::with_capacity(rounds * store.len());
     let mut results_total = 0usize;
     for _ in 0..rounds {
@@ -325,6 +334,91 @@ fn bench_query(args: &CliArgs, out: &mut dyn Write) -> Result<(), CliError> {
         s.mean_us, s.p50_us, s.p90_us, s.p99_us, s.max_us
     )?;
     writeln!(out, "results    : {results_total} total rows returned")?;
+    Ok(())
+}
+
+/// `mbi bench-query --streaming` — replay the index's rows through
+/// [`StreamingMbi`] on a writer thread while this thread queries the growing
+/// committed view, then report ingest, chain-build, and query latency
+/// summaries side by side. The loaded index only serves as the data source
+/// and configuration; the engine rebuilds its blocks in the background.
+#[allow(clippy::too_many_arguments)]
+fn bench_query_streaming(
+    args: &CliArgs,
+    out: &mut dyn Write,
+    index: &MbiIndex,
+    queries: &mbi_ann::VectorStore,
+    windows: &[TimeWindow],
+    k: usize,
+    rounds: usize,
+    search: &SearchParams,
+) -> Result<(), CliError> {
+    let builders: usize = args.get_parsed("builders", 2)?;
+    let engine = StreamingMbi::with_engine_config(
+        *index.config(),
+        EngineConfig::default().with_builder_threads(builders).with_queue_depth(8),
+    );
+    let src = index.store();
+    let ts = index.timestamps();
+    let mut recorder = mbi_eval::latency::LatencyRecorder::new();
+    let mut interleaved = 0usize;
+    std::thread::scope(|s| {
+        let engine = &engine;
+        let writer = s.spawn(move || {
+            for (i, &t) in ts.iter().enumerate() {
+                engine.insert(src.get(i), t).expect("replayed rows are valid");
+            }
+        });
+        let mut qi = 0usize;
+        while !writer.is_finished() {
+            let q = queries.get(qi % queries.len());
+            recorder.time(|| engine.query_with_params(q, k, windows[qi % windows.len()], search));
+            qi += 1;
+        }
+        interleaved = qi;
+        writer.join().map_err(|_| CliError("ingest thread panicked".into()))
+    })?;
+    engine.flush();
+    // Post-flush rounds measure the steady state (and guarantee at least one
+    // query sample when ingest finished before the first interleaved query).
+    let post_rounds = if rounds == 0 && recorder.is_empty() { 1 } else { rounds };
+    for _ in 0..post_rounds {
+        for (i, w) in windows.iter().enumerate() {
+            let q = queries.get(i % queries.len());
+            recorder.time(|| engine.query_with_params(q, k, *w, search));
+        }
+    }
+    let ingest = mbi_eval::IngestSummary::from_engine_stats(&engine.stats());
+    let q = recorder.summary();
+    writeln!(
+        out,
+        "streaming replay: {} rows on 1 writer, {builders} builder thread(s); \
+         {interleaved} queries interleaved mid-ingest (k={k})",
+        engine.len()
+    )?;
+    writeln!(
+        out,
+        "ingest     : mean {:.1} us | p50 {:.1} us | p99 {:.1} us | max {:.1} us per insert ({} seals, {} inline builds)",
+        ingest.insert.mean_us,
+        ingest.insert.p50_us,
+        ingest.insert.p99_us,
+        ingest.insert.max_us,
+        ingest.seals,
+        ingest.inline_builds
+    )?;
+    if let Some(b) = &ingest.build {
+        writeln!(
+            out,
+            "builds     : mean {:.1} us | p99 {:.1} us | max {:.1} us per chain ({} chains)",
+            b.mean_us, b.p99_us, b.max_us, b.count
+        )?;
+    }
+    writeln!(out, "throughput : {:.0} qps", q.qps)?;
+    writeln!(
+        out,
+        "latency    : mean {:.1} us | p50 {:.1} us | p90 {:.1} us | p99 {:.1} us | max {:.1} us",
+        q.mean_us, q.p50_us, q.p90_us, q.p99_us, q.max_us
+    )?;
     Ok(())
 }
 
@@ -454,6 +548,30 @@ mod tests {
         // Bad fraction rejected.
         assert!(run_cmd(&format!("bench-query --index {index} --queries {queries} --fraction 0"))
             .is_err());
+    }
+
+    #[test]
+    fn bench_query_streaming_reports_ingest_and_query_latency() {
+        let data = tmp("bqs.fvecs");
+        let queries = tmp("bqs_q.fvecs");
+        let index = tmp("bqs.mbi");
+        run_cmd(&format!(
+            "generate --preset movielens --count 1200 --out {data} --queries {queries}"
+        ))
+        .unwrap();
+        run_cmd(&format!(
+            "build --input {data} --out {index} --metric angular --leaf-size 128 --degree 8"
+        ))
+        .unwrap();
+        let out = run_cmd(&format!(
+            "bench-query --index {index} --queries {queries} --streaming --builders 2 --rounds 1 --fraction 0.5 --k 5"
+        ))
+        .unwrap();
+        assert!(out.contains("streaming replay"), "{out}");
+        assert!(out.contains("ingest"), "{out}");
+        assert!(out.contains("per insert"), "{out}");
+        assert!(out.contains("9 seals"), "{out}"); // 1200 rows / 128 leaf
+        assert!(out.contains("throughput"), "{out}");
     }
 
     #[test]

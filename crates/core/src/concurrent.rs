@@ -16,6 +16,11 @@ use crate::Timestamp;
 use mbi_ann::SearchParams;
 use parking_lot::RwLock;
 
+/// Queries per read-lock acquisition in [`ConcurrentMbi::query_batch`]:
+/// large enough to amortise the lock and the inter-query fan-out spawns,
+/// small enough that a pending insert waits for at most one chunk.
+pub const QUERY_BATCH_CHUNK: usize = 32;
+
 /// A thread-safe MBI handle: `&self` inserts and queries.
 ///
 /// ```
@@ -80,18 +85,31 @@ impl ConcurrentMbi {
         self.inner.read().exact_query(query, k, window)
     }
 
-    /// Answers many queries under one shared read lock — see
-    /// [`MbiIndex::query_batch`] for the thread-budget rule (outer workers
-    /// take priority; intra-query fan-out only uses leftover cores). The
-    /// lock is held for the whole batch, so a concurrent insert waits; split
-    /// very large batches if ingestion latency matters.
+    /// Answers many queries — see [`MbiIndex::query_batch`] for the
+    /// thread-budget rule (outer workers take priority; intra-query fan-out
+    /// only uses leftover cores).
+    ///
+    /// The shared read lock is re-acquired every [`QUERY_BATCH_CHUNK`]
+    /// queries rather than held for the whole batch, so a writer blocked on
+    /// an insert (which may carry a full merge-chain build) gets a slot at
+    /// chunk boundaries instead of starving behind a long batch. Tradeoff:
+    /// with no concurrent writer the results are identical to the
+    /// single-lock version (queries are read-only); under concurrent ingest
+    /// each *chunk* sees one consistent index state, but a later chunk may
+    /// observe rows inserted after an earlier chunk ran — the same
+    /// visibility callers already accept between two consecutive
+    /// [`ConcurrentMbi::query`] calls.
     pub fn query_batch(
         &self,
         queries: &[(Vec<f32>, usize, TimeWindow)],
         params: &SearchParams,
         threads: usize,
     ) -> Vec<Vec<TknnResult>> {
-        self.inner.read().query_batch(queries, params, threads)
+        let mut out = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(QUERY_BATCH_CHUNK) {
+            out.extend(self.inner.read().query_batch(chunk, params, threads));
+        }
+        out
     }
 
     /// Number of vectors currently indexed.
@@ -184,6 +202,25 @@ mod tests {
         let batched = idx.query_batch(&queries, &SearchParams::default(), 2);
         for (res, (q, k, w)) in batched.iter().zip(&queries) {
             assert_eq!(*res, idx.query(q, *k, *w));
+        }
+    }
+
+    #[test]
+    fn query_batch_chunking_matches_per_query_results() {
+        let idx = ConcurrentMbi::new(config());
+        for i in 0..300i64 {
+            idx.insert(&[(i % 97) as f32, (i % 13) as f32], i).unwrap();
+        }
+        // More than two chunks' worth, with a non-multiple remainder.
+        let n = 2 * QUERY_BATCH_CHUNK + 7;
+        let queries: Vec<(Vec<f32>, usize, TimeWindow)> = (0..n)
+            .map(|i| (vec![(i % 97) as f32, (i % 13) as f32], 3, TimeWindow::new(0, 300)))
+            .collect();
+        let params = SearchParams::default();
+        let batched = idx.query_batch(&queries, &params, 4);
+        assert_eq!(batched.len(), n);
+        for (res, (q, k, w)) in batched.iter().zip(&queries) {
+            assert_eq!(*res, idx.query_with_params(q, *k, *w, &params).results);
         }
     }
 

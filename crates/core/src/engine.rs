@@ -1,0 +1,951 @@
+//! Streaming ingest engine: background merge-chain builds with atomic
+//! snapshot publication.
+//!
+//! [`ConcurrentMbi`](crate::ConcurrentMbi) is the simplest correct serving
+//! wrapper, but it runs every seal's merge-chain build *inline under the
+//! global write lock* — a root-level merge over `2^h` leaves stalls every
+//! insert and query for the whole build. [`StreamingMbi`] removes the build
+//! from the insert path entirely:
+//!
+//! * **Inserts** append to a write-side *tail* (vectors + timestamps behind a
+//!   short `RwLock`) and return. When a leaf fills, its rows are appended to
+//!   the builder-side *master* copy and the leaf index is handed to the
+//!   background builders over a bounded channel.
+//! * **Builders** (dedicated `std::thread` workers) compute the leaf's merge
+//!   chain (Algorithm 3), build the chain's graphs with the exact same
+//!   deterministic seeds as the synchronous path, and stage the finished
+//!   blocks. Chains may finish out of order; they are *published* strictly in
+//!   leaf order.
+//! * **Publication** swaps an [`Arc<IndexSnapshot>`] — an immutable sealed
+//!   prefix (store, timestamps, postorder blocks) — under a short write lock.
+//!   Queries clone the current `Arc` (no lock held while searching) and serve
+//!   the not-yet-published region from the tail with the BSBF scan, so every
+//!   committed row is always visible exactly once.
+//!
+//! # Correctness of the tail fallback
+//!
+//! The publisher swaps the snapshot *before* trimming the published rows off
+//! the tail, and a query acquires the tail read lock *before* loading the
+//! snapshot. Lock acquire/release ordering therefore guarantees
+//! `tail.first_row ≤ snapshot.sealed_rows()` at query time: any row the
+//! snapshot already covers that is still present in the tail is skipped by
+//! clamping the tail scan to start at `sealed_rows − first_row`. Every
+//! committed row is thus served exactly once — from the snapshot's graphs if
+//! its chain has been published, else by exact scan — and once builds drain
+//! ([`StreamingMbi::flush`]) the snapshot's blocks are bit-identical to a
+//! synchronous [`MbiIndex`] fed the same stream (same ranges, same
+//! deterministic seed salts, same norm-cache columns).
+
+use crate::block::Block;
+use crate::config::MbiConfig;
+use crate::error::MbiError;
+use crate::index::{
+    assemble_blocks, blocks_for_leaves, build_chain_graphs, merge_chain, MbiIndex, QueryOutput,
+    TknnResult,
+};
+use crate::query_exec::QueryTarget;
+use crate::select::TimeWindow;
+use crate::Timestamp;
+use mbi_ann::{brute_force_prepared, SearchParams, SearchStats, VectorStore};
+use mbi_math::{Metric, OrderedF32, PreparedQuery};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What an insert does when it seals a leaf but the builder queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Block the inserting thread until a queue slot frees up (bounded
+    /// memory, insert latency spikes to one *queue wait*, never to a build).
+    Block,
+    /// Build the merge chain on the inserting thread instead of waiting — a
+    /// load-shedding mode that degrades towards `ConcurrentMbi`'s inline
+    /// behaviour under sustained overload but never stalls on a full queue.
+    BuildInline,
+}
+
+/// Tunables of the streaming engine (the index itself is configured by
+/// [`MbiConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Dedicated background builder threads (minimum 1; default 1).
+    pub builder_threads: usize,
+    /// Capacity of the bounded seal queue (default 2; `0` = rendezvous —
+    /// a seal waits for an idle builder).
+    pub queue_depth: usize,
+    /// Policy when the seal queue is full (default [`Backpressure::Block`]).
+    pub backpressure: Backpressure,
+    /// Intra-build threads per chain build (`0` = auto: available cores
+    /// divided by `builder_threads`; default 0). Graphs are bit-identical
+    /// for every value.
+    pub build_threads: usize,
+    /// Record per-insert latency micros into [`EngineStats::insert_micros`]
+    /// (default true; turn off to shave the `Instant` reads in ingest-bound
+    /// deployments).
+    pub record_insert_latency: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            builder_threads: 1,
+            queue_depth: 2,
+            backpressure: Backpressure::Block,
+            build_threads: 0,
+            record_insert_latency: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the number of dedicated builder threads (clamped to ≥ 1).
+    pub fn with_builder_threads(mut self, n: usize) -> Self {
+        self.builder_threads = n.max(1);
+        self
+    }
+
+    /// Sets the bounded seal-queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the full-queue policy.
+    pub fn with_backpressure(mut self, policy: Backpressure) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Sets the intra-build thread count per chain (`0` = auto).
+    pub fn with_build_threads(mut self, n: usize) -> Self {
+        self.build_threads = n;
+        self
+    }
+
+    /// Enables or disables per-insert latency recording.
+    pub fn with_record_insert_latency(mut self, on: bool) -> Self {
+        self.record_insert_latency = on;
+        self
+    }
+}
+
+/// A point-in-time snapshot of progress counters and latency samples.
+///
+/// Latencies are raw microsecond samples (not pre-aggregated) so callers can
+/// feed them to whatever summariser they use — `mbi-eval`'s
+/// `IngestSummary::from_engine_stats` turns them into the serialisable
+/// mean/p50/p99/max report (core cannot depend on eval, which depends on
+/// core).
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Leaves sealed so far (= merge chains handed to the builders,
+    /// including any built inline under [`Backpressure::BuildInline`]).
+    pub seals: usize,
+    /// Leaves whose chains have been published to the snapshot.
+    pub published_leaves: usize,
+    /// Chains sealed but not yet published (queued + in build).
+    pub queued_builds: usize,
+    /// Blocks in the current snapshot.
+    pub published_blocks: usize,
+    /// Greatest block height in the current snapshot (0 when empty).
+    pub published_height: u32,
+    /// Chains built on an inserting thread because the queue was full.
+    pub inline_builds: u64,
+    /// Per-insert wall-clock micros, in insert order (empty when
+    /// [`EngineConfig::record_insert_latency`] is off).
+    pub insert_micros: Vec<u64>,
+    /// Per-chain graph-build wall-clock micros, in completion order.
+    pub build_micros: Vec<u64>,
+}
+
+/// An immutable published view of the sealed prefix: parallel store /
+/// timestamp columns plus the postorder block array. Queries run on it
+/// without any lock; blocks are shared with the engine via `Arc`, so a
+/// snapshot clone is cheap and old snapshots die when their last reader
+/// drops them.
+#[derive(Clone, Debug)]
+pub struct IndexSnapshot {
+    config: MbiConfig,
+    store: VectorStore,
+    timestamps: Vec<Timestamp>,
+    blocks: Vec<Arc<Block>>,
+    num_leaves: usize,
+}
+
+impl IndexSnapshot {
+    fn empty(config: MbiConfig) -> Self {
+        let mut store = VectorStore::new(config.dim);
+        if config.metric == Metric::Angular {
+            store.enable_norm_cache();
+        }
+        IndexSnapshot { config, store, timestamps: Vec::new(), blocks: Vec::new(), num_leaves: 0 }
+    }
+
+    fn target(&self) -> QueryTarget<'_, Arc<Block>> {
+        QueryTarget {
+            config: &self.config,
+            store: &self.store,
+            timestamps: &self.timestamps,
+            blocks: &self.blocks,
+            num_leaves: self.num_leaves,
+        }
+    }
+
+    /// The configuration of the engine that published this snapshot.
+    pub fn config(&self) -> &MbiConfig {
+        &self.config
+    }
+
+    /// Rows covered by this snapshot (`num_leaves · S_L`).
+    pub fn sealed_rows(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Whether the snapshot covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Number of published (full) leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// The published postorder block array.
+    pub fn blocks(&self) -> &[Arc<Block>] {
+        &self.blocks
+    }
+
+    /// Approximate TkNN over the published rows only (the engine's
+    /// [`StreamingMbi::query`] adds the tail).
+    pub fn query_with_params(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+    ) -> QueryOutput {
+        self.target().query_with_params(query, k, window, params)
+    }
+}
+
+/// The write-side tail: rows not yet covered by the published snapshot.
+/// `first_row` is the global row id of the tail's first local row; it only
+/// ever increases (trims happen at publication).
+#[derive(Debug)]
+struct TailState {
+    store: VectorStore,
+    timestamps: Vec<Timestamp>,
+    first_row: usize,
+    last_ts: Option<Timestamp>,
+}
+
+/// The builder-side master copy: every sealed row (appended at seal time, in
+/// leaf order, under the tail lock), the growing postorder block array, and
+/// the in-order publication frontier. Out-of-order chain completions wait in
+/// `ready` until every earlier leaf has been published.
+#[derive(Debug)]
+struct Master {
+    store: VectorStore,
+    timestamps: Vec<Timestamp>,
+    blocks: Vec<Arc<Block>>,
+    ready: BTreeMap<usize, Vec<Block>>,
+    published_leaves: usize,
+    enqueued_leaves: usize,
+}
+
+#[derive(Debug)]
+struct Shared {
+    config: MbiConfig,
+    engine: EngineConfig,
+    snapshot: RwLock<Arc<IndexSnapshot>>,
+    tail: RwLock<TailState>,
+    master: Mutex<Master>,
+    publish_cv: Condvar,
+    inline_builds: AtomicU64,
+    insert_micros: Mutex<Vec<u64>>,
+    build_micros: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    /// Locks the master state. A builder panicking mid-build poisons the
+    /// mutex; recovering the guard keeps `flush`/`drop` functional (the
+    /// poisoned chain simply never publishes).
+    fn master_lock(&self) -> MutexGuard<'_, Master> {
+        self.master.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn effective_build_threads(&self) -> usize {
+        if self.engine.build_threads != 0 {
+            return self.engine.build_threads;
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (cores / self.engine.builder_threads).max(1)
+    }
+}
+
+/// A streaming MBI: `&self` inserts return without building graphs; merge
+/// chains build on background threads; queries are served from a lock-free
+/// snapshot plus an exact scan of the unpublished tail.
+///
+/// ```
+/// use mbi_core::{EngineConfig, MbiConfig, StreamingMbi, TimeWindow};
+/// use mbi_math::Metric;
+///
+/// let config = MbiConfig::new(2, Metric::Euclidean).with_leaf_size(8);
+/// let engine = StreamingMbi::with_engine_config(config, EngineConfig::default());
+/// for i in 0..100i64 {
+///     engine.insert(&[i as f32, 0.0], i).unwrap();
+/// }
+/// // Queries are correct immediately (unbuilt region served exactly) …
+/// let hits = engine.query(&[40.0, 0.0], 3, TimeWindow::all());
+/// assert_eq!(hits[0].id, 40);
+/// // … and after flush() the snapshot equals the synchronous index.
+/// engine.flush();
+/// assert_eq!(engine.stats().queued_builds, 0);
+/// ```
+#[derive(Debug)]
+pub struct StreamingMbi {
+    shared: Arc<Shared>,
+    /// Senders live behind a mutex so sealing inserts from many threads keep
+    /// queue order, and `drop` can take the sender to disconnect the workers.
+    tx: Mutex<Option<SyncSender<usize>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl StreamingMbi {
+    /// Creates an empty streaming engine with default [`EngineConfig`].
+    pub fn new(config: MbiConfig) -> Self {
+        Self::with_engine_config(config, EngineConfig::default())
+    }
+
+    /// Creates an empty streaming engine with explicit tunables, spawning
+    /// the builder threads immediately.
+    pub fn with_engine_config(config: MbiConfig, engine: EngineConfig) -> Self {
+        let engine = EngineConfig { builder_threads: engine.builder_threads.max(1), ..engine };
+        let mut tail_store = VectorStore::new(config.dim);
+        let mut master_store = VectorStore::new(config.dim);
+        if config.metric == Metric::Angular {
+            tail_store.enable_norm_cache();
+            master_store.enable_norm_cache();
+        }
+        let shared = Arc::new(Shared {
+            snapshot: RwLock::new(Arc::new(IndexSnapshot::empty(config))),
+            tail: RwLock::new(TailState {
+                store: tail_store,
+                timestamps: Vec::new(),
+                first_row: 0,
+                last_ts: None,
+            }),
+            master: Mutex::new(Master {
+                store: master_store,
+                timestamps: Vec::new(),
+                blocks: Vec::new(),
+                ready: BTreeMap::new(),
+                published_leaves: 0,
+                enqueued_leaves: 0,
+            }),
+            publish_cv: Condvar::new(),
+            inline_builds: AtomicU64::new(0),
+            insert_micros: Mutex::new(Vec::new()),
+            build_micros: Mutex::new(Vec::new()),
+            config,
+            engine,
+        });
+        let (tx, rx) = mpsc::sync_channel::<usize>(engine.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..engine.builder_threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("mbi-builder-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("failed to spawn builder thread")
+            })
+            .collect();
+        StreamingMbi { shared, tx: Mutex::new(Some(tx)), workers }
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> &MbiConfig {
+        &self.shared.config
+    }
+
+    /// The engine tunables (normalised: `builder_threads ≥ 1`).
+    pub fn engine_config(&self) -> &EngineConfig {
+        &self.shared.engine
+    }
+
+    /// Appends a timestamped vector; returns the new global row id. Never
+    /// builds graphs on this thread (except under [`Backpressure::
+    /// BuildInline`] with a full queue): a seal only memcpys the leaf to the
+    /// builder-side master and enqueues the chain.
+    ///
+    /// Timestamps must be non-decreasing across *all* inserting threads —
+    /// the same Algorithm 3 contract as [`MbiIndex::insert`].
+    pub fn insert(&self, vector: &[f32], t: Timestamp) -> Result<u32, MbiError> {
+        let t0 = self.shared.engine.record_insert_latency.then(Instant::now);
+        let s_l = self.shared.config.leaf_size;
+        let mut sealed_leaf = None;
+        let id = {
+            let mut tail = self.shared.tail.write();
+            if vector.len() != self.shared.config.dim {
+                return Err(MbiError::DimensionMismatch {
+                    expected: self.shared.config.dim,
+                    got: vector.len(),
+                });
+            }
+            if let Some(newest) = tail.last_ts {
+                if t < newest {
+                    return Err(MbiError::NonMonotonicTimestamp { newest, got: t });
+                }
+            }
+            tail.last_ts = Some(t);
+            let id = tail.first_row + tail.store.len();
+            tail.store.push(vector);
+            tail.timestamps.push(t);
+            let global_len = tail.first_row + tail.store.len();
+            if global_len.is_multiple_of(s_l) {
+                // A leaf just filled. Append its rows to the master copy
+                // while still holding the tail lock so concurrent writers
+                // enqueue leaves in seal order.
+                let leaf = global_len / s_l - 1;
+                let lo = leaf * s_l - tail.first_row;
+                let hi = lo + s_l;
+                let mut m = self.shared.master_lock();
+                debug_assert_eq!(m.enqueued_leaves, leaf, "leaves must seal in order");
+                m.store.extend_from_view(tail.store.slice(lo..hi));
+                let ts = tail.timestamps[lo..hi].to_vec();
+                m.timestamps.extend_from_slice(&ts);
+                m.enqueued_leaves = leaf + 1;
+                sealed_leaf = Some(leaf);
+            }
+            id
+        };
+
+        // Dispatch the chain outside every lock: a blocked send must never
+        // hold up readers of the tail.
+        if let Some(leaf) = sealed_leaf {
+            self.dispatch(leaf);
+        }
+        if let Some(t0) = t0 {
+            self.shared
+                .insert_micros
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(t0.elapsed().as_micros() as u64);
+        }
+        Ok(id as u32)
+    }
+
+    /// Hands a sealed leaf to the builders according to the backpressure
+    /// policy.
+    fn dispatch(&self, leaf: usize) {
+        let tx = self.tx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match self.shared.engine.backpressure {
+            Backpressure::Block => {
+                if let Some(tx) = tx.as_ref() {
+                    // The workers outlive the sender (drop takes it first),
+                    // so send only fails after disconnect mid-drop.
+                    let _ = tx.send(leaf);
+                }
+            }
+            Backpressure::BuildInline => {
+                let sent = tx.as_ref().map(|tx| tx.try_send(leaf));
+                drop(tx);
+                if !matches!(sent, Some(Ok(()))) {
+                    self.shared.inline_builds.fetch_add(1, Ordering::Relaxed);
+                    process_chain(&self.shared, leaf);
+                }
+            }
+        }
+    }
+
+    /// Appends many timestamped vectors.
+    pub fn insert_batch<'a, I>(&self, items: I) -> Result<(), MbiError>
+    where
+        I: IntoIterator<Item = (&'a [f32], Timestamp)>,
+    {
+        for (v, t) in items {
+            self.insert(v, t)?;
+        }
+        Ok(())
+    }
+
+    /// Total committed rows (published + tail).
+    pub fn len(&self) -> usize {
+        let tail = self.shared.tail.read();
+        tail.first_row + tail.store.len()
+    }
+
+    /// Whether no rows have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clones the current published snapshot (lock held only for the `Arc`
+    /// clone). The snapshot stays valid — and immutable — for as long as the
+    /// caller keeps it, independent of further inserts or publications.
+    pub fn snapshot(&self) -> Arc<IndexSnapshot> {
+        self.shared.snapshot.read().clone()
+    }
+
+    /// Approximate TkNN with the configured default search parameters.
+    pub fn query(&self, query: &[f32], k: usize, window: TimeWindow) -> Vec<TknnResult> {
+        self.query_with_params(query, k, window, &self.shared.config.search).results
+    }
+
+    /// Approximate TkNN over every committed row: the published snapshot
+    /// answers with its per-block graphs, the unpublished tail is scanned
+    /// exactly, and the two top-k lists are merged. See the module docs for
+    /// why no committed row is missed or double-counted.
+    pub fn query_with_params(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+    ) -> QueryOutput {
+        assert_eq!(query.len(), self.shared.config.dim, "query has wrong dimension");
+        // Order matters: tail read lock *before* the snapshot load
+        // establishes `first_row ≤ sealed_rows` (the publisher swaps the
+        // snapshot before trimming the tail).
+        let (snap, tail_hits) = {
+            let tail = self.shared.tail.read();
+            let snap = self.shared.snapshot.read().clone();
+            let hits = self.scan_tail(&tail, snap.sealed_rows(), query, k, window);
+            (snap, hits)
+        };
+        let mut out = snap.query_with_params(query, k, window, params);
+        if let Some((hits, tail_stats)) = tail_hits {
+            out.results = merge_results(out.results, hits, k);
+            out.stats.merge(&tail_stats);
+            out.selection.tail = true;
+        }
+        out
+    }
+
+    /// Exact scan of the unpublished, in-window tail rows. Returns `None`
+    /// when no such rows exist.
+    fn scan_tail(
+        &self,
+        tail: &TailState,
+        sealed_rows: usize,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+    ) -> Option<(Vec<TknnResult>, SearchStats)> {
+        let wlo = tail.timestamps.partition_point(|&t| t < window.start);
+        let whi = tail.timestamps.partition_point(|&t| t < window.end);
+        let lo = wlo.max(sealed_rows.saturating_sub(tail.first_row));
+        if whi <= lo {
+            return None;
+        }
+        let mut stats =
+            SearchStats { blocks_searched: 1, blocks_bruteforced: 1, ..Default::default() };
+        let pq = PreparedQuery::new(self.shared.config.metric, query);
+        let hits = brute_force_prepared(tail.store.slice(lo..whi), &pq, k, &mut stats)
+            .into_iter()
+            .map(|n| {
+                let local = lo + n.id as usize;
+                TknnResult {
+                    id: (tail.first_row + local) as u32,
+                    timestamp: tail.timestamps[local],
+                    dist: n.dist,
+                }
+            })
+            .collect();
+        Some((hits, stats))
+    }
+
+    /// Exact TkNN over every committed row (snapshot rows included), by
+    /// brute force — ground truth for tests and recall measurements.
+    pub fn exact_query(&self, query: &[f32], k: usize, window: TimeWindow) -> Vec<TknnResult> {
+        assert_eq!(query.len(), self.shared.config.dim, "query has wrong dimension");
+        let (snap, tail_hits) = {
+            let tail = self.shared.tail.read();
+            let snap = self.shared.snapshot.read().clone();
+            let hits = self.scan_tail(&tail, snap.sealed_rows(), query, k, window);
+            (snap, hits)
+        };
+        let sealed = snap.target().exact_query(query, k, window);
+        match tail_hits {
+            Some((hits, _)) => merge_results(sealed, hits, k),
+            None => sealed,
+        }
+    }
+
+    /// Blocks until every sealed leaf has been published to the snapshot.
+    /// After `flush`, a query sees exactly what a synchronous [`MbiIndex`]
+    /// fed the same stream would serve, and [`EngineStats::queued_builds`]
+    /// is 0 (barring concurrent inserts).
+    pub fn flush(&self) {
+        let mut m = self.shared.master_lock();
+        while m.published_leaves < m.enqueued_leaves {
+            m = self.shared.publish_cv.wait(m).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Progress counters and latency samples (see [`EngineStats`]).
+    pub fn stats(&self) -> EngineStats {
+        let (seals, published_leaves, published_blocks, published_height) = {
+            let m = self.shared.master_lock();
+            (
+                m.enqueued_leaves,
+                m.published_leaves,
+                m.blocks.len(),
+                m.blocks.iter().map(|b| b.height).max().unwrap_or(0),
+            )
+        };
+        EngineStats {
+            seals,
+            published_leaves,
+            queued_builds: seals - published_leaves,
+            published_blocks,
+            published_height,
+            inline_builds: self.shared.inline_builds.load(Ordering::Relaxed),
+            insert_micros: self
+                .shared
+                .insert_micros
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone(),
+            build_micros: self
+                .shared
+                .build_micros
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone(),
+        }
+    }
+
+    /// Flushes, then assembles a standalone synchronous [`MbiIndex`] holding
+    /// every committed row (published blocks deep-cloned, tail rows
+    /// appended). The result is bit-identical — blocks, graphs, norm cache —
+    /// to an `MbiIndex` fed the same stream, which the convergence tests
+    /// assert and persistence relies on.
+    pub fn to_index(&self) -> MbiIndex {
+        self.flush();
+        // Same nesting as a sealing insert (tail → master), so this cannot
+        // deadlock against one.
+        let tail = self.shared.tail.read();
+        let m = self.shared.master_lock();
+        let sealed = m.published_leaves * self.shared.config.leaf_size;
+        debug_assert_eq!(m.store.len(), sealed);
+        let mut store = m.store.clone();
+        let mut timestamps = m.timestamps.clone();
+        let skip = sealed - tail.first_row;
+        store.extend_from_view(tail.store.slice(skip..tail.store.len()));
+        timestamps.extend_from_slice(&tail.timestamps[skip..]);
+        MbiIndex {
+            config: self.shared.config,
+            store,
+            timestamps,
+            blocks: m.blocks.iter().map(|b| (**b).clone()).collect(),
+            num_leaves: m.published_leaves,
+        }
+    }
+}
+
+impl Drop for StreamingMbi {
+    /// Disconnects the seal queue and joins every builder thread. Chains
+    /// already queued are still built (the workers drain the channel before
+    /// observing the disconnect), so no committed data is lost; they are
+    /// simply never observable again since the engine is gone.
+    fn drop(&mut self) {
+        drop(self.tx.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take());
+        for worker in self.workers.drain(..) {
+            // A builder that panicked already poisoned what it poisoned;
+            // surfacing the panic here would abort unwinding callers.
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Builder thread body: take leaf indices off the shared channel until it
+/// disconnects. Only one worker blocks in `recv` at a time (the receiver
+/// lives behind a mutex — `std::sync::mpsc` receivers are single-consumer);
+/// the others are inside builds, so job pickup is effectively immediate.
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<usize>>) {
+    loop {
+        let job = {
+            let rx = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            rx.recv()
+        };
+        match job {
+            Ok(leaf) => process_chain(shared, leaf),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Builds and publishes the merge chain of (0-based) leaf `leaf`: compute the
+/// chain, copy its rows out of the master under the lock, build the graphs
+/// lock-free with the same deterministic ids as the synchronous path, stage
+/// the blocks, and publish every chain that is next in leaf order.
+fn process_chain(shared: &Shared, leaf: usize) {
+    let t0 = Instant::now();
+    let s_l = shared.config.leaf_size;
+    let pending = merge_chain(leaf + 1, s_l);
+    let chain_rows = pending.last().expect("chain is never empty").0.clone();
+    let base_id = blocks_for_leaves(leaf) as u64;
+
+    // Copy the chain's rows so the build holds no lock. The copy preserves
+    // the inverse-norm column, keeping angular graphs bit-identical.
+    let chunk = shared.master_lock().store.materialize(chain_rows.clone());
+    let graphs = build_chain_graphs(
+        &shared.config,
+        &chunk,
+        chain_rows.start,
+        &pending,
+        base_id,
+        shared.effective_build_threads(),
+    );
+    // Record before publication so a flush() that returns has every
+    // published chain's sample in view.
+    shared
+        .build_micros
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(t0.elapsed().as_micros() as u64);
+
+    // Stage, then publish every consecutive ready chain in leaf order.
+    let publish = {
+        let mut m = shared.master_lock();
+        let blocks = assemble_blocks(pending, graphs, &m.timestamps);
+        m.ready.insert(leaf, blocks);
+        let mut advanced = false;
+        while let Some(chain) = {
+            let next = m.published_leaves;
+            m.ready.remove(&next)
+        } {
+            m.blocks.extend(chain.into_iter().map(Arc::new));
+            m.published_leaves += 1;
+            advanced = true;
+        }
+        advanced.then(|| {
+            let sealed = m.published_leaves * s_l;
+            Arc::new(IndexSnapshot {
+                config: shared.config,
+                store: m.store.materialize(0..sealed),
+                timestamps: m.timestamps[..sealed].to_vec(),
+                blocks: m.blocks.clone(),
+                num_leaves: m.published_leaves,
+            })
+        })
+    };
+
+    if let Some(snap) = publish {
+        let sealed = snap.sealed_rows();
+        {
+            // Concurrent publishers race benignly: only a strictly newer
+            // snapshot replaces the current one.
+            let mut cur = shared.snapshot.write();
+            if snap.num_leaves > cur.num_leaves {
+                *cur = snap;
+            }
+        }
+        {
+            // Trim the published prefix off the tail — *after* the swap, so
+            // a query that still sees these rows in its snapshot clamps them
+            // out of its tail scan instead of losing them.
+            let mut tail = shared.tail.write();
+            if sealed > tail.first_row {
+                let drop_rows = sealed - tail.first_row;
+                tail.store.drop_front(drop_rows);
+                tail.timestamps.drain(..drop_rows);
+                tail.first_row = sealed;
+            }
+        }
+        shared.publish_cv.notify_all();
+    }
+}
+
+/// Merges two ascending top-k lists (each already ≤ k, disjoint ids) into
+/// the ascending top-k of their union, under the same `(dist, id)` total
+/// order the `TopK` accumulator uses.
+fn merge_results(a: Vec<TknnResult>, b: Vec<TknnResult>, k: usize) -> Vec<TknnResult> {
+    let key = |r: &TknnResult| (OrderedF32(r.dist), r.id);
+    let mut out = Vec::with_capacity(k.min(a.len() + b.len()));
+    let (mut a, mut b) = (a.into_iter().peekable(), b.into_iter().peekable());
+    while out.len() < k {
+        let take_a = match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => key(x) <= key(y),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let next = if take_a { a.next() } else { b.next() };
+        out.extend(next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MbiConfig {
+        MbiConfig::new(2, Metric::Euclidean)
+            .with_leaf_size(8)
+            .with_search(SearchParams::new(64, 1.2))
+    }
+
+    fn fill(engine: &StreamingMbi, n: usize) {
+        for i in 0..n {
+            engine.insert(&[i as f32, 0.0], i as i64).unwrap();
+        }
+    }
+
+    #[test]
+    fn insert_validates_like_the_sync_index() {
+        let engine = StreamingMbi::new(config());
+        assert!(matches!(
+            engine.insert(&[1.0], 0),
+            Err(MbiError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+        engine.insert(&[0.0, 0.0], 10).unwrap();
+        assert!(matches!(
+            engine.insert(&[0.0, 0.0], 9),
+            Err(MbiError::NonMonotonicTimestamp { newest: 10, got: 9 })
+        ));
+        engine.insert(&[0.0, 1.0], 10).unwrap();
+        assert_eq!(engine.len(), 2);
+        assert!(!engine.is_empty());
+    }
+
+    #[test]
+    fn empty_engine_queries_cleanly() {
+        let engine = StreamingMbi::new(config());
+        assert!(engine.is_empty());
+        assert!(engine.query(&[0.0, 0.0], 5, TimeWindow::all()).is_empty());
+        assert!(engine.exact_query(&[0.0, 0.0], 5, TimeWindow::all()).is_empty());
+        engine.flush();
+        assert_eq!(engine.stats().seals, 0);
+    }
+
+    #[test]
+    fn flush_publishes_every_chain() {
+        let engine = StreamingMbi::new(config());
+        fill(&engine, 67); // 8 full leaves + 3 tail rows
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.seals, 8);
+        assert_eq!(stats.published_leaves, 8);
+        assert_eq!(stats.queued_builds, 0);
+        assert_eq!(stats.published_blocks, blocks_for_leaves(8));
+        assert_eq!(stats.published_height, 3);
+        assert_eq!(stats.build_micros.len(), 8);
+        assert_eq!(stats.insert_micros.len(), 67);
+        let snap = engine.snapshot();
+        assert_eq!(snap.sealed_rows(), 64);
+        assert_eq!(snap.num_leaves(), 8);
+        assert_eq!(snap.blocks().len(), blocks_for_leaves(8));
+    }
+
+    #[test]
+    fn queries_are_exact_over_committed_rows_at_any_lag() {
+        // Compare against a fully synchronous index after every insert-ish
+        // checkpoint; the engine may be arbitrarily behind on builds, yet
+        // every committed row must be served (exactly once).
+        let engine = StreamingMbi::new(config());
+        let mut sync = MbiIndex::new(config());
+        for i in 0..50usize {
+            engine.insert(&[i as f32, 0.0], i as i64).unwrap();
+            sync.insert(&[i as f32, 0.0], i as i64).unwrap();
+            if i % 7 == 0 {
+                let w = TimeWindow::new(0, i as i64 + 1);
+                let got = engine.exact_query(&[i as f32, 0.0], 3, w);
+                let want = sync.exact_query(&[i as f32, 0.0], 3, w);
+                assert_eq!(got, want, "after {} inserts", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn to_index_converges_to_the_sync_index() {
+        let engine = StreamingMbi::new(config());
+        let mut sync = MbiIndex::new(config());
+        for i in 0..45usize {
+            engine.insert(&[i as f32, (i % 3) as f32], i as i64 / 2).unwrap();
+            sync.insert(&[i as f32, (i % 3) as f32], i as i64 / 2).unwrap();
+        }
+        let converged = engine.to_index();
+        assert_eq!(converged.validate(), Ok(()));
+        assert_eq!(converged.len(), sync.len());
+        assert_eq!(converged.num_leaves(), sync.num_leaves());
+        assert_eq!(converged.timestamps(), sync.timestamps());
+        assert_eq!(converged.store().as_flat(), sync.store().as_flat());
+        let w = TimeWindow::new(2, 20);
+        assert_eq!(
+            converged.query(&[17.0, 1.0], 5, w),
+            sync.query(&[17.0, 1.0], 5, w),
+            "flushed engine answers like the sync index"
+        );
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_further_ingest() {
+        let engine = StreamingMbi::new(config());
+        fill(&engine, 16);
+        engine.flush();
+        let snap = engine.snapshot();
+        let before = snap.sealed_rows();
+        fill_from(&engine, 16, 64);
+        engine.flush();
+        assert_eq!(snap.sealed_rows(), before, "old snapshot is frozen");
+        assert!(engine.snapshot().sealed_rows() > before);
+    }
+
+    fn fill_from(engine: &StreamingMbi, from: usize, to: usize) {
+        for i in from..to {
+            engine.insert(&[i as f32, 0.0], i as i64).unwrap();
+        }
+    }
+
+    #[test]
+    fn build_inline_policy_never_stalls_and_converges() {
+        let engine = StreamingMbi::with_engine_config(
+            config(),
+            EngineConfig::default()
+                .with_queue_depth(0)
+                .with_backpressure(Backpressure::BuildInline),
+        );
+        fill(&engine, 80);
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.published_leaves, 10);
+        let idx = engine.to_index();
+        assert_eq!(idx.validate(), Ok(()));
+    }
+
+    #[test]
+    fn latency_recording_can_be_disabled() {
+        let engine = StreamingMbi::with_engine_config(
+            config(),
+            EngineConfig::default().with_record_insert_latency(false),
+        );
+        fill(&engine, 20);
+        assert!(engine.stats().insert_micros.is_empty());
+        assert_eq!(engine.engine_config().builder_threads, 1);
+    }
+
+    #[test]
+    fn merge_results_is_topk_of_the_union() {
+        let r = |id: u32, dist: f32| TknnResult { id, timestamp: id as i64, dist };
+        let a = vec![r(1, 0.5), r(4, 2.0), r(9, 3.0)];
+        let b = vec![r(2, 1.0), r(3, 2.0)];
+        let merged = merge_results(a.clone(), b.clone(), 4);
+        let ids: Vec<u32> = merged.iter().map(|x| x.id).collect();
+        // Tie at dist 2.0 breaks on id: 3 before 4.
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+        assert_eq!(merge_results(a, Vec::new(), 2).len(), 2);
+        assert!(merge_results(Vec::new(), Vec::new(), 3).is_empty());
+        assert_eq!(merge_results(Vec::new(), b, 10).len(), 2);
+    }
+}

@@ -4,18 +4,11 @@
 use crate::block::{Block, BlockGraph};
 use crate::config::MbiConfig;
 use crate::error::MbiError;
-use crate::select::{select_blocks, SearchBlockSet, TimeWindow};
+use crate::query_exec::QueryTarget;
+use crate::select::{SearchBlockSet, TimeWindow};
 use crate::Timestamp;
-use mbi_ann::{
-    brute_force_prepared, with_thread_scratch, SearchParams, SearchScratch, SearchStats,
-    VectorStore,
-};
-use mbi_math::{Metric, Neighbor, PreparedQuery, TopK};
-
-/// Minimum total rows under the selected full blocks before auto-mode
-/// intra-query fan-out spawns workers; below this a scoped-thread spawn
-/// costs more than the per-block searches it would parallelise.
-const MIN_PARALLEL_ROWS: usize = 8 * 1024;
+use mbi_ann::{SearchParams, SearchStats, VectorStore};
+use mbi_math::Metric;
 
 /// One TkNN answer: a vector id (insertion order), its timestamp, and its
 /// distance to the query.
@@ -68,6 +61,105 @@ fn push_subtree(
     }
     let start = first_leaf * leaf_size;
     out.push((start..start + leaves * leaf_size, leaves.trailing_zeros()));
+}
+
+/// The pending merge chain created when the `leaf_count`-th leaf seals
+/// (the `while j is even` loop of Algorithm 3): the leaf itself plus one
+/// ancestor per trailing zero bit of `leaf_count`; the ancestor of height
+/// `h` covers the last `2^h` leaves. Row ranges are global.
+pub(crate) fn merge_chain(
+    leaf_count: usize,
+    leaf_size: usize,
+) -> Vec<(std::ops::Range<usize>, u32)> {
+    let end = leaf_count * leaf_size;
+    (0..=leaf_count.trailing_zeros()).map(|h| (end - (1usize << h) * leaf_size..end, h)).collect()
+}
+
+/// Number of blocks materialised after `leaves` full leaves:
+/// `Σ_j (1 + tz(j)) = 2·leaves − popcount(leaves)`. Block ids — and with
+/// them the graph seed salts — are a pure function of the leaf count, which
+/// is what lets the streaming engine build merge chains out of order on
+/// background threads and still publish graphs bit-identical to the
+/// synchronous path.
+pub(crate) fn blocks_for_leaves(leaves: usize) -> usize {
+    2 * leaves - leaves.count_ones() as usize
+}
+
+/// Builds the graphs of one pending merge chain — §4.2 "Parallelization of
+/// MBI": each block of a chain is independent, so with `threads > 1` the
+/// chain fans out across scoped workers and remaining cores go to intra-build
+/// parallelism (NNDescent's local-join distances). Either way the produced
+/// graphs are identical to a serial build.
+///
+/// `pending` holds *global* row ranges; `offset` is the global row of
+/// `store`'s first row, so the synchronous path passes the whole store with
+/// `offset = 0` while the streaming engine passes a materialised copy of
+/// just the chain's rows. `base_id` seeds the per-block salt and must equal
+/// the postorder index of the chain's first block.
+pub(crate) fn build_chain_graphs(
+    config: &MbiConfig,
+    store: &VectorStore,
+    offset: usize,
+    pending: &[(std::ops::Range<usize>, u32)],
+    base_id: u64,
+    threads: usize,
+) -> Vec<BlockGraph> {
+    let backend = &config.backend;
+    let metric = config.metric;
+    let local = |rows: &std::ops::Range<usize>| rows.start - offset..rows.end - offset;
+    if threads <= 1 || pending.len() == 1 {
+        // Sequential over the chain; a single pending block still gets the
+        // full intra-build budget.
+        let inner = threads.max(1);
+        return pending
+            .iter()
+            .enumerate()
+            .map(|(i, (rows, _))| {
+                BlockGraph::build_threaded(
+                    backend,
+                    store.slice(local(rows)),
+                    metric,
+                    base_id + i as u64,
+                    inner,
+                )
+            })
+            .collect();
+    }
+    let inner_threads = (threads / pending.len()).max(1);
+    let mut graphs: Vec<Option<BlockGraph>> = (0..pending.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (i, slot) in graphs.iter_mut().enumerate() {
+            let rows = local(&pending[i].0);
+            scope.spawn(move || {
+                *slot = Some(BlockGraph::build_threaded(
+                    backend,
+                    store.slice(rows),
+                    metric,
+                    base_id + i as u64,
+                    inner_threads,
+                ));
+            });
+        }
+    });
+    graphs.into_iter().map(|g| g.expect("every scoped builder ran to completion")).collect()
+}
+
+/// Pairs a chain's ranges with its built graphs into [`Block`]s, reading the
+/// timestamp bounds from the global timestamp column.
+pub(crate) fn assemble_blocks(
+    pending: Vec<(std::ops::Range<usize>, u32)>,
+    graphs: Vec<BlockGraph>,
+    timestamps: &[Timestamp],
+) -> Vec<Block> {
+    pending
+        .into_iter()
+        .zip(graphs)
+        .map(|((rows, height), graph)| {
+            let start_ts = timestamps[rows.start];
+            let end_ts = timestamps[rows.end - 1] + 1;
+            Block { rows, height, start_ts, end_ts, graph }
+        })
+        .collect()
 }
 
 /// Multi-level Block Index over timestamped vectors.
@@ -222,92 +314,42 @@ impl MbiIndex {
     /// trailing zero bit of `num_leaves` (the `while j is even` loop of
     /// Algorithm 3).
     fn seal_tail(&mut self) {
-        let s_l = self.config.leaf_size;
         self.num_leaves += 1;
-        let end = self.num_leaves * s_l;
-        debug_assert_eq!(end, self.len());
+        debug_assert_eq!(self.num_leaves * self.config.leaf_size, self.len());
+        debug_assert_eq!(self.blocks.len(), blocks_for_leaves(self.num_leaves - 1));
 
-        // Pending blocks: the leaf (height 0) plus one ancestor per merge.
-        // The ancestor of height h covers the last 2^h leaves.
-        let merges = self.num_leaves.trailing_zeros();
-        let pending: Vec<(std::ops::Range<usize>, u32)> =
-            (0..=merges).map(|h| (end - (1usize << h) * s_l..end, h)).collect();
-
-        let graphs = self.build_graphs(&pending);
-        for ((rows, height), graph) in pending.into_iter().zip(graphs) {
-            let start_ts = self.timestamps[rows.start];
-            let end_ts = self.timestamps[rows.end - 1] + 1;
-            self.blocks.push(Block { rows, height, start_ts, end_ts, graph });
-        }
+        let pending = merge_chain(self.num_leaves, self.config.leaf_size);
+        let threads = if self.config.parallel_build {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            1
+        };
+        let graphs = build_chain_graphs(
+            &self.config,
+            &self.store,
+            0,
+            &pending,
+            self.blocks.len() as u64,
+            threads,
+        );
+        self.blocks.extend(assemble_blocks(pending, graphs, &self.timestamps));
     }
 
-    /// Builds the pending blocks' graphs, in parallel when configured —
-    /// §4.2 "Parallelization of MBI": each block of a merge chain is
-    /// independent, so its graph can be built concurrently; remaining cores
-    /// go to intra-build parallelism (NNDescent's local-join distances).
-    /// Either way the produced graphs are identical to a serial build.
-    fn build_graphs(&self, pending: &[(std::ops::Range<usize>, u32)]) -> Vec<BlockGraph> {
-        let backend = &self.config.backend;
-        let metric = self.config.metric;
-        let base_id = self.blocks.len() as u64;
-
-        if !self.config.parallel_build {
-            return pending
-                .iter()
-                .enumerate()
-                .map(|(i, (rows, _))| {
-                    BlockGraph::build(
-                        backend,
-                        self.store.slice(rows.clone()),
-                        metric,
-                        base_id + i as u64,
-                    )
-                })
-                .collect();
+    /// The borrowed [`QueryTarget`] view of this index — the shared query
+    /// executor used by both this type and the streaming engine's snapshots.
+    pub(crate) fn target(&self) -> QueryTarget<'_, Block> {
+        QueryTarget {
+            config: &self.config,
+            store: &self.store,
+            timestamps: &self.timestamps,
+            blocks: &self.blocks,
+            num_leaves: self.num_leaves,
         }
-
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let inner_threads = (cores / pending.len()).max(1);
-        if pending.len() == 1 {
-            let (rows, _) = &pending[0];
-            return vec![BlockGraph::build_threaded(
-                backend,
-                self.store.slice(rows.clone()),
-                metric,
-                base_id,
-                inner_threads,
-            )];
-        }
-
-        let mut graphs: Vec<Option<BlockGraph>> = (0..pending.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (i, slot) in graphs.iter_mut().enumerate() {
-                let rows = pending[i].0.clone();
-                let store = &self.store;
-                scope.spawn(move || {
-                    *slot = Some(BlockGraph::build_threaded(
-                        backend,
-                        store.slice(rows),
-                        metric,
-                        base_id + i as u64,
-                        inner_threads,
-                    ));
-                });
-            }
-        });
-        graphs.into_iter().map(|g| g.expect("every scoped builder ran to completion")).collect()
     }
 
     /// Computes the search block set for `window` (Algorithm 4 line 3).
     pub fn block_selection(&self, window: TimeWindow) -> SearchBlockSet {
-        let blocks = select_blocks(&self.blocks, self.num_leaves, self.config.tau, window);
-        let tail_rows = self.tail_rows();
-        let tail = !tail_rows.is_empty() && {
-            let ts = self.timestamps[tail_rows.start];
-            let te = self.timestamps[self.len() - 1] + 1;
-            window.overlap_with(ts, te) > 0
-        };
-        SearchBlockSet { blocks, tail }
+        self.target().block_selection(window)
     }
 
     /// Approximate TkNN query with the configured default search parameters.
@@ -375,7 +417,7 @@ impl MbiIndex {
     /// adaptive sequential fallback), `n > 0` forces up to `n` workers.
     ///
     /// Results and merged [`SearchStats`] are bit-identical for every
-    /// `threads` value: each worker fills a local [`TopK`] whose retention
+    /// `threads` value: each worker fills a local `TopK` whose retention
     /// depends only on the *set* of offered `(dist, id)` pairs (total order,
     /// deterministic tie-break on id), workers are merged in block order,
     /// and the stats fields are order-independent sums.
@@ -388,208 +430,20 @@ impl MbiIndex {
         selection: &SearchBlockSet,
         threads: usize,
     ) -> QueryOutput {
-        assert_eq!(query.len(), self.config.dim, "query has wrong dimension");
-        let mut stats = SearchStats::default();
-        let mut merged = TopK::new(k);
-        let (wlo, whi) = self.window_rows(window);
-        // Prepared once per query: the norm work is shared by every block
-        // this query touches (and every worker — `PreparedQuery` is `Copy`).
-        let pq = PreparedQuery::new(self.config.metric, query);
-
-        let workers = self.effective_query_threads(threads, selection);
-        if workers <= 1 {
-            with_thread_scratch(|scratch, buf| {
-                for &bi in &selection.blocks {
-                    self.search_one_block(
-                        bi,
-                        &pq,
-                        k,
-                        wlo,
-                        whi,
-                        window,
-                        params,
-                        &mut merged,
-                        &mut stats,
-                        scratch,
-                        buf,
-                    );
-                }
-            });
-        } else {
-            // Scoped fan-out over contiguous chunks of the selection. Chunks
-            // are merged in block order below; per the determinism argument
-            // in the doc comment the order is immaterial to the output, but
-            // keeping it fixed makes that claim trivially auditable. Each
-            // worker borrows its own thread's scratch, so repeated queries
-            // reuse the same allocations per worker thread.
-            let chunk = selection.blocks.len().div_ceil(workers);
-            let mut parts: Vec<Option<(TopK, SearchStats)>> =
-                (0..selection.blocks.len().div_ceil(chunk)).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                for (slot, blocks) in parts.iter_mut().zip(selection.blocks.chunks(chunk)) {
-                    scope.spawn(move || {
-                        let mut local = TopK::new(k);
-                        let mut local_stats = SearchStats::default();
-                        with_thread_scratch(|scratch, buf| {
-                            for &bi in blocks {
-                                self.search_one_block(
-                                    bi,
-                                    &pq,
-                                    k,
-                                    wlo,
-                                    whi,
-                                    window,
-                                    params,
-                                    &mut local,
-                                    &mut local_stats,
-                                    scratch,
-                                    buf,
-                                );
-                            }
-                        });
-                        *slot = Some((local, local_stats));
-                    });
-                }
-            });
-            for part in parts {
-                let (local, local_stats) = part.expect("every scoped worker ran to completion");
-                merged.merge(local);
-                stats.merge(&local_stats);
-            }
-        }
-
-        // Tail: binary search + brute force (Algorithm 4 line 6 — the
-        // non-full leaf has no graph, so BSBF applies). Stays on the calling
-        // thread: it is a single bounded scan, never worth a spawn.
-        if selection.tail {
-            let tail = self.tail_rows();
-            let lo = wlo.max(tail.start);
-            let hi = whi.max(lo);
-            if hi > lo {
-                stats.blocks_searched += 1;
-                stats.blocks_bruteforced += 1;
-                for n in brute_force_prepared(self.store.slice(lo..hi), &pq, k, &mut stats) {
-                    merged.offer(lo as u32 + n.id, n.dist);
-                }
-            }
-        }
-
-        QueryOutput { results: self.to_results(merged), stats, selection: selection.clone() }
-    }
-
-    /// Searches one selected full block, merging hits into `merged` and
-    /// counters into `stats` — the per-block body shared by the sequential
-    /// and fan-out paths of [`MbiIndex::query_on_selection_threaded`].
-    ///
-    /// The block is answered by an SF-style filtered graph search (Algorithm
-    /// 4 line 8) — unless the window covers so few of the block's rows that
-    /// an exact scan is cheaper. Cost model: the filtered graph search must
-    /// visit ≈ k/ρ vertices to collect k in-window results (ρ = m/|B| is the
-    /// in-window density) at ≈ degree distance evaluations per visit, i.e.
-    /// ≈ k·degree·|B|/m evals, while a BSBF scan of the block's in-window
-    /// rows costs exactly m. Dispatching on the cheaper side is what makes
-    /// MBI "operate like BSBF when the query time window is short"
-    /// (challenge C1, §4) even below leaf granularity.
-    ///
-    /// `stats.blocks_searched` counts only blocks whose in-window row range
-    /// is non-empty — a block selected on timestamp overlap can still hold
-    /// zero in-window rows (timestamp gaps) and is skipped untouched.
-    #[allow(clippy::too_many_arguments)]
-    fn search_one_block(
-        &self,
-        bi: usize,
-        pq: &PreparedQuery<'_>,
-        k: usize,
-        wlo: usize,
-        whi: usize,
-        window: TimeWindow,
-        params: &SearchParams,
-        merged: &mut TopK,
-        stats: &mut SearchStats,
-        scratch: &mut SearchScratch,
-        buf: &mut Vec<Neighbor>,
-    ) {
-        let block = &self.blocks[bi];
-        let base = block.rows.start as u32;
-        let lo = wlo.max(block.rows.start);
-        let hi = whi.min(block.rows.end);
-        let m = hi.saturating_sub(lo);
-        if m == 0 {
-            return;
-        }
-        stats.blocks_searched += 1;
-        let degree = self.config.search_degree_estimate();
-        // The beam typically visits ~2k vertices before the ε bound
-        // stops it, hence the factor 2 on the k/ρ visit estimate.
-        let graph_cost =
-            (2 * k as u64).saturating_mul(degree as u64).saturating_mul(block.len() as u64)
-                / m as u64;
-        if (m as u64) < graph_cost {
-            // Exact scan of the in-window rows of this block.
-            stats.blocks_bruteforced += 1;
-            for n in brute_force_prepared(self.store.slice(lo..hi), pq, k, stats) {
-                merged.offer(lo as u32 + n.id, n.dist);
-            }
-            return;
-        }
-        let view = self.store.slice(block.rows.clone());
-        let fully_covered = window.start <= block.start_ts && block.end_ts <= window.end;
-        let ts = &self.timestamps;
-        let mut filter = |lid: u32| fully_covered || window.contains(ts[(base + lid) as usize]);
-        block.graph.search_prepared(view, pq, k, params, &mut filter, stats, scratch, buf);
-        for n in buf.iter() {
-            merged.offer(base + n.id, n.dist);
-        }
-    }
-
-    /// Resolves a requested fan-out width to the worker count actually used.
-    ///
-    /// An explicit request (`requested > 0`) is honoured up to one worker
-    /// per selected block. Auto mode (`0`) uses the available cores but
-    /// falls back to sequential when there is nothing to amortise a spawn
-    /// against: fewer than two selected full blocks, a single core, or
-    /// fewer than [`MIN_PARALLEL_ROWS`] total rows under selection.
-    fn effective_query_threads(&self, requested: usize, selection: &SearchBlockSet) -> usize {
-        let nblocks = selection.blocks.len();
-        if nblocks <= 1 {
-            return 1;
-        }
-        if requested != 0 {
-            return requested.min(nblocks);
-        }
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        if cores <= 1 {
-            return 1;
-        }
-        let total_rows: usize = selection.blocks.iter().map(|&bi| self.blocks[bi].len()).sum();
-        if total_rows < MIN_PARALLEL_ROWS {
-            return 1;
-        }
-        cores.min(nblocks)
+        self.target().query_on_selection_threaded(query, k, window, params, selection, threads)
     }
 
     /// Exact TkNN by binary search + brute force over the whole store — the
     /// BSBF procedure (Algorithm 1) applied to this index's own data. Used
     /// as ground truth by the τ tuner and in tests.
     pub fn exact_query(&self, query: &[f32], k: usize, window: TimeWindow) -> Vec<TknnResult> {
-        assert_eq!(query.len(), self.config.dim, "query has wrong dimension");
-        let (lo, hi) = self.window_rows(window);
-        let mut stats = SearchStats::default();
-        let pq = PreparedQuery::new(self.config.metric, query);
-        let top = brute_force_prepared(self.store.slice(lo..hi), &pq, k, &mut stats);
-        let mut merged = TopK::new(k);
-        for n in top {
-            merged.offer(lo as u32 + n.id, n.dist);
-        }
-        self.to_results(merged)
+        self.target().exact_query(query, k, window)
     }
 
     /// Rows whose timestamps fall in `window`, as `[lo, hi)` — the binary
     /// search step of Algorithm 1 (timestamps are sorted by construction).
     pub fn window_rows(&self, window: TimeWindow) -> (usize, usize) {
-        let lo = self.timestamps.partition_point(|&t| t < window.start);
-        let hi = self.timestamps.partition_point(|&t| t < window.end);
-        (lo, hi)
+        self.target().window_rows(window)
     }
 
     /// Number of vectors whose timestamps fall in `window` (`|D[t_s:t_e)|`).
@@ -781,18 +635,6 @@ impl MbiIndex {
         }
         Ok(())
     }
-
-    fn to_results(&self, merged: TopK) -> Vec<TknnResult> {
-        merged
-            .into_sorted_vec()
-            .into_iter()
-            .map(|Neighbor { id, dist }| TknnResult {
-                id,
-                timestamp: self.timestamps[id as usize],
-                dist,
-            })
-            .collect()
-    }
 }
 
 #[cfg(test)]
@@ -813,6 +655,22 @@ mod tests {
             idx.insert(&[i as f32, 0.0], i as i64).unwrap();
         }
         idx
+    }
+
+    #[test]
+    fn merge_chain_and_block_count_arithmetic() {
+        assert_eq!(merge_chain(1, 8), vec![(0..8, 0)]);
+        assert_eq!(merge_chain(2, 8), vec![(8..16, 0), (0..16, 1)]);
+        assert_eq!(merge_chain(3, 8), vec![(16..24, 0)]);
+        assert_eq!(merge_chain(4, 8), vec![(24..32, 0), (16..32, 1), (0..32, 2)]);
+        // blocks_for_leaves is the running sum of chain lengths — the block-id
+        // arithmetic the streaming engine's out-of-order builds rely on.
+        let mut total = 0usize;
+        for j in 1..=64 {
+            assert_eq!(total, blocks_for_leaves(j - 1), "after {} leaves", j - 1);
+            total += merge_chain(j, 8).len();
+        }
+        assert_eq!(total, blocks_for_leaves(64));
     }
 
     #[test]

@@ -48,6 +48,7 @@
 //! | [`select`] | §4.3 | top-down block selection, overlap ratio |
 //! | [`persist`] | — | binary save/load of a built index |
 //! | [`concurrent`] | — | [`ConcurrentMbi`]: queries concurrent with ingest |
+//! | [`engine`] | — | [`StreamingMbi`]: background builds, snapshot publication |
 //! | [`tuner`] | §5.4.2 | [`TauTuner`]: per-window-length `τ` calibration |
 
 #![forbid(unsafe_code)]
@@ -56,15 +57,18 @@
 pub mod block;
 pub mod concurrent;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod index;
 pub mod persist;
+pub(crate) mod query_exec;
 pub mod select;
 pub mod tuner;
 
 pub use block::{Block, BlockGraph};
 pub use concurrent::ConcurrentMbi;
 pub use config::{GraphBackend, MbiConfig};
+pub use engine::{Backpressure, EngineConfig, EngineStats, IndexSnapshot, StreamingMbi};
 pub use error::MbiError;
 pub use index::{LevelStats, MbiIndex, QueryOutput, TknnResult};
 pub use select::{SearchBlockSet, TimeWindow};

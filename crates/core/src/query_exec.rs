@@ -1,0 +1,318 @@
+//! Generic query execution (Algorithm 4) over any postorder block array.
+//!
+//! [`MbiIndex`](crate::MbiIndex) owns its blocks directly (`Vec<Block>`);
+//! the streaming engine's published snapshots share them (`Vec<Arc<Block>>`).
+//! Both answer queries through the same [`QueryTarget`] — a borrowed view of
+//! the index state, generic over how a block is held — so the per-block
+//! search, the cost-model dispatch, the intra-query fan-out, and the tail
+//! scan are written (and audited) exactly once.
+
+use crate::block::Block;
+use crate::config::MbiConfig;
+use crate::index::{QueryOutput, TknnResult};
+use crate::select::{select_blocks, BlockMeta, SearchBlockSet, TimeWindow};
+use crate::Timestamp;
+use mbi_ann::{
+    brute_force_prepared, with_thread_scratch, SearchParams, SearchScratch, SearchStats,
+    VectorStore,
+};
+use mbi_math::{Neighbor, PreparedQuery, TopK};
+use std::borrow::Borrow;
+
+/// Minimum total rows under the selected full blocks before auto-mode
+/// intra-query fan-out spawns workers; below this a scoped-thread spawn
+/// costs more than the per-block searches it would parallelise.
+const MIN_PARALLEL_ROWS: usize = 8 * 1024;
+
+/// A borrowed view of one queryable index state: parallel store/timestamp
+/// columns, the postorder block array, and the number of sealed leaves.
+/// Rows `[num_leaves · S_L, timestamps.len())` are the tail.
+pub(crate) struct QueryTarget<'a, B> {
+    /// Index configuration (`τ`, metric, search defaults, fan-out width).
+    pub config: &'a MbiConfig,
+    /// The raw vectors, rows `0..timestamps.len()`.
+    pub store: &'a VectorStore,
+    /// The timestamp column (ascending), parallel to `store`.
+    pub timestamps: &'a [Timestamp],
+    /// Postorder block array over the sealed prefix.
+    pub blocks: &'a [B],
+    /// Number of sealed (full) leaves.
+    pub num_leaves: usize,
+}
+
+impl<'a, B> QueryTarget<'a, B>
+where
+    B: Borrow<Block> + BlockMeta + Sync,
+{
+    /// Total rows (sealed + tail).
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Row range of the non-full tail leaf (possibly empty).
+    pub fn tail_rows(&self) -> std::ops::Range<usize> {
+        self.num_leaves * self.config.leaf_size..self.len()
+    }
+
+    /// Computes the search block set for `window` (Algorithm 4 line 3).
+    pub fn block_selection(&self, window: TimeWindow) -> SearchBlockSet {
+        let blocks = select_blocks(self.blocks, self.num_leaves, self.config.tau, window);
+        let tail_rows = self.tail_rows();
+        let tail = !tail_rows.is_empty() && {
+            let ts = self.timestamps[tail_rows.start];
+            let te = self.timestamps[self.len() - 1] + 1;
+            window.overlap_with(ts, te) > 0
+        };
+        SearchBlockSet { blocks, tail }
+    }
+
+    /// Approximate TkNN query with instrumentation, using the configured
+    /// fan-out width.
+    pub fn query_with_params(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+    ) -> QueryOutput {
+        let selection = self.block_selection(window);
+        self.query_on_selection_threaded(
+            query,
+            k,
+            window,
+            params,
+            &selection,
+            self.config.query_threads,
+        )
+    }
+
+    /// Runs the per-block search + merge of Algorithm 4 over an explicit
+    /// search block set with an explicit fan-out width (`0` = auto). See
+    /// [`MbiIndex::query_on_selection_threaded`](crate::MbiIndex::query_on_selection_threaded)
+    /// for the determinism argument; this is its implementation.
+    pub fn query_on_selection_threaded(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+        selection: &SearchBlockSet,
+        threads: usize,
+    ) -> QueryOutput {
+        assert_eq!(query.len(), self.config.dim, "query has wrong dimension");
+        let mut stats = SearchStats::default();
+        let mut merged = TopK::new(k);
+        let (wlo, whi) = self.window_rows(window);
+        // Prepared once per query: the norm work is shared by every block
+        // this query touches (and every worker — `PreparedQuery` is `Copy`).
+        let pq = PreparedQuery::new(self.config.metric, query);
+
+        let workers = self.effective_query_threads(threads, selection);
+        if workers <= 1 {
+            with_thread_scratch(|scratch, buf| {
+                for &bi in &selection.blocks {
+                    self.search_one_block(
+                        bi,
+                        &pq,
+                        k,
+                        wlo,
+                        whi,
+                        window,
+                        params,
+                        &mut merged,
+                        &mut stats,
+                        scratch,
+                        buf,
+                    );
+                }
+            });
+        } else {
+            // Scoped fan-out over contiguous chunks of the selection. Chunks
+            // are merged in block order below; per the determinism argument
+            // in the doc comment the order is immaterial to the output, but
+            // keeping it fixed makes that claim trivially auditable. Each
+            // worker borrows its own thread's scratch, so repeated queries
+            // reuse the same allocations per worker thread.
+            let chunk = selection.blocks.len().div_ceil(workers);
+            let mut parts: Vec<Option<(TopK, SearchStats)>> =
+                (0..selection.blocks.len().div_ceil(chunk)).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (slot, blocks) in parts.iter_mut().zip(selection.blocks.chunks(chunk)) {
+                    scope.spawn(move || {
+                        let mut local = TopK::new(k);
+                        let mut local_stats = SearchStats::default();
+                        with_thread_scratch(|scratch, buf| {
+                            for &bi in blocks {
+                                self.search_one_block(
+                                    bi,
+                                    &pq,
+                                    k,
+                                    wlo,
+                                    whi,
+                                    window,
+                                    params,
+                                    &mut local,
+                                    &mut local_stats,
+                                    scratch,
+                                    buf,
+                                );
+                            }
+                        });
+                        *slot = Some((local, local_stats));
+                    });
+                }
+            });
+            for part in parts {
+                let (local, local_stats) = part.expect("every scoped worker ran to completion");
+                merged.merge(local);
+                stats.merge(&local_stats);
+            }
+        }
+
+        // Tail: binary search + brute force (Algorithm 4 line 6 — the
+        // non-full leaf has no graph, so BSBF applies). Stays on the calling
+        // thread: it is a single bounded scan, never worth a spawn.
+        if selection.tail {
+            let tail = self.tail_rows();
+            let lo = wlo.max(tail.start);
+            let hi = whi.max(lo);
+            if hi > lo {
+                stats.blocks_searched += 1;
+                stats.blocks_bruteforced += 1;
+                for n in brute_force_prepared(self.store.slice(lo..hi), &pq, k, &mut stats) {
+                    merged.offer(lo as u32 + n.id, n.dist);
+                }
+            }
+        }
+
+        QueryOutput { results: self.to_results(merged), stats, selection: selection.clone() }
+    }
+
+    /// Searches one selected full block, merging hits into `merged` and
+    /// counters into `stats` — the per-block body shared by the sequential
+    /// and fan-out paths of [`Self::query_on_selection_threaded`].
+    ///
+    /// The block is answered by an SF-style filtered graph search (Algorithm
+    /// 4 line 8) — unless the window covers so few of the block's rows that
+    /// an exact scan is cheaper. Cost model: the filtered graph search must
+    /// visit ≈ k/ρ vertices to collect k in-window results (ρ = m/|B| is the
+    /// in-window density) at ≈ degree distance evaluations per visit, i.e.
+    /// ≈ k·degree·|B|/m evals, while a BSBF scan of the block's in-window
+    /// rows costs exactly m. Dispatching on the cheaper side is what makes
+    /// MBI "operate like BSBF when the query time window is short"
+    /// (challenge C1, §4) even below leaf granularity.
+    ///
+    /// `stats.blocks_searched` counts only blocks whose in-window row range
+    /// is non-empty — a block selected on timestamp overlap can still hold
+    /// zero in-window rows (timestamp gaps) and is skipped untouched.
+    #[allow(clippy::too_many_arguments)]
+    fn search_one_block(
+        &self,
+        bi: usize,
+        pq: &PreparedQuery<'_>,
+        k: usize,
+        wlo: usize,
+        whi: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+        merged: &mut TopK,
+        stats: &mut SearchStats,
+        scratch: &mut SearchScratch,
+        buf: &mut Vec<Neighbor>,
+    ) {
+        let block: &Block = self.blocks[bi].borrow();
+        let base = block.rows.start as u32;
+        let lo = wlo.max(block.rows.start);
+        let hi = whi.min(block.rows.end);
+        let m = hi.saturating_sub(lo);
+        if m == 0 {
+            return;
+        }
+        stats.blocks_searched += 1;
+        let degree = self.config.search_degree_estimate();
+        // The beam typically visits ~2k vertices before the ε bound
+        // stops it, hence the factor 2 on the k/ρ visit estimate.
+        let graph_cost =
+            (2 * k as u64).saturating_mul(degree as u64).saturating_mul(block.len() as u64)
+                / m as u64;
+        if (m as u64) < graph_cost {
+            // Exact scan of the in-window rows of this block.
+            stats.blocks_bruteforced += 1;
+            for n in brute_force_prepared(self.store.slice(lo..hi), pq, k, stats) {
+                merged.offer(lo as u32 + n.id, n.dist);
+            }
+            return;
+        }
+        let view = self.store.slice(block.rows.clone());
+        let fully_covered = window.start <= block.start_ts && block.end_ts <= window.end;
+        let ts = self.timestamps;
+        let mut filter = |lid: u32| fully_covered || window.contains(ts[(base + lid) as usize]);
+        block.graph.search_prepared(view, pq, k, params, &mut filter, stats, scratch, buf);
+        for n in buf.iter() {
+            merged.offer(base + n.id, n.dist);
+        }
+    }
+
+    /// Resolves a requested fan-out width to the worker count actually used.
+    ///
+    /// An explicit request (`requested > 0`) is honoured up to one worker
+    /// per selected block. Auto mode (`0`) uses the available cores but
+    /// falls back to sequential when there is nothing to amortise a spawn
+    /// against: fewer than two selected full blocks, a single core, or
+    /// fewer than [`MIN_PARALLEL_ROWS`] total rows under selection.
+    fn effective_query_threads(&self, requested: usize, selection: &SearchBlockSet) -> usize {
+        let nblocks = selection.blocks.len();
+        if nblocks <= 1 {
+            return 1;
+        }
+        if requested != 0 {
+            return requested.min(nblocks);
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores <= 1 {
+            return 1;
+        }
+        let total_rows: usize =
+            selection.blocks.iter().map(|&bi| self.blocks[bi].borrow().len()).sum();
+        if total_rows < MIN_PARALLEL_ROWS {
+            return 1;
+        }
+        cores.min(nblocks)
+    }
+
+    /// Exact TkNN by binary search + brute force over the whole store — the
+    /// BSBF procedure (Algorithm 1) applied to this target's own data.
+    pub fn exact_query(&self, query: &[f32], k: usize, window: TimeWindow) -> Vec<TknnResult> {
+        assert_eq!(query.len(), self.config.dim, "query has wrong dimension");
+        let (lo, hi) = self.window_rows(window);
+        let mut stats = SearchStats::default();
+        let pq = PreparedQuery::new(self.config.metric, query);
+        let top = brute_force_prepared(self.store.slice(lo..hi), &pq, k, &mut stats);
+        let mut merged = TopK::new(k);
+        for n in top {
+            merged.offer(lo as u32 + n.id, n.dist);
+        }
+        self.to_results(merged)
+    }
+
+    /// Rows whose timestamps fall in `window`, as `[lo, hi)` — the binary
+    /// search step of Algorithm 1 (timestamps are sorted by construction).
+    pub fn window_rows(&self, window: TimeWindow) -> (usize, usize) {
+        let lo = self.timestamps.partition_point(|&t| t < window.start);
+        let hi = self.timestamps.partition_point(|&t| t < window.end);
+        (lo, hi)
+    }
+
+    /// Resolves a merged [`TopK`] into timestamped results.
+    pub fn to_results(&self, merged: TopK) -> Vec<TknnResult> {
+        merged
+            .into_sorted_vec()
+            .into_iter()
+            .map(|Neighbor { id, dist }| TknnResult {
+                id,
+                timestamp: self.timestamps[id as usize],
+                dist,
+            })
+            .collect()
+    }
+}

@@ -103,6 +103,22 @@ impl BlockMeta for crate::Block {
     }
 }
 
+/// The streaming engine's snapshots share blocks (`Vec<Arc<Block>>`), so
+/// selection must see through the `Arc`. (A blanket `impl` over
+/// `Borrow<Block>` would collide with the test stand-ins above under
+/// coherence, hence the concrete impl.)
+impl BlockMeta for std::sync::Arc<crate::Block> {
+    fn start_ts(&self) -> Timestamp {
+        self.as_ref().start_ts
+    }
+    fn end_ts(&self) -> Timestamp {
+        self.as_ref().end_ts
+    }
+    fn height(&self) -> u32 {
+        self.as_ref().height
+    }
+}
+
 /// The outcome of block selection for one query.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SearchBlockSet {

@@ -21,12 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ingest;
 pub mod latency;
 pub mod method;
 pub mod params;
 pub mod report;
 pub mod sweep;
 
+pub use ingest::IngestSummary;
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use method::{MethodKind, TknnMethod};
 pub use params::ExperimentParams;

@@ -58,8 +58,9 @@
 #![warn(missing_docs)]
 
 pub use mbi_core::{
-    Block, BlockGraph, ConcurrentMbi, GraphBackend, MbiConfig, MbiError, MbiIndex, QueryOutput,
-    SearchBlockSet, TauTuner, TimeWindow, Timestamp, TknnResult,
+    Backpressure, Block, BlockGraph, ConcurrentMbi, EngineConfig, EngineStats, GraphBackend,
+    IndexSnapshot, MbiConfig, MbiError, MbiIndex, QueryOutput, SearchBlockSet, StreamingMbi,
+    TauTuner, TimeWindow, Timestamp, TknnResult,
 };
 pub use mbi_math::{Metric, Neighbor, OnlineStats, OrderedF32, TopK};
 

@@ -1,8 +1,12 @@
-//! Concurrency integration tests for [`mbi::ConcurrentMbi`]: correctness of
-//! historical queries while ingestion proceeds, and multi-reader throughput
-//! sanity.
+//! Concurrency integration tests for [`mbi::ConcurrentMbi`] and
+//! [`mbi::StreamingMbi`]: correctness of historical queries while ingestion
+//! proceeds, convergence of the streaming engine to the synchronous index,
+//! and clean builder-thread shutdown.
 
-use mbi::{ConcurrentMbi, GraphBackend, MbiConfig, Metric, NnDescentParams, TimeWindow};
+use mbi::{
+    Backpressure, BlockGraph, ConcurrentMbi, EngineConfig, GraphBackend, MbiConfig, MbiIndex,
+    Metric, NnDescentParams, StreamingMbi, TimeWindow,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 fn config() -> MbiConfig {
@@ -89,6 +93,131 @@ fn approximate_queries_stay_in_window_under_ingest() {
             });
         }
     });
+}
+
+/// Field-by-field equality of two indexes, down to the graph adjacency
+/// lists — the "bit-identical" acceptance bar for the streaming engine.
+fn assert_same_index(a: &MbiIndex, b: &MbiIndex) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.timestamps(), b.timestamps());
+    assert_eq!(a.store().as_flat(), b.store().as_flat());
+    assert_eq!(a.blocks().len(), b.blocks().len());
+    for (x, y) in a.blocks().iter().zip(b.blocks()) {
+        assert_eq!(x.rows, y.rows);
+        assert_eq!(x.height, y.height);
+        assert_eq!(x.start_ts, y.start_ts);
+        assert_eq!(x.end_ts, y.end_ts);
+        match (&x.graph, &y.graph) {
+            (BlockGraph::Knn(g), BlockGraph::Knn(h)) => {
+                assert_eq!(g.degree(), h.degree());
+                assert_eq!(g.as_flat(), h.as_flat(), "graph differs in block {:?}", x.rows);
+            }
+            _ => panic!("graph backend mismatch in block {:?}", x.rows),
+        }
+    }
+}
+
+#[test]
+fn streaming_queries_stay_correct_during_root_level_merges() {
+    // Leaf size 64: sealing leaf 8 (row 512), 16 (row 1024), … triggers
+    // root-level merge chains (heights up to 3 and 4). Readers hammer a
+    // frozen committed window throughout and must always see the exact
+    // pre-merge answer.
+    let engine = StreamingMbi::with_engine_config(
+        config(),
+        EngineConfig::default().with_builder_threads(2).with_queue_depth(4),
+    );
+    for i in 0..512i64 {
+        engine.insert(&vec_for(i), i).unwrap();
+    }
+    engine.flush();
+    let frozen = TimeWindow::new(0, 512);
+    let q = [5.0f32, -5.0, 2.0, 0.5];
+    let baseline_exact = engine.exact_query(&q, 10, frozen);
+    let baseline_approx = engine.query(&q, 10, frozen);
+
+    let done = AtomicBool::new(false);
+    let checks = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 512..2_048i64 {
+                engine.insert(&vec_for(i), i).unwrap();
+            }
+            done.store(true, Ordering::Release);
+        });
+        for _ in 0..3 {
+            s.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    assert_eq!(engine.exact_query(&q, 10, frozen), baseline_exact);
+                    // The frozen window's committed data never changes, so
+                    // the approximate answer is stable too (same blocks,
+                    // same graphs, deterministic search).
+                    assert_eq!(engine.query(&q, 10, frozen), baseline_approx);
+                    checks.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert!(checks.load(Ordering::Relaxed) > 0);
+    engine.flush();
+    assert_eq!(engine.len(), 2_048);
+    let stats = engine.stats();
+    assert_eq!(stats.seals, 2_048 / 64);
+    assert_eq!(stats.published_leaves, stats.seals);
+    assert_eq!(stats.published_height, (2_048usize / 64).trailing_zeros());
+}
+
+#[test]
+fn streaming_flush_converges_to_the_synchronous_index() {
+    // 1000 rows = 15 sealed leaves + a 40-row tail; exercises out-of-order
+    // background completion (multi-builder), rendezvous channels, and the
+    // inline-build fallback. Every configuration must converge to the same
+    // bits as the single-threaded synchronous build.
+    let mut sync = MbiIndex::new(config());
+    for i in 0..1_000i64 {
+        sync.insert(&vec_for(i), i).unwrap();
+    }
+    sync.validate().expect("sync index valid");
+
+    let engine_configs = [
+        EngineConfig::default(),
+        EngineConfig::default().with_builder_threads(3).with_queue_depth(8),
+        EngineConfig::default()
+            .with_builder_threads(2)
+            .with_queue_depth(0)
+            .with_backpressure(Backpressure::BuildInline),
+        EngineConfig::default()
+            .with_builder_threads(2)
+            .with_queue_depth(1)
+            .with_backpressure(Backpressure::BuildInline)
+            .with_record_insert_latency(false),
+    ];
+    for ec in engine_configs {
+        let engine = StreamingMbi::with_engine_config(config(), ec);
+        for i in 0..1_000i64 {
+            engine.insert(&vec_for(i), i).unwrap();
+        }
+        let index = engine.to_index();
+        index.validate().expect("converged index valid");
+        assert_same_index(&index, &sync);
+    }
+}
+
+#[test]
+fn dropping_the_engine_mid_build_joins_all_builders() {
+    // Seal a burst of leaves and drop immediately: Drop must drain/join the
+    // builder threads without deadlock or panic, repeatedly.
+    for round in 0..4 {
+        let engine = StreamingMbi::with_engine_config(
+            config(),
+            EngineConfig::default().with_builder_threads(1 + round % 3).with_queue_depth(16),
+        );
+        for i in 0..640i64 {
+            engine.insert(&vec_for(i), i).unwrap();
+        }
+        assert_eq!(engine.len(), 640);
+        drop(engine); // builds for up to 10 chains may still be in flight
+    }
 }
 
 #[test]
