@@ -27,10 +27,13 @@ pub fn brute_force(
 
 /// Exact kNN over every row of `view` under a [`PreparedQuery`].
 ///
-/// Streams the view's flat buffer through the 1-to-many batched kernels,
-/// `SCAN_BATCH` contiguous rows at a time, feeding the cached inverse-norm
-/// column when present. Results, tie-breaking, and stats totals are
-/// identical to the per-row scan this replaces.
+/// Streams the view's contiguous runs (one run for a flat view, one per
+/// segment for a segmented view) through the 1-to-many batched kernels,
+/// `SCAN_BATCH` rows at a time, feeding the cached inverse-norm column when
+/// present. Per-row distances do not depend on how rows are grouped into
+/// batches and ids are offered in ascending order, so results, tie-breaking,
+/// and stats totals are identical to the per-row scan this replaces —
+/// regardless of where segment seams fall.
 pub fn brute_force_prepared(
     view: VectorView<'_>,
     pq: &PreparedQuery<'_>,
@@ -45,18 +48,25 @@ pub fn brute_force_prepared(
     assert_eq!(pq.query().len(), view.dim(), "query has wrong dimension");
 
     let dim = view.dim();
-    let flat = view.as_flat();
-    let inv = view.inv_norms();
     let mut dists: Vec<f32> = Vec::with_capacity(SCAN_BATCH.min(n));
-    let mut start = 0usize;
-    while start < n {
-        let end = (start + SCAN_BATCH).min(n);
-        dists.clear();
-        pq.distance_batch(&flat[start * dim..end * dim], inv.map(|s| &s[start..end]), &mut dists);
-        for (j, &d) in dists.iter().enumerate() {
-            top.offer((start + j) as u32, d);
+    let mut row = 0usize;
+    while row < n {
+        let (flat, inv, run) = view.chunk_at(row);
+        let mut start = 0usize;
+        while start < run {
+            let end = (start + SCAN_BATCH).min(run);
+            dists.clear();
+            pq.distance_batch(
+                &flat[start * dim..end * dim],
+                inv.map(|s| &s[start..end]),
+                &mut dists,
+            );
+            for (j, &d) in dists.iter().enumerate() {
+                top.offer((row + start + j) as u32, d);
+            }
+            start = end;
         }
-        start = end;
+        row += run;
     }
     stats.scanned += n as u64;
     stats.dist_evals += n as u64;
@@ -90,7 +100,6 @@ pub fn brute_force_filtered_prepared(
     filter: &mut dyn FnMut(u32) -> bool,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
-    let inv = view.inv_norms();
     let mut top = TopK::new(k);
     for i in 0..view.len() {
         let id = i as u32;
@@ -99,8 +108,8 @@ pub fn brute_force_filtered_prepared(
         }
         stats.scanned += 1;
         stats.dist_evals += 1;
-        let d = pq.distance_to_row(view.get(i), inv.map(|s| s[i]));
-        top.offer(id, d);
+        let (row, inv) = view.row_with_inv(i);
+        top.offer(id, pq.distance_to_row(row, inv));
     }
     top.into_sorted_vec()
 }

@@ -284,10 +284,11 @@ impl HnswIndex {
         view: VectorView<'_>,
         stats: &mut SearchStats,
     ) -> u32 {
-        let inv = view.inv_norms();
         let mut curr = self.entry;
-        let mut curr_dist =
-            pq.distance_to_row(view.get(curr as usize), inv.map(|s| s[curr as usize]));
+        let mut curr_dist = {
+            let (row, inv) = view.row_with_inv(curr as usize);
+            pq.distance_to_row(row, inv)
+        };
         stats.dist_evals += 1;
         for layer in (1..=self.max_level).rev() {
             loop {
@@ -299,7 +300,10 @@ impl HnswIndex {
                 };
                 let mut best = (curr, curr_dist);
                 for &nb in links {
-                    let d = pq.distance_to_row(view.get(nb as usize), inv.map(|s| s[nb as usize]));
+                    let d = {
+                        let (row, inv) = view.row_with_inv(nb as usize);
+                        pq.distance_to_row(row, inv)
+                    };
                     stats.dist_evals += 1;
                     if d < best.1 {
                         best = (nb, d);

@@ -5,9 +5,14 @@
 //! beam search of Algorithm 2. This crate implements that substrate from
 //! scratch:
 //!
-//! * [`VectorStore`] / [`VectorView`] — contiguous row-major `f32` storage.
-//!   MBI appends strictly in timestamp order, so every block is a row *range*
-//!   of one global store; views make per-block search zero-copy.
+//! * [`VectorStore`] / [`VectorView`] — row-major `f32` storage. MBI appends
+//!   strictly in timestamp order, so every block is a row *range* of one
+//!   global store; views make per-block search zero-copy.
+//! * [`Segment`] / [`SegmentStore`] — immutable leaf-sized row chunks shared
+//!   by `Arc` across the streaming engine's snapshots, so publishing a new
+//!   snapshot costs O(segments) pointer copies instead of re-copying the
+//!   sealed prefix. Views over a segment store stream per-segment contiguous
+//!   runs through the same batched kernels.
 //! * [`KnnGraph`] + [`NnDescentParams`] — the approximate kNN graph and its
 //!   NNDescent builder (random initialisation, local joins over sampled
 //!   new/old/reverse neighbours, convergence detection).
@@ -36,6 +41,7 @@ mod hnsw;
 mod nndescent;
 mod scratch;
 mod search;
+mod segment;
 mod store;
 
 pub use bruteforce::{
@@ -46,6 +52,7 @@ pub use hnsw::{HnswIndex, HnswParams};
 pub use nndescent::NnDescentParams;
 pub use scratch::{with_thread_scratch, SearchScratch};
 pub use search::{greedy_search, greedy_search_prepared, EntryPolicy, SearchParams, SearchStats};
+pub use segment::{Segment, SegmentStore};
 pub use store::{VectorStore, VectorView};
 
 pub use mbi_math::{Metric, Neighbor, PreparedQuery};

@@ -150,14 +150,16 @@ pub fn greedy_search_prepared(
     scratch.begin(n, k);
     let SearchScratch { epoch, visited, candidates, results, neighbor_ids, distances } = scratch;
     let epoch = *epoch;
-    let inv = view.inv_norms();
 
     // `visited` covers both "currently in C" and "already visited": a node
     // is offered to C at most once (pruned candidates are not re-offered;
     // see DESIGN.md for the deviation note — standard in HNSW-style
     // searchers). `candidates` is sorted descending, so the best candidate
     // is `last()`.
-    let d0 = pq.distance_to_row(view.get(entry as usize), inv.map(|s| s[entry as usize]));
+    let d0 = {
+        let (row, inv) = view.row_with_inv(entry as usize);
+        pq.distance_to_row(row, inv)
+    };
     stats.dist_evals += 1;
     visited[entry as usize] = epoch;
     candidates.push((OrderedF32(d0), entry));
@@ -197,7 +199,8 @@ pub fn greedy_search_prepared(
         }
         distances.clear();
         for &nb in neighbor_ids.iter() {
-            distances.push(pq.distance_to_row(view.get(nb as usize), inv.map(|s| s[nb as usize])));
+            let (row, inv) = view.row_with_inv(nb as usize);
+            distances.push(pq.distance_to_row(row, inv));
         }
         stats.dist_evals += neighbor_ids.len() as u64;
 

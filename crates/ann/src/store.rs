@@ -1,6 +1,11 @@
-//! Contiguous row-major vector storage.
+//! Row-major vector storage: the flat append-only [`VectorStore`] and the
+//! [`VectorView`] borrowed by every kernel, which can stand over one
+//! contiguous run of rows or over a run of shared
+//! [`Segment`](crate::Segment)s.
 
+use crate::segment::Segment;
 use mbi_math::{inv_norm_of, Metric};
+use std::sync::Arc;
 
 /// An append-only store of `d`-dimensional `f32` vectors.
 ///
@@ -155,7 +160,7 @@ impl VectorStore {
     /// A view over all rows (carrying the inverse-norm column, if enabled).
     #[inline]
     pub fn view(&self) -> VectorView<'_> {
-        VectorView { dim: self.dim, data: &self.data, inv_norms: self.inv_norms.as_deref() }
+        VectorView::contiguous(self.dim, &self.data, self.inv_norms.as_deref())
     }
 
     /// A view over rows `range.start..range.end`. The inverse-norm column,
@@ -167,11 +172,11 @@ impl VectorStore {
     #[inline]
     pub fn slice(&self, range: std::ops::Range<usize>) -> VectorView<'_> {
         assert!(range.start <= range.end && range.end <= self.len(), "row range out of bounds");
-        VectorView {
-            dim: self.dim,
-            data: &self.data[range.start * self.dim..range.end * self.dim],
-            inv_norms: self.inv_norms.as_deref().map(|inv| &inv[range.start..range.end]),
-        }
+        VectorView::contiguous(
+            self.dim,
+            &self.data[range.start * self.dim..range.end * self.dim],
+            self.inv_norms.as_deref().map(|inv| &inv[range.start..range.end]),
+        )
     }
 
     /// Copies rows `range.start..range.end` into a new owned store, carrying
@@ -216,12 +221,17 @@ impl VectorStore {
     /// Panics if the view's dimensionality differs.
     pub fn extend_from_view(&mut self, view: VectorView<'_>) {
         assert_eq!(view.dim(), self.dim, "view has wrong dimension");
-        self.data.extend_from_slice(view.as_flat());
-        if let Some(inv) = &mut self.inv_norms {
-            match view.inv_norms() {
-                Some(col) => inv.extend_from_slice(col),
-                None => inv.extend(view.iter().map(inv_norm_of)),
+        let mut row = 0;
+        while row < view.len() {
+            let (flat, col, run) = view.chunk_at(row);
+            self.data.extend_from_slice(flat);
+            if let Some(inv) = &mut self.inv_norms {
+                match col {
+                    Some(col) => inv.extend_from_slice(col),
+                    None => inv.extend(flat.chunks_exact(self.dim).map(inv_norm_of)),
+                }
             }
+            row += run;
         }
     }
 
@@ -231,10 +241,12 @@ impl VectorStore {
         &self.data
     }
 
-    /// Bytes of heap memory used by the raw vectors.
+    /// Bytes of heap memory used by the raw vectors *and* the inverse-norm
+    /// column when enabled (an angular index pays for both).
     #[inline]
     pub fn memory_bytes(&self) -> usize {
-        self.data.capacity() * std::mem::size_of::<f32>()
+        (self.data.capacity() + self.inv_norms.as_ref().map_or(0, Vec::capacity))
+            * std::mem::size_of::<f32>()
     }
 
     /// Bytes occupied by the *stored* vectors only (length, not capacity) —
@@ -243,15 +255,42 @@ impl VectorStore {
     pub fn data_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()
     }
+
+    /// Decomposes the store into `(dim, flat data, inverse-norm column)`,
+    /// handing ownership of the buffers to the caller — how the streaming
+    /// engine freezes a sealed leaf into a [`Segment`] without copying a row.
+    pub fn into_parts(self) -> (usize, Vec<f32>, Option<Vec<f32>>) {
+        (self.dim, self.data, self.inv_norms)
+    }
 }
 
-/// A borrowed, immutable view over a contiguous run of rows, optionally
-/// carrying the matching slice of the store's inverse-norm column.
+/// The backing representation of a [`VectorView`]: one contiguous run of
+/// rows, or a run of leaf-sized shared segments.
+#[derive(Clone, Copy, Debug)]
+enum Repr<'a> {
+    /// A single flat run (plus the matching norm-column slice).
+    Contig { data: &'a [f32], inv_norms: Option<&'a [f32]> },
+    /// `len` rows starting `skip` rows into `segs[0]`; every segment holds
+    /// exactly `seg_rows` rows, so each per-segment run is contiguous.
+    Segmented { segs: &'a [Arc<Segment>], seg_rows: usize, skip: usize },
+}
+
+/// A borrowed, immutable view over a run of rows, optionally carrying the
+/// store's inverse-norm column for exactly those rows.
+///
+/// A view is either **contiguous** (one flat slice — what
+/// [`VectorStore::slice`] and single-segment
+/// [`SegmentStore::slice`](crate::SegmentStore::slice) hand out) or
+/// **segmented** (spanning several
+/// shared [`Segment`](crate::Segment)s). Kernels that stream memory walk the
+/// view in contiguous runs via [`Self::chunk_at`]; point lookups use
+/// [`Self::get`] / [`Self::row_with_inv`], which cost one extra div/mod on
+/// segmented views and nothing on contiguous ones.
 #[derive(Clone, Copy, Debug)]
 pub struct VectorView<'a> {
     dim: usize,
-    data: &'a [f32],
-    inv_norms: Option<&'a [f32]>,
+    len: usize,
+    repr: Repr<'a>,
 }
 
 impl<'a> VectorView<'a> {
@@ -263,7 +302,27 @@ impl<'a> VectorView<'a> {
     pub fn from_flat(dim: usize, data: &'a [f32]) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
         assert_eq!(data.len() % dim, 0, "flat slice length not a multiple of dim");
-        VectorView { dim, data, inv_norms: None }
+        Self::contiguous(dim, data, None)
+    }
+
+    /// A contiguous view over `data` with an optional matching norm column.
+    #[inline]
+    pub(crate) fn contiguous(dim: usize, data: &'a [f32], inv_norms: Option<&'a [f32]>) -> Self {
+        debug_assert!(inv_norms.is_none_or(|inv| inv.len() * dim == data.len()));
+        VectorView { dim, len: data.len() / dim, repr: Repr::Contig { data, inv_norms } }
+    }
+
+    /// A segmented view of `len` rows starting `skip` rows into `segs[0]`.
+    #[inline]
+    pub(crate) fn segmented(
+        dim: usize,
+        len: usize,
+        segs: &'a [Arc<Segment>],
+        seg_rows: usize,
+        skip: usize,
+    ) -> Self {
+        debug_assert!(skip < seg_rows && skip + len <= segs.len() * seg_rows);
+        VectorView { dim, len, repr: Repr::Segmented { segs, seg_rows, skip } }
     }
 
     /// The dimensionality `d`.
@@ -275,13 +334,29 @@ impl<'a> VectorView<'a> {
     /// Number of rows in the view.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len() / self.dim
+        self.len
     }
 
     /// Whether the view is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// Whether the view is a single contiguous run (so [`Self::as_flat`] and
+    /// [`Self::inv_norms`] are available).
+    #[inline]
+    pub fn is_contiguous(&self) -> bool {
+        matches!(self.repr, Repr::Contig { .. })
+    }
+
+    /// Whether the rows carry the inverse-norm column.
+    #[inline]
+    pub fn has_norm_cache(&self) -> bool {
+        match self.repr {
+            Repr::Contig { inv_norms, .. } => inv_norms.is_some(),
+            Repr::Segmented { segs, .. } => segs[0].has_norm_cache(),
+        }
     }
 
     /// Returns row `i` (local to the view).
@@ -291,37 +366,115 @@ impl<'a> VectorView<'a> {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn get(&self, i: usize) -> &'a [f32] {
-        let start = i * self.dim;
-        &self.data[start..start + self.dim]
+        assert!(i < self.len, "row {i} out of bounds for view of {} rows", self.len);
+        match self.repr {
+            Repr::Contig { data, .. } => {
+                let start = i * self.dim;
+                &data[start..start + self.dim]
+            }
+            Repr::Segmented { segs, seg_rows, skip } => {
+                let r = skip + i;
+                segs[r / seg_rows].row(r % seg_rows)
+            }
+        }
+    }
+
+    /// Row `i` together with its cached inverse norm (when the column is
+    /// present) in one lookup — the graph-search gather path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn row_with_inv(&self, i: usize) -> (&'a [f32], Option<f32>) {
+        assert!(i < self.len, "row {i} out of bounds for view of {} rows", self.len);
+        match self.repr {
+            Repr::Contig { data, inv_norms } => {
+                let start = i * self.dim;
+                (&data[start..start + self.dim], inv_norms.map(|inv| inv[i]))
+            }
+            Repr::Segmented { segs, seg_rows, skip } => {
+                let r = skip + i;
+                segs[r / seg_rows].row_with_inv(r % seg_rows)
+            }
+        }
+    }
+
+    /// The longest contiguous run starting at row `row`: its flat row-major
+    /// data, the matching norm-column slice (when present), and its length in
+    /// rows (always ≥ 1). Batched kernels walk the whole view as
+    /// `row += run` — on a contiguous view the first call covers everything,
+    /// on a segmented view each call covers the rest of one segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= len()`.
+    #[inline]
+    pub fn chunk_at(&self, row: usize) -> (&'a [f32], Option<&'a [f32]>, usize) {
+        assert!(row < self.len, "row {row} out of bounds for view of {} rows", self.len);
+        match self.repr {
+            Repr::Contig { data, inv_norms } => {
+                let run = self.len - row;
+                (&data[row * self.dim..], inv_norms.map(|inv| &inv[row..]), run)
+            }
+            Repr::Segmented { segs, seg_rows, skip } => {
+                let r = skip + row;
+                let seg = &segs[r / seg_rows];
+                let off = r % seg_rows;
+                let run = (seg_rows - off).min(self.len - row);
+                (
+                    &seg.as_flat()[off * self.dim..(off + run) * self.dim],
+                    seg.inv_norms().map(|inv| &inv[off..off + run]),
+                    run,
+                )
+            }
+        }
     }
 
     /// Iterates over rows in order.
     pub fn iter(&self) -> impl Iterator<Item = &'a [f32]> + '_ {
-        self.data.chunks_exact(self.dim)
+        let this = *self;
+        (0..self.len).map(move |i| this.get(i))
     }
 
     /// The underlying flat row-major slice — what the 1-to-many batched
-    /// kernels stream over.
+    /// kernels stream over. Only contiguous views have one; segmented
+    /// callers walk [`Self::chunk_at`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a segmented view.
     #[inline]
     pub fn as_flat(&self) -> &'a [f32] {
-        self.data
+        match self.repr {
+            Repr::Contig { data, .. } => data,
+            Repr::Segmented { .. } => panic!("as_flat() on a segmented view; use chunk_at()"),
+        }
     }
 
     /// The inverse-norm column slice for exactly these rows, if the owning
     /// store has the cache enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a segmented view (use [`Self::chunk_at`] /
+    /// [`Self::row_with_inv`]).
     #[inline]
     pub fn inv_norms(&self) -> Option<&'a [f32]> {
-        self.inv_norms
+        match self.repr {
+            Repr::Contig { inv_norms, .. } => inv_norms,
+            Repr::Segmented { .. } => panic!("inv_norms() on a segmented view; use chunk_at()"),
+        }
     }
 
     /// Cached inverse norm of row `i`, if the column is present.
     ///
     /// # Panics
     ///
-    /// Panics if `i >= len()` and the column is present.
+    /// Panics if `i >= len()`.
     #[inline]
     pub fn inv_norm(&self, i: usize) -> Option<f32> {
-        self.inv_norms.map(|inv| inv[i])
+        self.row_with_inv(i).1
     }
 
     /// Distance between rows `i` and `j` of this view — the graph-build
@@ -330,16 +483,14 @@ impl<'a> VectorView<'a> {
     /// `metric.distance(get(i), get(j))`.
     #[inline]
     pub fn pair_distance(&self, metric: Metric, i: usize, j: usize) -> f32 {
+        let (a, ia) = self.row_with_inv(i);
+        let (b, ib) = self.row_with_inv(j);
         if metric == Metric::Angular {
-            if let Some(inv) = self.inv_norms {
-                return mbi_math::angular_from_parts(
-                    mbi_math::dot(self.get(i), self.get(j)),
-                    inv[i],
-                    inv[j],
-                );
+            if let (Some(ia), Some(ib)) = (ia, ib) {
+                return mbi_math::angular_from_parts(mbi_math::dot(a, b), ia, ib);
             }
         }
-        metric.distance(self.get(i), self.get(j))
+        metric.distance(a, b)
     }
 }
 
@@ -422,6 +573,38 @@ mod tests {
         let s = VectorStore::from_flat(2, vec![0.0; 8]);
         assert_eq!(s.data_bytes(), 8 * 4);
         assert!(s.memory_bytes() >= s.data_bytes());
+    }
+
+    #[test]
+    fn memory_bytes_counts_the_norm_column() {
+        let mut plain = VectorStore::from_flat(2, vec![0.0; 8]);
+        let without = plain.memory_bytes();
+        plain.enable_norm_cache();
+        // 4 rows × 4 bytes of inverse norms on top of the raw vectors.
+        assert!(plain.memory_bytes() >= without + 4 * 4);
+    }
+
+    #[test]
+    fn contiguous_views_chunk_in_one_run() {
+        let mut s = VectorStore::new(2);
+        s.enable_norm_cache();
+        for i in 0..4 {
+            s.push(&[i as f32 * 3.0, i as f32 * 4.0]);
+        }
+        let v = s.view();
+        assert!(v.is_contiguous());
+        assert!(v.has_norm_cache());
+        let (flat, inv, run) = v.chunk_at(0);
+        assert_eq!(run, 4);
+        assert_eq!(flat, s.as_flat());
+        assert_eq!(inv.unwrap(), s.inv_norms().unwrap());
+        let (flat, inv, run) = v.chunk_at(3);
+        assert_eq!(run, 1);
+        assert_eq!(flat, &[9.0, 12.0]);
+        assert_eq!(inv.unwrap().len(), 1);
+        let (row, inv) = v.row_with_inv(2);
+        assert_eq!(row, &[6.0, 8.0]);
+        assert_eq!(inv, Some(s.inv_norms().unwrap()[2]));
     }
 
     #[test]

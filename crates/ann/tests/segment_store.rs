@@ -1,0 +1,143 @@
+//! Property-based equivalence of the chunked [`SegmentStore`] and the flat
+//! [`VectorStore`]: rows, norm caches, pair distances, and the batched
+//! brute-force kernel must agree **bit-identically** on views that cross
+//! segment boundaries — the invariant that lets the streaming engine publish
+//! segment-shared snapshots without changing a single query answer.
+
+use mbi_ann::{brute_force_prepared, SearchStats, Segment, SegmentStore, VectorStore};
+use mbi_math::{Metric, PreparedQuery};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic pseudo-random store (proptest drives only sizes/seeds so
+/// shrinking stays effective). Row `zero_row`, when in range, is all zeros —
+/// the norm-cache sentinel case (inverse norm 0 for angular).
+fn flat_store(n: usize, dim: usize, seed: u64, norms: bool, zero_row: usize) -> VectorStore {
+    let mut s = VectorStore::new(dim);
+    if norms {
+        s.enable_norm_cache();
+    }
+    let mut x = seed | 1;
+    for row in 0..n {
+        let v: Vec<f32> = (0..dim)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if row == zero_row {
+                    0.0
+                } else {
+                    ((x >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+                }
+            })
+            .collect();
+        s.push(&v);
+    }
+    s
+}
+
+/// The same rows, chunked into `seg_rows`-sized shared segments.
+fn segmented(flat: &VectorStore, seg_rows: usize) -> SegmentStore {
+    assert_eq!(flat.len() % seg_rows, 0, "test stores hold whole leaves");
+    let mut store = SegmentStore::new(flat.dim(), seg_rows);
+    for leaf in 0..flat.len() / seg_rows {
+        let view = flat.slice(leaf * seg_rows..(leaf + 1) * seg_rows);
+        store.push_segment(Arc::new(Segment::from_view(view)));
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every row and every cached inverse norm is bit-identical between the
+    /// two layouts, zero-vector sentinel included.
+    #[test]
+    fn rows_and_norms_match_bitwise(
+        leaves in 1usize..6,
+        seg_rows in 1usize..17,
+        seed in 0u64..1000,
+        norms in any::<bool>(),
+        zero_frac in 0.0f64..1.0,
+    ) {
+        let n = leaves * seg_rows;
+        let flat = flat_store(n, 5, seed, norms, (zero_frac * n as f64) as usize);
+        let seg = segmented(&flat, seg_rows);
+        prop_assert_eq!(seg.len(), n);
+        prop_assert_eq!(seg.has_norm_cache(), norms);
+        for i in 0..n {
+            prop_assert_eq!(seg.row(i), flat.get(i), "row {}", i);
+            let want = flat.inv_norms().map(|inv| inv[i]);
+            prop_assert_eq!(seg.inv_norm(i).map(f32::to_bits), want.map(f32::to_bits), "norm {}", i);
+        }
+    }
+
+    /// `pair_distance` through a boundary-crossing segmented view returns the
+    /// same bits as through the flat view, for every metric.
+    #[test]
+    fn pair_distances_match_bitwise(
+        leaves in 1usize..5,
+        seg_rows in 2usize..13,
+        seed in 0u64..1000,
+        i_frac in 0.0f64..1.0,
+        j_frac in 0.0f64..1.0,
+    ) {
+        let n = leaves * seg_rows;
+        let flat = flat_store(n, 4, seed, true, 0);
+        let seg = segmented(&flat, seg_rows);
+        let (i, j) = ((i_frac * n as f64) as usize % n, (j_frac * n as f64) as usize % n);
+        for m in [Metric::Euclidean, Metric::Angular, Metric::InnerProduct] {
+            let a = seg.view().pair_distance(m, i, j);
+            let b = flat.view().pair_distance(m, i, j);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} ({}, {})", m, i, j);
+        }
+    }
+
+    /// The batched brute-force kernel over an arbitrary sub-range — clipped
+    /// mid-segment on both ends, spanning several segments — returns the
+    /// exact same (id, dist-bits) list as over the flat store.
+    #[test]
+    fn brute_force_matches_bitwise_across_boundaries(
+        leaves in 1usize..6,
+        seg_rows in 1usize..17,
+        k in 1usize..8,
+        seed in 0u64..1000,
+        lo_frac in 0.0f64..1.0,
+        hi_frac in 0.0f64..1.0,
+        metric_sel in 0u8..3,
+    ) {
+        let n = leaves * seg_rows;
+        let metric = [Metric::Euclidean, Metric::Angular, Metric::InnerProduct]
+            [metric_sel as usize];
+        let flat = flat_store(n, 6, seed, metric == Metric::Angular, n / 2);
+        let seg = segmented(&flat, seg_rows);
+        let (mut lo, mut hi) = ((lo_frac * n as f64) as usize, (hi_frac * n as f64) as usize);
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let q: Vec<f32> = (0..6).map(|i| (seed as f32 * 0.1 + i as f32).sin()).collect();
+        let pq = PreparedQuery::new(metric, &q);
+        let mut s1 = SearchStats::default();
+        let mut s2 = SearchStats::default();
+        let a = brute_force_prepared(seg.slice(lo..hi), &pq, k, &mut s1);
+        let b = brute_force_prepared(flat.slice(lo..hi), &pq, k, &mut s2);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+        }
+    }
+}
+
+/// `share` hands back the same segment allocations (no copy), and a full
+/// materialisation round-trips bit-identically.
+#[test]
+fn share_and_materialise_round_trip() {
+    let flat = flat_store(48, 3, 7, true, 10);
+    let seg = segmented(&flat, 16);
+    let shared = seg.share(16..48);
+    assert_eq!(shared.len(), 32);
+    assert!(Arc::ptr_eq(&shared.segments()[0], &seg.segments()[1]));
+    assert!(Arc::ptr_eq(&shared.segments()[1], &seg.segments()[2]));
+    let back = seg.to_vector_store();
+    assert_eq!(back.as_flat(), flat.as_flat());
+    assert_eq!(back.inv_norms(), flat.inv_norms());
+}

@@ -8,12 +8,20 @@
 //! the locked row's tail carries entire merge-chain builds. The
 //! `query_under_ingest` rows show the read side of the same story — snapshot
 //! queries never wait for a build, read-lock queries occasionally do.
+//!
+//! Beyond the criterion groups, the run writes `BENCH_streaming.json`: the
+//! per-publication latency series `(sealed_rows, micros)` from
+//! [`EngineStats::publish_micros`]. With the segment-shared snapshot store,
+//! publication is `O(leaves)` pointer copies — the series must stay flat as
+//! the sealed prefix grows by an order of magnitude (the old
+//! materialise-the-prefix scheme grew linearly with `sealed_rows`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use mbi_ann::{NnDescentParams, SearchParams};
 use mbi_core::{ConcurrentMbi, EngineConfig, GraphBackend, MbiConfig, StreamingMbi, TimeWindow};
 use mbi_data::DriftingMixture;
 use mbi_math::Metric;
+use serde::Serialize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -145,9 +153,90 @@ fn bench_query_under_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// One publication: how many rows the snapshot covers and how long the
+/// publication itself took (staging, pointer-shared snapshot assembly, swap,
+/// tail trim — the graph build is excluded, it runs lock-free).
+#[derive(Serialize)]
+struct PublicationSample {
+    sealed_rows: u64,
+    publish_micros: u64,
+}
+
+#[derive(Serialize)]
+struct StreamingSummary {
+    generated_by: &'static str,
+    dim: usize,
+    leaf_size: usize,
+    /// Mean publication micros over the first and last quarter of the
+    /// series; their ratio is the flatness evidence (≈1 for O(leaf)
+    /// publication, ≈ sealed-row growth for O(sealed-prefix) memcpy).
+    early_mean_micros: f64,
+    late_mean_micros: f64,
+    late_over_early: f64,
+    series: Vec<PublicationSample>,
+}
+
+/// Ingests enough rows for the sealed prefix to grow ~64× past the first
+/// publication, then dumps the recorded per-publication latency series.
+fn write_publication_summary() {
+    const LEAVES: usize = 64;
+    let leaf = config().leaf_size;
+    let rows = LEAVES * leaf;
+    let dataset = DriftingMixture::new(DIM, 31).generate("sp", Metric::Euclidean, rows, 1);
+    let engine = StreamingMbi::with_engine_config(config(), engine_config());
+    for (v, t) in dataset.iter() {
+        engine.insert(v, t).unwrap();
+    }
+    engine.flush();
+    let series: Vec<PublicationSample> = engine
+        .stats()
+        .publish_micros
+        .iter()
+        .map(|&(sealed_rows, publish_micros)| PublicationSample { sealed_rows, publish_micros })
+        .collect();
+    let quarter = (series.len() / 4).max(1);
+    let mean = |s: &[PublicationSample]| {
+        s.iter().map(|p| p.publish_micros as f64).sum::<f64>() / s.len() as f64
+    };
+    let early = mean(&series[..quarter]);
+    let late = mean(&series[series.len() - quarter..]);
+    let summary = StreamingSummary {
+        generated_by: "cargo bench --bench streaming_ingest",
+        dim: DIM,
+        leaf_size: leaf,
+        early_mean_micros: early,
+        late_mean_micros: late,
+        late_over_early: late / early.max(f64::MIN_POSITIVE),
+        series,
+    };
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_streaming.json");
+    match serde_json::to_string_pretty(&summary) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("could not write {}: {e}", path.display());
+            } else {
+                println!("publication series written to {}", path.display());
+                println!(
+                    "publications: {}  early mean {:.1} µs  late mean {:.1} µs  ratio {:.2}",
+                    summary.series.len(),
+                    summary.early_mean_micros,
+                    summary.late_mean_micros,
+                    summary.late_over_early,
+                );
+            }
+        }
+        Err(e) => eprintln!("could not serialise streaming summary: {e}"),
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_insert_latency, bench_query_under_ingest
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    write_publication_summary();
+}

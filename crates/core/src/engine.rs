@@ -7,20 +7,26 @@
 //! insert and query for the whole build. [`StreamingMbi`] removes the build
 //! from the insert path entirely:
 //!
-//! * **Inserts** append to a write-side *tail* (vectors + timestamps behind a
-//!   short `RwLock`) and return. When a leaf fills, its rows are appended to
-//!   the builder-side *master* copy and the leaf index is handed to the
-//!   background builders over a bounded channel.
+//! * **Inserts** append to a write-side *tail* (a leaf-sized partial buffer
+//!   behind a short `RwLock`) and return. When a leaf fills, the buffer is
+//!   frozen into an immutable [`Segment`] whose `Arc` is shared with the
+//!   builder-side *master* copy — a pointer move, not a row copy — and the
+//!   leaf index is handed to the background builders over a bounded channel.
 //! * **Builders** (dedicated `std::thread` workers) compute the leaf's merge
-//!   chain (Algorithm 3), build the chain's graphs with the exact same
-//!   deterministic seeds as the synchronous path, and stage the finished
-//!   blocks. Chains may finish out of order; they are *published* strictly in
-//!   leaf order.
+//!   chain (Algorithm 3), *share* the chain's segments out of the master
+//!   (the chain range is always leaf-aligned), build the graphs lock-free
+//!   with the exact same deterministic seeds as the synchronous path, and
+//!   stage the finished blocks. Chains may finish out of order; they are
+//!   *published* strictly in leaf order.
 //! * **Publication** swaps an [`Arc<IndexSnapshot>`] — an immutable sealed
-//!   prefix (store, timestamps, postorder blocks) — under a short write lock.
-//!   Queries clone the current `Arc` (no lock held while searching) and serve
-//!   the not-yet-published region from the tail with the BSBF scan, so every
-//!   committed row is always visible exactly once.
+//!   prefix of shared segments, shared timestamp chunks, and postorder
+//!   blocks — under a short write lock. Assembling the snapshot is
+//!   `O(published leaves)` pointer copies: consecutive snapshots share every
+//!   segment of their common prefix, so publication cost is independent of
+//!   how many rows have accumulated. Queries clone the current `Arc` (no
+//!   lock held while searching) and serve the not-yet-published region from
+//!   the tail with the BSBF scan, so every committed row is always visible
+//!   exactly once.
 //!
 //! # Correctness of the tail fallback
 //!
@@ -40,16 +46,19 @@ use crate::block::Block;
 use crate::config::MbiConfig;
 use crate::error::MbiError;
 use crate::index::{
-    assemble_blocks, blocks_for_leaves, build_chain_graphs, merge_chain, MbiIndex, QueryOutput,
-    TknnResult,
+    assemble_blocks, blocks_for_leaves, build_chain_graphs, merge_chain, validate_blocks, MbiIndex,
+    QueryOutput, TknnResult,
 };
 use crate::query_exec::QueryTarget;
 use crate::select::TimeWindow;
+use crate::times::TimeChunks;
 use crate::Timestamp;
-use mbi_ann::{brute_force_prepared, SearchParams, SearchStats, VectorStore};
-use mbi_math::{Metric, OrderedF32, PreparedQuery};
+use mbi_ann::{
+    brute_force_prepared, SearchParams, SearchStats, Segment, SegmentStore, VectorStore,
+};
+use mbi_math::{Metric, OrderedF32, PreparedQuery, TopK};
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
@@ -160,36 +169,50 @@ pub struct EngineStats {
     pub insert_micros: Vec<u64>,
     /// Per-chain graph-build wall-clock micros, in completion order.
     pub build_micros: Vec<u64>,
+    /// One `(sealed_rows, micros)` sample per snapshot publication, in
+    /// publication order: how many rows the published snapshot covers and
+    /// how long the publication itself took (staging the chain's blocks,
+    /// assembling the pointer-shared snapshot, swapping it in, trimming the
+    /// tail — everything except the lock-free graph build). With the
+    /// segment-shared store this stays flat as `sealed_rows` grows; the
+    /// `streaming_ingest` bench records the series as evidence.
+    pub publish_micros: Vec<(u64, u64)>,
 }
 
-/// An immutable published view of the sealed prefix: parallel store /
-/// timestamp columns plus the postorder block array. Queries run on it
-/// without any lock; blocks are shared with the engine via `Arc`, so a
-/// snapshot clone is cheap and old snapshots die when their last reader
-/// drops them.
+/// An immutable published view of the sealed prefix: leaf-sized shared
+/// vector segments, the matching shared timestamp chunks, and the postorder
+/// block array. Queries run on it without any lock.
+///
+/// Everything in a snapshot is shared by `Arc`: consecutive snapshots of the
+/// same engine hold the *same* segments, timestamp chunks, and blocks for
+/// their common prefix, so publishing a new snapshot costs `O(leaves)`
+/// pointer copies (never a row copy) and a retired snapshot frees only what
+/// no newer snapshot still references.
 #[derive(Clone, Debug)]
 pub struct IndexSnapshot {
-    config: MbiConfig,
-    store: VectorStore,
-    timestamps: Vec<Timestamp>,
-    blocks: Vec<Arc<Block>>,
-    num_leaves: usize,
+    pub(crate) config: MbiConfig,
+    pub(crate) store: SegmentStore,
+    pub(crate) times: TimeChunks,
+    pub(crate) blocks: Vec<Arc<Block>>,
+    pub(crate) num_leaves: usize,
 }
 
 impl IndexSnapshot {
     fn empty(config: MbiConfig) -> Self {
-        let mut store = VectorStore::new(config.dim);
-        if config.metric == Metric::Angular {
-            store.enable_norm_cache();
+        IndexSnapshot {
+            store: SegmentStore::new(config.dim, config.leaf_size),
+            times: TimeChunks::new(config.leaf_size),
+            blocks: Vec::new(),
+            num_leaves: 0,
+            config,
         }
-        IndexSnapshot { config, store, timestamps: Vec::new(), blocks: Vec::new(), num_leaves: 0 }
     }
 
-    fn target(&self) -> QueryTarget<'_, Arc<Block>> {
+    fn target(&self) -> QueryTarget<'_, Arc<Block>, SegmentStore, TimeChunks> {
         QueryTarget {
             config: &self.config,
             store: &self.store,
-            timestamps: &self.timestamps,
+            times: &self.times,
             blocks: &self.blocks,
             num_leaves: self.num_leaves,
         }
@@ -202,12 +225,12 @@ impl IndexSnapshot {
 
     /// Rows covered by this snapshot (`num_leaves · S_L`).
     pub fn sealed_rows(&self) -> usize {
-        self.timestamps.len()
+        self.times.len()
     }
 
     /// Whether the snapshot covers no rows.
     pub fn is_empty(&self) -> bool {
-        self.timestamps.is_empty()
+        self.times.is_empty()
     }
 
     /// Number of published (full) leaves.
@@ -218,6 +241,70 @@ impl IndexSnapshot {
     /// The published postorder block array.
     pub fn blocks(&self) -> &[Arc<Block>] {
         &self.blocks
+    }
+
+    /// The segment-shared vector store (one segment per published leaf).
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+
+    /// The chunk-shared timestamp column, parallel to [`Self::store`].
+    pub fn times(&self) -> &TimeChunks {
+        &self.times
+    }
+
+    /// Builds a snapshot from a synchronous index by chunking its rows into
+    /// leaf-sized segments. Fails with [`MbiError::UnsealedTail`] when the
+    /// index has tail rows — a snapshot holds only sealed leaves; use
+    /// [`StreamingMbi::from_index`] to resume streaming with a tail.
+    pub fn from_index(index: &MbiIndex) -> Result<Self, MbiError> {
+        if !index.tail_rows().is_empty() {
+            return Err(MbiError::UnsealedTail { tail_rows: index.tail_rows().len() });
+        }
+        let config = *index.config();
+        let s_l = config.leaf_size;
+        let mut store = SegmentStore::new(config.dim, s_l);
+        let mut times = TimeChunks::new(s_l);
+        for leaf in 0..index.num_leaves() {
+            let rows = leaf * s_l..(leaf + 1) * s_l;
+            store.push_segment(Arc::new(Segment::from_view(index.store().slice(rows.clone()))));
+            times.push_chunk(index.timestamps()[rows].into());
+        }
+        Ok(IndexSnapshot {
+            config,
+            store,
+            times,
+            blocks: index.blocks().iter().cloned().map(Arc::new).collect(),
+            num_leaves: index.num_leaves(),
+        })
+    }
+
+    /// Exhaustively checks the snapshot's structural invariants (the
+    /// [`MbiIndex::validate`] checks, applied to the segmented columns);
+    /// returns the first violation, if any. Run after loading persisted
+    /// bytes from an untrusted source, and by tests.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.store.len() != self.times.len() {
+            return Err(format!(
+                "store has {} rows but {} timestamps",
+                self.store.len(),
+                self.times.len()
+            ));
+        }
+        if self.num_leaves * self.config.leaf_size != self.times.len() {
+            return Err(format!(
+                "{} leaves of {} rows do not cover {} stored rows",
+                self.num_leaves,
+                self.config.leaf_size,
+                self.times.len()
+            ));
+        }
+        for i in 1..self.times.len() {
+            if self.times.get(i) < self.times.get(i - 1) {
+                return Err("timestamps not sorted".into());
+            }
+        }
+        validate_blocks(self.config.leaf_size, self.num_leaves, &self.blocks, &self.times)
     }
 
     /// Approximate TkNN over the published rows only (the engine's
@@ -231,27 +318,85 @@ impl IndexSnapshot {
     ) -> QueryOutput {
         self.target().query_with_params(query, k, window, params)
     }
+
+    /// Exact TkNN over the published rows only, by brute force.
+    pub fn exact_query(&self, query: &[f32], k: usize, window: TimeWindow) -> Vec<TknnResult> {
+        self.target().exact_query(query, k, window)
+    }
 }
 
 /// The write-side tail: rows not yet covered by the published snapshot.
-/// `first_row` is the global row id of the tail's first local row; it only
-/// ever increases (trims happen at publication).
+/// `first_row` is the global row id of the tail's first local row; it is
+/// always a multiple of `S_L` and only ever increases (trims happen at
+/// publication).
+///
+/// Sealed-but-unpublished leaves sit in `sealed` as the *same*
+/// `Arc<Segment>` / timestamp chunk the master copy holds — sealing a leaf
+/// freezes the partial buffers and shares the pointers, so neither the seal
+/// nor the publication trim copies a row: the trim pops whole leaves off the
+/// front of the deque in O(1) each.
 #[derive(Debug)]
 struct TailState {
-    store: VectorStore,
-    timestamps: Vec<Timestamp>,
+    /// Sealed, not-yet-trimmed leaves, oldest first: leaf `first_row / S_L`
+    /// onwards, each exactly `S_L` rows.
+    sealed: VecDeque<(Arc<Segment>, Arc<[Timestamp]>)>,
+    /// The growing, non-full last leaf (rows past every sealed leaf).
+    partial: VectorStore,
+    /// Timestamps of the partial leaf, parallel to `partial`.
+    partial_ts: Vec<Timestamp>,
     first_row: usize,
     last_ts: Option<Timestamp>,
+    leaf_size: usize,
 }
 
-/// The builder-side master copy: every sealed row (appended at seal time, in
-/// leaf order, under the tail lock), the growing postorder block array, and
-/// the in-order publication frontier. Out-of-order chain completions wait in
-/// `ready` until every earlier leaf has been published.
+impl TailState {
+    /// Local rows currently in the tail (sealed-but-untrimmed + partial).
+    fn len(&self) -> usize {
+        self.sealed.len() * self.leaf_size + self.partial.len()
+    }
+
+    /// Timestamp of local tail row `local`.
+    fn ts_at(&self, local: usize) -> Timestamp {
+        let sealed_rows = self.sealed.len() * self.leaf_size;
+        if local < sealed_rows {
+            self.sealed[local / self.leaf_size].1[local % self.leaf_size]
+        } else {
+            self.partial_ts[local - sealed_rows]
+        }
+    }
+
+    /// Index of the first local row with timestamp `>= bound` (chunk-level
+    /// binary search over the sealed deque, then within one chunk).
+    fn partition_below(&self, bound: Timestamp) -> usize {
+        let s_l = self.leaf_size;
+        let (mut lo, mut hi) = (0usize, self.sealed.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.sealed[mid].1[s_l - 1] < bound {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < self.sealed.len() {
+            return lo * s_l + self.sealed[lo].1.partition_point(|&t| t < bound);
+        }
+        self.sealed.len() * s_l + self.partial_ts.partition_point(|&t| t < bound)
+    }
+}
+
+/// The builder-side master copy: every sealed leaf (pushed as a shared
+/// segment at seal time, in leaf order, under the tail lock), the growing
+/// postorder block array, and the in-order publication frontier.
+/// Out-of-order chain completions wait in `ready` until every earlier leaf
+/// has been published.
 #[derive(Debug)]
 struct Master {
-    store: VectorStore,
-    timestamps: Vec<Timestamp>,
+    /// All enqueued leaves as shared segments (`enqueued_leaves` of them);
+    /// the published snapshot shares the first `published_leaves`.
+    store: SegmentStore,
+    /// Timestamp chunks parallel to `store`.
+    times: TimeChunks,
     blocks: Vec<Arc<Block>>,
     ready: BTreeMap<usize, Vec<Block>>,
     published_leaves: usize,
@@ -269,6 +414,7 @@ struct Shared {
     inline_builds: AtomicU64,
     insert_micros: Mutex<Vec<u64>>,
     build_micros: Mutex<Vec<u64>>,
+    publish_micros: Mutex<Vec<(u64, u64)>>,
 }
 
 impl Shared {
@@ -327,23 +473,19 @@ impl StreamingMbi {
     /// the builder threads immediately.
     pub fn with_engine_config(config: MbiConfig, engine: EngineConfig) -> Self {
         let engine = EngineConfig { builder_threads: engine.builder_threads.max(1), ..engine };
-        let mut tail_store = VectorStore::new(config.dim);
-        let mut master_store = VectorStore::new(config.dim);
-        if config.metric == Metric::Angular {
-            tail_store.enable_norm_cache();
-            master_store.enable_norm_cache();
-        }
         let shared = Arc::new(Shared {
             snapshot: RwLock::new(Arc::new(IndexSnapshot::empty(config))),
             tail: RwLock::new(TailState {
-                store: tail_store,
-                timestamps: Vec::new(),
+                sealed: VecDeque::new(),
+                partial: Self::fresh_partial(&config),
+                partial_ts: Vec::with_capacity(config.leaf_size),
                 first_row: 0,
                 last_ts: None,
+                leaf_size: config.leaf_size,
             }),
             master: Mutex::new(Master {
-                store: master_store,
-                timestamps: Vec::new(),
+                store: SegmentStore::new(config.dim, config.leaf_size),
+                times: TimeChunks::new(config.leaf_size),
                 blocks: Vec::new(),
                 ready: BTreeMap::new(),
                 published_leaves: 0,
@@ -353,6 +495,7 @@ impl StreamingMbi {
             inline_builds: AtomicU64::new(0),
             insert_micros: Mutex::new(Vec::new()),
             build_micros: Mutex::new(Vec::new()),
+            publish_micros: Mutex::new(Vec::new()),
             config,
             engine,
         });
@@ -371,6 +514,17 @@ impl StreamingMbi {
         StreamingMbi { shared, tx: Mutex::new(Some(tx)), workers }
     }
 
+    /// An empty leaf-capacity buffer for the tail's partial leaf, with the
+    /// norm cache pre-enabled for angular configs (so a seal can freeze it
+    /// into a [`Segment`] without recomputing norms).
+    fn fresh_partial(config: &MbiConfig) -> VectorStore {
+        let mut store = VectorStore::with_capacity(config.dim, config.leaf_size);
+        if config.metric == Metric::Angular {
+            store.enable_norm_cache();
+        }
+        store
+    }
+
     /// The index configuration.
     pub fn config(&self) -> &MbiConfig {
         &self.shared.config
@@ -383,8 +537,9 @@ impl StreamingMbi {
 
     /// Appends a timestamped vector; returns the new global row id. Never
     /// builds graphs on this thread (except under [`Backpressure::
-    /// BuildInline`] with a full queue): a seal only memcpys the leaf to the
-    /// builder-side master and enqueues the chain.
+    /// BuildInline`] with a full queue): a seal freezes the leaf into a
+    /// shared segment — moving the buffers, copying no rows — and enqueues
+    /// the chain.
     ///
     /// Timestamps must be non-decreasing across *all* inserting threads —
     /// the same Algorithm 3 contract as [`MbiIndex::insert`].
@@ -406,23 +561,30 @@ impl StreamingMbi {
                 }
             }
             tail.last_ts = Some(t);
-            let id = tail.first_row + tail.store.len();
-            tail.store.push(vector);
-            tail.timestamps.push(t);
-            let global_len = tail.first_row + tail.store.len();
+            let id = tail.first_row + tail.len();
+            tail.partial.push(vector);
+            tail.partial_ts.push(t);
+            let global_len = tail.first_row + tail.len();
             if global_len.is_multiple_of(s_l) {
-                // A leaf just filled. Append its rows to the master copy
-                // while still holding the tail lock so concurrent writers
-                // enqueue leaves in seal order.
+                // A leaf just filled. Freeze the partial buffers into a
+                // shared segment (a move, not a copy) and hand the *same*
+                // pointers to the master copy — still holding the tail lock
+                // so concurrent writers enqueue leaves in seal order.
                 let leaf = global_len / s_l - 1;
-                let lo = leaf * s_l - tail.first_row;
-                let hi = lo + s_l;
-                let mut m = self.shared.master_lock();
-                debug_assert_eq!(m.enqueued_leaves, leaf, "leaves must seal in order");
-                m.store.extend_from_view(tail.store.slice(lo..hi));
-                let ts = tail.timestamps[lo..hi].to_vec();
-                m.timestamps.extend_from_slice(&ts);
-                m.enqueued_leaves = leaf + 1;
+                let seg = Arc::new(Segment::from_store(std::mem::replace(
+                    &mut tail.partial,
+                    Self::fresh_partial(&self.shared.config),
+                )));
+                let ts: Arc<[Timestamp]> =
+                    std::mem::replace(&mut tail.partial_ts, Vec::with_capacity(s_l)).into();
+                {
+                    let mut m = self.shared.master_lock();
+                    debug_assert_eq!(m.enqueued_leaves, leaf, "leaves must seal in order");
+                    m.store.push_segment(Arc::clone(&seg));
+                    m.times.push_chunk(Arc::clone(&ts));
+                    m.enqueued_leaves = leaf + 1;
+                }
+                tail.sealed.push_back((seg, ts));
                 sealed_leaf = Some(leaf);
             }
             id
@@ -480,7 +642,7 @@ impl StreamingMbi {
     /// Total committed rows (published + tail).
     pub fn len(&self) -> usize {
         let tail = self.shared.tail.read();
-        tail.first_row + tail.store.len()
+        tail.first_row + tail.len()
     }
 
     /// Whether no rows have been inserted.
@@ -540,8 +702,8 @@ impl StreamingMbi {
         k: usize,
         window: TimeWindow,
     ) -> Option<(Vec<TknnResult>, SearchStats)> {
-        let wlo = tail.timestamps.partition_point(|&t| t < window.start);
-        let whi = tail.timestamps.partition_point(|&t| t < window.end);
+        let wlo = tail.partition_below(window.start);
+        let whi = tail.partition_below(window.end);
         let lo = wlo.max(sealed_rows.saturating_sub(tail.first_row));
         if whi <= lo {
             return None;
@@ -549,13 +711,39 @@ impl StreamingMbi {
         let mut stats =
             SearchStats { blocks_searched: 1, blocks_bruteforced: 1, ..Default::default() };
         let pq = PreparedQuery::new(self.shared.config.metric, query);
-        let hits = brute_force_prepared(tail.store.slice(lo..whi), &pq, k, &mut stats)
+        // The tail is piecewise (sealed leaf segments, then the partial
+        // buffer); scan each in-range piece and keep the top-k of the union.
+        // Piece top-ks retain every candidate for the overall top-k, and the
+        // `(dist, id)` tie-break is unaffected because local ids are offered
+        // in ascending global order.
+        let s_l = tail.leaf_size;
+        let sealed_len = tail.sealed.len() * s_l;
+        let mut top = TopK::new(k);
+        let mut pos = lo;
+        while pos < whi.min(sealed_len) {
+            let ci = pos / s_l;
+            let start = pos % s_l;
+            let end = (whi - ci * s_l).min(s_l);
+            for n in brute_force_prepared(tail.sealed[ci].0.slice(start..end), &pq, k, &mut stats) {
+                top.offer((ci * s_l + start + n.id as usize) as u32, n.dist);
+            }
+            pos = (ci + 1) * s_l;
+        }
+        if whi > sealed_len {
+            let off = pos - sealed_len;
+            let view = tail.partial.slice(off..whi - sealed_len);
+            for n in brute_force_prepared(view, &pq, k, &mut stats) {
+                top.offer((pos + n.id as usize) as u32, n.dist);
+            }
+        }
+        let hits = top
+            .into_sorted_vec()
             .into_iter()
             .map(|n| {
-                let local = lo + n.id as usize;
+                let local = n.id as usize;
                 TknnResult {
                     id: (tail.first_row + local) as u32,
-                    timestamp: tail.timestamps[local],
+                    timestamp: tail.ts_at(local),
                     dist: n.dist,
                 }
             })
@@ -621,6 +809,12 @@ impl StreamingMbi {
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .clone(),
+            publish_micros: self
+                .shared
+                .publish_micros
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone(),
         }
     }
 
@@ -635,13 +829,29 @@ impl StreamingMbi {
         // deadlock against one.
         let tail = self.shared.tail.read();
         let m = self.shared.master_lock();
-        let sealed = m.published_leaves * self.shared.config.leaf_size;
+        let s_l = self.shared.config.leaf_size;
+        let sealed = m.published_leaves * s_l;
         debug_assert_eq!(m.store.len(), sealed);
-        let mut store = m.store.clone();
-        let mut timestamps = m.timestamps.clone();
-        let skip = sealed - tail.first_row;
-        store.extend_from_view(tail.store.slice(skip..tail.store.len()));
-        timestamps.extend_from_slice(&tail.timestamps[skip..]);
+        let total = tail.first_row + tail.len();
+        let mut store = VectorStore::with_capacity(self.shared.config.dim, total);
+        if self.shared.config.metric == Metric::Angular {
+            store.enable_norm_cache();
+        }
+        let mut timestamps = Vec::with_capacity(total);
+        for (seg, chunk) in m.store.segments().iter().zip(m.times.chunks()).take(m.published_leaves)
+        {
+            store.extend_from_view(seg.slice(0..s_l));
+            timestamps.extend_from_slice(chunk);
+        }
+        // Tail leaves already published (not yet trimmed) are skipped; the
+        // rest of the sealed deque and the partial buffer follow.
+        let skip_leaves = (sealed - tail.first_row) / s_l;
+        for (seg, chunk) in tail.sealed.iter().skip(skip_leaves) {
+            store.extend_from_view(seg.slice(0..s_l));
+            timestamps.extend_from_slice(chunk);
+        }
+        store.extend_from_view(tail.partial.slice(0..tail.partial.len()));
+        timestamps.extend_from_slice(&tail.partial_ts);
         MbiIndex {
             config: self.shared.config,
             store,
@@ -649,6 +859,44 @@ impl StreamingMbi {
             blocks: m.blocks.iter().map(|b| (**b).clone()).collect(),
             num_leaves: m.published_leaves,
         }
+    }
+
+    /// Resumes streaming from a synchronous index: sealed leaves become
+    /// shared segments (published immediately, blocks reused — nothing is
+    /// rebuilt), tail rows refill the partial buffer. The inverse of
+    /// [`Self::to_index`] up to storage layout: queries answer identically.
+    pub fn from_index(index: MbiIndex, engine: EngineConfig) -> Self {
+        let config = *index.config();
+        let s_l = config.leaf_size;
+        let this = Self::with_engine_config(config, engine);
+        let num_leaves = index.num_leaves();
+        let MbiIndex { store, timestamps, blocks, .. } = index;
+        {
+            let mut tail = this.shared.tail.write();
+            let mut m = this.shared.master_lock();
+            for leaf in 0..num_leaves {
+                let rows = leaf * s_l..(leaf + 1) * s_l;
+                m.store.push_segment(Arc::new(Segment::from_view(store.slice(rows.clone()))));
+                m.times.push_chunk(timestamps[rows].into());
+            }
+            m.blocks = blocks.into_iter().map(Arc::new).collect();
+            m.published_leaves = num_leaves;
+            m.enqueued_leaves = num_leaves;
+            *this.shared.snapshot.write() = Arc::new(IndexSnapshot {
+                config,
+                store: m.store.share(0..num_leaves * s_l),
+                times: m.times.share_prefix(num_leaves),
+                blocks: m.blocks.clone(),
+                num_leaves,
+            });
+            tail.first_row = num_leaves * s_l;
+            tail.last_ts = timestamps.last().copied();
+            for (i, &t) in timestamps.iter().enumerate().skip(num_leaves * s_l) {
+                tail.partial.push(store.get(i));
+                tail.partial_ts.push(t);
+            }
+        }
+        this
     }
 }
 
@@ -685,9 +933,15 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<usize>>) {
 }
 
 /// Builds and publishes the merge chain of (0-based) leaf `leaf`: compute the
-/// chain, copy its rows out of the master under the lock, build the graphs
-/// lock-free with the same deterministic ids as the synchronous path, stage
-/// the blocks, and publish every chain that is next in leaf order.
+/// chain, *share* its rows out of the master (pointer copies — the chain
+/// range is always segment-aligned), build the graphs lock-free with the
+/// same deterministic ids as the synchronous path, stage the blocks, and
+/// publish every chain that is next in leaf order.
+///
+/// Publication materialises nothing: the new snapshot shares the sealed
+/// prefix's segments and timestamp chunks with the master (and with every
+/// previous snapshot), so the work under the lock is `O(published leaves)`
+/// pointer copies plus the new chain's blocks — independent of row count.
 fn process_chain(shared: &Shared, leaf: usize) {
     let t0 = Instant::now();
     let s_l = shared.config.leaf_size;
@@ -695,9 +949,10 @@ fn process_chain(shared: &Shared, leaf: usize) {
     let chain_rows = pending.last().expect("chain is never empty").0.clone();
     let base_id = blocks_for_leaves(leaf) as u64;
 
-    // Copy the chain's rows so the build holds no lock. The copy preserves
-    // the inverse-norm column, keeping angular graphs bit-identical.
-    let chunk = shared.master_lock().store.materialize(chain_rows.clone());
+    // Share the chain's segments so the build holds no lock and copies no
+    // rows. The segments carry the inverse-norm column, keeping angular
+    // graphs bit-identical.
+    let chunk = shared.master_lock().store.share(chain_rows.clone());
     let graphs = build_chain_graphs(
         &shared.config,
         &chunk,
@@ -715,9 +970,10 @@ fn process_chain(shared: &Shared, leaf: usize) {
         .push(t0.elapsed().as_micros() as u64);
 
     // Stage, then publish every consecutive ready chain in leaf order.
+    let t_pub = Instant::now();
     let publish = {
         let mut m = shared.master_lock();
-        let blocks = assemble_blocks(pending, graphs, &m.timestamps);
+        let blocks = assemble_blocks(pending, graphs, &m.times);
         m.ready.insert(leaf, blocks);
         let mut advanced = false;
         while let Some(chain) = {
@@ -729,11 +985,10 @@ fn process_chain(shared: &Shared, leaf: usize) {
             advanced = true;
         }
         advanced.then(|| {
-            let sealed = m.published_leaves * s_l;
             Arc::new(IndexSnapshot {
                 config: shared.config,
-                store: m.store.materialize(0..sealed),
-                timestamps: m.timestamps[..sealed].to_vec(),
+                store: m.store.share(0..m.published_leaves * s_l),
+                times: m.times.share_prefix(m.published_leaves),
                 blocks: m.blocks.clone(),
                 num_leaves: m.published_leaves,
             })
@@ -753,15 +1008,20 @@ fn process_chain(shared: &Shared, leaf: usize) {
         {
             // Trim the published prefix off the tail — *after* the swap, so
             // a query that still sees these rows in its snapshot clamps them
-            // out of its tail scan instead of losing them.
+            // out of its tail scan instead of losing them. Whole shared
+            // leaves pop off the front of the deque: O(1) per leaf, no row
+            // moves.
             let mut tail = shared.tail.write();
-            if sealed > tail.first_row {
-                let drop_rows = sealed - tail.first_row;
-                tail.store.drop_front(drop_rows);
-                tail.timestamps.drain(..drop_rows);
-                tail.first_row = sealed;
+            while tail.first_row < sealed {
+                tail.sealed.pop_front();
+                tail.first_row += s_l;
             }
         }
+        shared
+            .publish_micros
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((sealed as u64, t_pub.elapsed().as_micros() as u64));
         shared.publish_cv.notify_all();
     }
 }
@@ -933,6 +1193,86 @@ mod tests {
         fill(&engine, 20);
         assert!(engine.stats().insert_micros.is_empty());
         assert_eq!(engine.engine_config().builder_threads, 1);
+    }
+
+    #[test]
+    fn consecutive_snapshots_share_segments() {
+        let engine = StreamingMbi::new(config());
+        fill(&engine, 16);
+        engine.flush();
+        let snap1 = engine.snapshot();
+        fill_from(&engine, 16, 64);
+        engine.flush();
+        let snap2 = engine.snapshot();
+        assert_eq!(snap1.num_leaves(), 2);
+        assert_eq!(snap2.num_leaves(), 8);
+        for (a, b) in snap1.store().segments().iter().zip(snap2.store().segments()) {
+            assert!(Arc::ptr_eq(a, b), "prefix segments are the same allocation");
+        }
+        for (a, b) in snap1.times().chunks().iter().zip(snap2.times().chunks()) {
+            assert!(Arc::ptr_eq(a, b), "prefix timestamp chunks are the same allocation");
+        }
+        for (a, b) in snap1.blocks().iter().zip(snap2.blocks()) {
+            assert!(Arc::ptr_eq(a, b), "prefix blocks are the same allocation");
+        }
+        assert_eq!(snap2.validate(), Ok(()));
+    }
+
+    #[test]
+    fn publications_record_latency_samples() {
+        let engine = StreamingMbi::new(config());
+        fill(&engine, 64);
+        engine.flush();
+        let stats = engine.stats();
+        assert!(!stats.publish_micros.is_empty(), "every publication takes a sample");
+        let (last_rows, _) = *stats.publish_micros.last().unwrap();
+        assert_eq!(last_rows, 64, "samples carry the published row count");
+        assert!(stats.publish_micros.iter().all(|&(rows, _)| rows > 0 && rows <= 64));
+    }
+
+    #[test]
+    fn from_index_resumes_with_identical_answers() {
+        let mut sync = MbiIndex::new(config());
+        for i in 0..45usize {
+            sync.insert(&[i as f32, (i % 3) as f32], i as i64).unwrap();
+        }
+        let engine = StreamingMbi::from_index(sync.clone(), EngineConfig::default());
+        assert_eq!(engine.len(), 45);
+        assert_eq!(engine.stats().published_leaves, 5);
+        let w = TimeWindow::new(2, 40);
+        assert_eq!(engine.query(&[17.0, 1.0], 5, w), sync.query(&[17.0, 1.0], 5, w));
+        assert_eq!(engine.exact_query(&[17.0, 1.0], 5, w), sync.exact_query(&[17.0, 1.0], 5, w));
+        // Streaming continues where the index left off, converging again.
+        for i in 45..64usize {
+            engine.insert(&[i as f32, (i % 3) as f32], i as i64).unwrap();
+            sync.insert(&[i as f32, (i % 3) as f32], i as i64).unwrap();
+        }
+        let converged = engine.to_index();
+        assert_eq!(converged.timestamps(), sync.timestamps());
+        assert_eq!(converged.store().as_flat(), sync.store().as_flat());
+        assert_eq!(converged.validate(), Ok(()));
+    }
+
+    #[test]
+    fn snapshot_from_index_rejects_unsealed_tails() {
+        let mut sync = MbiIndex::new(config());
+        for i in 0..10usize {
+            sync.insert(&[i as f32, 0.0], i as i64).unwrap();
+        }
+        match IndexSnapshot::from_index(&sync) {
+            Err(MbiError::UnsealedTail { tail_rows: 2 }) => {}
+            other => panic!("expected UnsealedTail {{ 2 }}, got {other:?}"),
+        }
+        for i in 10..16usize {
+            sync.insert(&[i as f32, 0.0], i as i64).unwrap();
+        }
+        let snap = IndexSnapshot::from_index(&sync).unwrap();
+        assert_eq!(snap.validate(), Ok(()));
+        assert_eq!(snap.sealed_rows(), 16);
+        let w = TimeWindow::all();
+        assert_eq!(snap.query_with_params(&[7.0, 0.0], 3, w, &config().search).results, {
+            sync.query(&[7.0, 0.0], 3, w)
+        });
     }
 
     #[test]

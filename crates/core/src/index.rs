@@ -4,11 +4,12 @@
 use crate::block::{Block, BlockGraph};
 use crate::config::MbiConfig;
 use crate::error::MbiError;
-use crate::query_exec::QueryTarget;
+use crate::query_exec::{QueryTarget, TimeSource, VectorSource};
 use crate::select::{SearchBlockSet, TimeWindow};
 use crate::Timestamp;
 use mbi_ann::{SearchParams, SearchStats, VectorStore};
 use mbi_math::Metric;
+use std::borrow::Borrow;
 
 /// One TkNN answer: a vector id (insertion order), its timestamp, and its
 /// distance to the query.
@@ -92,13 +93,14 @@ pub(crate) fn blocks_for_leaves(leaves: usize) -> usize {
 /// graphs are identical to a serial build.
 ///
 /// `pending` holds *global* row ranges; `offset` is the global row of
-/// `store`'s first row, so the synchronous path passes the whole store with
-/// `offset = 0` while the streaming engine passes a materialised copy of
-/// just the chain's rows. `base_id` seeds the per-block salt and must equal
-/// the postorder index of the chain's first block.
-pub(crate) fn build_chain_graphs(
+/// `store`'s first row, so the synchronous path passes the whole flat store
+/// with `offset = 0` while the streaming engine passes a pointer-shared
+/// [`SegmentStore`](mbi_ann::SegmentStore) covering just the chain's rows.
+/// `base_id` seeds the per-block salt and must equal the postorder index of
+/// the chain's first block.
+pub(crate) fn build_chain_graphs<V: VectorSource + ?Sized>(
     config: &MbiConfig,
-    store: &VectorStore,
+    store: &V,
     offset: usize,
     pending: &[(std::ops::Range<usize>, u32)],
     base_id: u64,
@@ -146,20 +148,89 @@ pub(crate) fn build_chain_graphs(
 
 /// Pairs a chain's ranges with its built graphs into [`Block`]s, reading the
 /// timestamp bounds from the global timestamp column.
-pub(crate) fn assemble_blocks(
+pub(crate) fn assemble_blocks<T: TimeSource + ?Sized>(
     pending: Vec<(std::ops::Range<usize>, u32)>,
     graphs: Vec<BlockGraph>,
-    timestamps: &[Timestamp],
+    timestamps: &T,
 ) -> Vec<Block> {
     pending
         .into_iter()
         .zip(graphs)
         .map(|((rows, height), graph)| {
-            let start_ts = timestamps[rows.start];
-            let end_ts = timestamps[rows.end - 1] + 1;
+            let start_ts = timestamps.get(rows.start);
+            let end_ts = timestamps.get(rows.end - 1) + 1;
             Block { rows, height, start_ts, end_ts, graph }
         })
         .collect()
+}
+
+/// Checks that `blocks` is the postorder layout of the maximal-subtree
+/// forest implied by `num_leaves` (heights, row ranges), that every block's
+/// timestamp bounds match its rows, and that every graph edge stays inside
+/// its block — invariants 3–5 of [`MbiIndex::validate`], shared with
+/// [`IndexSnapshot::validate`](crate::IndexSnapshot::validate).
+pub(crate) fn validate_blocks<B, T>(
+    leaf_size: usize,
+    num_leaves: usize,
+    blocks: &[B],
+    timestamps: &T,
+) -> Result<(), String>
+where
+    B: Borrow<Block>,
+    T: TimeSource + ?Sized,
+{
+    // Reconstruct the expected postorder layout.
+    let mut expected: Vec<(std::ops::Range<usize>, u32)> = Vec::new();
+    let mut first_leaf = 0usize;
+    for b in (0..usize::BITS).rev() {
+        if num_leaves & (1 << b) == 0 {
+            continue;
+        }
+        push_subtree(first_leaf, 1 << b, leaf_size, &mut expected);
+        first_leaf += 1 << b;
+    }
+    if expected.len() != blocks.len() {
+        return Err(format!(
+            "expected {} blocks for {num_leaves} leaves, found {}",
+            expected.len(),
+            blocks.len()
+        ));
+    }
+    for (i, ((rows, height), block)) in expected.iter().zip(blocks).enumerate() {
+        let block: &Block = block.borrow();
+        if block.rows != *rows || block.height != *height {
+            return Err(format!(
+                "block {i}: expected rows {rows:?} height {height}, found {:?} height {}",
+                block.rows, block.height
+            ));
+        }
+        let start_ts = timestamps.get(rows.start);
+        let end_ts = timestamps.get(rows.end - 1) + 1;
+        if block.start_ts != start_ts || block.end_ts != end_ts {
+            return Err(format!(
+                "block {i}: timestamp bounds [{}, {}) do not match rows ([{start_ts}, {end_ts}))",
+                block.start_ts, block.end_ts
+            ));
+        }
+        if let BlockGraph::Knn(g) = &block.graph {
+            use mbi_ann::Graph;
+            if g.node_count() != block.len() {
+                return Err(format!(
+                    "block {i}: graph has {} nodes for {} rows",
+                    g.node_count(),
+                    block.len()
+                ));
+            }
+            for node in 0..g.node_count() as u32 {
+                for &nb in g.neighbors(node) {
+                    if nb as usize >= block.len() {
+                        return Err(format!("block {i}: edge {node}→{nb} escapes the block"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Multi-level Block Index over timestamped vectors.
@@ -332,16 +403,16 @@ impl MbiIndex {
             self.blocks.len() as u64,
             threads,
         );
-        self.blocks.extend(assemble_blocks(pending, graphs, &self.timestamps));
+        self.blocks.extend(assemble_blocks(pending, graphs, self.timestamps.as_slice()));
     }
 
     /// The borrowed [`QueryTarget`] view of this index — the shared query
     /// executor used by both this type and the streaming engine's snapshots.
-    pub(crate) fn target(&self) -> QueryTarget<'_, Block> {
+    pub(crate) fn target(&self) -> QueryTarget<'_, Block, VectorStore, [Timestamp]> {
         QueryTarget {
             config: &self.config,
             store: &self.store,
-            timestamps: &self.timestamps,
+            times: self.timestamps.as_slice(),
             blocks: &self.blocks,
             num_leaves: self.num_leaves,
         }
@@ -581,59 +652,12 @@ impl MbiIndex {
         if sealed > self.len() {
             return Err(format!("{sealed} sealed rows exceed {} stored", self.len()));
         }
-
-        // Reconstruct the expected postorder layout.
-        let mut expected: Vec<(std::ops::Range<usize>, u32)> = Vec::new();
-        let mut first_leaf = 0usize;
-        for b in (0..usize::BITS).rev() {
-            if self.num_leaves & (1 << b) == 0 {
-                continue;
-            }
-            push_subtree(first_leaf, 1 << b, self.config.leaf_size, &mut expected);
-            first_leaf += 1 << b;
-        }
-        if expected.len() != self.blocks.len() {
-            return Err(format!(
-                "expected {} blocks for {} leaves, found {}",
-                expected.len(),
-                self.num_leaves,
-                self.blocks.len()
-            ));
-        }
-        for (i, ((rows, height), block)) in expected.iter().zip(&self.blocks).enumerate() {
-            if block.rows != *rows || block.height != *height {
-                return Err(format!(
-                    "block {i}: expected rows {rows:?} height {height}, found {:?} height {}",
-                    block.rows, block.height
-                ));
-            }
-            let start_ts = self.timestamps[rows.start];
-            let end_ts = self.timestamps[rows.end - 1] + 1;
-            if block.start_ts != start_ts || block.end_ts != end_ts {
-                return Err(format!(
-                    "block {i}: timestamp bounds [{}, {}) do not match rows ([{start_ts}, {end_ts}))",
-                    block.start_ts, block.end_ts
-                ));
-            }
-            if let crate::block::BlockGraph::Knn(g) = &block.graph {
-                use mbi_ann::Graph;
-                if g.node_count() != block.len() {
-                    return Err(format!(
-                        "block {i}: graph has {} nodes for {} rows",
-                        g.node_count(),
-                        block.len()
-                    ));
-                }
-                for node in 0..g.node_count() as u32 {
-                    for &nb in g.neighbors(node) {
-                        if nb as usize >= block.len() {
-                            return Err(format!("block {i}: edge {node}→{nb} escapes the block"));
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
+        validate_blocks(
+            self.config.leaf_size,
+            self.num_leaves,
+            &self.blocks,
+            self.timestamps.as_slice(),
+        )
     }
 }
 

@@ -49,6 +49,7 @@
 //! | [`persist`] | — | binary save/load of a built index |
 //! | [`concurrent`] | — | [`ConcurrentMbi`]: queries concurrent with ingest |
 //! | [`engine`] | — | [`StreamingMbi`]: background builds, snapshot publication |
+//! | [`times`] | — | [`TimeChunks`]: chunk-shared timestamp column for snapshots |
 //! | [`tuner`] | §5.4.2 | [`TauTuner`]: per-window-length `τ` calibration |
 
 #![forbid(unsafe_code)]
@@ -63,6 +64,7 @@ pub mod index;
 pub mod persist;
 pub(crate) mod query_exec;
 pub mod select;
+pub mod times;
 pub mod tuner;
 
 pub use block::{Block, BlockGraph};
@@ -72,6 +74,7 @@ pub use engine::{Backpressure, EngineConfig, EngineStats, IndexSnapshot, Streami
 pub use error::MbiError;
 pub use index::{LevelStats, MbiIndex, QueryOutput, TknnResult};
 pub use select::{SearchBlockSet, TimeWindow};
+pub use times::TimeChunks;
 pub use tuner::TauTuner;
 
 /// Timestamps are signed 64-bit integers; any monotone clock works (unix

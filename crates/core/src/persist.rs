@@ -23,15 +23,19 @@
 
 use crate::block::{Block, BlockGraph};
 use crate::config::{GraphBackend, MbiConfig};
+use crate::engine::IndexSnapshot;
 use crate::error::MbiError;
 use crate::index::MbiIndex;
+use crate::times::TimeChunks;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mbi_ann::{
-    EntryPolicy, HnswIndex, HnswParams, KnnGraph, NnDescentParams, SearchParams, VectorStore,
+    EntryPolicy, HnswIndex, HnswParams, KnnGraph, NnDescentParams, SearchParams, Segment,
+    SegmentStore, VectorStore,
 };
 use mbi_math::Metric;
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"MBI1";
 // v2 appended `query_threads` to the config record. v3 appended the optional
@@ -39,6 +43,12 @@ const MAGIC: &[u8; 4] = b"MBI1";
 // streams are still readable — the column is recomputed for angular indexes.
 const VERSION: u32 = 3;
 const OLDEST_READABLE_VERSION: u32 = 2;
+// v4 is the *snapshot* layout: leaf-sized segments (timestamps + rows +
+// optional norm column per leaf) instead of the index's flat columns.
+// [`MbiIndex`] streams stay at v3 — the two types round-trip independently,
+// and [`IndexSnapshot::from_bytes`] still reads v2/v3 index streams by
+// converting ([`IndexSnapshot::from_index`]).
+const SNAPSHOT_VERSION: u32 = 4;
 
 impl MbiIndex {
     /// Serialises the index to `w`.
@@ -208,6 +218,165 @@ impl MbiIndex {
         // return wrong answers rather than crash.
         index.validate().map_err(MbiError::Corrupt)?;
         Ok(index)
+    }
+}
+
+impl IndexSnapshot {
+    /// Serialises the snapshot to `w`.
+    pub fn save_to(&self, w: &mut impl Write) -> Result<(), MbiError> {
+        w.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Serialises the snapshot to a file at `path`.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), MbiError> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.save_to(&mut f)?;
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Deserialises a snapshot from `r`.
+    pub fn load_from(r: &mut impl Read) -> Result<Self, MbiError> {
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        Self::from_bytes(Bytes::from(buf))
+    }
+
+    /// Deserialises a snapshot from a file at `path`.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<Self, MbiError> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::load_from(&mut f)
+    }
+
+    /// Serialises the snapshot into one contiguous buffer (v4 layout: one
+    /// record per leaf segment).
+    pub fn to_bytes(&self) -> Bytes {
+        let config = self.config();
+        let s_l = config.leaf_size;
+        let store = self.store();
+        let mut b = BytesMut::with_capacity(64 + store.memory_bytes());
+        b.put_slice(MAGIC);
+        b.put_u32_le(SNAPSHOT_VERSION);
+        write_config(&mut b, config);
+        b.put_u64_le(self.num_leaves() as u64);
+        b.put_u64_le(s_l as u64);
+        let has_norms = store.segments().first().is_some_and(|s| s.has_norm_cache());
+        b.put_u8(u8::from(has_norms));
+        for (seg, chunk) in store.segments().iter().zip(self.times().chunks()) {
+            for &t in chunk.iter() {
+                b.put_i64_le(t);
+            }
+            for &v in seg.as_flat() {
+                b.put_f32_le(v);
+            }
+            if has_norms {
+                let inv = seg.inv_norms().expect("norm flag implies a cached column");
+                for &x in inv {
+                    b.put_f32_le(x);
+                }
+            }
+        }
+        b.put_u64_le(self.blocks().len() as u64);
+        for block in self.blocks() {
+            b.put_u64_le(block.rows.start as u64);
+            b.put_u64_le(block.rows.end as u64);
+            b.put_u32_le(block.height);
+            b.put_i64_le(block.start_ts);
+            b.put_i64_le(block.end_ts);
+            write_graph(&mut b, &block.graph);
+        }
+        b.freeze()
+    }
+
+    /// Deserialises a snapshot from one contiguous buffer. Accepts the
+    /// native v4 segment layout, plus v2/v3 [`MbiIndex`] streams (converted
+    /// via [`IndexSnapshot::from_index`] — fails with
+    /// [`MbiError::UnsealedTail`] if the stored index has tail rows).
+    pub fn from_bytes(b: Bytes) -> Result<Self, MbiError> {
+        {
+            // Peek the version without consuming: pre-v4 streams are whole
+            // MbiIndex streams and must be re-read from the top.
+            check_len(&b, 8)?;
+            if &b[..4] != MAGIC {
+                return Err(MbiError::Corrupt("bad magic".into()));
+            }
+            let version = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);
+            if version < SNAPSHOT_VERSION {
+                return IndexSnapshot::from_index(&MbiIndex::from_bytes(b)?);
+            }
+            if version > SNAPSHOT_VERSION {
+                return Err(MbiError::Corrupt(format!("unsupported version {version}")));
+            }
+        }
+        let mut b = b.slice(8..b.len());
+        let config = read_config(&mut b)?;
+        check_len(&b, 8 + 8 + 1)?;
+        let num_leaves = b.get_u64_le() as usize;
+        let seg_rows = b.get_u64_le() as usize;
+        if seg_rows != config.leaf_size {
+            return Err(MbiError::Corrupt(format!(
+                "segment rows {seg_rows} do not match leaf size {}",
+                config.leaf_size
+            )));
+        }
+        let has_norms = b.get_u8() != 0;
+        if config.metric == Metric::Angular && !has_norms {
+            return Err(MbiError::Corrupt("angular snapshot lacks norm column".into()));
+        }
+        let leaf_bytes =
+            seg_rows * 8 + seg_rows * config.dim * 4 + if has_norms { seg_rows * 4 } else { 0 };
+        let mut store = SegmentStore::new(config.dim, seg_rows);
+        let mut times = TimeChunks::new(seg_rows);
+        for _ in 0..num_leaves {
+            check_len(&b, leaf_bytes)?;
+            let mut chunk = Vec::with_capacity(seg_rows);
+            for _ in 0..seg_rows {
+                chunk.push(b.get_i64_le());
+            }
+            let mut flat = Vec::with_capacity(seg_rows * config.dim);
+            for _ in 0..seg_rows * config.dim {
+                flat.push(b.get_f32_le());
+            }
+            let leaf_store = if has_norms {
+                let mut inv = Vec::with_capacity(seg_rows);
+                for _ in 0..seg_rows {
+                    let x = b.get_f32_le();
+                    if !x.is_finite() || x < 0.0 {
+                        return Err(MbiError::Corrupt(format!("invalid inverse norm {x}")));
+                    }
+                    inv.push(x);
+                }
+                VectorStore::from_flat_with_inv_norms(config.dim, flat, inv)
+            } else {
+                VectorStore::from_flat(config.dim, flat)
+            };
+            store.push_segment(Arc::new(Segment::from_store(leaf_store)));
+            times.push_chunk(chunk.into());
+        }
+        check_len(&b, 8)?;
+        let num_blocks = b.get_u64_le() as usize;
+        let n = num_leaves * seg_rows;
+        let mut blocks = Vec::with_capacity(num_blocks.min(1 << 20));
+        for _ in 0..num_blocks {
+            check_len(&b, 8 * 2 + 4 + 8 * 2)?;
+            let start = b.get_u64_le() as usize;
+            let end = b.get_u64_le() as usize;
+            let height = b.get_u32_le();
+            let start_ts = b.get_i64_le();
+            let end_ts = b.get_i64_le();
+            if start > end || end > n || end_ts <= start_ts {
+                return Err(MbiError::Corrupt("invalid block bounds".into()));
+            }
+            let graph = read_graph(&mut b, end - start)?;
+            blocks.push(Arc::new(Block { rows: start..end, height, start_ts, end_ts, graph }));
+        }
+        if b.has_remaining() {
+            return Err(MbiError::Corrupt("trailing bytes".into()));
+        }
+        let snap = IndexSnapshot { config, store, times, blocks, num_leaves };
+        snap.validate().map_err(MbiError::Corrupt)?;
+        Ok(snap)
     }
 }
 
@@ -625,5 +794,91 @@ mod tests {
         raw[norms_start..norms_start + 4].copy_from_slice(&f32::NAN.to_le_bytes());
         let err = MbiIndex::from_bytes(Bytes::from(raw)).unwrap_err();
         assert!(err.to_string().contains("inverse norm"), "{err}");
+    }
+
+    fn assert_same_snapshot_answers(a: &IndexSnapshot, b: &IndexSnapshot) {
+        assert_eq!(a.sealed_rows(), b.sealed_rows());
+        assert_eq!(a.num_leaves(), b.num_leaves());
+        assert_eq!(a.blocks().len(), b.blocks().len());
+        let params = a.config().search;
+        for (q, w) in [(5.0f32, (0i64, 60i64)), (30.0, (10, 50)), (55.0, (40, 64))] {
+            let w = TimeWindow::new(w.0, w.1);
+            let qa = a.query_with_params(&[q, 0.0, -q], 5, w, &params);
+            let qb = b.query_with_params(&[q, 0.0, -q], 5, w, &params);
+            assert_eq!(qa.results, qb.results);
+        }
+    }
+
+    #[test]
+    fn snapshot_v4_roundtrips() {
+        let snap = IndexSnapshot::from_index(&build_index(GraphBackend::default(), 64)).unwrap();
+        let bytes = snap.to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 4);
+        let loaded = IndexSnapshot::from_bytes(bytes).unwrap();
+        assert_eq!(loaded.validate(), Ok(()));
+        assert_same_snapshot_answers(&snap, &loaded);
+        assert!(!loaded.store().has_norm_cache());
+    }
+
+    #[test]
+    fn snapshot_v4_roundtrips_norm_column() {
+        let snap = IndexSnapshot::from_index(&build_angular_index(64)).unwrap();
+        let loaded = IndexSnapshot::from_bytes(snap.to_bytes()).unwrap();
+        assert!(loaded.store().has_norm_cache());
+        for (a, b) in snap.store().segments().iter().zip(loaded.store().segments()) {
+            assert_eq!(a.as_flat(), b.as_flat());
+            assert_eq!(a.inv_norms(), b.inv_norms());
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_file() {
+        let snap = IndexSnapshot::from_index(&build_index(GraphBackend::default(), 32)).unwrap();
+        let dir = std::env::temp_dir().join("mbi_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.mbi");
+        snap.save_file(&path).unwrap();
+        let loaded = IndexSnapshot::load_file(&path).unwrap();
+        assert_same_snapshot_answers(&snap, &loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_reads_v3_index_streams() {
+        // A pre-segment (v3) index stream loads as a snapshot when sealed …
+        let idx = build_index(GraphBackend::default(), 64);
+        let snap = IndexSnapshot::from_bytes(idx.to_bytes()).unwrap();
+        assert_eq!(snap.num_leaves(), idx.num_leaves());
+        assert_eq!(snap.validate(), Ok(()));
+        assert_same_snapshot_answers(&snap, &IndexSnapshot::from_index(&idx).unwrap());
+        // … and surfaces the tail explicitly when not.
+        let with_tail = build_index(GraphBackend::default(), 70);
+        match IndexSnapshot::from_bytes(with_tail.to_bytes()) {
+            Err(MbiError::UnsealedTail { tail_rows: 6 }) => {}
+            other => panic!("expected UnsealedTail {{ 6 }}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_loader_rejects_snapshot_streams() {
+        let snap = IndexSnapshot::from_index(&build_index(GraphBackend::default(), 32)).unwrap();
+        let err = MbiIndex::from_bytes(snap.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("version 4"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_everywhere() {
+        let snap = IndexSnapshot::from_index(&build_angular_index(32)).unwrap();
+        let full = snap.to_bytes();
+        for cut in [0, 3, 7, 20, 60, full.len() / 2, full.len() - 1] {
+            assert!(
+                IndexSnapshot::from_bytes(full.slice(0..cut)).is_err(),
+                "prefix of {cut} bytes was accepted"
+            );
+        }
+        let mut raw = full.to_vec();
+        raw.extend_from_slice(b"junk");
+        let err = IndexSnapshot::from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
     }
 }

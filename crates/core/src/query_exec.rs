@@ -11,10 +11,11 @@ use crate::block::Block;
 use crate::config::MbiConfig;
 use crate::index::{QueryOutput, TknnResult};
 use crate::select::{select_blocks, BlockMeta, SearchBlockSet, TimeWindow};
+use crate::times::TimeChunks;
 use crate::Timestamp;
 use mbi_ann::{
     brute_force_prepared, with_thread_scratch, SearchParams, SearchScratch, SearchStats,
-    VectorStore,
+    SegmentStore, VectorStore, VectorView,
 };
 use mbi_math::{Neighbor, PreparedQuery, TopK};
 use std::borrow::Borrow;
@@ -24,29 +25,95 @@ use std::borrow::Borrow;
 /// costs more than the per-block searches it would parallelise.
 const MIN_PARALLEL_ROWS: usize = 8 * 1024;
 
+/// Row storage a query can execute against: the flat [`VectorStore`] owned
+/// by [`MbiIndex`](crate::MbiIndex) or the segment-shared [`SegmentStore`]
+/// of a published snapshot. All the executor needs is a row-range view;
+/// the kernels below it handle both contiguous and segmented views.
+pub(crate) trait VectorSource: Sync {
+    /// A view over rows `range.start..range.end`.
+    fn slice(&self, range: std::ops::Range<usize>) -> VectorView<'_>;
+}
+
+impl VectorSource for VectorStore {
+    #[inline]
+    fn slice(&self, range: std::ops::Range<usize>) -> VectorView<'_> {
+        VectorStore::slice(self, range)
+    }
+}
+
+impl VectorSource for SegmentStore {
+    #[inline]
+    fn slice(&self, range: std::ops::Range<usize>) -> VectorView<'_> {
+        SegmentStore::slice(self, range)
+    }
+}
+
+/// Timestamp column a query can execute against: flat (`[Timestamp]`) or
+/// chunk-shared ([`TimeChunks`]). Always non-decreasing.
+pub(crate) trait TimeSource: Sync {
+    /// Total timestamps (= total rows).
+    fn len(&self) -> usize;
+    /// Timestamp of row `i`.
+    fn get(&self, i: usize) -> Timestamp;
+    /// Index of the first row with timestamp `>= bound`.
+    fn partition_below(&self, bound: Timestamp) -> usize;
+}
+
+impl TimeSource for [Timestamp] {
+    #[inline]
+    fn len(&self) -> usize {
+        <[Timestamp]>::len(self)
+    }
+    #[inline]
+    fn get(&self, i: usize) -> Timestamp {
+        self[i]
+    }
+    #[inline]
+    fn partition_below(&self, bound: Timestamp) -> usize {
+        self.partition_point(|&t| t < bound)
+    }
+}
+
+impl TimeSource for TimeChunks {
+    #[inline]
+    fn len(&self) -> usize {
+        TimeChunks::len(self)
+    }
+    #[inline]
+    fn get(&self, i: usize) -> Timestamp {
+        TimeChunks::get(self, i)
+    }
+    #[inline]
+    fn partition_below(&self, bound: Timestamp) -> usize {
+        TimeChunks::partition_below(self, bound)
+    }
+}
+
 /// A borrowed view of one queryable index state: parallel store/timestamp
 /// columns, the postorder block array, and the number of sealed leaves.
-/// Rows `[num_leaves · S_L, timestamps.len())` are the tail.
-pub(crate) struct QueryTarget<'a, B> {
+/// Rows `[num_leaves · S_L, times.len())` are the tail.
+pub(crate) struct QueryTarget<'a, B, V: ?Sized, T: ?Sized> {
     /// Index configuration (`τ`, metric, search defaults, fan-out width).
     pub config: &'a MbiConfig,
-    /// The raw vectors, rows `0..timestamps.len()`.
-    pub store: &'a VectorStore,
-    /// The timestamp column (ascending), parallel to `store`.
-    pub timestamps: &'a [Timestamp],
+    /// The raw vectors, rows `0..times.len()`.
+    pub store: &'a V,
+    /// The timestamp column (non-decreasing), parallel to `store`.
+    pub times: &'a T,
     /// Postorder block array over the sealed prefix.
     pub blocks: &'a [B],
     /// Number of sealed (full) leaves.
     pub num_leaves: usize,
 }
 
-impl<'a, B> QueryTarget<'a, B>
+impl<'a, B, V, T> QueryTarget<'a, B, V, T>
 where
     B: Borrow<Block> + BlockMeta + Sync,
+    V: VectorSource + ?Sized,
+    T: TimeSource + ?Sized,
 {
     /// Total rows (sealed + tail).
     pub fn len(&self) -> usize {
-        self.timestamps.len()
+        self.times.len()
     }
 
     /// Row range of the non-full tail leaf (possibly empty).
@@ -59,8 +126,8 @@ where
         let blocks = select_blocks(self.blocks, self.num_leaves, self.config.tau, window);
         let tail_rows = self.tail_rows();
         let tail = !tail_rows.is_empty() && {
-            let ts = self.timestamps[tail_rows.start];
-            let te = self.timestamps[self.len() - 1] + 1;
+            let ts = self.times.get(tail_rows.start);
+            let te = self.times.get(self.len() - 1) + 1;
             window.overlap_with(ts, te) > 0
         };
         SearchBlockSet { blocks, tail }
@@ -245,8 +312,8 @@ where
         }
         let view = self.store.slice(block.rows.clone());
         let fully_covered = window.start <= block.start_ts && block.end_ts <= window.end;
-        let ts = self.timestamps;
-        let mut filter = |lid: u32| fully_covered || window.contains(ts[(base + lid) as usize]);
+        let ts = self.times;
+        let mut filter = |lid: u32| fully_covered || window.contains(ts.get((base + lid) as usize));
         block.graph.search_prepared(view, pq, k, params, &mut filter, stats, scratch, buf);
         for n in buf.iter() {
             merged.offer(base + n.id, n.dist);
@@ -298,8 +365,8 @@ where
     /// Rows whose timestamps fall in `window`, as `[lo, hi)` — the binary
     /// search step of Algorithm 1 (timestamps are sorted by construction).
     pub fn window_rows(&self, window: TimeWindow) -> (usize, usize) {
-        let lo = self.timestamps.partition_point(|&t| t < window.start);
-        let hi = self.timestamps.partition_point(|&t| t < window.end);
+        let lo = self.times.partition_below(window.start);
+        let hi = self.times.partition_below(window.end);
         (lo, hi)
     }
 
@@ -310,7 +377,7 @@ where
             .into_iter()
             .map(|Neighbor { id, dist }| TknnResult {
                 id,
-                timestamp: self.timestamps[id as usize],
+                timestamp: self.times.get(id as usize),
                 dist,
             })
             .collect()

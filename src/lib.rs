@@ -60,7 +60,7 @@
 pub use mbi_core::{
     Backpressure, Block, BlockGraph, ConcurrentMbi, EngineConfig, EngineStats, GraphBackend,
     IndexSnapshot, MbiConfig, MbiError, MbiIndex, QueryOutput, SearchBlockSet, StreamingMbi,
-    TauTuner, TimeWindow, Timestamp, TknnResult,
+    TauTuner, TimeChunks, TimeWindow, Timestamp, TknnResult,
 };
 pub use mbi_math::{Metric, Neighbor, OnlineStats, OrderedF32, TopK};
 
@@ -77,4 +77,4 @@ pub use mbi_eval as eval;
 /// Numeric foundations (metrics, top-k, ordered floats).
 pub use mbi_math as math;
 
-pub use mbi_ann::{HnswParams, NnDescentParams, SearchParams, SearchStats};
+pub use mbi_ann::{HnswParams, NnDescentParams, SearchParams, SearchStats, Segment, SegmentStore};

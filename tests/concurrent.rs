@@ -221,6 +221,70 @@ fn dropping_the_engine_mid_build_joins_all_builders() {
 }
 
 #[test]
+fn published_snapshots_share_storage_with_predecessors() {
+    // The O(leaf) publication claim, asserted structurally: a later snapshot
+    // holds the *same allocations* for its common prefix — segments,
+    // timestamp chunks, and blocks — so publication (and the sealing insert
+    // that triggers it) never copies the sealed prefix, no matter how large
+    // it has grown.
+    use std::sync::Arc;
+    let engine = StreamingMbi::new(config());
+    for i in 0..128i64 {
+        engine.insert(&vec_for(i), i).unwrap();
+    }
+    engine.flush();
+    let early = engine.snapshot();
+    assert_eq!(early.num_leaves(), 2);
+    for i in 128..1_024i64 {
+        engine.insert(&vec_for(i), i).unwrap();
+    }
+    engine.flush();
+    let late = engine.snapshot();
+    assert_eq!(late.num_leaves(), 16);
+    for (a, b) in early.store().segments().iter().zip(late.store().segments()) {
+        assert!(Arc::ptr_eq(a, b), "a later publication copied a sealed segment");
+    }
+    for (a, b) in early.times().chunks().iter().zip(late.times().chunks()) {
+        assert!(Arc::ptr_eq(a, b), "a later publication copied a timestamp chunk");
+    }
+    for (a, b) in early.blocks().iter().zip(late.blocks()) {
+        assert!(Arc::ptr_eq(a, b), "a later publication copied a block");
+    }
+    // Every publication took its latency sample, and the snapshot is sound.
+    assert!(!engine.stats().publish_micros.is_empty());
+    assert_eq!(late.validate(), Ok(()));
+}
+
+#[test]
+fn streaming_snapshot_queries_match_the_synchronous_index() {
+    // Bit-identical serving through the segmented snapshot path: after a
+    // flush at a leaf boundary (empty tail), every query must return exactly
+    // what the flat synchronous index returns — same ids, same distance
+    // bits — across metrics of window, k, and query point.
+    let mut sync = MbiIndex::new(config());
+    let engine = StreamingMbi::with_engine_config(
+        config(),
+        EngineConfig::default().with_builder_threads(2).with_queue_depth(4),
+    );
+    for i in 0..1_024i64 {
+        sync.insert(&vec_for(i), i).unwrap();
+        engine.insert(&vec_for(i), i).unwrap();
+    }
+    engine.flush();
+    for (qi, k, w) in [
+        (3i64, 1usize, TimeWindow::all()),
+        (100, 5, TimeWindow::new(0, 1_024)),
+        (555, 10, TimeWindow::new(100, 900)),
+        (901, 7, TimeWindow::new(512, 520)),
+        (17, 3, TimeWindow::new(63, 65)),
+    ] {
+        let q = vec_for(qi * 13);
+        assert_eq!(engine.query(&q, k, w), sync.query(&q, k, w), "q{qi} k{k}");
+        assert_eq!(engine.exact_query(&q, k, w), sync.exact_query(&q, k, w), "exact q{qi} k{k}");
+    }
+}
+
+#[test]
 fn interleaved_inserts_from_one_writer_preserve_structure() {
     // The RwLock serialises writers; verify the final structure matches a
     // sequentially built index.
