@@ -15,6 +15,12 @@
 //! publication is `O(leaves)` pointer copies — the series must stay flat as
 //! the sealed prefix grows by an order of magnitude (the old
 //! materialise-the-prefix scheme grew linearly with `sealed_rows`).
+//!
+//! The summary also records the WAL's durability tax: per-insert p50/p99
+//! over the same stream with no WAL, with the default seal-time fsync
+//! ([`WalSync::OnSeal`]), and with fsync-per-insert ([`WalSync::Always`]) —
+//! the `insert/streaming_wal` criterion row shows the same OnSeal cost as a
+//! latency distribution.
 
 use criterion::{black_box, criterion_group, Criterion};
 use mbi_ann::{NnDescentParams, SearchParams};
@@ -60,6 +66,23 @@ fn bench_insert_latency(c: &mut Criterion) {
             engine.insert(black_box(v), t).unwrap()
         });
         engine.flush();
+    });
+
+    group.bench_function("insert/streaming_wal", |b| {
+        // Durable engine: every insert appends a checksummed WAL record
+        // before acking (WalSync::OnSeal — fsync at leaf seals only).
+        let dir = std::env::temp_dir().join(format!("mbi_bench_wal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = StreamingMbi::open(&dir, config(), engine_config()).unwrap();
+        let mut t = 0i64;
+        b.iter(|| {
+            let v = dataset.train.get(t as usize % dataset.train.len());
+            t += 1;
+            engine.insert(black_box(v), t).unwrap()
+        });
+        engine.flush();
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
     });
 
     group.bench_function("insert/locked", |b| {
@@ -162,6 +185,16 @@ struct PublicationSample {
     publish_micros: u64,
 }
 
+/// Insert-latency percentiles for one WAL configuration, over the same row
+/// stream: the cost of the durability contract, isolated.
+#[derive(Serialize)]
+struct WalOverheadRow {
+    mode: &'static str,
+    p50_micros: u64,
+    p99_micros: u64,
+    max_micros: u64,
+}
+
 #[derive(Serialize)]
 struct StreamingSummary {
     generated_by: &'static str,
@@ -173,7 +206,57 @@ struct StreamingSummary {
     early_mean_micros: f64,
     late_mean_micros: f64,
     late_over_early: f64,
+    /// Per-insert latency with no WAL, with the default WAL (fsync on
+    /// seal), and with fsync-per-insert — same stream, same engine config.
+    wal_overhead_rows: usize,
+    wal_overhead: Vec<WalOverheadRow>,
     series: Vec<PublicationSample>,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Runs the same insert stream through a no-WAL engine, a WAL engine with
+/// the default seal-time fsync, and a WAL engine with fsync-per-insert, and
+/// reports the per-insert latency percentiles of each.
+fn measure_wal_overhead() -> (usize, Vec<WalOverheadRow>) {
+    use mbi_core::WalSync;
+    const ROWS: usize = 8 * 512; // 8 sealed leaves
+    let dataset = DriftingMixture::new(DIM, 37).generate("sw", Metric::Euclidean, ROWS, 1);
+    let engine_config = engine_config().with_record_insert_latency(true);
+    let run = |mode: &'static str, engine: StreamingMbi| {
+        for (v, t) in dataset.iter() {
+            engine.insert(v, t).unwrap();
+        }
+        engine.flush();
+        let mut micros = engine.stats().insert_micros;
+        micros.sort_unstable();
+        WalOverheadRow {
+            mode,
+            p50_micros: percentile(&micros, 0.5),
+            p99_micros: percentile(&micros, 0.99),
+            max_micros: micros.last().copied().unwrap_or(0),
+        }
+    };
+    let dir = std::env::temp_dir().join(format!("mbi_bench_walov_{}", std::process::id()));
+    let mut rows = Vec::new();
+    rows.push(run("no_wal", StreamingMbi::with_engine_config(config(), engine_config)));
+    for (mode, sync) in
+        [("wal_fsync_on_seal", WalSync::OnSeal), ("wal_fsync_always", WalSync::Always)]
+    {
+        let _ = std::fs::remove_dir_all(&dir);
+        rows.push(run(
+            mode,
+            StreamingMbi::open(&dir, config(), engine_config.with_wal_sync(sync)).unwrap(),
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (ROWS, rows)
 }
 
 /// Ingests enough rows for the sealed prefix to grow ~64× past the first
@@ -200,6 +283,7 @@ fn write_publication_summary() {
     };
     let early = mean(&series[..quarter]);
     let late = mean(&series[series.len() - quarter..]);
+    let (wal_overhead_rows, wal_overhead) = measure_wal_overhead();
     let summary = StreamingSummary {
         generated_by: "cargo bench --bench streaming_ingest",
         dim: DIM,
@@ -207,6 +291,8 @@ fn write_publication_summary() {
         early_mean_micros: early,
         late_mean_micros: late,
         late_over_early: late / early.max(f64::MIN_POSITIVE),
+        wal_overhead_rows,
+        wal_overhead,
         series,
     };
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
@@ -224,6 +310,16 @@ fn write_publication_summary() {
                     summary.late_mean_micros,
                     summary.late_over_early,
                 );
+                for row in &summary.wal_overhead {
+                    println!(
+                        "insert {} ({} rows): p50 {} µs  p99 {} µs  max {} µs",
+                        row.mode,
+                        summary.wal_overhead_rows,
+                        row.p50_micros,
+                        row.p99_micros,
+                        row.max_micros,
+                    );
+                }
             }
         }
         Err(e) => eprintln!("could not serialise streaming summary: {e}"),

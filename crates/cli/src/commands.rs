@@ -20,6 +20,7 @@ pub fn run(args: &CliArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "generate" => generate(args, out),
         "build" => build(args, out),
         "info" => info(args, out),
+        "verify" => verify(args, out),
         "query" => query(args, out),
         "tune" => tune(args, out),
         "bench-query" => bench_query(args, out),
@@ -40,6 +41,9 @@ USAGE:
                [--timestamps <ts.txt>] [--metric euclidean|angular|inner_product]
                [--leaf-size <n>] [--tau <f>] [--degree <n>] [--parallel]
   mbi info     --index <index.mbi> [--tree]
+  mbi verify   --index <index.mbi>
+               (checksum + structural integrity check; exits non-zero on any
+                corruption — run it on anything restored from backup)
   mbi query    --index <index.mbi> (--vector \"x0,x1,…\" | --queries <q.fvecs>)
                [--k <n>] [--from <ts>] [--to <ts>] [--mc <n>] [--epsilon <f>]
                [--query-threads <n>]   (0 = auto; results identical at any width)
@@ -189,6 +193,29 @@ fn info(args: &CliArgs, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "block tree    :")?;
         write!(out, "{}", index.render_tree())?;
     }
+    Ok(())
+}
+
+/// `mbi verify` — load with full checksum verification plus the structural
+/// validation pass, reporting exactly what failed. Errors propagate, so the
+/// process exits non-zero on a corrupt file (scriptable as a backup check).
+fn verify(args: &CliArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.require("index")?;
+    let len =
+        std::fs::metadata(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?.len();
+    writeln!(out, "file          : {path} ({len} bytes)")?;
+    // Loading verifies the magic, version, section CRCs, and footer (v5) or
+    // the structural checks alone (v2–v4).
+    let index = MbiIndex::load_file(path).map_err(|e| CliError(format!("corrupt index: {e}")))?;
+    writeln!(out, "checksums     : ok")?;
+    index.validate().map_err(|e| CliError(format!("structural validation failed: {e}")))?;
+    writeln!(
+        out,
+        "structure     : ok — {} rows, {} leaves, {} blocks",
+        index.len(),
+        index.num_leaves(),
+        index.blocks().len()
+    )?;
     Ok(())
 }
 
@@ -472,6 +499,27 @@ mod tests {
             run_cmd(&format!("tune --index {index} --queries {queries} --target-recall 0.5 --k 5"))
                 .unwrap();
         assert!(out.contains("best tau"), "{out}");
+    }
+
+    #[test]
+    fn verify_passes_clean_index_and_catches_corruption() {
+        let data = tmp("v.fvecs");
+        let index = tmp("v.mbi");
+        run_cmd(&format!("generate --preset movielens --count 1200 --out {data}")).unwrap();
+        run_cmd(&format!("build --input {data} --out {index} --leaf-size 256 --degree 8")).unwrap();
+
+        let out = run_cmd(&format!("verify --index {index}")).unwrap();
+        assert!(out.contains("checksums     : ok"), "{out}");
+        assert!(out.contains("structure     : ok"), "{out}");
+
+        // Flip one byte mid-file: verify must fail with a checksum error.
+        let mut bytes = std::fs::read(&index).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        let corrupt = tmp("v_corrupt.mbi");
+        std::fs::write(&corrupt, &bytes).unwrap();
+        let err = run_cmd(&format!("verify --index {corrupt}")).unwrap_err();
+        assert!(err.to_string().contains("corrupt index"), "{err}");
     }
 
     #[test]

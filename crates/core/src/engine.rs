@@ -41,10 +41,36 @@
 //! ([`StreamingMbi::flush`]) the snapshot's blocks are bit-identical to a
 //! synchronous [`MbiIndex`] fed the same stream (same ranges, same
 //! deterministic seed salts, same norm-cache columns).
+//!
+//! # Failure isolation
+//!
+//! A chain build that panics is caught on the builder thread
+//! (`catch_unwind`) and retried with bounded exponential backoff
+//! ([`RetryPolicy`]); [`StreamingMbi::health`] reports the engine as
+//! [`Degraded`](EngineHealth::Degraded) while chains are failing and
+//! [`Halted`](EngineHealth::Halted) once one exhausts its retries. Neither
+//! state compromises answers: an unpublished chain blocks in-order
+//! publication, so its rows simply *stay in the tail*, which queries already
+//! serve by exact scan — a failed build degrades recall-free to brute force
+//! over that region, it never loses or double-counts a row. Inserts and
+//! queries keep working in every health state, and every lock in the engine
+//! is non-poisoning (`parking_lot`), so a builder panic cannot wedge the
+//! insert or query path. [`StreamingMbi::flush`] returns (rather than hangs)
+//! on a halted engine.
+//!
+//! # Durability
+//!
+//! [`StreamingMbi::open`] attaches the engine to a directory: every insert
+//! appends to a segmented, checksummed [`Wal`](crate::wal::Wal) *before* it
+//! is acknowledged, [`StreamingMbi::checkpoint`] atomically persists the
+//! published snapshot and prunes the log, and [`StreamingMbi::recover`]
+//! rebuilds the exact acked state — snapshot plus WAL replay, tolerating a
+//! torn final record — after a crash. [`WalSync`] picks the fsync cadence.
 
 use crate::block::Block;
 use crate::config::MbiConfig;
 use crate::error::MbiError;
+use crate::fail;
 use crate::index::{
     assemble_blocks, blocks_for_leaves, build_chain_graphs, merge_chain, validate_blocks, MbiIndex,
     QueryOutput, TknnResult,
@@ -52,18 +78,26 @@ use crate::index::{
 use crate::query_exec::QueryTarget;
 use crate::select::TimeWindow;
 use crate::times::TimeChunks;
+use crate::wal::Wal;
 use crate::Timestamp;
 use mbi_ann::{
     brute_force_prepared, SearchParams, SearchStats, Segment, SegmentStore, VectorStore,
 };
 use mbi_math::{Metric, OrderedF32, PreparedQuery, TopK};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// File name of the persisted snapshot inside a durable engine directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.mbi";
+/// Subdirectory holding the WAL segments inside a durable engine directory.
+pub const WAL_DIR: &str = "wal";
 
 /// What an insert does when it seals a leaf but the builder queue is full.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +109,72 @@ pub enum Backpressure {
     /// load-shedding mode that degrades towards `ConcurrentMbi`'s inline
     /// behaviour under sustained overload but never stalls on a full queue.
     BuildInline,
+}
+
+/// When the WAL of a durable engine fsyncs acked rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalSync {
+    /// fsync after every append: an acked insert is on stable storage, at
+    /// the cost of one `fdatasync` per insert.
+    Always,
+    /// fsync when a leaf seals (the segment rotation syncs the finished
+    /// segment) and at [`StreamingMbi::checkpoint`]. Rows of the growing
+    /// partial leaf survive a process crash (the OS holds them) but up to
+    /// one leaf may be lost to a power failure. The default.
+    OnSeal,
+}
+
+/// Bounded exponential backoff for retrying a panicked chain build.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first failure before the engine halts (default 2;
+    /// `0` = a single failure halts).
+    pub max_retries: usize,
+    /// Backoff before the first retry; doubles each retry (default 10 ms).
+    pub initial_backoff: Duration,
+    /// Backoff ceiling (default 1 s).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based): `initial · 2^attempt`
+    /// capped at `max_backoff`.
+    pub fn backoff(&self, attempt: usize) -> Duration {
+        self.initial_backoff.saturating_mul(1u32 << attempt.min(16) as u32).min(self.max_backoff)
+    }
+}
+
+/// Builder health, reported by [`StreamingMbi::health`]. Queries and inserts
+/// stay correct in every state (see the module docs on failure isolation);
+/// the states describe how much of the data is served by graphs vs. by the
+/// exact tail scan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineHealth {
+    /// No chain build has failed (or every failure has since been retried
+    /// successfully).
+    Healthy,
+    /// These chains have failed at least once and are being retried; their
+    /// rows (and every later row) are served from the tail by exact scan
+    /// until the retry succeeds.
+    Degraded {
+        /// Leaf indices of the currently failing chains.
+        failed_chains: Vec<usize>,
+    },
+    /// A chain exhausted its [`RetryPolicy`]: publication is frozen at the
+    /// last published leaf. Inserts, queries, [`StreamingMbi::flush`], and
+    /// [`StreamingMbi::checkpoint`] all still work; the unpublished region
+    /// is served by exact scan indefinitely.
+    Halted,
 }
 
 /// Tunables of the streaming engine (the index itself is configured by
@@ -96,6 +196,12 @@ pub struct EngineConfig {
     /// (default true; turn off to shave the `Instant` reads in ingest-bound
     /// deployments).
     pub record_insert_latency: bool,
+    /// Retry/backoff policy for panicked chain builds (default: 2 retries,
+    /// 10 ms doubling backoff).
+    pub retry: RetryPolicy,
+    /// WAL fsync cadence for durable engines (default [`WalSync::OnSeal`];
+    /// ignored without a durable directory).
+    pub wal_sync: WalSync,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +212,8 @@ impl Default for EngineConfig {
             backpressure: Backpressure::Block,
             build_threads: 0,
             record_insert_latency: true,
+            retry: RetryPolicy::default(),
+            wal_sync: WalSync::OnSeal,
         }
     }
 }
@@ -140,6 +248,18 @@ impl EngineConfig {
         self.record_insert_latency = on;
         self
     }
+
+    /// Sets the retry/backoff policy for panicked chain builds.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the WAL fsync cadence for durable engines.
+    pub fn with_wal_sync(mut self, sync: WalSync) -> Self {
+        self.wal_sync = sync;
+        self
+    }
 }
 
 /// A point-in-time snapshot of progress counters and latency samples.
@@ -162,8 +282,14 @@ pub struct EngineStats {
     pub published_blocks: usize,
     /// Greatest block height in the current snapshot (0 when empty).
     pub published_height: u32,
-    /// Chains built on an inserting thread because the queue was full.
+    /// Chains built on an inserting thread because the queue was full (or
+    /// because no builder thread could be spawned).
     pub inline_builds: u64,
+    /// Builder threads that failed to spawn; the engine fell back to
+    /// building those chains inline on the inserting thread.
+    pub spawn_failures: u64,
+    /// Chain-build panics caught and retried (or halted on).
+    pub build_panics: u64,
     /// Per-insert wall-clock micros, in insert order (empty when
     /// [`EngineConfig::record_insert_latency`] is off).
     pub insert_micros: Vec<u64>,
@@ -403,6 +529,21 @@ struct Master {
     enqueued_leaves: usize,
 }
 
+/// One currently-failing chain build (cleared when a retry succeeds).
+#[derive(Debug)]
+struct ChainFailure {
+    attempts: usize,
+    last_error: String,
+}
+
+/// Durable attachment of an engine to a directory: the open WAL plus the
+/// directory that holds the persisted snapshot.
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    wal: Mutex<Wal>,
+}
+
 #[derive(Debug)]
 struct Shared {
     config: MbiConfig,
@@ -411,18 +552,27 @@ struct Shared {
     tail: RwLock<TailState>,
     master: Mutex<Master>,
     publish_cv: Condvar,
+    /// Set when a chain exhausted its retries; publication is frozen and
+    /// `flush` waiters return. Checked under the master lock by waiters and
+    /// set *before* a lock/unlock + notify, so no wakeup is lost.
+    halted: AtomicBool,
+    failing: Mutex<BTreeMap<usize, ChainFailure>>,
+    durability: Option<Durability>,
     inline_builds: AtomicU64,
+    spawn_failures: AtomicU64,
+    build_panics: AtomicU64,
     insert_micros: Mutex<Vec<u64>>,
     build_micros: Mutex<Vec<u64>>,
     publish_micros: Mutex<Vec<(u64, u64)>>,
 }
 
 impl Shared {
-    /// Locks the master state. A builder panicking mid-build poisons the
-    /// mutex; recovering the guard keeps `flush`/`drop` functional (the
-    /// poisoned chain simply never publishes).
+    /// Locks the master state. All engine locks are non-poisoning
+    /// (`parking_lot`): a builder panic unwinds through its guards and every
+    /// other thread keeps going — the panicked chain is retried per
+    /// [`RetryPolicy`], never wedging `flush`/`drop`.
     fn master_lock(&self) -> MutexGuard<'_, Master> {
-        self.master.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.master.lock()
     }
 
     fn effective_build_threads(&self) -> usize {
@@ -431,6 +581,10 @@ impl Shared {
         }
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         (cores / self.engine.builder_threads).max(1)
+    }
+
+    fn halted(&self) -> bool {
+        self.halted.load(Ordering::SeqCst)
     }
 }
 
@@ -472,6 +626,10 @@ impl StreamingMbi {
     /// Creates an empty streaming engine with explicit tunables, spawning
     /// the builder threads immediately.
     pub fn with_engine_config(config: MbiConfig, engine: EngineConfig) -> Self {
+        Self::build(config, engine, None)
+    }
+
+    fn build(config: MbiConfig, engine: EngineConfig, durability: Option<Durability>) -> Self {
         let engine = EngineConfig { builder_threads: engine.builder_threads.max(1), ..engine };
         let shared = Arc::new(Shared {
             snapshot: RwLock::new(Arc::new(IndexSnapshot::empty(config))),
@@ -492,7 +650,12 @@ impl StreamingMbi {
                 enqueued_leaves: 0,
             }),
             publish_cv: Condvar::new(),
+            halted: AtomicBool::new(false),
+            failing: Mutex::new(BTreeMap::new()),
+            durability,
             inline_builds: AtomicU64::new(0),
+            spawn_failures: AtomicU64::new(0),
+            build_panics: AtomicU64::new(0),
             insert_micros: Mutex::new(Vec::new()),
             build_micros: Mutex::new(Vec::new()),
             publish_micros: Mutex::new(Vec::new()),
@@ -501,16 +664,27 @@ impl StreamingMbi {
         });
         let (tx, rx) = mpsc::sync_channel::<usize>(engine.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..engine.builder_threads)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
+        let mut workers = Vec::with_capacity(engine.builder_threads);
+        for i in 0..engine.builder_threads {
+            let worker_shared = Arc::clone(&shared);
+            let worker_rx = Arc::clone(&rx);
+            let spawned = if fail::trigger("builder::spawn").is_some() {
+                Err(std::io::Error::other(fail::INJECTED_MSG))
+            } else {
                 std::thread::Builder::new()
                     .name(format!("mbi-builder-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
-                    .expect("failed to spawn builder thread")
-            })
-            .collect();
+                    .spawn(move || worker_loop(&worker_shared, &worker_rx))
+            };
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                // A spawn failure (thread exhaustion, injected fault) is not
+                // fatal: record it and fall back to inline builds — chains
+                // still build, just on the inserting thread.
+                Err(_) => {
+                    shared.spawn_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         StreamingMbi { shared, tx: Mutex::new(Some(tx)), workers }
     }
 
@@ -535,18 +709,59 @@ impl StreamingMbi {
         &self.shared.engine
     }
 
+    /// Builder health (see [`EngineHealth`]). Never blocks on builds.
+    pub fn health(&self) -> EngineHealth {
+        if self.shared.halted() {
+            return EngineHealth::Halted;
+        }
+        let failing = self.shared.failing.lock();
+        if failing.is_empty() {
+            EngineHealth::Healthy
+        } else {
+            EngineHealth::Degraded { failed_chains: failing.keys().copied().collect() }
+        }
+    }
+
+    /// One diagnostic line per currently-failing chain: leaf index, attempt
+    /// count, and the caught panic message of the latest attempt.
+    pub fn failure_log(&self) -> Vec<String> {
+        self.shared
+            .failing
+            .lock()
+            .iter()
+            .map(|(leaf, f)| {
+                format!(
+                    "chain {leaf}: {} failed attempt(s), last error: {}",
+                    f.attempts, f.last_error
+                )
+            })
+            .collect()
+    }
+
     /// Appends a timestamped vector; returns the new global row id. Never
     /// builds graphs on this thread (except under [`Backpressure::
     /// BuildInline`] with a full queue): a seal freezes the leaf into a
     /// shared segment — moving the buffers, copying no rows — and enqueues
     /// the chain.
     ///
+    /// On a durable engine ([`Self::open`]) the row is appended to the WAL —
+    /// and, under [`WalSync::Always`], fsynced — *before* this method
+    /// returns; an `Err` means the row was neither acked nor logged. The one
+    /// exception: a WAL *rotation* failure at a leaf seal is reported as an
+    /// error although the row itself is committed (in memory and in the
+    /// log), because durability of the sealed leaf could not be confirmed.
+    ///
     /// Timestamps must be non-decreasing across *all* inserting threads —
     /// the same Algorithm 3 contract as [`MbiIndex::insert`].
     pub fn insert(&self, vector: &[f32], t: Timestamp) -> Result<u32, MbiError> {
+        self.insert_impl(vector, t, true)
+    }
+
+    fn insert_impl(&self, vector: &[f32], t: Timestamp, durable: bool) -> Result<u32, MbiError> {
         let t0 = self.shared.engine.record_insert_latency.then(Instant::now);
         let s_l = self.shared.config.leaf_size;
         let mut sealed_leaf = None;
+        let mut seal_wal_err = None;
         let id = {
             let mut tail = self.shared.tail.write();
             if vector.len() != self.shared.config.dim {
@@ -558,6 +773,17 @@ impl StreamingMbi {
             if let Some(newest) = tail.last_ts {
                 if t < newest {
                     return Err(MbiError::NonMonotonicTimestamp { newest, got: t });
+                }
+            }
+            // Log before ack: a WAL failure aborts the insert with no state
+            // change (the WAL rolls its own partial bytes back).
+            if durable {
+                if let Some(d) = &self.shared.durability {
+                    d.wal.lock().append_durable(
+                        t,
+                        vector,
+                        self.shared.engine.wal_sync == WalSync::Always,
+                    )?;
                 }
             }
             tail.last_ts = Some(t);
@@ -586,6 +812,15 @@ impl StreamingMbi {
                 }
                 tail.sealed.push_back((seg, ts));
                 sealed_leaf = Some(leaf);
+                // Rotate the WAL so segment boundaries are leaf boundaries
+                // (rotation fsyncs the finished segment — the OnSeal sync
+                // point). A failure here must not abort before the chain is
+                // dispatched, so it is carried out of the lock.
+                if durable {
+                    if let Some(d) = &self.shared.durability {
+                        seal_wal_err = d.wal.lock().rotate().err();
+                    }
+                }
             }
             id
         };
@@ -596,19 +831,24 @@ impl StreamingMbi {
             self.dispatch(leaf);
         }
         if let Some(t0) = t0 {
-            self.shared
-                .insert_micros
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .push(t0.elapsed().as_micros() as u64);
+            self.shared.insert_micros.lock().push(t0.elapsed().as_micros() as u64);
         }
-        Ok(id as u32)
+        match seal_wal_err {
+            Some(e) => Err(e),
+            None => Ok(id as u32),
+        }
     }
 
     /// Hands a sealed leaf to the builders according to the backpressure
-    /// policy.
+    /// policy. With no builder threads (every spawn failed), chains build
+    /// inline on the inserting thread.
     fn dispatch(&self, leaf: usize) {
-        let tx = self.tx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if self.workers.is_empty() {
+            self.shared.inline_builds.fetch_add(1, Ordering::Relaxed);
+            run_chain(&self.shared, leaf);
+            return;
+        }
+        let tx = self.tx.lock();
         match self.shared.engine.backpressure {
             Backpressure::Block => {
                 if let Some(tx) = tx.as_ref() {
@@ -622,7 +862,7 @@ impl StreamingMbi {
                 drop(tx);
                 if !matches!(sent, Some(Ok(()))) {
                     self.shared.inline_builds.fetch_add(1, Ordering::Relaxed);
-                    process_chain(&self.shared, leaf);
+                    run_chain(&self.shared, leaf);
                 }
             }
         }
@@ -665,7 +905,8 @@ impl StreamingMbi {
     /// Approximate TkNN over every committed row: the published snapshot
     /// answers with its per-block graphs, the unpublished tail is scanned
     /// exactly, and the two top-k lists are merged. See the module docs for
-    /// why no committed row is missed or double-counted.
+    /// why no committed row is missed or double-counted — including when
+    /// builds are failing (the failed region stays in the tail).
     pub fn query_with_params(
         &self,
         query: &[f32],
@@ -768,14 +1009,16 @@ impl StreamingMbi {
         }
     }
 
-    /// Blocks until every sealed leaf has been published to the snapshot.
-    /// After `flush`, a query sees exactly what a synchronous [`MbiIndex`]
-    /// fed the same stream would serve, and [`EngineStats::queued_builds`]
-    /// is 0 (barring concurrent inserts).
+    /// Blocks until every sealed leaf has been published to the snapshot —
+    /// or until the engine halts ([`EngineHealth::Halted`]), so a failed
+    /// build can never hang a flusher. After a clean `flush`, a query sees
+    /// exactly what a synchronous [`MbiIndex`] fed the same stream would
+    /// serve, and [`EngineStats::queued_builds`] is 0 (barring concurrent
+    /// inserts).
     pub fn flush(&self) {
         let mut m = self.shared.master_lock();
-        while m.published_leaves < m.enqueued_leaves {
-            m = self.shared.publish_cv.wait(m).unwrap_or_else(std::sync::PoisonError::into_inner);
+        while m.published_leaves < m.enqueued_leaves && !self.shared.halted() {
+            self.shared.publish_cv.wait(&mut m);
         }
     }
 
@@ -797,24 +1040,11 @@ impl StreamingMbi {
             published_blocks,
             published_height,
             inline_builds: self.shared.inline_builds.load(Ordering::Relaxed),
-            insert_micros: self
-                .shared
-                .insert_micros
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .clone(),
-            build_micros: self
-                .shared
-                .build_micros
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .clone(),
-            publish_micros: self
-                .shared
-                .publish_micros
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .clone(),
+            spawn_failures: self.shared.spawn_failures.load(Ordering::Relaxed),
+            build_panics: self.shared.build_panics.load(Ordering::Relaxed),
+            insert_micros: self.shared.insert_micros.lock().clone(),
+            build_micros: self.shared.build_micros.lock().clone(),
+            publish_micros: self.shared.publish_micros.lock().clone(),
         }
     }
 
@@ -831,7 +1061,6 @@ impl StreamingMbi {
         let m = self.shared.master_lock();
         let s_l = self.shared.config.leaf_size;
         let sealed = m.published_leaves * s_l;
-        debug_assert_eq!(m.store.len(), sealed);
         let total = tail.first_row + tail.len();
         let mut store = VectorStore::with_capacity(self.shared.config.dim, total);
         if self.shared.config.metric == Metric::Angular {
@@ -898,19 +1127,170 @@ impl StreamingMbi {
         }
         this
     }
+
+    /// Resumes streaming from a published (or persisted) snapshot: its
+    /// leaves, blocks, and timestamp chunks are adopted by pointer — nothing
+    /// is copied or rebuilt — and new inserts continue after them.
+    pub fn from_snapshot(snapshot: IndexSnapshot, engine: EngineConfig) -> Self {
+        Self::from_snapshot_internal(snapshot, engine, None)
+    }
+
+    fn from_snapshot_internal(
+        snapshot: IndexSnapshot,
+        engine: EngineConfig,
+        durability: Option<Durability>,
+    ) -> Self {
+        let config = snapshot.config;
+        let num_leaves = snapshot.num_leaves;
+        let sealed = snapshot.sealed_rows();
+        let last_ts = (sealed > 0).then(|| snapshot.times.get(sealed - 1));
+        let this = Self::build(config, engine, durability);
+        {
+            let mut tail = this.shared.tail.write();
+            let mut m = this.shared.master_lock();
+            m.store = snapshot.store.clone();
+            m.times = snapshot.times.clone();
+            m.blocks = snapshot.blocks.clone();
+            m.published_leaves = num_leaves;
+            m.enqueued_leaves = num_leaves;
+            *this.shared.snapshot.write() = Arc::new(snapshot);
+            tail.first_row = sealed;
+            tail.last_ts = last_ts;
+        }
+        this
+    }
+
+    /// Opens a *durable* engine in `dir`: creates the directory (with an
+    /// empty persisted snapshot and a fresh WAL) when it does not hold one
+    /// yet, otherwise recovers the existing state exactly like
+    /// [`Self::recover`] — in which case `config` is ignored in favour of
+    /// the persisted one.
+    ///
+    /// On a durable engine every insert is WAL-logged before it is acked
+    /// (see [`WalSync`] for the fsync cadence), and
+    /// [`Self::checkpoint`] persists the published snapshot and prunes the
+    /// log.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: MbiConfig,
+        engine: EngineConfig,
+    ) -> Result<Self, MbiError> {
+        let dir = dir.as_ref();
+        if dir.join(SNAPSHOT_FILE).exists() {
+            return Self::recover(dir, engine);
+        }
+        std::fs::create_dir_all(dir)?;
+        IndexSnapshot::empty(config).save_file(dir.join(SNAPSHOT_FILE))?;
+        let wal = Wal::create(dir.join(WAL_DIR), config.dim)?;
+        Ok(Self::build(
+            config,
+            engine,
+            Some(Durability { dir: dir.to_path_buf(), wal: Mutex::new(wal) }),
+        ))
+    }
+
+    /// Recovers a durable engine from `dir`: loads the persisted snapshot
+    /// (verifying its checksums), replays every acked WAL row past the
+    /// snapshot through the normal insert path (so sealed leaves re-enqueue
+    /// their chain builds), and resumes appending to the log. A torn final
+    /// WAL record — an append the process died inside — is truncated away;
+    /// it was never acked. Any other corruption in the snapshot or the log
+    /// is an error, never silently dropped data.
+    ///
+    /// After recovery the engine serves **exactly the acked prefix** of the
+    /// pre-crash insert stream: [`Self::flush`] + [`Self::to_index`] yields
+    /// an index bit-identical to a synchronous one fed those rows.
+    pub fn recover(dir: impl AsRef<Path>, engine: EngineConfig) -> Result<Self, MbiError> {
+        let dir = dir.as_ref();
+        let snapshot = IndexSnapshot::load_file(dir.join(SNAPSHOT_FILE))?;
+        snapshot.validate().map_err(|detail| {
+            MbiError::corrupt(0, format!("recovered snapshot invalid: {detail}"))
+        })?;
+        let config = snapshot.config;
+        let sealed = snapshot.sealed_rows() as u64;
+        let mut replayed: Vec<(Timestamp, Vec<f32>)> = Vec::new();
+        let mut first_kept = None;
+        let mut wal = Wal::recover(dir.join(WAL_DIR), config.dim, |r| {
+            if r.row >= sealed {
+                if first_kept.is_none() {
+                    first_kept = Some(r.row);
+                }
+                replayed.push((r.timestamp, r.vector.to_vec()));
+            }
+            Ok(())
+        })?;
+        if let Some(first) = first_kept {
+            if first != sealed {
+                return Err(MbiError::corrupt(
+                    0,
+                    format!(
+                        "WAL resumes at row {first} but the snapshot covers only {sealed} rows — \
+                         the rows in between are gone"
+                    ),
+                ));
+            }
+        }
+        if wal.next_row() < sealed {
+            // Every logged row is inside the snapshot (the log may even be
+            // empty after aggressive pruning); restart it at the boundary.
+            wal.reset_to(sealed)?;
+        }
+        let this = Self::from_snapshot_internal(
+            snapshot,
+            engine,
+            Some(Durability { dir: dir.to_path_buf(), wal: Mutex::new(wal) }),
+        );
+        for (t, v) in replayed {
+            // Replay through the normal path minus the WAL append (the rows
+            // are already in the log); seals re-enqueue their chain builds.
+            this.insert_impl(&v, t, false)?;
+        }
+        Ok(this)
+    }
+
+    /// Persists the published snapshot atomically (temp file + fsync +
+    /// rename) and prunes every WAL segment it covers. Flushes first, so on
+    /// a healthy engine the checkpoint covers every sealed leaf; on a halted
+    /// one it covers the published prefix and the WAL retains the rest.
+    ///
+    /// Returns an error on a non-durable engine (one not created by
+    /// [`Self::open`] / [`Self::recover`]).
+    pub fn checkpoint(&self) -> Result<(), MbiError> {
+        let Some(d) = &self.shared.durability else {
+            return Err(MbiError::Io(std::io::Error::other(
+                "checkpoint on a non-durable engine (create it with StreamingMbi::open)",
+            )));
+        };
+        self.flush();
+        let snap = self.snapshot();
+        snap.save_file(d.dir.join(SNAPSHOT_FILE))?;
+        d.wal.lock().prune(snap.sealed_rows() as u64)?;
+        Ok(())
+    }
+
+    /// The durable directory this engine persists to, if any.
+    pub fn durable_dir(&self) -> Option<&Path> {
+        self.shared.durability.as_ref().map(|d| d.dir.as_path())
+    }
 }
 
 impl Drop for StreamingMbi {
     /// Disconnects the seal queue and joins every builder thread. Chains
     /// already queued are still built (the workers drain the channel before
     /// observing the disconnect), so no committed data is lost; they are
-    /// simply never observable again since the engine is gone.
+    /// simply never observable again since the engine is gone. A durable
+    /// engine syncs its WAL on the way out, so a clean shutdown loses
+    /// nothing regardless of [`WalSync`] policy.
     fn drop(&mut self) {
-        drop(self.tx.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take());
+        drop(self.tx.lock().take());
         for worker in self.workers.drain(..) {
-            // A builder that panicked already poisoned what it poisoned;
-            // surfacing the panic here would abort unwinding callers.
+            // A panicked builder already recorded its failure via the
+            // catch_unwind in run_chain; surfacing a residual panic here
+            // would abort unwinding callers.
             let _ = worker.join();
+        }
+        if let Some(d) = &self.shared.durability {
+            let _ = d.wal.lock().sync();
         }
     }
 }
@@ -922,12 +1302,61 @@ impl Drop for StreamingMbi {
 fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<usize>>) {
     loop {
         let job = {
-            let rx = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let rx = rx.lock();
             rx.recv()
         };
         match job {
-            Ok(leaf) => process_chain(shared, leaf),
+            Ok(leaf) => run_chain(shared, leaf),
             Err(_) => return,
+        }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "chain build panicked".to_string()
+    }
+}
+
+/// Runs `process_chain` with panic isolation: a panic is caught, recorded
+/// in the failing map (making the engine [`Degraded`](EngineHealth::
+/// Degraded)), and retried with the configured exponential backoff. A chain
+/// that exhausts its retries halts the engine — publication freezes, but
+/// inserts, queries, and `flush` all keep working (the unpublished rows are
+/// served from the tail by exact scan).
+fn run_chain(shared: &Shared, leaf: usize) {
+    let policy = shared.engine.retry;
+    for attempt in 0.. {
+        match catch_unwind(AssertUnwindSafe(|| process_chain(shared, leaf))) {
+            Ok(()) => {
+                if attempt > 0 {
+                    shared.failing.lock().remove(&leaf);
+                }
+                return;
+            }
+            Err(payload) => {
+                shared.build_panics.fetch_add(1, Ordering::Relaxed);
+                let last_error = panic_message(payload.as_ref());
+                shared
+                    .failing
+                    .lock()
+                    .insert(leaf, ChainFailure { attempts: attempt + 1, last_error });
+                if attempt >= policy.max_retries {
+                    // Halt: set the flag, then lock/unlock the master mutex
+                    // before notifying so a flusher between its predicate
+                    // check and its wait cannot miss the wakeup.
+                    shared.halted.store(true, Ordering::SeqCst);
+                    drop(shared.master_lock());
+                    shared.publish_cv.notify_all();
+                    return;
+                }
+                std::thread::sleep(policy.backoff(attempt));
+            }
         }
     }
 }
@@ -942,7 +1371,16 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<usize>>) {
 /// prefix's segments and timestamp chunks with the master (and with every
 /// previous snapshot), so the work under the lock is `O(published leaves)`
 /// pointer copies plus the new chain's blocks — independent of row count.
+///
+/// Re-running after a panic is safe at every point: staging is skipped for
+/// already-published leaves, and the publish decision compares the master's
+/// frontier against the *live* snapshot, so a crash between advancing the
+/// frontier and swapping the snapshot heals on the retry (or on the next
+/// publication).
 fn process_chain(shared: &Shared, leaf: usize) {
+    if fail::trigger("builder::build") == Some(fail::FailAction::Panic) {
+        panic!("{}", fail::INJECTED_MSG);
+    }
     let t0 = Instant::now();
     let s_l = shared.config.leaf_size;
     let pending = merge_chain(leaf + 1, s_l);
@@ -963,28 +1401,28 @@ fn process_chain(shared: &Shared, leaf: usize) {
     );
     // Record before publication so a flush() that returns has every
     // published chain's sample in view.
-    shared
-        .build_micros
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .push(t0.elapsed().as_micros() as u64);
+    shared.build_micros.lock().push(t0.elapsed().as_micros() as u64);
 
-    // Stage, then publish every consecutive ready chain in leaf order.
+    // Stage, then publish every consecutive ready chain in leaf order. The
+    // publish decision is against the live snapshot (not just "did this
+    // call advance"), so a previous attempt that advanced the frontier but
+    // died before the swap is healed here.
     let t_pub = Instant::now();
+    let cur_leaves = shared.snapshot.read().num_leaves;
     let publish = {
         let mut m = shared.master_lock();
-        let blocks = assemble_blocks(pending, graphs, &m.times);
-        m.ready.insert(leaf, blocks);
-        let mut advanced = false;
+        if leaf >= m.published_leaves {
+            let blocks = assemble_blocks(pending, graphs, &m.times);
+            m.ready.insert(leaf, blocks);
+        }
         while let Some(chain) = {
             let next = m.published_leaves;
             m.ready.remove(&next)
         } {
             m.blocks.extend(chain.into_iter().map(Arc::new));
             m.published_leaves += 1;
-            advanced = true;
         }
-        advanced.then(|| {
+        (m.published_leaves > cur_leaves).then(|| {
             Arc::new(IndexSnapshot {
                 config: shared.config,
                 store: m.store.share(0..m.published_leaves * s_l),
@@ -994,6 +1432,10 @@ fn process_chain(shared: &Shared, leaf: usize) {
             })
         })
     };
+
+    if fail::trigger("engine::publish") == Some(fail::FailAction::Panic) {
+        panic!("{}", fail::INJECTED_MSG);
+    }
 
     if let Some(snap) = publish {
         let sealed = snap.sealed_rows();
@@ -1017,11 +1459,7 @@ fn process_chain(shared: &Shared, leaf: usize) {
                 tail.first_row += s_l;
             }
         }
-        shared
-            .publish_micros
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push((sealed as u64, t_pub.elapsed().as_micros() as u64));
+        shared.publish_micros.lock().push((sealed as u64, t_pub.elapsed().as_micros() as u64));
         shared.publish_cv.notify_all();
     }
 }
@@ -1062,6 +1500,12 @@ mod tests {
         }
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mbi_engine_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn insert_validates_like_the_sync_index() {
         let engine = StreamingMbi::new(config());
@@ -1087,6 +1531,8 @@ mod tests {
         assert!(engine.exact_query(&[0.0, 0.0], 5, TimeWindow::all()).is_empty());
         engine.flush();
         assert_eq!(engine.stats().seals, 0);
+        assert_eq!(engine.health(), EngineHealth::Healthy);
+        assert!(engine.durable_dir().is_none());
     }
 
     #[test]
@@ -1102,6 +1548,8 @@ mod tests {
         assert_eq!(stats.published_height, 3);
         assert_eq!(stats.build_micros.len(), 8);
         assert_eq!(stats.insert_micros.len(), 67);
+        assert_eq!(stats.spawn_failures, 0);
+        assert_eq!(stats.build_panics, 0);
         let snap = engine.snapshot();
         assert_eq!(snap.sealed_rows(), 64);
         assert_eq!(snap.num_leaves(), 8);
@@ -1254,6 +1702,25 @@ mod tests {
     }
 
     #[test]
+    fn from_snapshot_resumes_by_pointer() {
+        let engine = StreamingMbi::new(config());
+        fill(&engine, 32);
+        engine.flush();
+        let snap = engine.snapshot();
+        let resumed = StreamingMbi::from_snapshot((*snap).clone(), EngineConfig::default());
+        assert_eq!(resumed.len(), 32);
+        assert_eq!(resumed.stats().published_leaves, 4);
+        for (a, b) in snap.store().segments().iter().zip(resumed.snapshot().store().segments()) {
+            assert!(Arc::ptr_eq(a, b), "adopted segments are the same allocation");
+        }
+        // Ingest continues from the snapshot boundary.
+        fill_from(&resumed, 32, 48);
+        resumed.flush();
+        assert_eq!(resumed.len(), 48);
+        assert_eq!(resumed.to_index().validate(), Ok(()));
+    }
+
+    #[test]
     fn snapshot_from_index_rejects_unsealed_tails() {
         let mut sync = MbiIndex::new(config());
         for i in 0..10usize {
@@ -1287,5 +1754,101 @@ mod tests {
         assert_eq!(merge_results(a, Vec::new(), 2).len(), 2);
         assert!(merge_results(Vec::new(), Vec::new(), 3).is_empty());
         assert_eq!(merge_results(Vec::new(), b, 10).len(), 2);
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(65),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+        assert_eq!(p.backoff(3), Duration::from_millis(65), "capped");
+        assert_eq!(p.backoff(60), Duration::from_millis(65), "shift is clamped");
+    }
+
+    #[test]
+    fn durable_engine_recovers_acked_rows_without_checkpoint() {
+        let dir = temp_dir("recover");
+        let mut sync = MbiIndex::new(config());
+        {
+            let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+            assert_eq!(engine.durable_dir(), Some(dir.as_path()));
+            for i in 0..29usize {
+                engine.insert(&[i as f32, 0.0], i as i64).unwrap();
+                sync.insert(&[i as f32, 0.0], i as i64).unwrap();
+            }
+            // Dropped without checkpoint: recovery must come from WAL alone.
+        }
+        let engine = StreamingMbi::recover(&dir, EngineConfig::default()).unwrap();
+        assert_eq!(engine.len(), 29);
+        let w = TimeWindow::new(3, 25);
+        assert_eq!(engine.exact_query(&[11.0, 0.0], 4, w), sync.exact_query(&[11.0, 0.0], 4, w));
+        // Recovery rebuilds the chains: the flushed index is bit-identical
+        // to the synchronous one fed the acked stream.
+        let recovered = engine.to_index();
+        assert_eq!(recovered.validate(), Ok(()));
+        assert_eq!(recovered.to_bytes(), sync.to_bytes());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_persists_snapshot_and_prunes_wal() {
+        let dir = temp_dir("checkpoint");
+        {
+            let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+            fill(&engine, 64); // 8 sealed leaves => 8 rotated segments + current
+            engine.checkpoint().unwrap();
+            let segments = std::fs::read_dir(dir.join(WAL_DIR)).unwrap().count();
+            assert!(segments <= 2, "checkpoint prunes covered segments, {segments} left");
+            fill_from(&engine, 64, 70);
+        }
+        let engine = StreamingMbi::recover(&dir, EngineConfig::default()).unwrap();
+        assert_eq!(engine.len(), 70, "snapshot + post-checkpoint WAL rows");
+        engine.flush();
+        assert_eq!(engine.stats().published_leaves, 8);
+        assert_eq!(engine.to_index().validate(), Ok(()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_creates_then_recovers() {
+        let dir = temp_dir("open");
+        {
+            let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+            fill(&engine, 10);
+        }
+        // Second open takes the recover path (config comes from disk).
+        let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+        assert_eq!(engine.len(), 10);
+        assert_eq!(engine.config().dim, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_sync_always_is_durable_per_insert() {
+        let dir = temp_dir("sync_always");
+        {
+            let engine = StreamingMbi::open(
+                &dir,
+                config(),
+                EngineConfig::default().with_wal_sync(WalSync::Always),
+            )
+            .unwrap();
+            fill(&engine, 5);
+        }
+        let engine = StreamingMbi::recover(&dir, EngineConfig::default()).unwrap();
+        assert_eq!(engine.len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_requires_durable_engine() {
+        let engine = StreamingMbi::new(config());
+        let err = engine.checkpoint().unwrap_err();
+        assert!(err.to_string().contains("non-durable"), "{err}");
     }
 }

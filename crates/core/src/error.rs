@@ -23,7 +23,32 @@ pub enum MbiError {
         got: i64,
     },
     /// The persisted byte stream is malformed or truncated.
-    Corrupt(String),
+    Corrupt {
+        /// Byte offset into the stream where parsing failed.
+        offset: usize,
+        /// What was wrong at that offset.
+        detail: String,
+    },
+    /// A persisted section's CRC32 does not match its stored checksum: the
+    /// bytes were altered (bit rot, torn write, tampering) after being
+    /// written. The structural parse is not attempted on mismatching bytes.
+    ChecksumMismatch {
+        /// Which section failed ("config", "data", "blocks", "footer", …).
+        section: &'static str,
+        /// Checksum stored in the stream.
+        expected: u32,
+        /// Checksum computed over the bytes actually read.
+        got: u32,
+    },
+    /// A write-ahead-log record failed validation somewhere other than the
+    /// torn tail of the final segment (a torn final record is tolerated and
+    /// simply ends replay — it was never acked).
+    WalCorrupt {
+        /// First global row id of the segment (its file name number).
+        segment: u64,
+        /// Byte offset inside the segment file where validation failed.
+        offset: u64,
+    },
     /// An I/O error during save/load.
     Io(std::io::Error),
     /// An [`IndexSnapshot`](crate::IndexSnapshot) was requested from an index
@@ -37,6 +62,13 @@ pub enum MbiError {
     },
 }
 
+impl MbiError {
+    /// Shorthand for a [`MbiError::Corrupt`] at a known offset.
+    pub(crate) fn corrupt(offset: usize, detail: impl Into<String>) -> Self {
+        MbiError::Corrupt { offset, detail: detail.into() }
+    }
+}
+
 impl fmt::Display for MbiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -47,7 +79,17 @@ impl fmt::Display for MbiError {
                 f,
                 "non-monotonic timestamp: {got} precedes newest stored timestamp {newest}"
             ),
-            MbiError::Corrupt(msg) => write!(f, "corrupt index data: {msg}"),
+            MbiError::Corrupt { offset, detail } => {
+                write!(f, "corrupt index data at byte {offset}: {detail}")
+            }
+            MbiError::ChecksumMismatch { section, expected, got } => write!(
+                f,
+                "checksum mismatch in section {section:?}: stored {expected:#010x}, computed {got:#010x}"
+            ),
+            MbiError::WalCorrupt { segment, offset } => write!(
+                f,
+                "corrupt WAL record in segment {segment} at byte {offset} (not a torn tail)"
+            ),
             MbiError::Io(e) => write!(f, "i/o error: {e}"),
             MbiError::UnsealedTail { tail_rows } => write!(
                 f,
@@ -75,6 +117,7 @@ impl From<std::io::Error> for MbiError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_messages() {
@@ -82,15 +125,38 @@ mod tests {
         assert!(e.to_string().contains("4-d"));
         let e = MbiError::NonMonotonicTimestamp { newest: 10, got: 5 };
         assert!(e.to_string().contains("5 precedes"));
-        let e = MbiError::Corrupt("bad magic".into());
+        let e = MbiError::corrupt(17, "bad magic");
         assert!(e.to_string().contains("bad magic"));
+        assert!(e.to_string().contains("byte 17"), "{e}");
+    }
+
+    #[test]
+    fn checksum_mismatch_display_names_section_and_values() {
+        let e = MbiError::ChecksumMismatch { section: "blocks", expected: 0xDEAD_BEEF, got: 1 };
+        let s = e.to_string();
+        assert!(s.contains("\"blocks\""), "{s}");
+        assert!(s.contains("0xdeadbeef"), "{s}");
+        assert!(s.contains("0x00000001"), "{s}");
+    }
+
+    #[test]
+    fn wal_corrupt_display_names_segment_and_offset() {
+        let e = MbiError::WalCorrupt { segment: 128, offset: 44 };
+        let s = e.to_string();
+        assert!(s.contains("segment 128"), "{s}");
+        assert!(s.contains("byte 44"), "{s}");
     }
 
     #[test]
     fn io_conversion_preserves_source() {
-        use std::error::Error;
         let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
         let e: MbiError = io.into();
         assert!(e.source().is_some());
+        // The parse-level variants are roots: no chained source.
+        assert!(MbiError::corrupt(0, "x").source().is_none());
+        assert!(MbiError::ChecksumMismatch { section: "data", expected: 0, got: 1 }
+            .source()
+            .is_none());
+        assert!(MbiError::WalCorrupt { segment: 0, offset: 0 }.source().is_none());
     }
 }

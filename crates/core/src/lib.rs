@@ -51,6 +51,8 @@
 //! | [`engine`] | — | [`StreamingMbi`]: background builds, snapshot publication |
 //! | [`times`] | — | [`TimeChunks`]: chunk-shared timestamp column for snapshots |
 //! | [`tuner`] | §5.4.2 | [`TauTuner`]: per-window-length `τ` calibration |
+//! | [`wal`] | — | [`Wal`]: segmented, checksummed write-ahead log |
+//! | [`fail`] | — | deterministic fault injection (`--cfg failpoints`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,22 +62,28 @@ pub mod concurrent;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fail;
 pub mod index;
 pub mod persist;
 pub(crate) mod query_exec;
 pub mod select;
 pub mod times;
 pub mod tuner;
+pub mod wal;
 
 pub use block::{Block, BlockGraph};
 pub use concurrent::ConcurrentMbi;
 pub use config::{GraphBackend, MbiConfig};
-pub use engine::{Backpressure, EngineConfig, EngineStats, IndexSnapshot, StreamingMbi};
+pub use engine::{
+    Backpressure, EngineConfig, EngineHealth, EngineStats, IndexSnapshot, RetryPolicy,
+    StreamingMbi, WalSync,
+};
 pub use error::MbiError;
 pub use index::{LevelStats, MbiIndex, QueryOutput, TknnResult};
 pub use select::{SearchBlockSet, TimeWindow};
 pub use times::TimeChunks;
 pub use tuner::TauTuner;
+pub use wal::Wal;
 
 /// Timestamps are signed 64-bit integers; any monotone clock works (unix
 /// seconds, milliseconds, frame numbers, release years, …). §3.1 only

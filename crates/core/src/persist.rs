@@ -5,7 +5,29 @@
 //! The format is a single little-endian stream: a header with magic/version,
 //! the configuration, the raw data columns, then each block with its graph.
 //! Everything is length-prefixed and validated on load; malformed input
-//! yields [`MbiError::Corrupt`], never a panic.
+//! yields [`MbiError::Corrupt`] (carrying the byte offset where parsing
+//! failed) or [`MbiError::ChecksumMismatch`], never a panic.
+//!
+//! # Format v5: checksummed streams
+//!
+//! Version 5 wraps the payload of the previous formats in integrity
+//! armour so disk corruption is *detected*, not parsed:
+//!
+//! ```text
+//! stream := "MBI1" version:u32 kind:u8 body footer
+//! kind   := 0 (MbiIndex, v3-layout body) | 1 (IndexSnapshot, v4-layout body)
+//! footer := count:u8 (tag:u8 len:u64 crc:u32)*count footer_crc:u32
+//!           footer_len:u32 "MBIF"
+//! ```
+//!
+//! The sections — `header` (magic + version + kind), `config`, `data`,
+//! `blocks` — tile the stream exactly; each carries the CRC32 of its bytes,
+//! and the footer carries its own CRC. Any single-byte flip anywhere in a
+//! v5 stream therefore fails a checksum (or the structural parse) before an
+//! index is built from it. Versions 2–4 are still readable (unchecksummed;
+//! their structural validation still applies). All `save_file` paths write
+//! atomically: temp file in the same directory, fsync, rename, directory
+//! fsync — a crash mid-save leaves the previous file intact.
 //!
 //! ```
 //! use mbi_core::{MbiConfig, MbiIndex, TimeWindow};
@@ -27,6 +49,7 @@ use crate::engine::IndexSnapshot;
 use crate::error::MbiError;
 use crate::index::MbiIndex;
 use crate::times::TimeChunks;
+use crate::wal::crc32;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mbi_ann::{
     EntryPolicy, HnswIndex, HnswParams, KnnGraph, NnDescentParams, SearchParams, Segment,
@@ -39,16 +62,190 @@ use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"MBI1";
 // v2 appended `query_threads` to the config record. v3 appended the optional
-// inverse-norm column (flag byte + `n` f32s) after the vector floats; v2
-// streams are still readable — the column is recomputed for angular indexes.
-const VERSION: u32 = 3;
+// inverse-norm column (flag byte + `n` f32s) after the vector floats. v4 is
+// the *snapshot* layout: leaf-sized segments instead of flat columns. v5
+// unifies both kinds under one checksummed envelope (kind byte + per-section
+// CRC32s + footer); the body keeps the v3 (index) / v4 (snapshot) layout.
+// v2–v4 streams are still readable.
+const VERSION: u32 = 5;
 const OLDEST_READABLE_VERSION: u32 = 2;
-// v4 is the *snapshot* layout: leaf-sized segments (timestamps + rows +
-// optional norm column per leaf) instead of the index's flat columns.
-// [`MbiIndex`] streams stay at v3 — the two types round-trip independently,
-// and [`IndexSnapshot::from_bytes`] still reads v2/v3 index streams by
-// converting ([`IndexSnapshot::from_index`]).
-const SNAPSHOT_VERSION: u32 = 4;
+const SNAPSHOT_BODY_VERSION: u32 = 4;
+const INDEX_BODY_VERSION: u32 = 3;
+
+const KIND_INDEX: u8 = 0;
+const KIND_SNAPSHOT: u8 = 1;
+
+const FOOTER_MAGIC: &[u8; 4] = b"MBIF";
+/// Section names, in stream order; the footer stores one CRC per section.
+const SECTIONS: [&str; 4] = ["header", "config", "data", "blocks"];
+/// magic + version + kind.
+const HEADER_LEN: usize = 4 + 4 + 1;
+
+/// A byte source that knows its absolute position in the original stream,
+/// so every parse failure reports the offset where it happened.
+struct Src {
+    b: Bytes,
+    base: usize,
+    len_at_start: usize,
+}
+
+impl Src {
+    fn new(b: Bytes) -> Self {
+        let len_at_start = b.len();
+        Src { b, base: 0, len_at_start }
+    }
+
+    /// A source for a slice that begins `base` bytes into the full stream.
+    fn with_base(b: Bytes, base: usize) -> Self {
+        let len_at_start = b.len();
+        Src { b, base, len_at_start }
+    }
+
+    /// Absolute offset of the next unread byte.
+    fn offset(&self) -> usize {
+        self.base + self.len_at_start - self.b.remaining()
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> MbiError {
+        MbiError::corrupt(self.offset(), detail)
+    }
+
+    fn need(&self, need: usize) -> Result<(), MbiError> {
+        if self.b.remaining() < need {
+            Err(self.corrupt(format!(
+                "truncated stream: need {need} bytes, have {}",
+                self.b.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl std::ops::Deref for Src {
+    type Target = Bytes;
+
+    fn deref(&self) -> &Bytes {
+        &self.b
+    }
+}
+
+impl std::ops::DerefMut for Src {
+    fn deref_mut(&mut self) -> &mut Bytes {
+        &mut self.b
+    }
+}
+
+/// Atomically replaces `path` with `bytes`: write to a temp file alongside,
+/// fsync it, rename over the target, fsync the directory. A crash at any
+/// point leaves either the old file or the new one, never a torn mix.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), MbiError> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = dir.join(tmp_name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Appends the v5 footer: per-section CRCs, the footer's own CRC, its
+/// length, and the trailing magic. `bounds` are the section boundaries
+/// (`bounds[i]..bounds[i+1]` is section `i`), tiling `b` exactly.
+fn write_footer(b: &mut BytesMut, bounds: &[usize]) {
+    debug_assert_eq!(bounds.len(), SECTIONS.len() + 1);
+    debug_assert_eq!(*bounds.last().unwrap(), b.len());
+    let crcs: Vec<u32> = bounds.windows(2).map(|w| crc32(&b[w[0]..w[1]])).collect();
+    let footer_start = b.len();
+    b.put_u8(SECTIONS.len() as u8);
+    for (tag, (w, crc)) in bounds.windows(2).zip(&crcs).enumerate() {
+        b.put_u8(tag as u8);
+        b.put_u64_le((w[1] - w[0]) as u64);
+        b.put_u32_le(*crc);
+    }
+    let footer_crc = crc32(&b[footer_start..]);
+    b.put_u32_le(footer_crc);
+    b.put_u32_le((b.len() - footer_start) as u32);
+    b.put_slice(FOOTER_MAGIC);
+}
+
+/// Verifies a v5 stream's footer and every section CRC; returns the body
+/// region `(start, end)` — the bytes after the kind byte, before the footer.
+fn verify_v5(b: &Bytes) -> Result<(usize, usize), MbiError> {
+    let total = b.len();
+    // footer_crc + footer_len + trailing magic is the minimal suffix.
+    if total < HEADER_LEN + 12 {
+        return Err(MbiError::corrupt(total, "truncated stream: no room for v5 footer"));
+    }
+    if &b[total - 4..] != FOOTER_MAGIC {
+        return Err(MbiError::corrupt(total - 4, "bad footer magic"));
+    }
+    let footer_len =
+        u32::from_le_bytes(b[total - 8..total - 4].try_into().expect("4 bytes")) as usize;
+    let trailer_len = footer_len + 8; // + footer_len field + magic
+    if footer_len < 9 || trailer_len > total - HEADER_LEN {
+        return Err(MbiError::corrupt(
+            total - 8,
+            format!("implausible footer length {footer_len}"),
+        ));
+    }
+    let footer_start = total - 8 - footer_len;
+    let footer = &b[footer_start..total - 8];
+    let stored_footer_crc =
+        u32::from_le_bytes(footer[footer_len - 4..].try_into().expect("4 bytes"));
+    let computed = crc32(&footer[..footer_len - 4]);
+    if computed != stored_footer_crc {
+        return Err(MbiError::ChecksumMismatch {
+            section: "footer",
+            expected: stored_footer_crc,
+            got: computed,
+        });
+    }
+    let mut f = Src::with_base(b.slice(footer_start..total - 12), footer_start);
+    f.need(1)?;
+    let count = f.get_u8() as usize;
+    if count != SECTIONS.len() {
+        return Err(
+            f.corrupt(format!("expected {} sections, footer lists {count}", SECTIONS.len()))
+        );
+    }
+    let mut pos = 0usize;
+    for (i, &name) in SECTIONS.iter().enumerate() {
+        f.need(1 + 8 + 4)?;
+        let tag = f.get_u8() as usize;
+        if tag != i {
+            return Err(f.corrupt(format!("section {i} has tag {tag}")));
+        }
+        let len = f.get_u64_le() as usize;
+        let expected = f.get_u32_le();
+        let end = pos.checked_add(len).filter(|&e| e <= footer_start);
+        let Some(end) = end else {
+            return Err(f.corrupt(format!("section {name:?} of {len} bytes overruns the stream")));
+        };
+        let got = crc32(&b[pos..end]);
+        if got != expected {
+            return Err(MbiError::ChecksumMismatch { section: name, expected, got });
+        }
+        pos = end;
+    }
+    if f.has_remaining() {
+        return Err(f.corrupt("trailing bytes in footer"));
+    }
+    if pos != footer_start {
+        return Err(MbiError::corrupt(pos, "sections do not tile the stream"));
+    }
+    Ok((HEADER_LEN, footer_start))
+}
 
 impl MbiIndex {
     /// Serialises the index to `w`.
@@ -58,12 +255,11 @@ impl MbiIndex {
         Ok(())
     }
 
-    /// Serialises the index to a file at `path`.
+    /// Serialises the index to a file at `path`, atomically: the bytes land
+    /// in a temp file that is fsynced and renamed over the target, so a
+    /// crash mid-save never leaves a half-written index.
     pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), MbiError> {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        self.save_to(&mut f)?;
-        f.flush()?;
-        Ok(())
+        atomic_write(path.as_ref(), &self.to_bytes())
     }
 
     /// Deserialises an index from `r`.
@@ -79,7 +275,8 @@ impl MbiIndex {
         Self::load_from(&mut f)
     }
 
-    /// Serialises the index into one contiguous buffer.
+    /// Serialises the index into one contiguous buffer (v5: checksummed
+    /// sections + footer).
     pub fn to_bytes(&self) -> Bytes {
         self.encode(VERSION)
     }
@@ -91,11 +288,24 @@ impl MbiIndex {
         self.encode(2)
     }
 
+    /// Serialises in the unchecksummed v3 layout (hidden, for
+    /// backward-compatibility tests).
+    #[doc(hidden)]
+    pub fn to_bytes_v3(&self) -> Bytes {
+        self.encode(3)
+    }
+
     fn encode(&self, version: u32) -> Bytes {
-        let mut b = BytesMut::with_capacity(64 + self.data_bytes() + self.index_memory_bytes());
+        let body_version = if version >= 5 { INDEX_BODY_VERSION } else { version };
+        let mut b = BytesMut::with_capacity(128 + self.data_bytes() + self.index_memory_bytes());
         b.put_slice(MAGIC);
         b.put_u32_le(version);
+        if version >= 5 {
+            b.put_u8(KIND_INDEX);
+        }
+        let mut bounds = vec![0, b.len()];
         write_config(&mut b, &self.config);
+        bounds.push(b.len());
 
         let n = self.timestamps.len();
         b.put_u64_le(n as u64);
@@ -105,7 +315,7 @@ impl MbiIndex {
         for &v in self.store.as_flat() {
             b.put_f32_le(v);
         }
-        if version >= 3 {
+        if body_version >= 3 {
             match self.store.inv_norms() {
                 Some(inv) => {
                     b.put_u8(1);
@@ -116,6 +326,7 @@ impl MbiIndex {
                 None => b.put_u8(0),
             }
         }
+        bounds.push(b.len());
 
         b.put_u64_le(self.num_leaves as u64);
         b.put_u64_le(self.blocks.len() as u64);
@@ -127,98 +338,123 @@ impl MbiIndex {
             b.put_i64_le(block.end_ts);
             write_graph(&mut b, &block.graph);
         }
+        bounds.push(b.len());
+        if version >= 5 {
+            write_footer(&mut b, &bounds);
+        }
         b.freeze()
     }
 
     /// Deserialises an index from one contiguous buffer.
-    pub fn from_bytes(mut b: Bytes) -> Result<Self, MbiError> {
-        check_len(&b, 8)?;
+    pub fn from_bytes(b: Bytes) -> Result<Self, MbiError> {
+        let mut src = Src::new(b.clone());
+        src.need(8)?;
         let mut magic = [0u8; 4];
-        b.copy_to_slice(&mut magic);
+        src.copy_to_slice(&mut magic);
         if &magic != MAGIC {
-            return Err(MbiError::Corrupt("bad magic".into()));
+            return Err(MbiError::corrupt(0, "bad magic"));
         }
-        let version = b.get_u32_le();
-        if !(OLDEST_READABLE_VERSION..=VERSION).contains(&version) {
-            return Err(MbiError::Corrupt(format!("unsupported version {version}")));
-        }
-        let config = read_config(&mut b)?;
-
-        check_len(&b, 8)?;
-        let n = b.get_u64_le() as usize;
-        check_len(&b, n.checked_mul(8).ok_or_else(overflow)?)?;
-        let mut timestamps = Vec::with_capacity(n);
-        for _ in 0..n {
-            timestamps.push(b.get_i64_le());
-        }
-        for pair in timestamps.windows(2) {
-            if pair[1] < pair[0] {
-                return Err(MbiError::Corrupt("timestamps not sorted".into()));
-            }
-        }
-        let floats = n.checked_mul(config.dim).ok_or_else(overflow)?;
-        check_len(&b, floats.checked_mul(4).ok_or_else(overflow)?)?;
-        let mut flat = Vec::with_capacity(floats);
-        for _ in 0..floats {
-            flat.push(b.get_f32_le());
-        }
-        let has_norms = if version >= 3 {
-            check_len(&b, 1)?;
-            b.get_u8() != 0
-        } else {
-            false
-        };
-        let mut store = if has_norms {
-            check_len(&b, n.checked_mul(4).ok_or_else(overflow)?)?;
-            let mut inv = Vec::with_capacity(n);
-            for _ in 0..n {
-                let x = b.get_f32_le();
-                if !x.is_finite() || x < 0.0 {
-                    return Err(MbiError::Corrupt(format!("invalid inverse norm {x}")));
+        let version = src.get_u32_le();
+        match version {
+            2 | 3 => decode_index_body(&mut src, version),
+            4 => Err(src.corrupt("version 4 streams hold a snapshot, not an index")),
+            5 => {
+                src.need(1)?;
+                if src.get_u8() != KIND_INDEX {
+                    return Err(MbiError::corrupt(8, "stream holds a snapshot, not an index"));
                 }
-                inv.push(x);
+                let (start, end) = verify_v5(&b)?;
+                let mut src = Src::with_base(b.slice(start..end), start);
+                decode_index_body(&mut src, INDEX_BODY_VERSION)
             }
-            VectorStore::from_flat_with_inv_norms(config.dim, flat, inv)
-        } else {
-            VectorStore::from_flat(config.dim, flat)
-        };
-        // v2 streams (and v3 streams written without the column) predate the
-        // cache; angular indexes recompute it so loaded indexes query
-        // identically to freshly built ones.
-        if config.metric == Metric::Angular && !store.has_norm_cache() {
-            store.enable_norm_cache();
+            v => Err(MbiError::corrupt(4, format!("unsupported version {v}"))),
         }
-
-        check_len(&b, 16)?;
-        let num_leaves = b.get_u64_le() as usize;
-        let num_blocks = b.get_u64_le() as usize;
-        if num_leaves.checked_mul(config.leaf_size).is_none_or(|rows| rows > n) {
-            return Err(MbiError::Corrupt("leaf count exceeds data".into()));
-        }
-        let mut blocks = Vec::with_capacity(num_blocks.min(1 << 20));
-        for _ in 0..num_blocks {
-            check_len(&b, 8 * 2 + 4 + 8 * 2)?;
-            let start = b.get_u64_le() as usize;
-            let end = b.get_u64_le() as usize;
-            let height = b.get_u32_le();
-            let start_ts = b.get_i64_le();
-            let end_ts = b.get_i64_le();
-            if start > end || end > n || end_ts <= start_ts {
-                return Err(MbiError::Corrupt("invalid block bounds".into()));
-            }
-            let graph = read_graph(&mut b, end - start)?;
-            blocks.push(Block { rows: start..end, height, start_ts, end_ts, graph });
-        }
-        if b.has_remaining() {
-            return Err(MbiError::Corrupt("trailing bytes".into()));
-        }
-        let index = MbiIndex { config, store, timestamps, blocks, num_leaves };
-        // Full structural validation: persisted bytes may come from an
-        // untrusted source, and a structurally inconsistent index would
-        // return wrong answers rather than crash.
-        index.validate().map_err(MbiError::Corrupt)?;
-        Ok(index)
     }
+}
+
+/// Decodes an index body (config / data / blocks) laid out as
+/// `body_version` (2 or 3), consuming `src` exactly.
+fn decode_index_body(src: &mut Src, body_version: u32) -> Result<MbiIndex, MbiError> {
+    debug_assert!((OLDEST_READABLE_VERSION..=INDEX_BODY_VERSION).contains(&body_version));
+    let config = read_config(src)?;
+
+    src.need(8)?;
+    let n = src.get_u64_le() as usize;
+    src.need(n.checked_mul(8).ok_or_else(|| overflow(src))?)?;
+    let mut timestamps = Vec::with_capacity(n);
+    for _ in 0..n {
+        timestamps.push(src.get_i64_le());
+    }
+    for (i, pair) in timestamps.windows(2).enumerate() {
+        if pair[1] < pair[0] {
+            return Err(MbiError::corrupt(src.offset() - (n - i - 1) * 8, "timestamps not sorted"));
+        }
+    }
+    let floats = n.checked_mul(config.dim).ok_or_else(|| overflow(src))?;
+    src.need(floats.checked_mul(4).ok_or_else(|| overflow(src))?)?;
+    let mut flat = Vec::with_capacity(floats);
+    for _ in 0..floats {
+        flat.push(src.get_f32_le());
+    }
+    let has_norms = if body_version >= 3 {
+        src.need(1)?;
+        src.get_u8() != 0
+    } else {
+        false
+    };
+    let mut store = if has_norms {
+        src.need(n.checked_mul(4).ok_or_else(|| overflow(src))?)?;
+        let mut inv = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = src.get_f32_le();
+            if !x.is_finite() || x < 0.0 {
+                return Err(MbiError::corrupt(
+                    src.offset() - 4,
+                    format!("invalid inverse norm {x}"),
+                ));
+            }
+            inv.push(x);
+        }
+        VectorStore::from_flat_with_inv_norms(config.dim, flat, inv)
+    } else {
+        VectorStore::from_flat(config.dim, flat)
+    };
+    // v2 streams (and v3 streams written without the column) predate the
+    // cache; angular indexes recompute it so loaded indexes query
+    // identically to freshly built ones.
+    if config.metric == Metric::Angular && !store.has_norm_cache() {
+        store.enable_norm_cache();
+    }
+
+    src.need(16)?;
+    let num_leaves = src.get_u64_le() as usize;
+    let num_blocks = src.get_u64_le() as usize;
+    if num_leaves.checked_mul(config.leaf_size).is_none_or(|rows| rows > n) {
+        return Err(src.corrupt("leaf count exceeds data"));
+    }
+    let mut blocks = Vec::with_capacity(num_blocks.min(1 << 20));
+    for _ in 0..num_blocks {
+        src.need(8 * 2 + 4 + 8 * 2)?;
+        let start = src.get_u64_le() as usize;
+        let end = src.get_u64_le() as usize;
+        let height = src.get_u32_le();
+        let start_ts = src.get_i64_le();
+        let end_ts = src.get_i64_le();
+        if start > end || end > n || end_ts <= start_ts {
+            return Err(src.corrupt("invalid block bounds"));
+        }
+        let graph = read_graph(src, end - start)?;
+        blocks.push(Block { rows: start..end, height, start_ts, end_ts, graph });
+    }
+    if src.has_remaining() {
+        return Err(src.corrupt("trailing bytes"));
+    }
+    let index = MbiIndex { config, store, timestamps, blocks, num_leaves };
+    // Full structural validation: persisted bytes may come from an
+    // untrusted source, and a structurally inconsistent index would
+    // return wrong answers rather than crash.
+    index.validate().map_err(|detail| MbiError::corrupt(0, detail))?;
+    Ok(index)
 }
 
 impl IndexSnapshot {
@@ -228,12 +464,10 @@ impl IndexSnapshot {
         Ok(())
     }
 
-    /// Serialises the snapshot to a file at `path`.
+    /// Serialises the snapshot to a file at `path`, atomically (temp file +
+    /// fsync + rename, like [`MbiIndex::save_file`]).
     pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), MbiError> {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        self.save_to(&mut f)?;
-        f.flush()?;
-        Ok(())
+        atomic_write(path.as_ref(), &self.to_bytes())
     }
 
     /// Deserialises a snapshot from `r`.
@@ -249,16 +483,32 @@ impl IndexSnapshot {
         Self::load_from(&mut f)
     }
 
-    /// Serialises the snapshot into one contiguous buffer (v4 layout: one
-    /// record per leaf segment).
+    /// Serialises the snapshot into one contiguous buffer (v5: checksummed
+    /// sections + footer over a one-record-per-leaf body).
     pub fn to_bytes(&self) -> Bytes {
+        self.encode(VERSION)
+    }
+
+    /// Serialises in the unchecksummed v4 layout (hidden, for
+    /// backward-compatibility tests).
+    #[doc(hidden)]
+    pub fn to_bytes_v4(&self) -> Bytes {
+        self.encode(SNAPSHOT_BODY_VERSION)
+    }
+
+    fn encode(&self, version: u32) -> Bytes {
         let config = self.config();
         let s_l = config.leaf_size;
         let store = self.store();
-        let mut b = BytesMut::with_capacity(64 + store.memory_bytes());
+        let mut b = BytesMut::with_capacity(128 + store.memory_bytes());
         b.put_slice(MAGIC);
-        b.put_u32_le(SNAPSHOT_VERSION);
+        b.put_u32_le(version);
+        if version >= 5 {
+            b.put_u8(KIND_SNAPSHOT);
+        }
+        let mut bounds = vec![0, b.len()];
         write_config(&mut b, config);
+        bounds.push(b.len());
         b.put_u64_le(self.num_leaves() as u64);
         b.put_u64_le(s_l as u64);
         let has_norms = store.segments().first().is_some_and(|s| s.has_norm_cache());
@@ -277,6 +527,7 @@ impl IndexSnapshot {
                 }
             }
         }
+        bounds.push(b.len());
         b.put_u64_le(self.blocks().len() as u64);
         for block in self.blocks() {
             b.put_u64_le(block.rows.start as u64);
@@ -286,113 +537,126 @@ impl IndexSnapshot {
             b.put_i64_le(block.end_ts);
             write_graph(&mut b, &block.graph);
         }
+        bounds.push(b.len());
+        if version >= 5 {
+            write_footer(&mut b, &bounds);
+        }
         b.freeze()
     }
 
     /// Deserialises a snapshot from one contiguous buffer. Accepts the
-    /// native v4 segment layout, plus v2/v3 [`MbiIndex`] streams (converted
-    /// via [`IndexSnapshot::from_index`] — fails with
-    /// [`MbiError::UnsealedTail`] if the stored index has tail rows).
+    /// native checksummed v5 layout, the unchecksummed v4 layout, plus
+    /// v2/v3/v5 [`MbiIndex`] streams (converted via
+    /// [`IndexSnapshot::from_index`] — fails with [`MbiError::UnsealedTail`]
+    /// if the stored index has tail rows).
     pub fn from_bytes(b: Bytes) -> Result<Self, MbiError> {
-        {
-            // Peek the version without consuming: pre-v4 streams are whole
-            // MbiIndex streams and must be re-read from the top.
-            check_len(&b, 8)?;
-            if &b[..4] != MAGIC {
-                return Err(MbiError::Corrupt("bad magic".into()));
-            }
-            let version = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);
-            if version < SNAPSHOT_VERSION {
-                return IndexSnapshot::from_index(&MbiIndex::from_bytes(b)?);
-            }
-            if version > SNAPSHOT_VERSION {
-                return Err(MbiError::Corrupt(format!("unsupported version {version}")));
-            }
+        let mut src = Src::new(b.clone());
+        src.need(8)?;
+        let mut magic = [0u8; 4];
+        src.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(MbiError::corrupt(0, "bad magic"));
         }
-        let mut b = b.slice(8..b.len());
-        let config = read_config(&mut b)?;
-        check_len(&b, 8 + 8 + 1)?;
-        let num_leaves = b.get_u64_le() as usize;
-        let seg_rows = b.get_u64_le() as usize;
-        if seg_rows != config.leaf_size {
-            return Err(MbiError::Corrupt(format!(
-                "segment rows {seg_rows} do not match leaf size {}",
-                config.leaf_size
-            )));
-        }
-        let has_norms = b.get_u8() != 0;
-        if config.metric == Metric::Angular && !has_norms {
-            return Err(MbiError::Corrupt("angular snapshot lacks norm column".into()));
-        }
-        let leaf_bytes =
-            seg_rows * 8 + seg_rows * config.dim * 4 + if has_norms { seg_rows * 4 } else { 0 };
-        let mut store = SegmentStore::new(config.dim, seg_rows);
-        let mut times = TimeChunks::new(seg_rows);
-        for _ in 0..num_leaves {
-            check_len(&b, leaf_bytes)?;
-            let mut chunk = Vec::with_capacity(seg_rows);
-            for _ in 0..seg_rows {
-                chunk.push(b.get_i64_le());
-            }
-            let mut flat = Vec::with_capacity(seg_rows * config.dim);
-            for _ in 0..seg_rows * config.dim {
-                flat.push(b.get_f32_le());
-            }
-            let leaf_store = if has_norms {
-                let mut inv = Vec::with_capacity(seg_rows);
-                for _ in 0..seg_rows {
-                    let x = b.get_f32_le();
-                    if !x.is_finite() || x < 0.0 {
-                        return Err(MbiError::Corrupt(format!("invalid inverse norm {x}")));
+        let version = src.get_u32_le();
+        match version {
+            // Pre-v4 streams are whole MbiIndex streams, re-read from the top.
+            2 | 3 => IndexSnapshot::from_index(&MbiIndex::from_bytes(b)?),
+            4 => decode_snapshot_body(&mut src),
+            5 => {
+                src.need(1)?;
+                let kind = src.get_u8();
+                let (start, end) = verify_v5(&b)?;
+                match kind {
+                    KIND_SNAPSHOT => {
+                        let mut src = Src::with_base(b.slice(start..end), start);
+                        decode_snapshot_body(&mut src)
                     }
-                    inv.push(x);
+                    KIND_INDEX => IndexSnapshot::from_index(&MbiIndex::from_bytes(b)?),
+                    k => Err(MbiError::corrupt(8, format!("unknown stream kind {k}"))),
                 }
-                VectorStore::from_flat_with_inv_norms(config.dim, flat, inv)
-            } else {
-                VectorStore::from_flat(config.dim, flat)
-            };
-            store.push_segment(Arc::new(Segment::from_store(leaf_store)));
-            times.push_chunk(chunk.into());
-        }
-        check_len(&b, 8)?;
-        let num_blocks = b.get_u64_le() as usize;
-        let n = num_leaves * seg_rows;
-        let mut blocks = Vec::with_capacity(num_blocks.min(1 << 20));
-        for _ in 0..num_blocks {
-            check_len(&b, 8 * 2 + 4 + 8 * 2)?;
-            let start = b.get_u64_le() as usize;
-            let end = b.get_u64_le() as usize;
-            let height = b.get_u32_le();
-            let start_ts = b.get_i64_le();
-            let end_ts = b.get_i64_le();
-            if start > end || end > n || end_ts <= start_ts {
-                return Err(MbiError::Corrupt("invalid block bounds".into()));
             }
-            let graph = read_graph(&mut b, end - start)?;
-            blocks.push(Arc::new(Block { rows: start..end, height, start_ts, end_ts, graph }));
+            v => Err(MbiError::corrupt(4, format!("unsupported version {v}"))),
         }
-        if b.has_remaining() {
-            return Err(MbiError::Corrupt("trailing bytes".into()));
-        }
-        let snap = IndexSnapshot { config, store, times, blocks, num_leaves };
-        snap.validate().map_err(MbiError::Corrupt)?;
-        Ok(snap)
     }
 }
 
-fn overflow() -> MbiError {
-    MbiError::Corrupt("size overflow".into())
+/// Decodes a snapshot body (config / leaf records / blocks) in the v4
+/// layout, consuming `src` exactly.
+fn decode_snapshot_body(src: &mut Src) -> Result<IndexSnapshot, MbiError> {
+    let config = read_config(src)?;
+    src.need(8 + 8 + 1)?;
+    let num_leaves = src.get_u64_le() as usize;
+    let seg_rows = src.get_u64_le() as usize;
+    if seg_rows != config.leaf_size {
+        return Err(src.corrupt(format!(
+            "segment rows {seg_rows} do not match leaf size {}",
+            config.leaf_size
+        )));
+    }
+    let has_norms = src.get_u8() != 0;
+    if config.metric == Metric::Angular && !has_norms {
+        return Err(src.corrupt("angular snapshot lacks norm column"));
+    }
+    let leaf_bytes =
+        seg_rows * 8 + seg_rows * config.dim * 4 + if has_norms { seg_rows * 4 } else { 0 };
+    let mut store = SegmentStore::new(config.dim, seg_rows);
+    let mut times = TimeChunks::new(seg_rows);
+    for _ in 0..num_leaves {
+        src.need(leaf_bytes)?;
+        let mut chunk = Vec::with_capacity(seg_rows);
+        for _ in 0..seg_rows {
+            chunk.push(src.get_i64_le());
+        }
+        let mut flat = Vec::with_capacity(seg_rows * config.dim);
+        for _ in 0..seg_rows * config.dim {
+            flat.push(src.get_f32_le());
+        }
+        let leaf_store = if has_norms {
+            let mut inv = Vec::with_capacity(seg_rows);
+            for _ in 0..seg_rows {
+                let x = src.get_f32_le();
+                if !x.is_finite() || x < 0.0 {
+                    return Err(MbiError::corrupt(
+                        src.offset() - 4,
+                        format!("invalid inverse norm {x}"),
+                    ));
+                }
+                inv.push(x);
+            }
+            VectorStore::from_flat_with_inv_norms(config.dim, flat, inv)
+        } else {
+            VectorStore::from_flat(config.dim, flat)
+        };
+        store.push_segment(Arc::new(Segment::from_store(leaf_store)));
+        times.push_chunk(chunk.into());
+    }
+    src.need(8)?;
+    let num_blocks = src.get_u64_le() as usize;
+    let n = num_leaves * seg_rows;
+    let mut blocks = Vec::with_capacity(num_blocks.min(1 << 20));
+    for _ in 0..num_blocks {
+        src.need(8 * 2 + 4 + 8 * 2)?;
+        let start = src.get_u64_le() as usize;
+        let end = src.get_u64_le() as usize;
+        let height = src.get_u32_le();
+        let start_ts = src.get_i64_le();
+        let end_ts = src.get_i64_le();
+        if start > end || end > n || end_ts <= start_ts {
+            return Err(src.corrupt("invalid block bounds"));
+        }
+        let graph = read_graph(src, end - start)?;
+        blocks.push(Arc::new(Block { rows: start..end, height, start_ts, end_ts, graph }));
+    }
+    if src.has_remaining() {
+        return Err(src.corrupt("trailing bytes"));
+    }
+    let snap = IndexSnapshot { config, store, times, blocks, num_leaves };
+    snap.validate().map_err(|detail| MbiError::corrupt(0, detail))?;
+    Ok(snap)
 }
 
-fn check_len(b: &Bytes, need: usize) -> Result<(), MbiError> {
-    if b.remaining() < need {
-        Err(MbiError::Corrupt(format!(
-            "truncated stream: need {need} bytes, have {}",
-            b.remaining()
-        )))
-    } else {
-        Ok(())
-    }
+fn overflow(src: &Src) -> MbiError {
+    src.corrupt("size overflow")
 }
 
 fn write_config(b: &mut BytesMut, c: &MbiConfig) {
@@ -427,24 +691,24 @@ fn write_config(b: &mut BytesMut, c: &MbiConfig) {
     b.put_u64_le(c.query_threads as u64);
 }
 
-fn read_config(b: &mut Bytes) -> Result<MbiConfig, MbiError> {
-    check_len(b, 8 + 1 + 8 + 8 + 1)?;
+fn read_config(b: &mut Src) -> Result<MbiConfig, MbiError> {
+    b.need(8 + 1 + 8 + 8 + 1)?;
     let dim = b.get_u64_le() as usize;
     if dim == 0 || dim > 1 << 20 {
-        return Err(MbiError::Corrupt(format!("implausible dimension {dim}")));
+        return Err(b.corrupt(format!("implausible dimension {dim}")));
     }
-    let metric = metric_from_tag(b.get_u8())?;
+    let metric = metric_from_tag(b)?;
     let leaf_size = b.get_u64_le() as usize;
     if leaf_size == 0 {
-        return Err(MbiError::Corrupt("zero leaf size".into()));
+        return Err(b.corrupt("zero leaf size"));
     }
     let tau = b.get_f64_le();
     if !(tau > 0.0 && tau <= 1.0) {
-        return Err(MbiError::Corrupt(format!("tau {tau} out of range")));
+        return Err(b.corrupt(format!("tau {tau} out of range")));
     }
     let backend = match b.get_u8() {
         0 => {
-            check_len(b, 8 * 4 + 8)?;
+            b.need(8 * 4 + 8)?;
             GraphBackend::NnDescent(NnDescentParams {
                 degree: b.get_u64_le() as usize,
                 rho: b.get_f64_le(),
@@ -454,20 +718,20 @@ fn read_config(b: &mut Bytes) -> Result<MbiConfig, MbiError> {
             })
         }
         1 => GraphBackend::Hnsw(read_hnsw_params(b)?),
-        t => return Err(MbiError::Corrupt(format!("unknown backend tag {t}"))),
+        t => return Err(b.corrupt(format!("unknown backend tag {t}"))),
     };
-    check_len(b, 8 + 4 + 1)?;
+    b.need(8 + 4 + 1)?;
     let max_candidates = b.get_u64_le() as usize;
     let epsilon = b.get_f32_le();
     let entry = match b.get_u8() {
         0 => EntryPolicy::QueryHash,
         1 => {
-            check_len(b, 4)?;
+            b.need(4)?;
             EntryPolicy::Fixed(b.get_u32_le())
         }
-        t => return Err(MbiError::Corrupt(format!("unknown entry tag {t}"))),
+        t => return Err(b.corrupt(format!("unknown entry tag {t}"))),
     };
-    check_len(b, 1 + 8)?;
+    b.need(1 + 8)?;
     let parallel_build = b.get_u8() != 0;
     let query_threads = b.get_u64_le() as usize;
     Ok(MbiConfig {
@@ -488,8 +752,8 @@ fn write_hnsw_params(b: &mut BytesMut, p: &HnswParams) {
     b.put_u64_le(p.seed);
 }
 
-fn read_hnsw_params(b: &mut Bytes) -> Result<HnswParams, MbiError> {
-    check_len(b, 24)?;
+fn read_hnsw_params(b: &mut Src) -> Result<HnswParams, MbiError> {
+    b.need(24)?;
     Ok(HnswParams {
         m: b.get_u64_le() as usize,
         ef_construction: b.get_u64_le() as usize,
@@ -505,12 +769,12 @@ fn metric_tag(m: Metric) -> u8 {
     }
 }
 
-fn metric_from_tag(t: u8) -> Result<Metric, MbiError> {
-    match t {
+fn metric_from_tag(b: &mut Src) -> Result<Metric, MbiError> {
+    match b.get_u8() {
         0 => Ok(Metric::Euclidean),
         1 => Ok(Metric::Angular),
         2 => Ok(Metric::InnerProduct),
-        _ => Err(MbiError::Corrupt(format!("unknown metric tag {t}"))),
+        t => Err(b.corrupt(format!("unknown metric tag {t}"))),
     }
 }
 
@@ -546,24 +810,24 @@ fn write_graph(b: &mut BytesMut, g: &BlockGraph) {
     }
 }
 
-fn read_graph(b: &mut Bytes, block_len: usize) -> Result<BlockGraph, MbiError> {
-    check_len(b, 1)?;
+fn read_graph(b: &mut Src, block_len: usize) -> Result<BlockGraph, MbiError> {
+    b.need(1)?;
     match b.get_u8() {
         0 => {
-            check_len(b, 16)?;
+            b.need(16)?;
             let degree = b.get_u64_le() as usize;
             let len = b.get_u64_le() as usize;
             if degree > 0 && len != degree * block_len {
-                return Err(MbiError::Corrupt(format!(
+                return Err(b.corrupt(format!(
                     "graph size {len} does not match degree {degree} × block {block_len}"
                 )));
             }
-            check_len(b, len.checked_mul(4).ok_or_else(overflow)?)?;
+            b.need(len.checked_mul(4).ok_or_else(|| overflow(b))?)?;
             let mut flat = Vec::with_capacity(len);
             for _ in 0..len {
                 let x = b.get_u32_le();
                 if x != u32::MAX && x as usize >= block_len {
-                    return Err(MbiError::Corrupt(format!("edge to missing node {x}")));
+                    return Err(b.corrupt(format!("edge to missing node {x}")));
                 }
                 flat.push(x);
             }
@@ -571,33 +835,31 @@ fn read_graph(b: &mut Bytes, block_len: usize) -> Result<BlockGraph, MbiError> {
         }
         1 => {
             let params = read_hnsw_params(b)?;
-            check_len(b, 1 + 4 + 8 + 8)?;
-            let metric = metric_from_tag(b.get_u8())?;
+            b.need(1 + 4 + 8 + 8)?;
+            let metric = metric_from_tag(b)?;
             let entry = b.get_u32_le();
             let max_level = b.get_u64_le() as usize;
             let n = b.get_u64_le() as usize;
             if n != block_len {
-                return Err(MbiError::Corrupt("hnsw node count mismatch".into()));
+                return Err(b.corrupt("hnsw node count mismatch"));
             }
             if n > 0 && entry as usize >= n {
-                return Err(MbiError::Corrupt("hnsw entry out of range".into()));
+                return Err(b.corrupt("hnsw entry out of range"));
             }
             let mut links = Vec::with_capacity(n);
             for _ in 0..n {
-                check_len(b, 2)?;
+                b.need(2)?;
                 let layers = b.get_u16_le() as usize;
                 let mut node = Vec::with_capacity(layers);
                 for _ in 0..layers {
-                    check_len(b, 4)?;
+                    b.need(4)?;
                     let len = b.get_u32_le() as usize;
-                    check_len(b, len.checked_mul(4).ok_or_else(overflow)?)?;
+                    b.need(len.checked_mul(4).ok_or_else(|| overflow(b))?)?;
                     let mut layer = Vec::with_capacity(len);
                     for _ in 0..len {
                         let nb = b.get_u32_le();
                         if nb as usize >= n {
-                            return Err(MbiError::Corrupt(format!(
-                                "hnsw edge to missing node {nb}"
-                            )));
+                            return Err(b.corrupt(format!("hnsw edge to missing node {nb}")));
                         }
                         layer.push(nb);
                     }
@@ -607,13 +869,14 @@ fn read_graph(b: &mut Bytes, block_len: usize) -> Result<BlockGraph, MbiError> {
             }
             Ok(BlockGraph::Hnsw(HnswIndex::from_parts(params, metric, entry, max_level, links)))
         }
-        t => Err(MbiError::Corrupt(format!("unknown graph tag {t}"))),
+        t => Err(b.corrupt(format!("unknown graph tag {t}"))),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fail::{ErrorInjectingReader, ErrorInjectingWriter};
     use crate::select::TimeWindow;
 
     fn build_index(backend: GraphBackend, n: usize) -> MbiIndex {
@@ -669,13 +932,14 @@ mod tests {
         idx.save_file(&path).unwrap();
         let loaded = MbiIndex::load_file(&path).unwrap();
         assert_same_answers(&idx, &loaded);
+        assert!(!dir.join("index.mbi.tmp").exists(), "atomic save leaves no temp file behind");
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn rejects_bad_magic() {
         let err = MbiIndex::from_bytes(Bytes::from_static(b"NOPE\0\0\0\0")).unwrap_err();
-        assert!(matches!(err, MbiError::Corrupt(_)));
+        assert!(matches!(err, MbiError::Corrupt { offset: 0, .. }));
     }
 
     #[test]
@@ -694,30 +958,35 @@ mod tests {
         let idx = build_index(GraphBackend::default(), 40);
         let mut raw = idx.to_bytes().to_vec();
         raw.extend_from_slice(b"junk");
+        // v5: the appended junk displaces the footer → bad footer magic.
         let err = MbiIndex::from_bytes(Bytes::from(raw)).unwrap_err();
-        assert!(err.to_string().contains("trailing"));
+        assert!(err.to_string().contains("footer magic"), "{err}");
+        // Unchecksummed v3 surfaces it as trailing bytes, as before.
+        let mut raw = idx.to_bytes_v3().to_vec();
+        raw.extend_from_slice(b"junk");
+        let err = MbiIndex::from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
     }
 
     #[test]
-    fn rejects_unsorted_timestamps() {
+    fn rejects_unsorted_timestamps_with_offset() {
         let idx = build_index(GraphBackend::default(), 40);
-        let mut raw = idx.to_bytes().to_vec();
-        // Timestamps start after magic(4)+version(4)+config; find where by
-        // re-encoding with a poisoned timestamp column instead: easier to
-        // corrupt via direct byte surgery on a known offset is brittle, so
-        // instead serialise a hand-built stream: flip two timestamps.
-        // Header length: compute by serialising an empty index with the same
-        // config and subtracting the fixed suffix (n=0 u64 + leaves u64 +
-        // blocks u64).
-        let empty = MbiIndex::new(*idx.config()).to_bytes();
+        // Corrupt a v3 stream (no checksums) so the *structural* check is
+        // what fires, and verify the reported offset points at the bad pair.
+        let mut raw = idx.to_bytes_v3().to_vec();
+        let empty = MbiIndex::new(*idx.config()).to_bytes_v3();
         // minus n, norm-column flag, num_leaves, num_blocks
         let header_len = empty.len() - 8 - 1 - 16;
         let ts_start = header_len + 8; // after n
-                                       // Swap the first two i64 timestamps (0 and 1 → 1 and 0).
         raw[ts_start..ts_start + 8].copy_from_slice(&1i64.to_le_bytes());
         raw[ts_start + 8..ts_start + 16].copy_from_slice(&0i64.to_le_bytes());
         let err = MbiIndex::from_bytes(Bytes::from(raw)).unwrap_err();
-        assert!(err.to_string().contains("not sorted"), "{err}");
+        match err {
+            MbiError::Corrupt { offset, ref detail } if detail.contains("not sorted") => {
+                assert_eq!(offset, ts_start + 8, "offset points at the out-of-order timestamp");
+            }
+            other => panic!("expected unsorted-timestamp Corrupt, got {other}"),
+        }
     }
 
     #[test]
@@ -740,7 +1009,7 @@ mod tests {
     }
 
     #[test]
-    fn v3_roundtrips_norm_column() {
+    fn v5_roundtrips_norm_column() {
         let idx = build_angular_index(70);
         assert!(idx.store().has_norm_cache());
         let loaded = MbiIndex::from_bytes(idx.to_bytes()).unwrap();
@@ -753,7 +1022,7 @@ mod tests {
     }
 
     #[test]
-    fn euclidean_v3_has_no_norm_column() {
+    fn euclidean_stream_has_no_norm_column() {
         let idx = build_index(GraphBackend::default(), 40);
         assert!(!idx.store().has_norm_cache());
         let loaded = MbiIndex::from_bytes(idx.to_bytes()).unwrap();
@@ -783,17 +1052,96 @@ mod tests {
     }
 
     #[test]
+    fn reads_v3_streams() {
+        let idx = build_angular_index(70);
+        let loaded = MbiIndex::from_bytes(idx.to_bytes_v3()).unwrap();
+        assert_eq!(loaded.store().inv_norms(), idx.store().inv_norms());
+        assert_eq!(loaded.to_bytes(), idx.to_bytes(), "re-save upgrades to v5 canonically");
+    }
+
+    #[test]
     fn rejects_corrupt_norm_column() {
         let idx = build_angular_index(40);
-        let empty = MbiIndex::new(*idx.config()).to_bytes();
+        let empty = MbiIndex::new(*idx.config()).to_bytes_v3();
         let header_len = empty.len() - 8 - 1 - 16;
         let n = idx.len();
         // Norm column starts after n, timestamps, floats, and the flag byte.
         let norms_start = header_len + 8 + n * 8 + n * 3 * 4 + 1;
-        let mut raw = idx.to_bytes().to_vec();
+        let mut raw = idx.to_bytes_v3().to_vec();
         raw[norms_start..norms_start + 4].copy_from_slice(&f32::NAN.to_le_bytes());
         let err = MbiIndex::from_bytes(Bytes::from(raw)).unwrap_err();
         assert!(err.to_string().contains("inverse norm"), "{err}");
+    }
+
+    #[test]
+    fn v5_detects_any_section_flip_as_checksum_mismatch() {
+        let idx = build_index(GraphBackend::default(), 40);
+        let raw = idx.to_bytes().to_vec();
+        // One flip inside each region: kind byte (header section), config,
+        // data (a vector float — structurally valid, only the CRC sees it),
+        // blocks. The float flip is the crucial case: pre-v5 it loaded as a
+        // silently different index.
+        let empty_body = MbiIndex::new(*idx.config()).to_bytes_v3().len() - 8 - 1 - 16;
+        let data_start = HEADER_LEN + (empty_body - 8); // after config
+        let float_pos = data_start + 8 + idx.len() * 8 + 10; // inside the floats
+        for (pos, expect_section) in [
+            (8usize, "header"),
+            (HEADER_LEN + 3, "config"),
+            (float_pos, "data"),
+            // The footer occupies the trailing 65 bytes (count + 4 entries
+            // of 13 + footer crc/len + magic); 70 back is in the blocks.
+            (raw.len() - 70, "blocks"),
+        ] {
+            let mut bad = raw.clone();
+            bad[pos] ^= 0x10;
+            match MbiIndex::from_bytes(Bytes::from(bad)) {
+                Err(MbiError::ChecksumMismatch { section, .. }) => {
+                    assert_eq!(section, expect_section, "flip at byte {pos}");
+                }
+                // A kind-byte flip can also fail before checksumming.
+                Err(MbiError::Corrupt { .. }) if expect_section == "header" => {}
+                other => panic!("flip at {pos}: expected ChecksumMismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn v5_detects_footer_flips() {
+        let idx = build_index(GraphBackend::default(), 30);
+        let raw = idx.to_bytes().to_vec();
+        let n = raw.len();
+        // Flip in the footer body → footer CRC or section CRC mismatch;
+        // flip in the trailing magic → corrupt.
+        let mut bad = raw.clone();
+        bad[n - 20] ^= 0x01;
+        assert!(MbiIndex::from_bytes(Bytes::from(bad)).is_err());
+        let mut bad = raw.clone();
+        bad[n - 1] ^= 0x01;
+        let err = MbiIndex::from_bytes(Bytes::from(bad)).unwrap_err();
+        assert!(err.to_string().contains("footer magic"), "{err}");
+    }
+
+    #[test]
+    fn error_injecting_writer_surfaces_io_error() {
+        let idx = build_index(GraphBackend::default(), 40);
+        let full_len = idx.to_bytes().len();
+        let mut w = ErrorInjectingWriter::new(Vec::new(), full_len / 2);
+        let err = idx.save_to(&mut w).unwrap_err();
+        assert!(matches!(err, MbiError::Io(_)), "{err}");
+        // Whatever made it through is a truncated prefix: loading it fails
+        // cleanly too.
+        let prefix = w.into_inner();
+        assert!(prefix.len() <= full_len / 2);
+        assert!(MbiIndex::from_bytes(Bytes::from(prefix)).is_err());
+    }
+
+    #[test]
+    fn error_injecting_reader_surfaces_io_error() {
+        let idx = build_index(GraphBackend::default(), 40);
+        let bytes = idx.to_bytes();
+        let mut r = ErrorInjectingReader::new(&bytes[..], bytes.len() / 2);
+        let err = MbiIndex::load_from(&mut r).unwrap_err();
+        assert!(matches!(err, MbiError::Io(_)), "{err}");
     }
 
     fn assert_same_snapshot_answers(a: &IndexSnapshot, b: &IndexSnapshot) {
@@ -810,10 +1158,11 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_v4_roundtrips() {
+    fn snapshot_v5_roundtrips() {
         let snap = IndexSnapshot::from_index(&build_index(GraphBackend::default(), 64)).unwrap();
         let bytes = snap.to_bytes();
-        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 4);
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 5);
+        assert_eq!(bytes[8], KIND_SNAPSHOT);
         let loaded = IndexSnapshot::from_bytes(bytes).unwrap();
         assert_eq!(loaded.validate(), Ok(()));
         assert_same_snapshot_answers(&snap, &loaded);
@@ -821,9 +1170,11 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_v4_roundtrips_norm_column() {
+    fn snapshot_reads_v4_streams() {
         let snap = IndexSnapshot::from_index(&build_angular_index(64)).unwrap();
-        let loaded = IndexSnapshot::from_bytes(snap.to_bytes()).unwrap();
+        let v4 = snap.to_bytes_v4();
+        assert_eq!(u32::from_le_bytes(v4[4..8].try_into().unwrap()), 4);
+        let loaded = IndexSnapshot::from_bytes(v4).unwrap();
         assert!(loaded.store().has_norm_cache());
         for (a, b) in snap.store().segments().iter().zip(loaded.store().segments()) {
             assert_eq!(a.as_flat(), b.as_flat());
@@ -840,17 +1191,20 @@ mod tests {
         snap.save_file(&path).unwrap();
         let loaded = IndexSnapshot::load_file(&path).unwrap();
         assert_same_snapshot_answers(&snap, &loaded);
+        assert!(!dir.join("snapshot.mbi.tmp").exists());
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn snapshot_reads_v3_index_streams() {
-        // A pre-segment (v3) index stream loads as a snapshot when sealed …
+    fn snapshot_reads_index_streams() {
+        // An index stream (v3 or v5) loads as a snapshot when sealed …
         let idx = build_index(GraphBackend::default(), 64);
-        let snap = IndexSnapshot::from_bytes(idx.to_bytes()).unwrap();
-        assert_eq!(snap.num_leaves(), idx.num_leaves());
-        assert_eq!(snap.validate(), Ok(()));
-        assert_same_snapshot_answers(&snap, &IndexSnapshot::from_index(&idx).unwrap());
+        for bytes in [idx.to_bytes_v3(), idx.to_bytes()] {
+            let snap = IndexSnapshot::from_bytes(bytes).unwrap();
+            assert_eq!(snap.num_leaves(), idx.num_leaves());
+            assert_eq!(snap.validate(), Ok(()));
+            assert_same_snapshot_answers(&snap, &IndexSnapshot::from_index(&idx).unwrap());
+        }
         // … and surfaces the tail explicitly when not.
         let with_tail = build_index(GraphBackend::default(), 70);
         match IndexSnapshot::from_bytes(with_tail.to_bytes()) {
@@ -863,7 +1217,9 @@ mod tests {
     fn index_loader_rejects_snapshot_streams() {
         let snap = IndexSnapshot::from_index(&build_index(GraphBackend::default(), 32)).unwrap();
         let err = MbiIndex::from_bytes(snap.to_bytes()).unwrap_err();
-        assert!(err.to_string().contains("version 4"), "{err}");
+        assert!(err.to_string().contains("snapshot"), "{err}");
+        let err = MbiIndex::from_bytes(snap.to_bytes_v4()).unwrap_err();
+        assert!(err.to_string().contains("snapshot"), "{err}");
     }
 
     #[test]
@@ -878,7 +1234,6 @@ mod tests {
         }
         let mut raw = full.to_vec();
         raw.extend_from_slice(b"junk");
-        let err = IndexSnapshot::from_bytes(Bytes::from(raw)).unwrap_err();
-        assert!(err.to_string().contains("trailing"), "{err}");
+        assert!(IndexSnapshot::from_bytes(Bytes::from(raw)).is_err());
     }
 }

@@ -98,4 +98,39 @@ proptest! {
         let again = MbiIndex::from_bytes(loaded.to_bytes()).expect("second roundtrip");
         prop_assert_eq!(again.len(), n + extra);
     }
+
+    /// Any single-byte corruption of a v5 stream is rejected — every byte
+    /// of the stream is covered by a section CRC, the footer CRC, or a
+    /// structural check, so no flip can load as a silently different index
+    /// (and none may panic).
+    #[test]
+    fn any_single_byte_flip_is_rejected(
+        n in 1usize..80,
+        leaf_size in 1usize..16,
+        pos_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let idx = build(n, leaf_size, Metric::Euclidean, 0.5, false, 1);
+        let bytes = idx.to_bytes().to_vec();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        let mut bad = bytes;
+        bad[pos] ^= 1u8 << bit;
+        let res = MbiIndex::from_bytes(bytes::Bytes::from(bad));
+        prop_assert!(res.is_err(), "flip at byte {} bit {} accepted", pos, bit);
+    }
+
+    /// Any truncation of a v5 stream is rejected (the footer pins the exact
+    /// length), and so is any truncation of a snapshot stream.
+    #[test]
+    fn any_truncation_is_rejected(
+        n in 1usize..80,
+        leaf_size in 1usize..16,
+        cut_seed in any::<u64>(),
+    ) {
+        let idx = build(n, leaf_size, Metric::Euclidean, 0.5, false, 1);
+        let bytes = idx.to_bytes();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(MbiIndex::from_bytes(bytes.slice(0..cut)).is_err(),
+            "truncation to {} bytes accepted", cut);
+    }
 }

@@ -58,9 +58,10 @@
 #![warn(missing_docs)]
 
 pub use mbi_core::{
-    Backpressure, Block, BlockGraph, ConcurrentMbi, EngineConfig, EngineStats, GraphBackend,
-    IndexSnapshot, MbiConfig, MbiError, MbiIndex, QueryOutput, SearchBlockSet, StreamingMbi,
-    TauTuner, TimeChunks, TimeWindow, Timestamp, TknnResult,
+    Backpressure, Block, BlockGraph, ConcurrentMbi, EngineConfig, EngineHealth, EngineStats,
+    GraphBackend, IndexSnapshot, MbiConfig, MbiError, MbiIndex, QueryOutput, RetryPolicy,
+    SearchBlockSet, StreamingMbi, TauTuner, TimeChunks, TimeWindow, Timestamp, TknnResult, Wal,
+    WalSync,
 };
 pub use mbi_math::{Metric, Neighbor, OnlineStats, OrderedF32, TopK};
 

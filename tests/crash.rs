@@ -1,0 +1,509 @@
+//! Crash-safety proof suite: durable engines must recover **exactly the
+//! acked prefix** of their insert stream under every failure we can
+//! simulate — process death without flush or checkpoint, torn final WAL
+//! writes, bit flips and truncations of WAL segments and snapshot files,
+//! and (with `RUSTFLAGS='--cfg failpoints'`) panics injected mid-build, IO
+//! errors injected into the WAL writer, and panics on the publish path.
+//!
+//! The headline assertion, repeated throughout: after recovery,
+//! `flush() + to_index().to_bytes()` is **bit-identical** to a synchronous
+//! [`MbiIndex`] fed the same acked rows. Not "similar recall" — the same
+//! graphs, the same bytes.
+//!
+//! The fault-injection half of the suite is compiled only under
+//! `--cfg failpoints` (CI runs it as a dedicated job); the file-corruption
+//! half runs in every configuration.
+
+use mbi::{
+    EngineConfig, MbiConfig, MbiError, MbiIndex, Metric, SearchParams, StreamingMbi, TimeWindow,
+    WalSync,
+};
+use std::path::PathBuf;
+
+const SNAPSHOT_FILE: &str = mbi::core::engine::SNAPSHOT_FILE;
+const WAL_DIR: &str = mbi::core::engine::WAL_DIR;
+
+fn config() -> MbiConfig {
+    MbiConfig::new(3, Metric::Euclidean).with_leaf_size(16).with_search(SearchParams::new(32, 1.2))
+}
+
+fn row(i: usize) -> [f32; 3] {
+    let x = i as f32;
+    [(x * 0.31).sin() + 1.5, (x * 0.17).cos() + 1.5, 0.05 * x]
+}
+
+/// A synchronous index fed rows `0..n` — the recovery oracle.
+fn sync_index(n: usize) -> MbiIndex {
+    let mut idx = MbiIndex::new(config());
+    for i in 0..n {
+        idx.insert(&row(i), i as i64).unwrap();
+    }
+    idx
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mbi_crash_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The last (highest-numbered) WAL segment file in the engine dir.
+fn last_wal_segment(dir: &std::path::Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> =
+        std::fs::read_dir(dir.join(WAL_DIR)).unwrap().map(|e| e.unwrap().path()).collect();
+    segs.sort();
+    segs.pop().expect("wal directory is empty")
+}
+
+fn first_wal_segment(dir: &std::path::Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> =
+        std::fs::read_dir(dir.join(WAL_DIR)).unwrap().map(|e| e.unwrap().path()).collect();
+    segs.sort();
+    segs.into_iter().next().expect("wal directory is empty")
+}
+
+fn assert_recovered_equals_sync(dir: &std::path::Path, n: usize) {
+    let engine = StreamingMbi::recover(dir, EngineConfig::default()).unwrap();
+    assert_eq!(engine.len(), n, "recovered row count");
+    let recovered = engine.to_index();
+    assert_eq!(recovered.validate(), Ok(()));
+    assert_eq!(
+        recovered.to_bytes(),
+        sync_index(n).to_bytes(),
+        "recovered index is bit-identical to a synchronous build of the acked prefix"
+    );
+}
+
+#[test]
+fn drop_without_checkpoint_recovers_every_acked_row() {
+    let dir = temp_dir("no_checkpoint");
+    {
+        let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+        for i in 0..53usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        // Dropped mid-stream: builds may be queued, nothing checkpointed.
+    }
+    assert_recovered_equals_sync(&dir, 53);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_final_wal_record_is_truncated_not_fatal() {
+    let dir = temp_dir("torn_tail");
+    let n = 20usize; // leaf 16 → one rotated segment + 4 rows in the current
+    {
+        let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+        for i in 0..n {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+    }
+    // Simulate dying inside an append: half a record at the end of the
+    // *last* segment. It was never acked, so recovery drops it silently.
+    let seg = last_wal_segment(&dir);
+    let mut bytes = std::fs::read(&seg).unwrap();
+    bytes.extend_from_slice(&[0x21, 0x00, 0x00, 0x00, 0xAB, 0xCD]); // len + partial crc
+    std::fs::write(&seg, &bytes).unwrap();
+    assert_recovered_equals_sync(&dir, n);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_tail_recovery_then_new_inserts_share_one_log() {
+    // After a torn-tail recovery the log is truncated back to the last
+    // record boundary; new inserts must append cleanly from there.
+    let dir = temp_dir("torn_then_grow");
+    {
+        let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+        for i in 0..10usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+    }
+    let seg = last_wal_segment(&dir);
+    let mut bytes = std::fs::read(&seg).unwrap();
+    bytes.extend_from_slice(&[0xFF; 11]);
+    std::fs::write(&seg, &bytes).unwrap();
+    {
+        let engine = StreamingMbi::recover(&dir, EngineConfig::default()).unwrap();
+        assert_eq!(engine.len(), 10);
+        for i in 10..40usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+    }
+    assert_recovered_equals_sync(&dir, 40);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn wal_bitflip_in_sealed_segment_is_wal_corrupt() {
+    let dir = temp_dir("wal_flip");
+    {
+        let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+        for i in 0..40usize {
+            // two sealed leaves → two rotated segments
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+    }
+    // Flip a payload byte mid-record in the *first* (sealed) segment:
+    // corruption before the final record is data loss, not a torn tail.
+    let seg = first_wal_segment(&dir);
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let pos = bytes.len() / 2;
+    bytes[pos] ^= 0x40;
+    std::fs::write(&seg, &bytes).unwrap();
+    match StreamingMbi::recover(&dir, EngineConfig::default()) {
+        Err(MbiError::WalCorrupt { segment: 0, offset }) => {
+            assert!(offset > 0, "offset points at the corrupt record");
+        }
+        other => panic!("expected WalCorrupt in segment 0, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn snapshot_bitflip_is_rejected_at_recovery() {
+    let dir = temp_dir("snap_flip");
+    {
+        let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+        for i in 0..48usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        engine.checkpoint().unwrap();
+    }
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    let mut bytes = std::fs::read(&snap_path).unwrap();
+    let pos = bytes.len() / 3;
+    bytes[pos] ^= 0x04;
+    std::fs::write(&snap_path, &bytes).unwrap();
+    let err = StreamingMbi::recover(&dir, EngineConfig::default()).unwrap_err();
+    assert!(
+        matches!(err, MbiError::ChecksumMismatch { .. } | MbiError::Corrupt { .. }),
+        "expected checksum/corruption error, got {err:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncated_snapshot_is_rejected_at_recovery() {
+    let dir = temp_dir("snap_trunc");
+    {
+        let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+        for i in 0..32usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        engine.checkpoint().unwrap();
+    }
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    let bytes = std::fs::read(&snap_path).unwrap();
+    std::fs::write(&snap_path, &bytes[..bytes.len() - 7]).unwrap();
+    assert!(StreamingMbi::recover(&dir, EngineConfig::default()).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_then_crash_replays_only_the_suffix() {
+    let dir = temp_dir("suffix");
+    {
+        let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+        for i in 0..32usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        engine.checkpoint().unwrap(); // 2 leaves persisted, WAL pruned
+        for i in 32..59usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        // crash: the 27 post-checkpoint rows exist only in the WAL
+    }
+    assert_recovered_equals_sync(&dir, 59);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn wal_sync_always_survives_unsynced_drop_path() {
+    // WalSync::Always fsyncs inside insert, so durability cannot depend on
+    // the Drop-time sync. (We cannot SIGKILL ourselves in-process; the
+    // fsync-before-ack ordering is the load-bearing property.)
+    let dir = temp_dir("sync_always");
+    {
+        let engine = StreamingMbi::open(
+            &dir,
+            config(),
+            EngineConfig::default().with_wal_sync(WalSync::Always),
+        )
+        .unwrap();
+        for i in 0..21usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+    }
+    assert_recovered_equals_sync(&dir, 21);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovered_engine_answers_windowed_queries_exactly() {
+    let dir = temp_dir("queries");
+    let n = 45usize;
+    {
+        let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+        for i in 0..n {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+    }
+    let engine = StreamingMbi::recover(&dir, EngineConfig::default()).unwrap();
+    let sync = sync_index(n);
+    for (s, e) in [(0i64, n as i64), (5, 20), (30, 45), (44, 45)] {
+        let w = TimeWindow::new(s, e);
+        let q = row(7);
+        assert_eq!(engine.exact_query(&q, 5, w), sync.exact_query(&q, 5, w), "window [{s},{e})");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Fault-injection half: compiled only with `RUSTFLAGS='--cfg failpoints'`.
+/// The failpoint registry is process-global, so these tests serialise on a
+/// mutex and disarm everything on entry and exit.
+#[cfg(failpoints)]
+mod failpoints {
+    use super::*;
+    use mbi::core::fail::{self, FailAction};
+    use mbi::{EngineHealth, RetryPolicy};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner());
+        fail::disarm_all();
+        guard
+    }
+
+    /// Drops the guard *after* disarming, so a passing test never leaks an
+    /// armed site into the next one.
+    struct Armed(#[allow(dead_code)] MutexGuard<'static, ()>);
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            fail::disarm_all();
+        }
+    }
+
+    #[test]
+    fn builder_panic_is_retried_and_heals() {
+        let _g = Armed(serial());
+        // First build attempt of the first chain panics; the retry succeeds.
+        fail::arm("builder::build", FailAction::Panic, 0, 1);
+        let engine = StreamingMbi::with_engine_config(config(), EngineConfig::default());
+        for i in 0..16usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        engine.flush();
+        assert_eq!(engine.health(), EngineHealth::Healthy, "failure cleared after retry");
+        let stats = engine.stats();
+        assert_eq!(stats.build_panics, 1);
+        assert_eq!(stats.published_leaves, 1);
+        assert!(engine.failure_log().is_empty());
+    }
+
+    #[test]
+    fn exhausted_retries_halt_without_wedging_inserts_or_queries() {
+        let _g = Armed(serial());
+        // Every attempt of the first chain panics: 1 + max_retries failures
+        // halt the engine. Later rows keep flowing into the tail.
+        fail::arm("builder::build", FailAction::Panic, 0, 100);
+        let engine = StreamingMbi::with_engine_config(
+            config(),
+            EngineConfig::default().with_retry_policy(RetryPolicy {
+                max_retries: 1,
+                initial_backoff: std::time::Duration::from_millis(1),
+                max_backoff: std::time::Duration::from_millis(2),
+            }),
+        );
+        let mut sync = MbiIndex::new(config());
+        for i in 0..40usize {
+            engine.insert(&row(i), i as i64).unwrap();
+            sync.insert(&row(i), i as i64).unwrap();
+        }
+        // flush() must return (not hang) on a halted engine.
+        engine.flush();
+        assert_eq!(engine.health(), EngineHealth::Halted);
+        assert!(engine.stats().build_panics >= 2, "initial attempt + retry");
+        assert_eq!(engine.stats().published_leaves, 0, "publication frozen");
+        let log = engine.failure_log();
+        assert!(log.iter().any(|l| l.contains("injected fault")), "{log:?}");
+
+        // The regression the poisoning locks used to cause: inserts and
+        // queries keep working after a builder panic, and answers stay
+        // exact (the unpublished region is served from the tail).
+        for i in 40..50usize {
+            engine.insert(&row(i), i as i64).unwrap();
+            sync.insert(&row(i), i as i64).unwrap();
+        }
+        let w = TimeWindow::new(0, 50);
+        let q = row(23);
+        assert_eq!(engine.exact_query(&q, 7, w), sync.exact_query(&q, 7, w));
+        assert_eq!(engine.query(&q, 7, w), sync.exact_query(&q, 7, w), "tail scan is exact");
+    }
+
+    #[test]
+    fn degraded_health_reports_the_failing_chain() {
+        let _g = Armed(serial());
+        // Fail the first chain's first two attempts with a long gap, so we
+        // can observe Degraded between retries.
+        fail::arm("builder::build", FailAction::Panic, 0, 2);
+        let engine = StreamingMbi::with_engine_config(
+            config(),
+            EngineConfig::default().with_retry_policy(RetryPolicy {
+                max_retries: 5,
+                initial_backoff: std::time::Duration::from_millis(150),
+                max_backoff: std::time::Duration::from_millis(300),
+            }),
+        );
+        for i in 0..16usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        // Wait until the first failure registers (the build itself is fast;
+        // the backoff window keeps the chain in `failing`).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match engine.health() {
+                EngineHealth::Degraded { failed_chains } => {
+                    assert_eq!(failed_chains, vec![0]);
+                    break;
+                }
+                _ if std::time::Instant::now() > deadline => {
+                    panic!("never observed Degraded; health={:?}", engine.health())
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        }
+        engine.flush();
+        // The failing entry is cleared just *after* the successful retry
+        // publishes (which is what wakes flush), so poll for Healthy.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while engine.health() != EngineHealth::Healthy {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "failure never cleared; health={:?}",
+                engine.health()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn injected_wal_io_error_rejects_insert_without_losing_state() {
+        let _g = Armed(serial());
+        let dir = temp_dir("wal_io_err");
+        let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+        for i in 0..5usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        fail::arm("wal::append", FailAction::IoError, 0, 1);
+        let err = engine.insert(&row(5), 5).unwrap_err();
+        assert!(matches!(err, MbiError::Io(_)), "{err:?}");
+        assert_eq!(engine.len(), 5, "failed insert left no partial state");
+        // The same row goes through once the fault clears, and recovery
+        // sees exactly the acked stream.
+        engine.insert(&row(5), 5).unwrap();
+        for i in 6..23usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        drop(engine);
+        assert_recovered_equals_sync(&dir, 23);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_short_write_is_rolled_back_and_rejected() {
+        let _g = Armed(serial());
+        let dir = temp_dir("wal_short");
+        let engine = StreamingMbi::open(&dir, config(), EngineConfig::default()).unwrap();
+        fail::arm("wal::append", FailAction::ShortWrite, 0, 1);
+        assert!(engine.insert(&row(0), 0).is_err(), "short write must not ack");
+        assert_eq!(engine.len(), 0);
+        for i in 0..19usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        drop(engine);
+        // The rolled-back partial record must not poison the log.
+        assert_recovered_equals_sync(&dir, 19);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spawn_failure_falls_back_to_inline_builds() {
+        let _g = Armed(serial());
+        fail::arm("builder::spawn", FailAction::IoError, 0, 1);
+        let engine = StreamingMbi::with_engine_config(config(), EngineConfig::default());
+        let mut sync = MbiIndex::new(config());
+        for i in 0..33usize {
+            engine.insert(&row(i), i as i64).unwrap();
+            sync.insert(&row(i), i as i64).unwrap();
+        }
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.spawn_failures, 1);
+        assert_eq!(stats.inline_builds, 2, "both seals built inline");
+        assert_eq!(stats.published_leaves, 2);
+        assert_eq!(engine.to_index().to_bytes(), sync.to_bytes());
+    }
+
+    #[test]
+    fn publish_path_panic_heals_on_retry() {
+        let _g = Armed(serial());
+        // Panic *after* staging and frontier advance, before the snapshot
+        // swap — the nastiest spot. The retry must still publish.
+        fail::arm("engine::publish", FailAction::Panic, 0, 1);
+        let engine = StreamingMbi::with_engine_config(config(), EngineConfig::default());
+        for i in 0..16usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        engine.flush();
+        // The publication frontier advances *before* the injected panic, so
+        // flush() can return while the retry is still re-swapping the
+        // snapshot; poll for the heal.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while engine.snapshot().num_leaves() != 1 || engine.health() != EngineHealth::Healthy {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "retry never published: health={:?}, leaves={}",
+                engine.health(),
+                engine.snapshot().num_leaves()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(engine.stats().build_panics, 1);
+        assert_eq!(engine.snapshot().validate(), Ok(()));
+    }
+
+    #[test]
+    fn kill_mid_build_then_recover_is_bit_identical() {
+        let _g = Armed(serial());
+        let dir = temp_dir("kill_mid_build");
+        let n = 37usize;
+        {
+            // Every build attempt dies: the engine halts with all chains
+            // unbuilt — the closest in-process approximation of killing the
+            // process mid-chain. All rows are in the WAL, none published.
+            fail::arm("builder::build", FailAction::Panic, 0, 1000);
+            let engine = StreamingMbi::open(
+                &dir,
+                config(),
+                EngineConfig::default().with_retry_policy(RetryPolicy {
+                    max_retries: 0,
+                    initial_backoff: std::time::Duration::from_millis(1),
+                    max_backoff: std::time::Duration::from_millis(1),
+                }),
+            )
+            .unwrap();
+            for i in 0..n {
+                engine.insert(&row(i), i as i64).unwrap();
+            }
+            engine.flush();
+            assert_eq!(engine.health(), EngineHealth::Halted);
+            assert_eq!(engine.snapshot().num_leaves(), 0);
+        }
+        fail::disarm_all();
+        // Recovery rebuilds every chain from the log, bit-identically.
+        assert_recovered_equals_sync(&dir, n);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -99,9 +99,11 @@ fn bitflip_fuzz_never_panics() {
         let bit = 1u8 << (x >> 40 & 7);
         let mut corrupted = bytes.clone();
         corrupted[pos] ^= bit;
-        // Must not panic. A flip in vector payload may load fine (floats
-        // accept any bits); structural flips must error.
-        let _ = MbiIndex::from_bytes(bytes::Bytes::from(corrupted));
+        // v5 streams are section-checksummed: *every* flip — including one
+        // in the vector payload, which pre-v5 loaded as a silently
+        // different index — must surface as an error, never a panic.
+        let res = MbiIndex::from_bytes(bytes::Bytes::from(corrupted));
+        assert!(res.is_err(), "flip at byte {pos} (bit mask {bit:#04x}) accepted");
     }
 }
 
