@@ -42,17 +42,23 @@ mod nndescent;
 mod scratch;
 mod search;
 mod segment;
+mod sq8;
 mod store;
 
 pub use bruteforce::{
     brute_force, brute_force_filtered, brute_force_filtered_prepared, brute_force_prepared,
+    brute_force_sq8_prepared,
 };
 pub use graph::{Graph, KnnGraph};
 pub use hnsw::{HnswIndex, HnswParams};
 pub use nndescent::NnDescentParams;
 pub use scratch::{with_thread_scratch, SearchScratch};
-pub use search::{greedy_search, greedy_search_prepared, EntryPolicy, SearchParams, SearchStats};
+pub use search::{
+    greedy_search, greedy_search_prepared, greedy_search_sq8_prepared, EntryPolicy, SearchParams,
+    SearchStats,
+};
 pub use segment::{Segment, SegmentStore};
+pub use sq8::{Sq8ChunkRef, Sq8Column, Sq8Scan};
 pub use store::{VectorStore, VectorView};
 
 pub use mbi_math::{Metric, Neighbor, PreparedQuery};
@@ -82,6 +88,28 @@ pub trait BlockIndex: Send + Sync {
         scratch: &mut SearchScratch,
         out: &mut Vec<Neighbor>,
     );
+
+    /// [`search_prepared`](Self::search_prepared) with the SQ8 quantized
+    /// first pass: candidates are scored against the view's `u8` code column
+    /// and the best `k × overfetch` results are reranked against the exact
+    /// f32 rows. The default implementation ignores SQ8 and searches
+    /// exactly — indexes opt in by overriding (the kNN graph does; views
+    /// without the column fall back to exact either way).
+    #[allow(clippy::too_many_arguments)]
+    fn search_sq8_prepared(
+        &self,
+        view: VectorView<'_>,
+        pq: &PreparedQuery<'_>,
+        k: usize,
+        _overfetch: f32,
+        params: &SearchParams,
+        filter: &mut dyn FnMut(u32) -> bool,
+        stats: &mut SearchStats,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        self.search_prepared(view, pq, k, params, filter, stats, scratch, out);
+    }
 
     /// Approximate filtered kNN, self-contained: prepares the query, borrows
     /// the calling thread's reusable [`SearchScratch`], and returns the

@@ -9,19 +9,22 @@
 //! brute-force kernels and the graph-search gather paths stream the same
 //! memory layout as the flat [`VectorStore`](crate::VectorStore).
 
+use crate::sq8::Sq8Column;
 use crate::store::{VectorStore, VectorView};
 use std::ops::Range;
 use std::sync::Arc;
 
 /// An immutable, contiguous run of rows: flat `f32` data plus the optional
-/// inverse-norm column. Segments are created once (when a leaf seals or a
-/// persisted store loads) and then shared by `Arc` across the engine's
-/// master copy, its write-side tail, and every published snapshot.
+/// inverse-norm column and the optional SQ8 code column. Segments are
+/// created once (when a leaf seals or a persisted store loads) and then
+/// shared by `Arc` across the engine's master copy, its write-side tail, and
+/// every published snapshot.
 #[derive(Clone, Debug)]
 pub struct Segment {
     dim: usize,
     pub(crate) data: Vec<f32>,
     pub(crate) inv_norms: Option<Vec<f32>>,
+    pub(crate) sq8: Option<Sq8Column>,
 }
 
 impl Segment {
@@ -30,7 +33,7 @@ impl Segment {
     /// moves with the data, bit-identical to its insert-time values.
     pub fn from_store(store: VectorStore) -> Self {
         let (dim, data, inv_norms) = store.into_parts();
-        Segment { dim, data, inv_norms }
+        Segment { dim, data, inv_norms, sq8: None }
     }
 
     /// Copies every row of `view` (and its inverse-norm column, when
@@ -47,7 +50,40 @@ impl Segment {
             }
             row += run;
         }
-        Segment { dim: view.dim(), data, inv_norms: inv }
+        Segment { dim: view.dim(), data, inv_norms: inv, sq8: None }
+    }
+
+    /// Quantizes the segment's rows into an SQ8 column (idempotent). Called
+    /// once at seal time when the engine's config enables the quantized
+    /// first pass; must happen before the segment is shared by `Arc`.
+    pub fn build_sq8(&mut self) {
+        if self.sq8.is_none() {
+            self.sq8 = Some(Sq8Column::encode(self.dim, &self.data));
+        }
+    }
+
+    /// Attaches a prebuilt SQ8 column — the persist-load path, which must
+    /// not pay a re-encode pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column's dimension or row count doesn't match.
+    pub fn attach_sq8(&mut self, col: Sq8Column) {
+        assert_eq!(col.dim(), self.dim, "SQ8 column has wrong dimension");
+        assert_eq!(col.len(), self.len(), "SQ8 column has wrong row count");
+        self.sq8 = Some(col);
+    }
+
+    /// Whether the SQ8 code column is present.
+    #[inline]
+    pub fn has_sq8(&self) -> bool {
+        self.sq8.is_some()
+    }
+
+    /// The SQ8 code column, if present.
+    #[inline]
+    pub fn sq8(&self) -> Option<&Sq8Column> {
+        self.sq8.as_ref()
     }
 
     /// The dimensionality `d`.
@@ -112,19 +148,21 @@ impl Segment {
     #[inline]
     pub fn slice(&self, range: Range<usize>) -> VectorView<'_> {
         assert!(range.start <= range.end && range.end <= self.len(), "row range out of bounds");
-        VectorView::contiguous(
+        VectorView::contiguous_with_sq8(
             self.dim,
             &self.data[range.start * self.dim..range.end * self.dim],
-            self.inv_norms.as_deref().map(|inv| &inv[range]),
+            self.inv_norms.as_deref().map(|inv| &inv[range.clone()]),
+            self.sq8.as_ref().map(|c| c.slice(range.start, range.end)),
         )
     }
 
-    /// Bytes of heap memory held by this segment — raw vectors *and* the
+    /// Bytes of heap memory held by this segment — raw vectors, the
     /// inverse-norm column (the flat store's `memory_bytes` historically
-    /// forgot the column; both now count it).
+    /// forgot the column; both now count it), and the SQ8 column.
     pub fn memory_bytes(&self) -> usize {
         self.data.capacity() * std::mem::size_of::<f32>()
             + self.inv_norms.as_ref().map_or(0, |inv| inv.capacity() * std::mem::size_of::<f32>())
+            + self.sq8.as_ref().map_or(0, Sq8Column::memory_bytes)
     }
 
     /// Bytes occupied by the stored vectors only (length, not capacity).
@@ -203,13 +241,20 @@ impl SegmentStore {
         self.segments.first().is_some_and(|s| s.has_norm_cache())
     }
 
+    /// Whether the segments carry the SQ8 code column (uniform across the
+    /// store by the [`Self::push_segment`] invariant; `false` when empty).
+    #[inline]
+    pub fn has_sq8(&self) -> bool {
+        self.segments.first().is_some_and(|s| s.has_sq8())
+    }
+
     /// Appends a shared segment.
     ///
     /// # Panics
     ///
     /// Panics unless the segment has exactly `seg_rows` rows of dimension
-    /// `dim`, and its norm-column presence matches the segments already
-    /// stored.
+    /// `dim`, and its norm-column and SQ8-column presence matches the
+    /// segments already stored.
     pub fn push_segment(&mut self, seg: Arc<Segment>) {
         assert_eq!(seg.dim(), self.dim, "segment has wrong dimension");
         assert_eq!(seg.len(), self.seg_rows, "segment has wrong row count");
@@ -218,6 +263,11 @@ impl SegmentStore {
                 first.has_norm_cache(),
                 seg.has_norm_cache(),
                 "segments must uniformly carry (or not carry) the norm column"
+            );
+            assert_eq!(
+                first.has_sq8(),
+                seg.has_sq8(),
+                "segments must uniformly carry (or not carry) the SQ8 column"
             );
         }
         self.segments.push(seg);

@@ -4,6 +4,7 @@
 //! [`Segment`](crate::Segment)s.
 
 use crate::segment::Segment;
+use crate::sq8::Sq8ChunkRef;
 use mbi_math::{inv_norm_of, Metric};
 use std::sync::Arc;
 
@@ -268,8 +269,8 @@ impl VectorStore {
 /// rows, or a run of leaf-sized shared segments.
 #[derive(Clone, Copy, Debug)]
 enum Repr<'a> {
-    /// A single flat run (plus the matching norm-column slice).
-    Contig { data: &'a [f32], inv_norms: Option<&'a [f32]> },
+    /// A single flat run (plus the matching norm-column and SQ8 slices).
+    Contig { data: &'a [f32], inv_norms: Option<&'a [f32]>, sq8: Option<Sq8ChunkRef<'a>> },
     /// `len` rows starting `skip` rows into `segs[0]`; every segment holds
     /// exactly `seg_rows` rows, so each per-segment run is contiguous.
     Segmented { segs: &'a [Arc<Segment>], seg_rows: usize, skip: usize },
@@ -308,8 +309,22 @@ impl<'a> VectorView<'a> {
     /// A contiguous view over `data` with an optional matching norm column.
     #[inline]
     pub(crate) fn contiguous(dim: usize, data: &'a [f32], inv_norms: Option<&'a [f32]>) -> Self {
+        Self::contiguous_with_sq8(dim, data, inv_norms, None)
+    }
+
+    /// A contiguous view that additionally carries the matching SQ8 slice —
+    /// what [`Segment::slice`](crate::Segment::slice) hands out when the
+    /// segment is quantized.
+    #[inline]
+    pub(crate) fn contiguous_with_sq8(
+        dim: usize,
+        data: &'a [f32],
+        inv_norms: Option<&'a [f32]>,
+        sq8: Option<Sq8ChunkRef<'a>>,
+    ) -> Self {
         debug_assert!(inv_norms.is_none_or(|inv| inv.len() * dim == data.len()));
-        VectorView { dim, len: data.len() / dim, repr: Repr::Contig { data, inv_norms } }
+        debug_assert!(sq8.is_none_or(|c| c.codes.len() == data.len()));
+        VectorView { dim, len: data.len() / dim, repr: Repr::Contig { data, inv_norms, sq8 } }
     }
 
     /// A segmented view of `len` rows starting `skip` rows into `segs[0]`.
@@ -359,6 +374,64 @@ impl<'a> VectorView<'a> {
         }
     }
 
+    /// Whether the rows carry the SQ8 code column (uniform across a
+    /// segmented view by the store's push invariant).
+    #[inline]
+    pub fn has_sq8(&self) -> bool {
+        match self.repr {
+            Repr::Contig { sq8, .. } => sq8.is_some(),
+            Repr::Segmented { segs, .. } => segs[0].has_sq8(),
+        }
+    }
+
+    /// The longest SQ8 run starting at row `row` — the quantized counterpart
+    /// of [`Self::chunk_at`], with identical run boundaries. Each chunk
+    /// carries the owning segment's own affine parameters, so a multi-segment
+    /// walk re-prepares its [`Sq8Scan`](crate::Sq8Scan) per chunk (`O(d)`,
+    /// amortised over the segment's rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= len()` or the view has no SQ8 column.
+    #[inline]
+    pub fn sq8_chunk_at(&self, row: usize) -> (Sq8ChunkRef<'a>, usize) {
+        assert!(row < self.len, "row {row} out of bounds for view of {} rows", self.len);
+        match self.repr {
+            Repr::Contig { sq8, .. } => {
+                let c = sq8.expect("sq8_chunk_at() on a view without the SQ8 column");
+                let run = self.len - row;
+                (
+                    Sq8ChunkRef {
+                        codes: &c.codes[row * self.dim..],
+                        row_norm2: &c.row_norm2[row..],
+                        ..c
+                    },
+                    run,
+                )
+            }
+            Repr::Segmented { segs, seg_rows, skip } => {
+                let r = skip + row;
+                let seg = &segs[r / seg_rows];
+                let off = r % seg_rows;
+                let run = (seg_rows - off).min(self.len - row);
+                let col = seg.sq8().expect("sq8_chunk_at() on a view without the SQ8 column");
+                (col.slice(off, off + run), run)
+            }
+        }
+    }
+
+    /// Row `i`'s SQ8 codes, decoded squared norm, and owning-segment
+    /// parameters — the graph-search gather path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()` or the view has no SQ8 column.
+    #[inline]
+    pub fn sq8_row(&self, i: usize) -> Sq8ChunkRef<'a> {
+        let (chunk, _) = self.sq8_chunk_at(i);
+        Sq8ChunkRef { codes: &chunk.codes[..self.dim], row_norm2: &chunk.row_norm2[..1], ..chunk }
+    }
+
     /// Returns row `i` (local to the view).
     ///
     /// # Panics
@@ -389,7 +462,7 @@ impl<'a> VectorView<'a> {
     pub fn row_with_inv(&self, i: usize) -> (&'a [f32], Option<f32>) {
         assert!(i < self.len, "row {i} out of bounds for view of {} rows", self.len);
         match self.repr {
-            Repr::Contig { data, inv_norms } => {
+            Repr::Contig { data, inv_norms, .. } => {
                 let start = i * self.dim;
                 (&data[start..start + self.dim], inv_norms.map(|inv| inv[i]))
             }
@@ -413,7 +486,7 @@ impl<'a> VectorView<'a> {
     pub fn chunk_at(&self, row: usize) -> (&'a [f32], Option<&'a [f32]>, usize) {
         assert!(row < self.len, "row {row} out of bounds for view of {} rows", self.len);
         match self.repr {
-            Repr::Contig { data, inv_norms } => {
+            Repr::Contig { data, inv_norms, .. } => {
                 let run = self.len - row;
                 (&data[row * self.dim..], inv_norms.map(|inv| &inv[row..]), run)
             }

@@ -1,0 +1,262 @@
+//! Properties of the SQ8 quantized column and its two-pass scans.
+//!
+//! The contract has three layers:
+//!
+//! * **Roundtrip bound** — decoding any coded coordinate lands within half a
+//!   quantization step of the original (`|x − x̂| ≤ deltaⱼ/2` plus fp slack),
+//!   the textbook bound for round-to-nearest affine quantization.
+//! * **Scan consistency** — the expanded-form first pass computes exactly the
+//!   metric distance to the *decoded* row (up to fp reassociation), so the
+//!   approximation error of the scan is entirely the quantization error.
+//! * **Two-pass quality** — the brute-force and graph SQ8 searches return
+//!   exact distances and keep high recall at the default overfetch.
+
+use mbi_ann::{
+    brute_force_prepared, brute_force_sq8_prepared, greedy_search_prepared,
+    greedy_search_sq8_prepared, Metric, PreparedQuery, SearchParams, SearchScratch, SearchStats,
+    Segment, SegmentStore, Sq8Column, Sq8Scan, VectorStore,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const MAX_DIM: usize = 48;
+const MAX_ROWS: usize = 40;
+
+fn pool() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-50.0f32..50.0, MAX_DIM * (MAX_ROWS + 1))
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_error_is_within_half_a_step(
+        dim in 1usize..=MAX_DIM,
+        rows in 1usize..=MAX_ROWS,
+        pool in pool(),
+    ) {
+        let data = &pool[..dim * rows];
+        let col = Sq8Column::encode(dim, data);
+        prop_assert_eq!(col.len(), rows);
+        for i in 0..rows {
+            let decoded = col.decode_row(i);
+            for j in 0..dim {
+                let x = data[i * dim + j];
+                let bound = col.deltas()[j] * 0.5 + 1e-4 * x.abs().max(1.0);
+                prop_assert!(
+                    (x - decoded[j]).abs() <= bound,
+                    "row {} dim {}: {} decoded to {} (delta {})",
+                    i, j, x, decoded[j], col.deltas()[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_matches_metric_on_decoded_rows(
+        dim in 1usize..=MAX_DIM,
+        rows in 1usize..=MAX_ROWS,
+        pool in pool(),
+    ) {
+        let q = &pool[..dim];
+        let data = &pool[dim..dim * (rows + 1)];
+        let col = Sq8Column::encode(dim, data);
+        for metric in [Metric::Euclidean, Metric::Angular, Metric::InnerProduct] {
+            let pq = PreparedQuery::new(metric, q);
+            let scan = Sq8Scan::new(&pq, col.mins(), col.deltas());
+            let mut approx = Vec::new();
+            scan.approx_batch(col.codes(), col.row_norm2(), &mut approx);
+            prop_assert_eq!(approx.len(), rows);
+            for (i, &a) in approx.iter().enumerate() {
+                let want = metric.distance(q, &col.decode_row(i));
+                // The expanded form reassociates the arithmetic, so allow a
+                // relative fp tolerance scaled by the magnitudes involved.
+                let scale = q.iter().map(|x| x * x).sum::<f32>().max(col.row_norm2()[i]).max(1.0);
+                let tol = if metric == Metric::Angular { 1e-3 } else { 1e-4 * scale };
+                prop_assert!((a - want).abs() <= tol,
+                    "{metric} row {i}: approx {a} vs decoded-exact {want}");
+                let single = scan.approx_row(
+                    &col.codes()[i * dim..(i + 1) * dim],
+                    col.row_norm2()[i],
+                );
+                prop_assert_eq!(single.to_bits(), a.to_bits(),
+                    "row path must be bit-identical to the batch");
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-random rows (LCG, no rand dependency in tests).
+fn lcg_rows(n: usize, dim: usize, seed: u32) -> VectorStore {
+    let mut s = VectorStore::new(dim);
+    s.enable_norm_cache();
+    let mut state = seed | 1;
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 8) as f32 / (1 << 24) as f32) - 0.5
+            })
+            .collect();
+        s.push(&v);
+    }
+    s
+}
+
+/// `n` rows in segments of `seg_rows`, each segment quantized.
+fn quantized_store(n: usize, dim: usize, seg_rows: usize, seed: u32) -> SegmentStore {
+    let src = lcg_rows(n, dim, seed);
+    let mut store = SegmentStore::new(dim, seg_rows);
+    for c in 0..n / seg_rows {
+        let mut seg = Segment::from_view(src.slice(c * seg_rows..(c + 1) * seg_rows));
+        seg.build_sq8();
+        store.push_segment(Arc::new(seg));
+    }
+    store
+}
+
+fn recall(got: &[mbi_math::Neighbor], want: &[mbi_math::Neighbor]) -> f64 {
+    let want_ids: Vec<u32> = want.iter().map(|n| n.id).collect();
+    let hit = got.iter().filter(|n| want_ids.contains(&n.id)).count();
+    hit as f64 / want.len() as f64
+}
+
+#[test]
+fn sq8_bruteforce_reranks_to_high_recall_across_metrics() {
+    let n = 1200;
+    let dim = 24;
+    let store = quantized_store(n, dim, 300, 7);
+    let query: Vec<f32> = lcg_rows(1, dim, 999).get(0).to_vec();
+    for metric in [Metric::Euclidean, Metric::Angular, Metric::InnerProduct] {
+        let pq = PreparedQuery::new(metric, &query);
+        let mut s1 = SearchStats::default();
+        let mut s2 = SearchStats::default();
+        let exact = brute_force_prepared(store.view(), &pq, 10, &mut s1);
+        let got = brute_force_sq8_prepared(store.view(), &pq, 10, 3.0, &mut s2);
+        assert!(recall(&got, &exact) >= 0.9, "{metric}: recall too low: {got:?} vs {exact:?}");
+        // Returned distances are exact: every shared id carries the exact
+        // distance, bit for bit.
+        for g in &got {
+            if let Some(e) = exact.iter().find(|e| e.id == g.id) {
+                assert_eq!(g.dist.to_bits(), e.dist.to_bits(), "{metric} id {}", g.id);
+            }
+        }
+        // First pass scans everything, rerank adds at most k×overfetch.
+        assert_eq!(s2.scanned, n as u64);
+        assert!(s2.dist_evals <= n as u64 + 30);
+    }
+}
+
+#[test]
+fn sq8_bruteforce_falls_back_without_column() {
+    let src = lcg_rows(64, 8, 3);
+    let pq = PreparedQuery::new(Metric::Euclidean, src.get(5));
+    let mut s1 = SearchStats::default();
+    let mut s2 = SearchStats::default();
+    let exact = brute_force_prepared(src.view(), &pq, 4, &mut s1);
+    let got = brute_force_sq8_prepared(src.view(), &pq, 4, 3.0, &mut s2);
+    assert_eq!(got, exact);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn sq8_graph_search_reranks_to_exact_distances() {
+    let n = 600;
+    let dim = 16;
+    let store = quantized_store(n, dim, 200, 11);
+    let flat = store.to_vector_store();
+    let graph = mbi_ann::NnDescentParams::with_degree(12).build(flat.view(), Metric::Euclidean);
+    let query: Vec<f32> = lcg_rows(1, dim, 555).get(0).to_vec();
+    let pq = PreparedQuery::new(Metric::Euclidean, &query);
+    let params = SearchParams::new(128, 1.2);
+    let mut scratch = SearchScratch::new();
+
+    let mut exact_stats = SearchStats::default();
+    let mut exact = Vec::new();
+    greedy_search_prepared(
+        &graph,
+        store.view(),
+        &pq,
+        10,
+        &params,
+        &mut |_| true,
+        &mut exact_stats,
+        &mut scratch,
+        &mut exact,
+    );
+
+    let mut sq8_stats = SearchStats::default();
+    let mut got = Vec::new();
+    greedy_search_sq8_prepared(
+        &graph,
+        store.view(),
+        &pq,
+        10,
+        3.0,
+        &params,
+        &mut |_| true,
+        &mut sq8_stats,
+        &mut scratch,
+        &mut got,
+    );
+
+    assert_eq!(got.len(), 10);
+    assert!(recall(&got, &exact) >= 0.8, "sq8 graph recall too low: {got:?} vs {exact:?}");
+    // Every returned distance equals the exact metric distance to that row.
+    for g in &got {
+        let want = Metric::Euclidean.distance(&query, store.row(g.id as usize));
+        assert_eq!(g.dist.to_bits(), want.to_bits(), "id {}", g.id);
+    }
+    // Un-quantized views take the exact path inside the sq8 entry point.
+    let mut fallback = Vec::new();
+    let mut fb_stats = SearchStats::default();
+    greedy_search_sq8_prepared(
+        &graph,
+        flat.view(),
+        &pq,
+        10,
+        3.0,
+        &params,
+        &mut |_| true,
+        &mut fb_stats,
+        &mut scratch,
+        &mut fallback,
+    );
+    assert_eq!(fallback, exact);
+}
+
+#[test]
+fn segments_mix_of_sq8_is_rejected() {
+    let src = lcg_rows(8, 4, 19);
+    let mut store = SegmentStore::new(4, 4);
+    let mut quantized = Segment::from_view(src.slice(0..4));
+    quantized.build_sq8();
+    store.push_segment(Arc::new(quantized));
+    let plain = Segment::from_view(src.slice(4..8));
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        store.push_segment(Arc::new(plain));
+    }));
+    assert!(err.is_err(), "mixed SQ8 presence must be rejected");
+}
+
+#[test]
+fn sq8_views_chunk_like_the_rows() {
+    let store = quantized_store(12, 4, 4, 23);
+    assert!(store.has_sq8());
+    let v = store.slice(2..11);
+    assert!(v.has_sq8());
+    let mut row = 0;
+    while row < v.len() {
+        let (flat, _, run) = v.chunk_at(row);
+        let (chunk, sq8_run) = v.sq8_chunk_at(row);
+        assert_eq!(run, sq8_run, "sq8 chunks share the row boundaries");
+        assert_eq!(chunk.codes.len(), flat.len(), "one code per coordinate");
+        assert_eq!(chunk.row_norm2.len(), run);
+        row += run;
+    }
+    // Per-row access agrees with the owning chunk.
+    let r = v.sq8_row(5);
+    assert_eq!(r.codes.len(), 4);
+    assert_eq!(r.row_norm2.len(), 1);
+    // Memory accounting counts the code column.
+    let seg = &store.segments()[0];
+    assert!(seg.memory_bytes() >= seg.data_bytes() + seg.sq8().unwrap().codes().len());
+}

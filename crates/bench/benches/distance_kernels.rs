@@ -98,7 +98,12 @@ fn bench_kernels(c: &mut Criterion) {
 }
 
 /// One row of `BENCH_kernels.json`: nanoseconds per candidate row under each
-/// dispatch strategy, plus the batched-over-per-call speedup.
+/// dispatch strategy, plus per-path batched-over-per-call speedups.
+///
+/// `speedup_batched` and `speedup_cached` are reported **separately** so a
+/// regression on the uncached path can never hide behind a fast cached one
+/// (the pre-SIMD harness folded both into one `speedup` number, which is
+/// exactly how the uncached-angular regression went unnoticed).
 #[derive(Serialize)]
 struct KernelRow {
     metric: &'static str,
@@ -107,13 +112,16 @@ struct KernelRow {
     batched_ns_per_row: f64,
     /// Angular only: batched with the cached inverse-norm column.
     batched_cached_ns_per_row: Option<f64>,
-    /// per_call / min(batched, batched_cached).
-    speedup: f64,
+    /// per_call / batched (the uncached batch path).
+    speedup_batched: f64,
+    /// Angular only: per_call / batched_cached.
+    speedup_cached: Option<f64>,
 }
 
 #[derive(Serialize)]
 struct KernelSummary {
     generated_by: &'static str,
+    simd_backend: &'static str,
     rows_per_batch: usize,
     results: Vec<KernelRow>,
 }
@@ -162,19 +170,44 @@ fn write_summary() {
                     out.iter().sum()
                 })
             });
-            let best = cached.map_or(batched, |c: f64| c.min(batched));
             results.push(KernelRow {
                 metric: metric.name(),
                 dim,
                 per_call_ns_per_row: per_call,
                 batched_ns_per_row: batched,
                 batched_cached_ns_per_row: cached,
-                speedup: per_call / best,
+                speedup_batched: per_call / batched,
+                speedup_cached: cached.map(|c| per_call / c),
             });
+        }
+    }
+    // The tentpole contract: batching may never lose to per-call dispatch on
+    // any path. 15% headroom absorbs timer noise on short kernels; a real
+    // regression (like the pre-SIMD uncached angular at 1.8x *slower*) blows
+    // straight through it.
+    for r in &results {
+        assert!(
+            r.batched_ns_per_row <= r.per_call_ns_per_row * 1.15,
+            "batched {} d={} is slower than per-call: {:.2} vs {:.2} ns/row",
+            r.metric,
+            r.dim,
+            r.batched_ns_per_row,
+            r.per_call_ns_per_row
+        );
+        if let Some(c) = r.batched_cached_ns_per_row {
+            assert!(
+                c <= r.per_call_ns_per_row * 1.15,
+                "cached batched {} d={} is slower than per-call: {:.2} vs {:.2} ns/row",
+                r.metric,
+                r.dim,
+                c,
+                r.per_call_ns_per_row
+            );
         }
     }
     let summary = KernelSummary {
         generated_by: "cargo bench --bench distance_kernels",
+        simd_backend: mbi_math::simd::active_backend().name(),
         rows_per_batch: ROWS,
         results,
     };
@@ -188,8 +221,16 @@ fn write_summary() {
                 println!("kernel summary written to {}", path.display());
                 for r in &summary.results {
                     println!(
-                        "{:<14} d={:<4} per-call {:>7.2} ns/row  batched {:>7.2} ns/row  speedup {:.2}x",
-                        r.metric, r.dim, r.per_call_ns_per_row, r.batched_ns_per_row, r.speedup
+                        "{:<14} d={:<4} per-call {:>7.2} ns/row  batched {:>7.2} ns/row ({:.2}x){}",
+                        r.metric,
+                        r.dim,
+                        r.per_call_ns_per_row,
+                        r.batched_ns_per_row,
+                        r.speedup_batched,
+                        match (r.batched_cached_ns_per_row, r.speedup_cached) {
+                            (Some(c), Some(s)) => format!("  cached {c:>7.2} ns/row ({s:.2}x)"),
+                            _ => String::new(),
+                        }
                     );
                 }
             }

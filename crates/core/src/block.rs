@@ -106,6 +106,33 @@ impl BlockGraph {
         }
     }
 
+    /// [`Self::search_prepared`] with the SQ8 quantized first pass + exact
+    /// rerank ([`BlockIndex::search_sq8_prepared`]). The kNN-graph backend
+    /// traverses on the code column; HNSW keeps its default exact search.
+    /// Views without the SQ8 column fall back to exact either way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_sq8_prepared(
+        &self,
+        view: VectorView<'_>,
+        pq: &PreparedQuery<'_>,
+        k: usize,
+        overfetch: f32,
+        params: &SearchParams,
+        filter: &mut dyn FnMut(u32) -> bool,
+        stats: &mut SearchStats,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        match self {
+            BlockGraph::Knn(g) => {
+                g.search_sq8_prepared(view, pq, k, overfetch, params, filter, stats, scratch, out)
+            }
+            BlockGraph::Hnsw(h) => {
+                h.search_sq8_prepared(view, pq, k, overfetch, params, filter, stats, scratch, out)
+            }
+        }
+    }
+
     /// Bytes of heap memory used by the graph structure.
     pub fn memory_bytes(&self) -> usize {
         match self {

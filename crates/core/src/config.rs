@@ -68,6 +68,24 @@ pub struct MbiConfig {
     /// (capped at the number of selected blocks). Results are bit-identical
     /// across all values.
     pub query_threads: usize,
+    /// Quantize every sealed segment into an SQ8 (`u8` scalar-quantized)
+    /// code column and run candidate scans over it: the first pass reads
+    /// ~4× less memory per row than the f32 scan, and the best
+    /// `k × sq8_overfetch` candidates are reranked against the exact rows,
+    /// so returned distances are always exact. Off by default — exact scans
+    /// remain the baseline behaviour. (Files persisted before v6 load with
+    /// the default; the binary codec fills it in explicitly.)
+    pub sq8_scan: bool,
+    /// Over-fetch factor of the SQ8 rerank: the first pass keeps
+    /// `k × sq8_overfetch` candidates for exact reranking. Larger values
+    /// trade first-pass win for recall; `≥ 1`.
+    pub sq8_overfetch: f32,
+}
+
+/// Default SQ8 over-fetch: 3× keeps recall ≥ 0.95 across the paper's
+/// datasets while the rerank stays ≪ the first-pass cost.
+pub(crate) fn default_sq8_overfetch() -> f32 {
+    3.0
 }
 
 impl MbiConfig {
@@ -83,6 +101,8 @@ impl MbiConfig {
             search: SearchParams::default(),
             parallel_build: false,
             query_threads: 0,
+            sq8_scan: false,
+            sq8_overfetch: default_sq8_overfetch(),
         }
     }
 
@@ -130,6 +150,27 @@ impl MbiConfig {
     /// sequential fallback; see [`MbiConfig::query_threads`]).
     pub fn with_query_threads(mut self, threads: usize) -> Self {
         self.query_threads = threads;
+        self
+    }
+
+    /// Enables or disables the SQ8 quantized first pass (see
+    /// [`MbiConfig::sq8_scan`]).
+    pub fn with_sq8_scan(mut self, enabled: bool) -> Self {
+        self.sq8_scan = enabled;
+        self
+    }
+
+    /// Sets the SQ8 rerank over-fetch factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `overfetch` is finite and `≥ 1`.
+    pub fn with_sq8_overfetch(mut self, overfetch: f32) -> Self {
+        assert!(
+            overfetch.is_finite() && overfetch >= 1.0,
+            "sq8 overfetch must be finite and >= 1, got {overfetch}"
+        );
+        self.sq8_overfetch = overfetch;
         self
     }
 

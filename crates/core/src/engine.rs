@@ -61,7 +61,7 @@
 //! # Durability
 //!
 //! [`StreamingMbi::open`] attaches the engine to a directory: every insert
-//! appends to a segmented, checksummed [`Wal`](crate::wal::Wal) *before* it
+//! appends to a segmented, checksummed [`Wal`] *before* it
 //! is acknowledged, [`StreamingMbi::checkpoint`] atomically persists the
 //! published snapshot and prunes the log, and [`StreamingMbi::recover`]
 //! rebuilds the exact acked state — snapshot plus WAL replay, tolerating a
@@ -93,6 +93,16 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Applies the config's seal-time column policy to a freshly frozen
+/// segment: when the SQ8 scan is enabled, every sealed segment carries its
+/// code column from birth, so the store-wide uniformity invariant holds.
+pub(crate) fn finish_segment(config: &MbiConfig, mut seg: Segment) -> Segment {
+    if config.sq8_scan {
+        seg.build_sq8();
+    }
+    seg
+}
 
 /// File name of the persisted snapshot inside a durable engine directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.mbi";
@@ -393,7 +403,10 @@ impl IndexSnapshot {
         let mut times = TimeChunks::new(s_l);
         for leaf in 0..index.num_leaves() {
             let rows = leaf * s_l..(leaf + 1) * s_l;
-            store.push_segment(Arc::new(Segment::from_view(index.store().slice(rows.clone()))));
+            store.push_segment(Arc::new(finish_segment(
+                &config,
+                Segment::from_view(index.store().slice(rows.clone())),
+            )));
             times.push_chunk(index.timestamps()[rows].into());
         }
         Ok(IndexSnapshot {
@@ -797,10 +810,13 @@ impl StreamingMbi {
                 // pointers to the master copy — still holding the tail lock
                 // so concurrent writers enqueue leaves in seal order.
                 let leaf = global_len / s_l - 1;
-                let seg = Arc::new(Segment::from_store(std::mem::replace(
-                    &mut tail.partial,
-                    Self::fresh_partial(&self.shared.config),
-                )));
+                let seg = Arc::new(finish_segment(
+                    &self.shared.config,
+                    Segment::from_store(std::mem::replace(
+                        &mut tail.partial,
+                        Self::fresh_partial(&self.shared.config),
+                    )),
+                ));
                 let ts: Arc<[Timestamp]> =
                     std::mem::replace(&mut tail.partial_ts, Vec::with_capacity(s_l)).into();
                 {
@@ -1105,7 +1121,10 @@ impl StreamingMbi {
             let mut m = this.shared.master_lock();
             for leaf in 0..num_leaves {
                 let rows = leaf * s_l..(leaf + 1) * s_l;
-                m.store.push_segment(Arc::new(Segment::from_view(store.slice(rows.clone()))));
+                m.store.push_segment(Arc::new(finish_segment(
+                    &config,
+                    Segment::from_view(store.slice(rows.clone())),
+                )));
                 m.times.push_chunk(timestamps[rows].into());
             }
             m.blocks = blocks.into_iter().map(Arc::new).collect();

@@ -5,7 +5,7 @@
 //! * **Failpoints** — named sites compiled into the engine/WAL hot paths,
 //!   active only when the crate is built with `RUSTFLAGS='--cfg failpoints'`
 //!   (the CI crash job does this; ordinary builds compile the sites to
-//!   nothing). A test arms a site with [`arm`]: *skip* the first `skip` hits,
+//!   nothing). A test arms a site with `arm`: *skip* the first `skip` hits,
 //!   then fire `times` times, then fall dormant — fully deterministic, no
 //!   randomness. What "fire" means is site-specific: the builder panics
 //!   mid-build, the WAL writer returns a short write or an I/O error, the

@@ -8,10 +8,11 @@
 //! yields [`MbiError::Corrupt`] (carrying the byte offset where parsing
 //! failed) or [`MbiError::ChecksumMismatch`], never a panic.
 //!
-//! # Format v5: checksummed streams
+//! # Format v6: checksummed streams + SQ8 columns
 //!
-//! Version 5 wraps the payload of the previous formats in integrity
-//! armour so disk corruption is *detected*, not parsed:
+//! Version 5 wrapped the payload of the previous formats in integrity
+//! armour so disk corruption is *detected*, not parsed; version 6 keeps the
+//! identical envelope and extends the bodies:
 //!
 //! ```text
 //! stream := "MBI1" version:u32 kind:u8 body footer
@@ -23,11 +24,16 @@
 //! The sections — `header` (magic + version + kind), `config`, `data`,
 //! `blocks` — tile the stream exactly; each carries the CRC32 of its bytes,
 //! and the footer carries its own CRC. Any single-byte flip anywhere in a
-//! v5 stream therefore fails a checksum (or the structural parse) before an
-//! index is built from it. Versions 2–4 are still readable (unchecksummed;
-//! their structural validation still applies). All `save_file` paths write
-//! atomically: temp file in the same directory, fsync, rename, directory
-//! fsync — a crash mid-save leaves the previous file intact.
+//! v5/v6 stream therefore fails a checksum (or the structural parse) before
+//! an index is built from it. v6 appends the SQ8 knobs (`sq8_scan`,
+//! `sq8_overfetch`) to the config record and, for snapshots, an optional
+//! per-leaf SQ8 column (per-dimension `mins`/`deltas`, the `u8` code matrix,
+//! decoded squared norms) after each leaf's float data — so quantized
+//! engines restart without re-encoding. Versions 2–5 are still readable;
+//! pre-v6 streams load with the SQ8 knobs at their defaults (off).
+//! All `save_file` paths write atomically: temp file in the same directory,
+//! fsync, rename, directory fsync — a crash mid-save leaves the previous
+//! file intact.
 //!
 //! ```
 //! use mbi_core::{MbiConfig, MbiIndex, TimeWindow};
@@ -53,7 +59,7 @@ use crate::wal::crc32;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mbi_ann::{
     EntryPolicy, HnswIndex, HnswParams, KnnGraph, NnDescentParams, SearchParams, Segment,
-    SegmentStore, VectorStore,
+    SegmentStore, Sq8Column, VectorStore,
 };
 use mbi_math::Metric;
 use std::io::{Read, Write};
@@ -66,11 +72,16 @@ const MAGIC: &[u8; 4] = b"MBI1";
 // the *snapshot* layout: leaf-sized segments instead of flat columns. v5
 // unifies both kinds under one checksummed envelope (kind byte + per-section
 // CRC32s + footer); the body keeps the v3 (index) / v4 (snapshot) layout.
-// v2–v4 streams are still readable.
-const VERSION: u32 = 5;
+// v6 keeps the v5 envelope and appends the SQ8 knobs to the config record
+// plus an optional per-leaf SQ8 code column to snapshot bodies.
+// v2–v5 streams are still readable.
+const VERSION: u32 = 6;
 const OLDEST_READABLE_VERSION: u32 = 2;
 const SNAPSHOT_BODY_VERSION: u32 = 4;
 const INDEX_BODY_VERSION: u32 = 3;
+/// Body layout of both kinds under a v6 envelope: the legacy layout plus the
+/// config extension (and, for snapshots, the per-leaf SQ8 column).
+const SQ8_BODY_VERSION: u32 = 6;
 
 const KIND_INDEX: u8 = 0;
 const KIND_SNAPSHOT: u8 = 1;
@@ -295,8 +306,19 @@ impl MbiIndex {
         self.encode(3)
     }
 
+    /// Serialises in the checksummed pre-SQ8 v5 layout (hidden, for
+    /// backward-compatibility tests).
+    #[doc(hidden)]
+    pub fn to_bytes_v5(&self) -> Bytes {
+        self.encode(5)
+    }
+
     fn encode(&self, version: u32) -> Bytes {
-        let body_version = if version >= 5 { INDEX_BODY_VERSION } else { version };
+        let body_version = match version {
+            v if v >= 6 => SQ8_BODY_VERSION,
+            5 => INDEX_BODY_VERSION,
+            v => v,
+        };
         let mut b = BytesMut::with_capacity(128 + self.data_bytes() + self.index_memory_bytes());
         b.put_slice(MAGIC);
         b.put_u32_le(version);
@@ -304,7 +326,7 @@ impl MbiIndex {
             b.put_u8(KIND_INDEX);
         }
         let mut bounds = vec![0, b.len()];
-        write_config(&mut b, &self.config);
+        write_config(&mut b, &self.config, body_version);
         bounds.push(b.len());
 
         let n = self.timestamps.len();
@@ -358,14 +380,15 @@ impl MbiIndex {
         match version {
             2 | 3 => decode_index_body(&mut src, version),
             4 => Err(src.corrupt("version 4 streams hold a snapshot, not an index")),
-            5 => {
+            5 | 6 => {
                 src.need(1)?;
                 if src.get_u8() != KIND_INDEX {
                     return Err(MbiError::corrupt(8, "stream holds a snapshot, not an index"));
                 }
                 let (start, end) = verify_v5(&b)?;
                 let mut src = Src::with_base(b.slice(start..end), start);
-                decode_index_body(&mut src, INDEX_BODY_VERSION)
+                let body = if version >= 6 { SQ8_BODY_VERSION } else { INDEX_BODY_VERSION };
+                decode_index_body(&mut src, body)
             }
             v => Err(MbiError::corrupt(4, format!("unsupported version {v}"))),
         }
@@ -375,8 +398,11 @@ impl MbiIndex {
 /// Decodes an index body (config / data / blocks) laid out as
 /// `body_version` (2 or 3), consuming `src` exactly.
 fn decode_index_body(src: &mut Src, body_version: u32) -> Result<MbiIndex, MbiError> {
-    debug_assert!((OLDEST_READABLE_VERSION..=INDEX_BODY_VERSION).contains(&body_version));
-    let config = read_config(src)?;
+    debug_assert!(
+        (OLDEST_READABLE_VERSION..=INDEX_BODY_VERSION).contains(&body_version)
+            || body_version == SQ8_BODY_VERSION
+    );
+    let config = read_config(src, body_version)?;
 
     src.need(8)?;
     let n = src.get_u64_le() as usize;
@@ -496,7 +522,15 @@ impl IndexSnapshot {
         self.encode(SNAPSHOT_BODY_VERSION)
     }
 
+    /// Serialises in the checksummed pre-SQ8 v5 layout (hidden, for
+    /// backward-compatibility tests).
+    #[doc(hidden)]
+    pub fn to_bytes_v5(&self) -> Bytes {
+        self.encode(5)
+    }
+
     fn encode(&self, version: u32) -> Bytes {
+        let body_version = if version >= 6 { SQ8_BODY_VERSION } else { SNAPSHOT_BODY_VERSION };
         let config = self.config();
         let s_l = config.leaf_size;
         let store = self.store();
@@ -507,12 +541,16 @@ impl IndexSnapshot {
             b.put_u8(KIND_SNAPSHOT);
         }
         let mut bounds = vec![0, b.len()];
-        write_config(&mut b, config);
+        write_config(&mut b, config, body_version);
         bounds.push(b.len());
         b.put_u64_le(self.num_leaves() as u64);
         b.put_u64_le(s_l as u64);
         let has_norms = store.segments().first().is_some_and(|s| s.has_norm_cache());
         b.put_u8(u8::from(has_norms));
+        let has_sq8 = body_version >= SQ8_BODY_VERSION && store.has_sq8();
+        if body_version >= SQ8_BODY_VERSION {
+            b.put_u8(u8::from(has_sq8));
+        }
         for (seg, chunk) in store.segments().iter().zip(self.times().chunks()) {
             for &t in chunk.iter() {
                 b.put_i64_le(t);
@@ -524,6 +562,19 @@ impl IndexSnapshot {
                 let inv = seg.inv_norms().expect("norm flag implies a cached column");
                 for &x in inv {
                     b.put_f32_le(x);
+                }
+            }
+            if has_sq8 {
+                let col = seg.sq8().expect("sq8 flag implies a uniform code column");
+                for &m in col.mins() {
+                    b.put_f32_le(m);
+                }
+                for &d in col.deltas() {
+                    b.put_f32_le(d);
+                }
+                b.put_slice(col.codes());
+                for &n2 in col.row_norm2() {
+                    b.put_f32_le(n2);
                 }
             }
         }
@@ -561,15 +612,16 @@ impl IndexSnapshot {
         match version {
             // Pre-v4 streams are whole MbiIndex streams, re-read from the top.
             2 | 3 => IndexSnapshot::from_index(&MbiIndex::from_bytes(b)?),
-            4 => decode_snapshot_body(&mut src),
-            5 => {
+            4 => decode_snapshot_body(&mut src, SNAPSHOT_BODY_VERSION),
+            5 | 6 => {
                 src.need(1)?;
                 let kind = src.get_u8();
                 let (start, end) = verify_v5(&b)?;
+                let body = if version >= 6 { SQ8_BODY_VERSION } else { SNAPSHOT_BODY_VERSION };
                 match kind {
                     KIND_SNAPSHOT => {
                         let mut src = Src::with_base(b.slice(start..end), start);
-                        decode_snapshot_body(&mut src)
+                        decode_snapshot_body(&mut src, body)
                     }
                     KIND_INDEX => IndexSnapshot::from_index(&MbiIndex::from_bytes(b)?),
                     k => Err(MbiError::corrupt(8, format!("unknown stream kind {k}"))),
@@ -580,10 +632,10 @@ impl IndexSnapshot {
     }
 }
 
-/// Decodes a snapshot body (config / leaf records / blocks) in the v4
+/// Decodes a snapshot body (config / leaf records / blocks) in the v4 or v6
 /// layout, consuming `src` exactly.
-fn decode_snapshot_body(src: &mut Src) -> Result<IndexSnapshot, MbiError> {
-    let config = read_config(src)?;
+fn decode_snapshot_body(src: &mut Src, body_version: u32) -> Result<IndexSnapshot, MbiError> {
+    let config = read_config(src, body_version)?;
     src.need(8 + 8 + 1)?;
     let num_leaves = src.get_u64_le() as usize;
     let seg_rows = src.get_u64_le() as usize;
@@ -597,8 +649,16 @@ fn decode_snapshot_body(src: &mut Src) -> Result<IndexSnapshot, MbiError> {
     if config.metric == Metric::Angular && !has_norms {
         return Err(src.corrupt("angular snapshot lacks norm column"));
     }
-    let leaf_bytes =
-        seg_rows * 8 + seg_rows * config.dim * 4 + if has_norms { seg_rows * 4 } else { 0 };
+    let has_sq8 = if body_version >= SQ8_BODY_VERSION {
+        src.need(1)?;
+        src.get_u8() != 0
+    } else {
+        false
+    };
+    let leaf_bytes = seg_rows * 8
+        + seg_rows * config.dim * 4
+        + if has_norms { seg_rows * 4 } else { 0 }
+        + if has_sq8 { config.dim * 8 + seg_rows * config.dim + seg_rows * 4 } else { 0 };
     let mut store = SegmentStore::new(config.dim, seg_rows);
     let mut times = TimeChunks::new(seg_rows);
     for _ in 0..num_leaves {
@@ -627,7 +687,15 @@ fn decode_snapshot_body(src: &mut Src) -> Result<IndexSnapshot, MbiError> {
         } else {
             VectorStore::from_flat(config.dim, flat)
         };
-        store.push_segment(Arc::new(Segment::from_store(leaf_store)));
+        let mut seg = Segment::from_store(leaf_store);
+        if has_sq8 {
+            seg.attach_sq8(read_sq8_column(src, config.dim, seg_rows)?);
+        } else if config.sq8_scan {
+            // A quantizing engine must see a uniformly quantized store even
+            // when restoring from a pre-v6 (or hand-built exact) stream.
+            seg.build_sq8();
+        }
+        store.push_segment(Arc::new(seg));
         times.push_chunk(chunk.into());
     }
     src.need(8)?;
@@ -659,7 +727,39 @@ fn overflow(src: &Src) -> MbiError {
     src.corrupt("size overflow")
 }
 
-fn write_config(b: &mut BytesMut, c: &MbiConfig) {
+/// Reads one leaf's SQ8 column (mins, deltas, codes, row norms), validating
+/// every value before [`Sq8Column::from_parts`] re-checks the shapes.
+fn read_sq8_column(src: &mut Src, dim: usize, rows: usize) -> Result<Sq8Column, MbiError> {
+    let mut mins = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let x = src.get_f32_le();
+        if !x.is_finite() {
+            return Err(MbiError::corrupt(src.offset() - 4, format!("invalid sq8 min {x}")));
+        }
+        mins.push(x);
+    }
+    let mut deltas = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let x = src.get_f32_le();
+        if !x.is_finite() || x < 0.0 {
+            return Err(MbiError::corrupt(src.offset() - 4, format!("invalid sq8 delta {x}")));
+        }
+        deltas.push(x);
+    }
+    let mut codes = vec![0u8; rows * dim];
+    src.copy_to_slice(&mut codes);
+    let mut row_norm2 = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let x = src.get_f32_le();
+        if !x.is_finite() || x < 0.0 {
+            return Err(MbiError::corrupt(src.offset() - 4, format!("invalid sq8 row norm {x}")));
+        }
+        row_norm2.push(x);
+    }
+    Ok(Sq8Column::from_parts(dim, codes, mins, deltas, row_norm2))
+}
+
+fn write_config(b: &mut BytesMut, c: &MbiConfig, body_version: u32) {
     b.put_u64_le(c.dim as u64);
     b.put_u8(metric_tag(c.metric));
     b.put_u64_le(c.leaf_size as u64);
@@ -689,9 +789,13 @@ fn write_config(b: &mut BytesMut, c: &MbiConfig) {
     }
     b.put_u8(u8::from(c.parallel_build));
     b.put_u64_le(c.query_threads as u64);
+    if body_version >= SQ8_BODY_VERSION {
+        b.put_u8(u8::from(c.sq8_scan));
+        b.put_f32_le(c.sq8_overfetch);
+    }
 }
 
-fn read_config(b: &mut Src) -> Result<MbiConfig, MbiError> {
+fn read_config(b: &mut Src, body_version: u32) -> Result<MbiConfig, MbiError> {
     b.need(8 + 1 + 8 + 8 + 1)?;
     let dim = b.get_u64_le() as usize;
     if dim == 0 || dim > 1 << 20 {
@@ -734,6 +838,18 @@ fn read_config(b: &mut Src) -> Result<MbiConfig, MbiError> {
     b.need(1 + 8)?;
     let parallel_build = b.get_u8() != 0;
     let query_threads = b.get_u64_le() as usize;
+    // Pre-v6 records predate the SQ8 knobs; they load with the defaults.
+    let (sq8_scan, sq8_overfetch) = if body_version >= SQ8_BODY_VERSION {
+        b.need(1 + 4)?;
+        let scan = b.get_u8() != 0;
+        let overfetch = b.get_f32_le();
+        if !overfetch.is_finite() || overfetch < 1.0 {
+            return Err(b.corrupt(format!("sq8 overfetch {overfetch} out of range")));
+        }
+        (scan, overfetch)
+    } else {
+        (false, crate::config::default_sq8_overfetch())
+    };
     Ok(MbiConfig {
         dim,
         metric,
@@ -743,6 +859,8 @@ fn read_config(b: &mut Src) -> Result<MbiConfig, MbiError> {
         search: SearchParams { max_candidates, epsilon, entry },
         parallel_build,
         query_threads,
+        sq8_scan,
+        sq8_overfetch,
     })
 }
 
@@ -1158,15 +1276,110 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_v5_roundtrips() {
+    fn snapshot_v6_roundtrips() {
         let snap = IndexSnapshot::from_index(&build_index(GraphBackend::default(), 64)).unwrap();
         let bytes = snap.to_bytes();
-        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 5);
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), VERSION);
         assert_eq!(bytes[8], KIND_SNAPSHOT);
         let loaded = IndexSnapshot::from_bytes(bytes).unwrap();
         assert_eq!(loaded.validate(), Ok(()));
         assert_same_snapshot_answers(&snap, &loaded);
         assert!(!loaded.store().has_norm_cache());
+    }
+
+    #[test]
+    fn snapshot_reads_v5_streams_with_sq8_defaults() {
+        let snap = IndexSnapshot::from_index(&build_index(GraphBackend::default(), 64)).unwrap();
+        let v5 = snap.to_bytes_v5();
+        assert_eq!(u32::from_le_bytes(v5[4..8].try_into().unwrap()), 5);
+        let loaded = IndexSnapshot::from_bytes(v5).unwrap();
+        assert!(!loaded.config().sq8_scan, "pre-v6 streams load with SQ8 off");
+        assert_eq!(loaded.config().sq8_overfetch, 3.0);
+        assert!(!loaded.store().has_sq8());
+        assert_same_snapshot_answers(&snap, &loaded);
+    }
+
+    #[test]
+    fn index_reads_v5_streams_with_sq8_defaults() {
+        let idx = build_index(GraphBackend::default(), 70);
+        let v5 = idx.to_bytes_v5();
+        assert_eq!(u32::from_le_bytes(v5[4..8].try_into().unwrap()), 5);
+        let loaded = MbiIndex::from_bytes(v5).unwrap();
+        assert!(!loaded.config().sq8_scan);
+        assert_same_answers(&idx, &loaded);
+    }
+
+    #[test]
+    fn snapshot_v6_roundtrips_sq8_column() {
+        let config = MbiConfig::new(3, Metric::Euclidean).with_leaf_size(16).with_sq8_scan(true);
+        let mut idx = MbiIndex::new(config);
+        for i in 0..64 {
+            let x = i as f32;
+            idx.insert(&[x, (x * 0.1).sin(), -x], i as i64).unwrap();
+        }
+        let snap = IndexSnapshot::from_index(&idx).unwrap();
+        assert!(snap.store().has_sq8(), "sq8_scan quantizes every sealed segment");
+        let loaded = IndexSnapshot::from_bytes(snap.to_bytes()).unwrap();
+        assert!(loaded.config().sq8_scan);
+        assert!(loaded.store().has_sq8());
+        for (a, b) in snap.store().segments().iter().zip(loaded.store().segments()) {
+            assert_eq!(a.sq8(), b.sq8(), "codes and parameters survive the roundtrip");
+        }
+        assert_same_snapshot_answers(&snap, &loaded);
+    }
+
+    #[test]
+    fn quantizing_config_rebuilds_sq8_from_v5_stream() {
+        // A v5 stream carries no code column; if its config is upgraded to
+        // sq8_scan (here: via an index stream, whose conversion path seals
+        // segments through the engine), the loaded store must still be
+        // uniformly quantized.
+        let config = MbiConfig::new(3, Metric::Euclidean).with_leaf_size(16).with_sq8_scan(true);
+        let mut idx = MbiIndex::new(config);
+        for i in 0..48 {
+            let x = i as f32;
+            idx.insert(&[x, x * 0.5, -x], i as i64).unwrap();
+        }
+        let snap = IndexSnapshot::from_index(&idx).unwrap();
+        // Splice the v6 config (sq8_scan=true) body through the v4 layout:
+        // decode_snapshot_body must quantize on load.
+        let v4 = {
+            let mut b = BytesMut::new();
+            b.put_slice(MAGIC);
+            b.put_u32_le(6);
+            b.put_u8(KIND_SNAPSHOT);
+            let mut bounds = vec![0, b.len()];
+            write_config(&mut b, snap.config(), SQ8_BODY_VERSION);
+            bounds.push(b.len());
+            b.put_u64_le(snap.num_leaves() as u64);
+            b.put_u64_le(snap.config().leaf_size as u64);
+            b.put_u8(0); // no norms
+            b.put_u8(0); // no sq8 column despite sq8_scan=true
+            for (seg, chunk) in snap.store().segments().iter().zip(snap.times().chunks()) {
+                for &t in chunk.iter() {
+                    b.put_i64_le(t);
+                }
+                for &v in seg.as_flat() {
+                    b.put_f32_le(v);
+                }
+            }
+            bounds.push(b.len());
+            b.put_u64_le(snap.blocks().len() as u64);
+            for block in snap.blocks() {
+                b.put_u64_le(block.rows.start as u64);
+                b.put_u64_le(block.rows.end as u64);
+                b.put_u32_le(block.height);
+                b.put_i64_le(block.start_ts);
+                b.put_i64_le(block.end_ts);
+                write_graph(&mut b, &block.graph);
+            }
+            bounds.push(b.len());
+            write_footer(&mut b, &bounds);
+            b.freeze()
+        };
+        let loaded = IndexSnapshot::from_bytes(v4).unwrap();
+        assert!(loaded.store().has_sq8(), "sq8_scan config quantizes columnless streams on load");
+        assert_same_snapshot_answers(&snap, &loaded);
     }
 
     #[test]

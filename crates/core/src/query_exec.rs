@@ -14,8 +14,8 @@ use crate::select::{select_blocks, BlockMeta, SearchBlockSet, TimeWindow};
 use crate::times::TimeChunks;
 use crate::Timestamp;
 use mbi_ann::{
-    brute_force_prepared, with_thread_scratch, SearchParams, SearchScratch, SearchStats,
-    SegmentStore, VectorStore, VectorView,
+    brute_force_prepared, brute_force_sq8_prepared, with_thread_scratch, SearchParams,
+    SearchScratch, SearchStats, SegmentStore, VectorStore, VectorView,
 };
 use mbi_math::{Neighbor, PreparedQuery, TopK};
 use std::borrow::Borrow;
@@ -246,7 +246,7 @@ where
             if hi > lo {
                 stats.blocks_searched += 1;
                 stats.blocks_bruteforced += 1;
-                for n in brute_force_prepared(self.store.slice(lo..hi), &pq, k, &mut stats) {
+                for n in self.scan_rows(lo..hi, &pq, k, &mut stats) {
                     merged.offer(lo as u32 + n.id, n.dist);
                 }
             }
@@ -303,9 +303,10 @@ where
             (2 * k as u64).saturating_mul(degree as u64).saturating_mul(block.len() as u64)
                 / m as u64;
         if (m as u64) < graph_cost {
-            // Exact scan of the in-window rows of this block.
+            // Scan of the in-window rows of this block (quantized first
+            // pass + exact rerank when SQ8 is on).
             stats.blocks_bruteforced += 1;
-            for n in brute_force_prepared(self.store.slice(lo..hi), pq, k, stats) {
+            for n in self.scan_rows(lo..hi, pq, k, stats) {
                 merged.offer(lo as u32 + n.id, n.dist);
             }
             return;
@@ -314,9 +315,43 @@ where
         let fully_covered = window.start <= block.start_ts && block.end_ts <= window.end;
         let ts = self.times;
         let mut filter = |lid: u32| fully_covered || window.contains(ts.get((base + lid) as usize));
-        block.graph.search_prepared(view, pq, k, params, &mut filter, stats, scratch, buf);
+        if self.config.sq8_scan {
+            block.graph.search_sq8_prepared(
+                view,
+                pq,
+                k,
+                self.config.sq8_overfetch,
+                params,
+                &mut filter,
+                stats,
+                scratch,
+                buf,
+            );
+        } else {
+            block.graph.search_prepared(view, pq, k, params, &mut filter, stats, scratch, buf);
+        }
         for n in buf.iter() {
             merged.offer(base + n.id, n.dist);
+        }
+    }
+
+    /// Candidate scan over a row range: the SQ8 two-pass scan when the
+    /// config enables it (falling back to exact inside the sq8 entry point
+    /// when the rows carry no code column — e.g. the flat synchronous store
+    /// or the unsealed tail), the exact batched scan otherwise. Returned
+    /// distances are exact either way.
+    fn scan_rows(
+        &self,
+        rows: std::ops::Range<usize>,
+        pq: &PreparedQuery<'_>,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let view = self.store.slice(rows);
+        if self.config.sq8_scan {
+            brute_force_sq8_prepared(view, pq, k, self.config.sq8_overfetch, stats)
+        } else {
+            brute_force_prepared(view, pq, k, stats)
         }
     }
 

@@ -13,12 +13,14 @@
 //!    `*_batch` kernels hold the query hot while streaming `N` candidates.
 //!
 //! Contract with the scalar kernels in [`crate::metric`]: the batched
-//! Euclidean and inner-product paths are **bit-identical** (they reuse the
-//! same per-row kernels in the same order), and every angular path agrees
-//! with [`angular_distance`](crate::angular_distance) to within `1e-5`,
-//! including the zero-vector → `1.0` convention.
+//! Euclidean and inner-product paths are **bit-identical** (every backend in
+//! [`crate::simd`] implements the same canonical accumulation shape, and the
+//! per-call kernels dispatch to the same single-row primitives), and every
+//! angular path agrees with [`angular_distance`](crate::angular_distance) to
+//! within `1e-5`, including the zero-vector → `1.0` convention.
 
 use crate::metric::{dot_norm2, Metric};
+use crate::simd;
 use crate::{dot, norm, squared_euclidean};
 
 /// Reciprocal Euclidean norm of `v`, with `0.0` as the zero-vector sentinel.
@@ -72,9 +74,7 @@ fn row_count(dim: usize, rows: &[f32]) -> usize {
 pub fn squared_euclidean_batch(query: &[f32], rows: &[f32], out: &mut Vec<f32>) {
     let n = row_count(query.len(), rows);
     out.reserve(n);
-    for row in rows.chunks_exact(query.len()) {
-        out.push(squared_euclidean(query, row));
-    }
+    simd::euclidean_batch(query, rows, out);
 }
 
 /// Appends `⟨query, rowᵢ⟩` for each contiguous `dim`-sized row of `rows` onto
@@ -82,9 +82,18 @@ pub fn squared_euclidean_batch(query: &[f32], rows: &[f32], out: &mut Vec<f32>) 
 pub fn dot_batch(query: &[f32], rows: &[f32], out: &mut Vec<f32>) {
     let n = row_count(query.len(), rows);
     out.reserve(n);
-    for row in rows.chunks_exact(query.len()) {
-        out.push(dot(query, row));
-    }
+    simd::dot_batch(query, rows, false, out);
+}
+
+/// Appends `−⟨query, rowᵢ⟩` (the inner-product *distance*) for each
+/// contiguous `dim`-sized row of `rows` onto `out`.
+///
+/// The sign flip is fused into the batched kernel — there is no second pass
+/// over `out` — and each value is bit-identical to `-dot(query, row)`.
+pub fn neg_dot_batch(query: &[f32], rows: &[f32], out: &mut Vec<f32>) {
+    let n = row_count(query.len(), rows);
+    out.reserve(n);
+    simd::dot_batch(query, rows, true, out);
 }
 
 /// Appends the angular distance from `query` to each contiguous `dim`-sized
@@ -109,15 +118,10 @@ pub fn angular_batch(
     match inv_norms {
         Some(inv) => {
             assert_eq!(inv.len(), n, "inverse-norm column does not match row count");
-            for (row, &inv_b) in rows.chunks_exact(query.len()).zip(inv) {
-                out.push(angular_from_parts(dot(query, row), query_inv_norm, inv_b));
-            }
+            simd::angular_batch_cached(query, query_inv_norm, rows, inv, out);
         }
         None => {
-            for row in rows.chunks_exact(query.len()) {
-                let (dp, nb2) = dot_norm2(query, row);
-                out.push(angular_from_parts(dp, query_inv_norm, inv_from_norm2(nb2)));
-            }
+            simd::angular_batch_uncached(query, query_inv_norm, rows, out);
         }
     }
 }
@@ -241,13 +245,7 @@ impl<'q> PreparedQuery<'q> {
     pub fn distance_batch(&self, rows: &[f32], inv_norms: Option<&[f32]>, out: &mut Vec<f32>) {
         match self.metric {
             Metric::Euclidean => squared_euclidean_batch(self.query, rows, out),
-            Metric::InnerProduct => {
-                let start = out.len();
-                dot_batch(self.query, rows, out);
-                for d in &mut out[start..] {
-                    *d = -*d;
-                }
-            }
+            Metric::InnerProduct => neg_dot_batch(self.query, rows, out),
             Metric::Angular => angular_batch(self.query, self.inv_norm, rows, inv_norms, out),
         }
     }

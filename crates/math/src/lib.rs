@@ -22,20 +22,25 @@
 //! result reporting) and heavily unit- and property-tested, because a subtle
 //! ordering bug in a distance kernel silently corrupts every recall number in
 //! the evaluation.
+//!
+//! `unsafe` is denied crate-wide with a single exception: the [`simd`] module
+//! holds the explicit AVX2/NEON kernels behind runtime feature detection, and
+//! is the only place intrinsics are allowed.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod float;
 mod kernels;
 mod metric;
+pub mod simd;
 mod stats;
 mod topk;
 
 pub use float::OrderedF32;
 pub use kernels::{
-    angular_batch, angular_from_parts, dot_batch, inv_norm_of, squared_euclidean_batch,
-    PreparedQuery,
+    angular_batch, angular_from_parts, dot_batch, inv_norm_of, neg_dot_batch,
+    squared_euclidean_batch, PreparedQuery,
 };
 pub use metric::{angular_distance, dot, norm, squared_euclidean, Metric};
 pub use stats::OnlineStats;

@@ -5,15 +5,16 @@
 //! provided here, plus inner-product similarity as a convenience for
 //! recommendation-style workloads.
 //!
-//! All kernels process the input in fixed-size chunks with a scalar tail so
-//! that LLVM reliably auto-vectorises the main loop in release builds; the
-//! whole crate is `#![forbid(unsafe_code)]`, so there are no intrinsics and no
-//! `get_unchecked` — the chunked shape alone removes the bounds checks from
-//! the hot loop.
+//! All kernels dispatch to the explicit-SIMD implementations in
+//! [`crate::simd`]: AVX2+FMA on `x86_64`, NEON on `aarch64`, and a portable
+//! scalar shape otherwise. Every backend implements the same canonical
+//! accumulation shape, so the per-call kernels here, the batched kernels in
+//! [`crate::kernels`], and the scalar fallback are all bit-identical to each
+//! other on Euclidean and inner product (see the `simd` module docs).
 
 use serde::{Deserialize, Serialize};
 
-const LANES: usize = 8;
+use crate::simd;
 
 /// The distance function `σ` of the paper (§3.1): any measure comparing two
 /// `d`-dimensional vectors. Smaller is closer for every variant.
@@ -76,73 +77,31 @@ impl std::fmt::Display for Metric {
     }
 }
 
-/// Sums `f(a_chunk, b_chunk)` lane-wise over both slices using `LANES`-wide
-/// chunks plus a scalar tail. The accumulator is a `[f32; LANES]` so the
-/// compiler can keep it in a vector register.
-#[inline]
-fn chunked_reduce(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; LANES];
-    let a_chunks = a.chunks_exact(LANES);
-    let b_chunks = b.chunks_exact(LANES);
-    let a_rem = a_chunks.remainder();
-    let b_rem = b_chunks.remainder();
-    for (ca, cb) in a_chunks.zip(b_chunks) {
-        for i in 0..LANES {
-            acc[i] += f(ca[i], cb[i]);
-        }
-    }
-    let mut total: f32 = acc.iter().sum();
-    for (x, y) in a_rem.iter().zip(b_rem) {
-        total += f(*x, *y);
-    }
-    total
-}
-
 /// Computes `(⟨a,b⟩, ‖b‖²)` in a single fused pass over both slices.
 ///
-/// The accumulation order per component is identical to running
-/// [`chunked_reduce`] twice, so each half of the result is bit-equal to the
+/// The accumulation order per component is identical to running the
+/// standalone kernels, so each half of the result is bit-equal to the
 /// corresponding standalone kernel (`dot(a, b)` and `dot(b, b)`), while
 /// touching `b` only once. This is the workhorse of the prepared-query
 /// angular path, where the query norm is already known.
 #[inline]
 pub(crate) fn dot_norm2(a: &[f32], b: &[f32]) -> (f32, f32) {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc_dp = [0.0f32; LANES];
-    let mut acc_nb = [0.0f32; LANES];
-    let a_chunks = a.chunks_exact(LANES);
-    let b_chunks = b.chunks_exact(LANES);
-    let a_rem = a_chunks.remainder();
-    let b_rem = b_chunks.remainder();
-    for (ca, cb) in a_chunks.zip(b_chunks) {
-        for i in 0..LANES {
-            acc_dp[i] += ca[i] * cb[i];
-            acc_nb[i] += cb[i] * cb[i];
-        }
-    }
-    let mut dp: f32 = acc_dp.iter().sum();
-    let mut nb2: f32 = acc_nb.iter().sum();
-    for (x, y) in a_rem.iter().zip(b_rem) {
-        dp += x * y;
-        nb2 += y * y;
-    }
-    (dp, nb2)
+    simd::dot_norm2(a, b)
 }
 
 /// Squared Euclidean distance `‖a − b‖²`.
 #[inline]
 pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
-    chunked_reduce(a, b, |x, y| {
-        let d = x - y;
-        d * d
-    })
+    debug_assert_eq!(a.len(), b.len());
+    simd::squared_euclidean(a, b)
 }
 
 /// Inner product `⟨a, b⟩`.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    chunked_reduce(a, b, |x, y| x * y)
+    debug_assert_eq!(a.len(), b.len());
+    simd::dot(a, b)
 }
 
 /// Euclidean norm `‖a‖`.
@@ -271,8 +230,8 @@ mod tests {
 
     #[test]
     fn kernels_match_naive_implementations() {
-        // Cross-check the chunked kernels against straightforward loops on a
-        // length that exercises both the vector body and the scalar tail.
+        // Cross-check the dispatched kernels against straightforward loops on
+        // a length that exercises both the vector body and the scalar tail.
         let a: Vec<f32> = (0..37).map(|i| (i as f32 * 0.37).sin()).collect();
         let b: Vec<f32> = (0..37).map(|i| (i as f32 * 0.91).cos()).collect();
         let naive_se: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();

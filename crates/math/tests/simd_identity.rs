@@ -1,0 +1,123 @@
+//! Property tests pinning the SIMD dispatch contract: whatever backend is
+//! active (AVX2, NEON, or the scalar fallback — forced via `MBI_FORCE_SCALAR`
+//! in one CI leg), the Euclidean and inner-product kernels are bit-identical
+//! to the portable scalar reference shape, and the angular paths agree with
+//! the three-pass scalar formula to within `1e-5`.
+
+use mbi_math::simd::{self, scalar};
+use mbi_math::{
+    angular_batch, angular_distance, dot, dot_batch, inv_norm_of, neg_dot_batch, squared_euclidean,
+    squared_euclidean_batch,
+};
+use proptest::prelude::*;
+
+/// The dims the ISSUE calls out: none is a multiple of the 8-lane width, and
+/// 130 exercises stride (32), full-block (8) and scalar tails at once. 32 and
+/// 960 pin the aligned fast paths.
+const DIMS: [usize; 7] = [1, 7, 9, 33, 130, 32, 960];
+
+const MAX_DIM: usize = 960;
+const MAX_ROWS: usize = 4;
+
+fn value_pool() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-8.0f32..8.0, MAX_DIM * (MAX_ROWS + 1))
+}
+
+proptest! {
+    #[test]
+    fn dispatched_euclidean_and_dot_are_bit_identical_to_scalar_reference(
+        dim_idx in 0usize..DIMS.len(),
+        n in 1usize..=MAX_ROWS,
+        pool in value_pool(),
+    ) {
+        let dim = DIMS[dim_idx];
+        let q = &pool[..dim];
+        let rows = &pool[dim..dim * (n + 1)];
+
+        let (mut se, mut dp, mut ndp) = (vec![], vec![], vec![]);
+        squared_euclidean_batch(q, rows, &mut se);
+        dot_batch(q, rows, &mut dp);
+        neg_dot_batch(q, rows, &mut ndp);
+
+        let (mut se_ref, mut dp_ref, mut ndp_ref) = (vec![], vec![], vec![]);
+        scalar::euclidean_batch(q, rows, &mut se_ref);
+        scalar::dot_batch(q, rows, false, &mut dp_ref);
+        scalar::dot_batch(q, rows, true, &mut ndp_ref);
+
+        for i in 0..n {
+            prop_assert_eq!(se[i].to_bits(), se_ref[i].to_bits(), "se dim={} i={}", dim, i);
+            prop_assert_eq!(dp[i].to_bits(), dp_ref[i].to_bits(), "dot dim={} i={}", dim, i);
+            prop_assert_eq!(ndp[i].to_bits(), ndp_ref[i].to_bits(), "neg dim={} i={}", dim, i);
+            // The fused negation is exactly the negated dot, and the per-call
+            // kernels dispatch through the same single-row primitives.
+            prop_assert_eq!(ndp[i].to_bits(), (-dp[i]).to_bits());
+            let row = &rows[i * dim..(i + 1) * dim];
+            prop_assert_eq!(se[i].to_bits(), squared_euclidean(q, row).to_bits());
+            prop_assert_eq!(dp[i].to_bits(), dot(q, row).to_bits());
+        }
+    }
+
+    #[test]
+    fn dispatched_angular_agrees_with_scalar_formula(
+        dim_idx in 0usize..DIMS.len(),
+        n in 1usize..=MAX_ROWS,
+        pool in value_pool(),
+    ) {
+        let dim = DIMS[dim_idx];
+        let q = &pool[..dim];
+        let rows = &pool[dim..dim * (n + 1)];
+        let q_inv = inv_norm_of(q);
+        let inv: Vec<f32> = rows.chunks_exact(dim).map(inv_norm_of).collect();
+
+        let (mut cached, mut uncached) = (vec![], vec![]);
+        angular_batch(q, q_inv, rows, Some(&inv), &mut cached);
+        angular_batch(q, q_inv, rows, None, &mut uncached);
+
+        for (i, row) in rows.chunks_exact(dim).enumerate() {
+            let reference = angular_distance(q, row);
+            prop_assert!((cached[i] - reference).abs() <= 1e-5,
+                "cached dim={} i={}: {} vs {}", dim, i, cached[i], reference);
+            prop_assert!((uncached[i] - reference).abs() <= 1e-5,
+                "uncached dim={} i={}: {} vs {}", dim, i, uncached[i], reference);
+        }
+    }
+
+    #[test]
+    fn dispatched_sq8_kernels_are_bit_identical_to_scalar_reference(
+        dim_idx in 0usize..DIMS.len(),
+        n in 1usize..=MAX_ROWS,
+        pool in value_pool(),
+        codes in prop::collection::vec(any::<u8>(), MAX_DIM * MAX_ROWS),
+    ) {
+        let dim = DIMS[dim_idx];
+        let q = &pool[..dim];
+        let mins = &pool[dim..2 * dim];
+        let deltas: Vec<f32> = pool[2 * dim..3 * dim].iter().map(|x| x.abs() / 255.0).collect();
+        let codes = &codes[..dim * n];
+
+        let (mut se, mut dp) = (vec![], vec![]);
+        simd::sq8_euclidean_batch(q, codes, mins, &deltas, &mut se);
+        simd::sq8_dot_batch(q, codes, mins, &deltas, true, &mut dp);
+
+        let (mut se_ref, mut dp_ref) = (vec![], vec![]);
+        scalar::sq8_euclidean_batch(q, codes, mins, &deltas, &mut se_ref);
+        scalar::sq8_dot_batch(q, codes, mins, &deltas, true, &mut dp_ref);
+
+        for i in 0..n {
+            prop_assert_eq!(se[i].to_bits(), se_ref[i].to_bits(), "sq8 se dim={} i={}", dim, i);
+            prop_assert_eq!(dp[i].to_bits(), dp_ref[i].to_bits(), "sq8 dot dim={} i={}", dim, i);
+        }
+    }
+}
+
+/// Not a proptest, but belongs with these: the env-forced scalar fallback and
+/// the feature-dispatched path must report which backend won so CI can assert
+/// the leg it intended to pin actually ran.
+#[test]
+fn forced_scalar_env_is_respected() {
+    let forced =
+        std::env::var("MBI_FORCE_SCALAR").map(|v| v == "1" || v == "true").unwrap_or(false);
+    if forced {
+        assert_eq!(simd::active_backend(), simd::Backend::Scalar);
+    }
+}
