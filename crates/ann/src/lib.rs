@@ -32,12 +32,16 @@
 //!   [`with_thread_scratch`] supplies a thread-local scratch for callers
 //!   that don't manage their own.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide with a single exception (mirroring
+// `mbi_math::simd`): the `mapped` module holds the raw `mmap`/`madvise`
+// plumbing of the storage tier and is the only place it is allowed.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bruteforce;
 mod graph;
 mod hnsw;
+pub mod mapped;
 mod nndescent;
 mod scratch;
 mod search;
@@ -51,6 +55,7 @@ pub use bruteforce::{
 };
 pub use graph::{Graph, KnnGraph};
 pub use hnsw::{HnswIndex, HnswParams};
+pub use mapped::{Advice, Col, FileMap, PAGE_SIZE};
 pub use nndescent::NnDescentParams;
 pub use scratch::{with_thread_scratch, SearchScratch};
 pub use search::{

@@ -9,6 +9,7 @@
 //! brute-force kernels and the graph-search gather paths stream the same
 //! memory layout as the flat [`VectorStore`](crate::VectorStore).
 
+use crate::mapped::Col;
 use crate::sq8::Sq8Column;
 use crate::store::{VectorStore, VectorView};
 use std::ops::Range;
@@ -19,11 +20,16 @@ use std::sync::Arc;
 /// created once (when a leaf seals or a persisted store loads) and then
 /// shared by `Arc` across the engine's master copy, its write-side tail, and
 /// every published snapshot.
+///
+/// The buffers are [`Col`]s: heap-owned for segments sealed in RAM,
+/// mapped-in-place for segments the storage tier rehydrates straight from a
+/// checkpoint file. Every search kernel sees a plain slice either way, so hot
+/// and cold segments are bit-identical to scan.
 #[derive(Clone, Debug)]
 pub struct Segment {
     dim: usize,
-    pub(crate) data: Vec<f32>,
-    pub(crate) inv_norms: Option<Vec<f32>>,
+    pub(crate) data: Col<f32>,
+    pub(crate) inv_norms: Option<Col<f32>>,
     pub(crate) sq8: Option<Sq8Column>,
 }
 
@@ -33,7 +39,34 @@ impl Segment {
     /// moves with the data, bit-identical to its insert-time values.
     pub fn from_store(store: VectorStore) -> Self {
         let (dim, data, inv_norms) = store.into_parts();
-        Segment { dim, data, inv_norms, sq8: None }
+        Segment { dim, data: data.into(), inv_norms: inv_norms.map(Into::into), sq8: None }
+    }
+
+    /// Assembles a segment from owned-or-mapped columns — the storage tier's
+    /// zero-copy rehydration path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent: `dim == 0`, a data length that
+    /// is not a whole number of rows, or side columns whose row counts don't
+    /// match the data.
+    pub fn from_cols(
+        dim: usize,
+        data: Col<f32>,
+        inv_norms: Option<Col<f32>>,
+        sq8: Option<Sq8Column>,
+    ) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "flat buffer length not a multiple of dim");
+        let rows = data.len() / dim;
+        if let Some(inv) = &inv_norms {
+            assert_eq!(inv.len(), rows, "inverse-norm column has wrong row count");
+        }
+        if let Some(col) = &sq8 {
+            assert_eq!(col.dim(), dim, "SQ8 column has wrong dimension");
+            assert_eq!(col.len(), rows, "SQ8 column has wrong row count");
+        }
+        Segment { dim, data, inv_norms, sq8 }
     }
 
     /// Copies every row of `view` (and its inverse-norm column, when
@@ -50,7 +83,7 @@ impl Segment {
             }
             row += run;
         }
-        Segment { dim: view.dim(), data, inv_norms: inv, sq8: None }
+        Segment { dim: view.dim(), data: data.into(), inv_norms: inv.map(Into::into), sq8: None }
     }
 
     /// Quantizes the segment's rows into an SQ8 column (idempotent). Called
@@ -158,11 +191,21 @@ impl Segment {
 
     /// Bytes of heap memory held by this segment — raw vectors, the
     /// inverse-norm column (the flat store's `memory_bytes` historically
-    /// forgot the column; both now count it), and the SQ8 column.
+    /// forgot the column; both now count it), and the SQ8 column. Mapped
+    /// columns report 0: their residency belongs to the storage tier's block
+    /// cache, not the segment.
     pub fn memory_bytes(&self) -> usize {
-        self.data.capacity() * std::mem::size_of::<f32>()
-            + self.inv_norms.as_ref().map_or(0, |inv| inv.capacity() * std::mem::size_of::<f32>())
+        self.data.heap_bytes()
+            + self.inv_norms.as_ref().map_or(0, Col::heap_bytes)
             + self.sq8.as_ref().map_or(0, Sq8Column::memory_bytes)
+    }
+
+    /// Whether any column of this segment views mapped file bytes (a
+    /// cold-tier segment).
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
+            || self.inv_norms.as_ref().is_some_and(Col::is_mapped)
+            || self.sq8.as_ref().is_some_and(Sq8Column::is_mapped)
     }
 
     /// Bytes occupied by the stored vectors only (length, not capacity).
@@ -271,6 +314,31 @@ impl SegmentStore {
             );
         }
         self.segments.push(seg);
+    }
+
+    /// Assembles a full-width store from pre-pinned segments — the storage
+    /// tier's per-query path. Slot `i` covers global rows
+    /// `i*seg_rows..(i+1)*seg_rows`; slots for blocks *outside* the query's
+    /// selection cover may hold a shared **empty placeholder** segment.
+    /// Touching a placeholder row panics (slice out of bounds) rather than
+    /// returning wrong data, which makes any selection/cover mismatch a loud
+    /// logic bug instead of silent corruption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, `seg_rows == 0`, or a non-empty segment has the
+    /// wrong dimension or row count. Column-presence uniformity is *not*
+    /// required across slots (placeholders carry no columns).
+    pub fn from_pinned(dim: usize, seg_rows: usize, segments: Vec<Arc<Segment>>) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert!(seg_rows > 0, "segment size must be positive");
+        for seg in &segments {
+            if !seg.is_empty() {
+                assert_eq!(seg.dim(), dim, "segment has wrong dimension");
+                assert_eq!(seg.len(), seg_rows, "segment has wrong row count");
+            }
+        }
+        SegmentStore { dim, seg_rows, segments }
     }
 
     /// Row `i`.

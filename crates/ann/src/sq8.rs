@@ -18,22 +18,27 @@
 //! * `‖q − x̂ᵢ‖² = ‖q‖² − 2(qm + Sᵢ) + ‖x̂ᵢ‖²`
 //! * `angular(q, x̂ᵢ)` from `⟨q, x̂ᵢ⟩` and the stored `‖x̂ᵢ‖²`.
 
+use crate::mapped::Col;
 use mbi_math::{angular_from_parts, dot, inv_norm_of, Metric, PreparedQuery};
 
 /// The SQ8 side data of one segment: affine parameters, the code matrix, and
 /// the decoded squared norm of each row.
+///
+/// The buffers are [`Col`]s: heap-owned for segments sealed in RAM,
+/// mapped-in-place for segments rehydrated from a checkpoint by the storage
+/// tier. Both forms scan bit-identically.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Sq8Column {
     dim: usize,
     /// Row-major `u8` codes, `rows × dim`.
-    codes: Vec<u8>,
+    codes: Col<u8>,
     /// Per-dimension minimum (the affine offset), length `dim`.
-    mins: Vec<f32>,
+    mins: Col<f32>,
     /// Per-dimension step `(max − min)/255`; `0.0` for constant dimensions.
-    deltas: Vec<f32>,
+    deltas: Col<f32>,
     /// `‖x̂ᵢ‖²` of every decoded row — stored so the Euclidean and angular
     /// first passes need only the code dot.
-    row_norm2: Vec<f32>,
+    row_norm2: Col<f32>,
 }
 
 impl Sq8Column {
@@ -78,7 +83,13 @@ impl Sq8Column {
             }
             row_norm2.push(n2);
         }
-        Sq8Column { dim, codes, mins, deltas, row_norm2 }
+        Sq8Column {
+            dim,
+            codes: codes.into(),
+            mins: mins.into(),
+            deltas: deltas.into(),
+            row_norm2: row_norm2.into(),
+        }
     }
 
     /// Rebuilds a column from persisted parts, revalidating every shape
@@ -93,6 +104,22 @@ impl Sq8Column {
         mins: Vec<f32>,
         deltas: Vec<f32>,
         row_norm2: Vec<f32>,
+    ) -> Self {
+        Self::from_cols(dim, codes.into(), mins.into(), deltas.into(), row_norm2.into())
+    }
+
+    /// [`Self::from_parts`] over owned-or-mapped columns — the storage tier's
+    /// zero-copy rehydration path. Same shape validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent.
+    pub fn from_cols(
+        dim: usize,
+        codes: Col<u8>,
+        mins: Col<f32>,
+        deltas: Col<f32>,
+        row_norm2: Col<f32>,
     ) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
         assert_eq!(codes.len() % dim, 0, "code buffer length not a multiple of dim");
@@ -169,11 +196,21 @@ impl Sq8Column {
         }
     }
 
-    /// Bytes of heap memory held by the column.
+    /// Whether any buffer of this column views mapped file bytes.
+    pub fn is_mapped(&self) -> bool {
+        self.codes.is_mapped()
+            || self.mins.is_mapped()
+            || self.deltas.is_mapped()
+            || self.row_norm2.is_mapped()
+    }
+
+    /// Bytes of heap memory held by the column (0 for mapped columns, whose
+    /// residency is charged to the tier's block cache).
     pub fn memory_bytes(&self) -> usize {
-        self.codes.capacity()
-            + (self.mins.capacity() + self.deltas.capacity() + self.row_norm2.capacity())
-                * std::mem::size_of::<f32>()
+        self.codes.heap_bytes()
+            + self.mins.heap_bytes()
+            + self.deltas.heap_bytes()
+            + self.row_norm2.heap_bytes()
     }
 }
 

@@ -10,8 +10,8 @@
 //! queries never wait for a build, read-lock queries occasionally do.
 //!
 //! Beyond the criterion groups, the run writes `BENCH_streaming.json`: the
-//! per-publication latency series `(sealed_rows, micros)` from
-//! [`EngineStats::publish_micros`]. With the segment-shared snapshot store,
+//! per-publication latency series `(sealed_rows, nanos)` from
+//! [`EngineStats::publish_nanos`]. With the segment-shared snapshot store,
 //! publication is `O(leaves)` pointer copies — the series must stay flat as
 //! the sealed prefix grows by an order of magnitude (the old
 //! materialise-the-prefix scheme grew linearly with `sealed_rows`).
@@ -183,6 +183,7 @@ fn bench_query_under_ingest(c: &mut Criterion) {
 struct PublicationSample {
     sealed_rows: u64,
     publish_micros: u64,
+    publish_nanos: u64,
 }
 
 /// Insert-latency percentiles for one WAL configuration, over the same row
@@ -190,9 +191,14 @@ struct PublicationSample {
 #[derive(Serialize)]
 struct WalOverheadRow {
     mode: &'static str,
+    /// Micros views round sub-µs inserts to 0 — kept for continuity; the
+    /// nanos fields are the measurement.
     p50_micros: u64,
     p99_micros: u64,
     max_micros: u64,
+    p50_nanos: u64,
+    p99_nanos: u64,
+    max_nanos: u64,
 }
 
 #[derive(Serialize)]
@@ -234,13 +240,16 @@ fn measure_wal_overhead() -> (usize, Vec<WalOverheadRow>) {
             engine.insert(v, t).unwrap();
         }
         engine.flush();
-        let mut micros = engine.stats().insert_micros;
-        micros.sort_unstable();
+        let mut nanos = engine.stats().insert_nanos;
+        nanos.sort_unstable();
         WalOverheadRow {
             mode,
-            p50_micros: percentile(&micros, 0.5),
-            p99_micros: percentile(&micros, 0.99),
-            max_micros: micros.last().copied().unwrap_or(0),
+            p50_micros: percentile(&nanos, 0.5) / 1_000,
+            p99_micros: percentile(&nanos, 0.99) / 1_000,
+            max_micros: nanos.last().copied().unwrap_or(0) / 1_000,
+            p50_nanos: percentile(&nanos, 0.5),
+            p99_nanos: percentile(&nanos, 0.99),
+            max_nanos: nanos.last().copied().unwrap_or(0),
         }
     };
     let dir = std::env::temp_dir().join(format!("mbi_bench_walov_{}", std::process::id()));
@@ -273,13 +282,17 @@ fn write_publication_summary() {
     engine.flush();
     let series: Vec<PublicationSample> = engine
         .stats()
-        .publish_micros
+        .publish_nanos
         .iter()
-        .map(|&(sealed_rows, publish_micros)| PublicationSample { sealed_rows, publish_micros })
+        .map(|&(sealed_rows, nanos)| PublicationSample {
+            sealed_rows,
+            publish_micros: nanos / 1_000,
+            publish_nanos: nanos,
+        })
         .collect();
     let quarter = (series.len() / 4).max(1);
     let mean = |s: &[PublicationSample]| {
-        s.iter().map(|p| p.publish_micros as f64).sum::<f64>() / s.len() as f64
+        s.iter().map(|p| p.publish_nanos as f64 / 1_000.0).sum::<f64>() / s.len() as f64
     };
     let early = mean(&series[..quarter]);
     let late = mean(&series[series.len() - quarter..]);
@@ -312,12 +325,12 @@ fn write_publication_summary() {
                 );
                 for row in &summary.wal_overhead {
                     println!(
-                        "insert {} ({} rows): p50 {} µs  p99 {} µs  max {} µs",
+                        "insert {} ({} rows): p50 {} ns  p99 {} ns  max {} ns",
                         row.mode,
                         summary.wal_overhead_rows,
-                        row.p50_micros,
-                        row.p99_micros,
-                        row.max_micros,
+                        row.p50_nanos,
+                        row.p99_nanos,
+                        row.max_nanos,
                     );
                 }
             }

@@ -80,12 +80,31 @@ pub struct MbiConfig {
     /// `k × sq8_overfetch` candidates for exact reranking. Larger values
     /// trade first-pass win for recall; `≥ 1`.
     pub sq8_overfetch: f32,
+    /// RAM budget of the cold-tier block cache, in bytes. Only consulted by
+    /// [`crate::tier::ColdIndex`]: leaf records and internal-block graphs
+    /// loaded from a v7 file count against this budget and the
+    /// least-recently-used ones are evicted once it is exceeded. `u64::MAX`
+    /// (the default) keeps everything resident; `0` forces every load to be
+    /// evicted as soon as it is unpinned — the all-cold stress configuration.
+    /// In-RAM indexes ignore the budget. (Files persisted before v7 load
+    /// with the default.)
+    pub ram_budget_bytes: u64,
+    /// Shard count of the cold-tier block cache's LRU map; `≥ 1`. More
+    /// shards reduce lock contention under concurrent queries at the price
+    /// of a slightly less accurate global LRU order.
+    pub cache_shards: usize,
 }
 
 /// Default SQ8 over-fetch: 3× keeps recall ≥ 0.95 across the paper's
 /// datasets while the rerank stays ≪ the first-pass cost.
 pub(crate) fn default_sq8_overfetch() -> f32 {
     3.0
+}
+
+/// Default cold-cache shard count: enough to keep eight querying threads
+/// from serialising on one mutex while the LRU order stays close to global.
+pub(crate) fn default_cache_shards() -> usize {
+    8
 }
 
 impl MbiConfig {
@@ -103,6 +122,8 @@ impl MbiConfig {
             query_threads: 0,
             sq8_scan: false,
             sq8_overfetch: default_sq8_overfetch(),
+            ram_budget_bytes: u64::MAX,
+            cache_shards: default_cache_shards(),
         }
     }
 
@@ -174,6 +195,23 @@ impl MbiConfig {
         self
     }
 
+    /// Sets the cold-tier cache budget (see [`MbiConfig::ram_budget_bytes`]).
+    pub fn with_ram_budget_bytes(mut self, bytes: u64) -> Self {
+        self.ram_budget_bytes = bytes;
+        self
+    }
+
+    /// Sets the cold-tier cache shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "cache shards must be positive");
+        self.cache_shards = shards;
+        self
+    }
+
     /// Expected out-degree of a block graph under the configured backend —
     /// the per-visit cost factor in the query planner's scan-vs-graph
     /// dispatch (each visited vertex evaluates ≈ degree neighbour
@@ -213,6 +251,23 @@ mod tests {
         assert_eq!(c.tau, 0.5, "§5.4.2 recommends τ = 0.5 by default");
         assert!(!c.parallel_build);
         assert_eq!(c.query_threads, 0, "auto fan-out by default");
+        assert_eq!(c.ram_budget_bytes, u64::MAX, "everything resident");
+        assert_eq!(c.cache_shards, 8);
+    }
+
+    #[test]
+    fn tier_builders() {
+        let c = MbiConfig::new(4, Metric::Euclidean)
+            .with_ram_budget_bytes(1 << 20)
+            .with_cache_shards(2);
+        assert_eq!(c.ram_budget_bytes, 1 << 20);
+        assert_eq!(c.cache_shards, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache shards must be positive")]
+    fn zero_cache_shards_rejected() {
+        MbiConfig::new(4, Metric::Euclidean).with_cache_shards(0);
     }
 
     #[test]

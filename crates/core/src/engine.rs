@@ -67,7 +67,7 @@
 //! rebuilds the exact acked state — snapshot plus WAL replay, tolerating a
 //! torn final record — after a crash. [`WalSync`] picks the fsync cadence.
 
-use crate::block::Block;
+use crate::block::{Block, SharedBlocks};
 use crate::config::MbiConfig;
 use crate::error::MbiError;
 use crate::fail;
@@ -202,7 +202,7 @@ pub struct EngineConfig {
     /// divided by `builder_threads`; default 0). Graphs are bit-identical
     /// for every value.
     pub build_threads: usize,
-    /// Record per-insert latency micros into [`EngineStats::insert_micros`]
+    /// Record per-insert latency into [`EngineStats::insert_nanos`]
     /// (default true; turn off to shave the `Instant` reads in ingest-bound
     /// deployments).
     pub record_insert_latency: bool,
@@ -301,9 +301,12 @@ pub struct EngineStats {
     /// Chain-build panics caught and retried (or halted on).
     pub build_panics: u64,
     /// Per-insert wall-clock micros, in insert order (empty when
-    /// [`EngineConfig::record_insert_latency`] is off).
+    /// [`EngineConfig::record_insert_latency`] is off). Derived from
+    /// [`EngineStats::insert_nanos`] by integer division — a sub-µs insert
+    /// rounds to `0` here; use the nanos series for percentiles.
     pub insert_micros: Vec<u64>,
-    /// Per-chain graph-build wall-clock micros, in completion order.
+    /// Per-chain graph-build wall-clock micros, in completion order
+    /// (derived from [`EngineStats::build_nanos`]).
     pub build_micros: Vec<u64>,
     /// One `(sealed_rows, micros)` sample per snapshot publication, in
     /// publication order: how many rows the published snapshot covers and
@@ -311,8 +314,19 @@ pub struct EngineStats {
     /// assembling the pointer-shared snapshot, swapping it in, trimming the
     /// tail — everything except the lock-free graph build). With the
     /// segment-shared store this stays flat as `sealed_rows` grows; the
-    /// `streaming_ingest` bench records the series as evidence.
+    /// `streaming_ingest` bench records the series as evidence. Derived
+    /// from [`EngineStats::publish_nanos`].
     pub publish_micros: Vec<(u64, u64)>,
+    /// Per-insert wall-clock nanoseconds — the samples behind
+    /// [`EngineStats::insert_micros`] at full clock resolution. A streaming
+    /// insert is an append plus a channel send and routinely finishes under
+    /// a microsecond, so latency percentiles must be computed here.
+    pub insert_nanos: Vec<u64>,
+    /// Per-chain graph-build wall-clock nanoseconds, in completion order.
+    pub build_nanos: Vec<u64>,
+    /// Per-publication `(sealed_rows, nanos)` samples, in publication
+    /// order.
+    pub publish_nanos: Vec<(u64, u64)>,
 }
 
 /// An immutable published view of the sealed prefix: leaf-sized shared
@@ -321,15 +335,16 @@ pub struct EngineStats {
 ///
 /// Everything in a snapshot is shared by `Arc`: consecutive snapshots of the
 /// same engine hold the *same* segments, timestamp chunks, and blocks for
-/// their common prefix, so publishing a new snapshot costs `O(leaves)`
-/// pointer copies (never a row copy) and a retired snapshot frees only what
-/// no newer snapshot still references.
+/// their common prefix, so publishing a new snapshot costs `O(segments)`
+/// pointer copies for the store plus `O(1)` amortised for the chunk-shared
+/// [`SharedBlocks`] array (never a row copy), and a retired snapshot frees
+/// only what no newer snapshot still references.
 #[derive(Clone, Debug)]
 pub struct IndexSnapshot {
     pub(crate) config: MbiConfig,
     pub(crate) store: SegmentStore,
     pub(crate) times: TimeChunks,
-    pub(crate) blocks: Vec<Arc<Block>>,
+    pub(crate) blocks: SharedBlocks,
     pub(crate) num_leaves: usize,
 }
 
@@ -338,13 +353,13 @@ impl IndexSnapshot {
         IndexSnapshot {
             store: SegmentStore::new(config.dim, config.leaf_size),
             times: TimeChunks::new(config.leaf_size),
-            blocks: Vec::new(),
+            blocks: SharedBlocks::new(),
             num_leaves: 0,
             config,
         }
     }
 
-    fn target(&self) -> QueryTarget<'_, Arc<Block>, SegmentStore, TimeChunks> {
+    fn target(&self) -> QueryTarget<'_, SharedBlocks, SegmentStore, TimeChunks> {
         QueryTarget {
             config: &self.config,
             store: &self.store,
@@ -374,8 +389,8 @@ impl IndexSnapshot {
         self.num_leaves
     }
 
-    /// The published postorder block array.
-    pub fn blocks(&self) -> &[Arc<Block>] {
+    /// The published postorder block array (chunk-shared across snapshots).
+    pub fn blocks(&self) -> &SharedBlocks {
         &self.blocks
     }
 
@@ -462,6 +477,16 @@ impl IndexSnapshot {
     pub fn exact_query(&self, query: &[f32], k: usize, window: TimeWindow) -> Vec<TknnResult> {
         self.target().exact_query(query, k, window)
     }
+
+    /// Bytes of heap memory the snapshot holds: vector segments with every
+    /// side column (inverse norms *and* the SQ8 code column when the engine
+    /// quantizes), timestamp chunks, and block graphs. Structure shared
+    /// with other snapshots or the engine tail is counted once per holder;
+    /// mapped (cold-tier) columns count `0` — their residency is charged to
+    /// [`crate::tier::TierStats::bytes_resident`] instead.
+    pub fn memory_bytes(&self) -> usize {
+        self.store.memory_bytes() + self.times.memory_bytes() + self.blocks.memory_bytes()
+    }
 }
 
 /// The write-side tail: rows not yet covered by the published snapshot.
@@ -536,7 +561,10 @@ struct Master {
     store: SegmentStore,
     /// Timestamp chunks parallel to `store`.
     times: TimeChunks,
-    blocks: Vec<Arc<Block>>,
+    /// The postorder block array, chunk-shared with every published
+    /// snapshot — publication shares it in amortised `O(1)` instead of
+    /// cloning `O(blocks)` pointers.
+    blocks: SharedBlocks,
     ready: BTreeMap<usize, Vec<Block>>,
     published_leaves: usize,
     enqueued_leaves: usize,
@@ -574,9 +602,9 @@ struct Shared {
     inline_builds: AtomicU64,
     spawn_failures: AtomicU64,
     build_panics: AtomicU64,
-    insert_micros: Mutex<Vec<u64>>,
-    build_micros: Mutex<Vec<u64>>,
-    publish_micros: Mutex<Vec<(u64, u64)>>,
+    insert_nanos: Mutex<Vec<u64>>,
+    build_nanos: Mutex<Vec<u64>>,
+    publish_nanos: Mutex<Vec<(u64, u64)>>,
 }
 
 impl Shared {
@@ -657,7 +685,7 @@ impl StreamingMbi {
             master: Mutex::new(Master {
                 store: SegmentStore::new(config.dim, config.leaf_size),
                 times: TimeChunks::new(config.leaf_size),
-                blocks: Vec::new(),
+                blocks: SharedBlocks::new(),
                 ready: BTreeMap::new(),
                 published_leaves: 0,
                 enqueued_leaves: 0,
@@ -669,9 +697,9 @@ impl StreamingMbi {
             inline_builds: AtomicU64::new(0),
             spawn_failures: AtomicU64::new(0),
             build_panics: AtomicU64::new(0),
-            insert_micros: Mutex::new(Vec::new()),
-            build_micros: Mutex::new(Vec::new()),
-            publish_micros: Mutex::new(Vec::new()),
+            insert_nanos: Mutex::new(Vec::new()),
+            build_nanos: Mutex::new(Vec::new()),
+            publish_nanos: Mutex::new(Vec::new()),
             config,
             engine,
         });
@@ -847,7 +875,7 @@ impl StreamingMbi {
             self.dispatch(leaf);
         }
         if let Some(t0) = t0 {
-            self.shared.insert_micros.lock().push(t0.elapsed().as_micros() as u64);
+            self.shared.insert_nanos.lock().push(t0.elapsed().as_nanos() as u64);
         }
         match seal_wal_err {
             Some(e) => Err(e),
@@ -1049,6 +1077,9 @@ impl StreamingMbi {
                 m.blocks.iter().map(|b| b.height).max().unwrap_or(0),
             )
         };
+        let insert_nanos = self.shared.insert_nanos.lock().clone();
+        let build_nanos = self.shared.build_nanos.lock().clone();
+        let publish_nanos = self.shared.publish_nanos.lock().clone();
         EngineStats {
             seals,
             published_leaves,
@@ -1058,9 +1089,12 @@ impl StreamingMbi {
             inline_builds: self.shared.inline_builds.load(Ordering::Relaxed),
             spawn_failures: self.shared.spawn_failures.load(Ordering::Relaxed),
             build_panics: self.shared.build_panics.load(Ordering::Relaxed),
-            insert_micros: self.shared.insert_micros.lock().clone(),
-            build_micros: self.shared.build_micros.lock().clone(),
-            publish_micros: self.shared.publish_micros.lock().clone(),
+            insert_micros: insert_nanos.iter().map(|&n| n / 1_000).collect(),
+            build_micros: build_nanos.iter().map(|&n| n / 1_000).collect(),
+            publish_micros: publish_nanos.iter().map(|&(rows, n)| (rows, n / 1_000)).collect(),
+            insert_nanos,
+            build_nanos,
+            publish_nanos,
         }
     }
 
@@ -1134,7 +1168,7 @@ impl StreamingMbi {
                 config,
                 store: m.store.share(0..num_leaves * s_l),
                 times: m.times.share_prefix(num_leaves),
-                blocks: m.blocks.clone(),
+                blocks: m.blocks.share(),
                 num_leaves,
             });
             tail.first_row = num_leaves * s_l;
@@ -1420,7 +1454,7 @@ fn process_chain(shared: &Shared, leaf: usize) {
     );
     // Record before publication so a flush() that returns has every
     // published chain's sample in view.
-    shared.build_micros.lock().push(t0.elapsed().as_micros() as u64);
+    shared.build_nanos.lock().push(t0.elapsed().as_nanos() as u64);
 
     // Stage, then publish every consecutive ready chain in leaf order. The
     // publish decision is against the live snapshot (not just "did this
@@ -1446,7 +1480,8 @@ fn process_chain(shared: &Shared, leaf: usize) {
                 config: shared.config,
                 store: m.store.share(0..m.published_leaves * s_l),
                 times: m.times.share_prefix(m.published_leaves),
-                blocks: m.blocks.clone(),
+                // Chunk-shared: amortised O(1), not an O(blocks) clone.
+                blocks: m.blocks.share(),
                 num_leaves: m.published_leaves,
             })
         })
@@ -1478,7 +1513,7 @@ fn process_chain(shared: &Shared, leaf: usize) {
                 tail.first_row += s_l;
             }
         }
-        shared.publish_micros.lock().push((sealed as u64, t_pub.elapsed().as_micros() as u64));
+        shared.publish_nanos.lock().push((sealed as u64, t_pub.elapsed().as_nanos() as u64));
         shared.publish_cv.notify_all();
     }
 }
@@ -1633,6 +1668,27 @@ mod tests {
         for i in from..to {
             engine.insert(&[i as f32, 0.0], i as i64).unwrap();
         }
+    }
+
+    #[test]
+    fn snapshot_memory_accounts_for_sq8_column() {
+        let run = |sq8: bool| {
+            let engine = StreamingMbi::new(config().with_sq8_scan(sq8));
+            fill(&engine, 64);
+            engine.flush();
+            engine.snapshot().memory_bytes()
+        };
+        let (plain, quantized) = (run(false), run(true));
+        assert!(plain > 0);
+        // 64 rows × 2 dims of u8 codes plus per-segment mins/deltas/norms:
+        // the quantized snapshot must report strictly more resident bytes.
+        assert!(quantized > plain, "sq8 column unaccounted: sq8 on {quantized} <= off {plain}");
+        let per_seg = 2 * 4 + 2 * 4 + 8 * 4; // mins + deltas + row_norm2 (8 rows)
+        let codes = 64 * 2;
+        assert!(
+            quantized >= plain + codes + 8 * per_seg / 2,
+            "sq8 accounting smaller than the column itself: {quantized} vs {plain}"
+        );
     }
 
     #[test]

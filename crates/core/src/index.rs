@@ -169,14 +169,15 @@ pub(crate) fn assemble_blocks<T: TimeSource + ?Sized>(
 /// timestamp bounds match its rows, and that every graph edge stays inside
 /// its block — invariants 3–5 of [`MbiIndex::validate`], shared with
 /// [`IndexSnapshot::validate`](crate::IndexSnapshot::validate).
-pub(crate) fn validate_blocks<B, T>(
+pub(crate) fn validate_blocks<A, T>(
     leaf_size: usize,
     num_leaves: usize,
-    blocks: &[B],
+    blocks: &A,
     timestamps: &T,
 ) -> Result<(), String>
 where
-    B: Borrow<Block>,
+    A: crate::select::BlockArray + ?Sized,
+    A::Item: Borrow<Block>,
     T: TimeSource + ?Sized,
 {
     // Reconstruct the expected postorder layout.
@@ -196,8 +197,8 @@ where
             blocks.len()
         ));
     }
-    for (i, ((rows, height), block)) in expected.iter().zip(blocks).enumerate() {
-        let block: &Block = block.borrow();
+    for (i, (rows, height)) in expected.iter().enumerate() {
+        let block: &Block = blocks.at(i).borrow();
         if block.rows != *rows || block.height != *height {
             return Err(format!(
                 "block {i}: expected rows {rows:?} height {height}, found {:?} height {}",
@@ -408,7 +409,7 @@ impl MbiIndex {
 
     /// The borrowed [`QueryTarget`] view of this index — the shared query
     /// executor used by both this type and the streaming engine's snapshots.
-    pub(crate) fn target(&self) -> QueryTarget<'_, Block, VectorStore, [Timestamp]> {
+    pub(crate) fn target(&self) -> QueryTarget<'_, [Block], VectorStore, [Timestamp]> {
         QueryTarget {
             config: &self.config,
             store: &self.store,

@@ -49,6 +49,7 @@
 //! | [`persist`] | — | binary save/load of a built index |
 //! | [`concurrent`] | — | [`ConcurrentMbi`]: queries concurrent with ingest |
 //! | [`engine`] | — | [`StreamingMbi`]: background builds, snapshot publication |
+//! | [`tier`] | — | [`ColdIndex`]: mmap-backed cold tier, LRU block cache, prefetch |
 //! | [`times`] | — | [`TimeChunks`]: chunk-shared timestamp column for snapshots |
 //! | [`tuner`] | §5.4.2 | [`TauTuner`]: per-window-length `τ` calibration |
 //! | [`wal`] | — | [`Wal`]: segmented, checksummed write-ahead log |
@@ -67,11 +68,12 @@ pub mod index;
 pub mod persist;
 pub(crate) mod query_exec;
 pub mod select;
+pub mod tier;
 pub mod times;
 pub mod tuner;
 pub mod wal;
 
-pub use block::{Block, BlockGraph};
+pub use block::{Block, BlockGraph, SharedBlocks};
 pub use concurrent::ConcurrentMbi;
 pub use config::{GraphBackend, MbiConfig};
 pub use engine::{
@@ -81,6 +83,7 @@ pub use engine::{
 pub use error::MbiError;
 pub use index::{LevelStats, MbiIndex, QueryOutput, TknnResult};
 pub use select::{SearchBlockSet, TimeWindow};
+pub use tier::{ColdIndex, TierStats};
 pub use times::TimeChunks;
 pub use tuner::TauTuner;
 pub use wal::Wal;

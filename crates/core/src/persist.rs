@@ -35,6 +35,38 @@
 //! fsync, rename, directory fsync — a crash mid-save leaves the previous
 //! file intact.
 //!
+//! # Format v7: page-aligned leaf records for the cold tier
+//!
+//! v7 keeps the v5/v6 envelope (same footer, same four sections) but lays
+//! the snapshot `data` section out so [`crate::tier::ColdIndex`] can mmap
+//! the file and load each leaf independently, without touching (faulting)
+//! the rest:
+//!
+//! ```text
+//! data   := num_leaves:u64 seg_rows:u64 has_norms:u8 has_sq8:u8
+//!           leaf_dir[num_leaves] dir_crc:u32 pad(page) record[num_leaves]
+//! leaf_dir := record_off:u64 graph_off:u64 graph_len:u64
+//!             crc_ts:u32 crc_rows:u32 crc_inv:u32 crc_sq8:u32 crc_graph:u32
+//! record := ts:i64[s_l] rows:f32[s_l·d] [inv:f32[s_l]]
+//!           [mins:f32[d] deltas:f32[d] row_norm2:f32[s_l] codes:u8[s_l·d]]
+//!           graph pad(page)
+//! blocks := num_blocks:u64 block_meta[num_blocks] meta_crc:u32 graphs
+//! block_meta := rows:u64×2 height:u32 start_ts:i64 end_ts:i64
+//!               graph_off:u64 graph_len:u64 graph_crc:u32
+//! ```
+//!
+//! Every record starts on a 4096-byte page boundary and co-locates the leaf
+//! block's graph with its vectors (one contiguous read brings in everything
+//! a block search needs); offsets are absolute, so the directory alone
+//! resolves any leaf. Internal (height ≥ 1) block graphs are concatenated
+//! after the block metadata; leaf block entries point back into the leaf
+//! records. The per-piece CRCs let the cold reader verify lazily, piece by
+//! piece, while the footer's whole-section CRCs still guard eager loads.
+//! Index-kind (`MbiIndex`) v7 streams keep the flat v6 body; the config
+//! record gains the cold-tier knobs (`ram_budget_bytes`, `cache_shards`) in
+//! both kinds. Versions 2–6 remain readable; pre-v7 streams load with the
+//! tier knobs at their defaults (everything resident).
+//!
 //! ```
 //! use mbi_core::{MbiConfig, MbiIndex, TimeWindow};
 //! use mbi_math::Metric;
@@ -73,15 +105,21 @@ const MAGIC: &[u8; 4] = b"MBI1";
 // unifies both kinds under one checksummed envelope (kind byte + per-section
 // CRC32s + footer); the body keeps the v3 (index) / v4 (snapshot) layout.
 // v6 keeps the v5 envelope and appends the SQ8 knobs to the config record
-// plus an optional per-leaf SQ8 code column to snapshot bodies.
-// v2–v5 streams are still readable.
-const VERSION: u32 = 6;
+// plus an optional per-leaf SQ8 code column to snapshot bodies. v7 keeps
+// the envelope and rewrites snapshot data sections as page-aligned leaf
+// records with CRC directories (see the module docs).
+// v2–v6 streams are still readable.
+const VERSION: u32 = 7;
 const OLDEST_READABLE_VERSION: u32 = 2;
 const SNAPSHOT_BODY_VERSION: u32 = 4;
 const INDEX_BODY_VERSION: u32 = 3;
 /// Body layout of both kinds under a v6 envelope: the legacy layout plus the
 /// config extension (and, for snapshots, the per-leaf SQ8 column).
 const SQ8_BODY_VERSION: u32 = 6;
+/// Body layout under a v7 envelope: the config gains the cold-tier knobs;
+/// snapshot data sections become page-aligned self-contained leaf records
+/// (index bodies keep the v6 flat layout plus the config extension).
+const TIER_BODY_VERSION: u32 = 7;
 
 const KIND_INDEX: u8 = 0;
 const KIND_SNAPSHOT: u8 = 1;
@@ -91,6 +129,15 @@ const FOOTER_MAGIC: &[u8; 4] = b"MBIF";
 const SECTIONS: [&str; 4] = ["header", "config", "data", "blocks"];
 /// magic + version + kind.
 const HEADER_LEN: usize = 4 + 4 + 1;
+/// v7 leaf records start on this boundary, so a mapped read of one record
+/// faults only its own pages.
+pub(crate) const PAGE: usize = mbi_ann::PAGE_SIZE;
+/// v7 leaf-directory entry: `record_off` + `graph_off` + `graph_len` + five
+/// per-piece CRCs (ts, rows, inv, sq8, graph).
+const LEAF_DIR_ENTRY_LEN: usize = 8 * 3 + 4 * 5;
+/// v7 block-directory entry: row range + height + timestamp span + graph
+/// location (`graph_off`, `graph_len`, `graph_crc`).
+const BLOCK_DIR_ENTRY_LEN: usize = 8 * 2 + 4 + 8 * 2 + 8 * 2 + 4;
 
 /// A byte source that knows its absolute position in the original stream,
 /// so every parse failure reports the offset where it happened.
@@ -190,9 +237,13 @@ fn write_footer(b: &mut BytesMut, bounds: &[usize]) {
     b.put_slice(FOOTER_MAGIC);
 }
 
-/// Verifies a v5 stream's footer and every section CRC; returns the body
-/// region `(start, end)` — the bytes after the kind byte, before the footer.
-fn verify_v5(b: &Bytes) -> Result<(usize, usize), MbiError> {
+/// Parses and structurally verifies a v5+ footer on a raw byte slice: the
+/// footer's own CRC is checked and the sections must tile the stream, but
+/// the sections themselves are *not* hashed — [`verify_v5`] does that for
+/// eager loads, while the cold (mmap) reader verifies lazily per piece so
+/// opening a file never faults its data pages. Returns each section's
+/// absolute byte range and stored CRC, in [`SECTIONS`] order.
+fn parse_footer(b: &[u8]) -> Result<[(usize, usize, u32); 4], MbiError> {
     let total = b.len();
     // footer_crc + footer_len + trailing magic is the minimal suffix.
     if total < HEADER_LEN + 12 {
@@ -201,8 +252,7 @@ fn verify_v5(b: &Bytes) -> Result<(usize, usize), MbiError> {
     if &b[total - 4..] != FOOTER_MAGIC {
         return Err(MbiError::corrupt(total - 4, "bad footer magic"));
     }
-    let footer_len =
-        u32::from_le_bytes(b[total - 8..total - 4].try_into().expect("4 bytes")) as usize;
+    let footer_len = rd_u32(b, total - 8) as usize;
     let trailer_len = footer_len + 8; // + footer_len field + magic
     if footer_len < 9 || trailer_len > total - HEADER_LEN {
         return Err(MbiError::corrupt(
@@ -212,8 +262,7 @@ fn verify_v5(b: &Bytes) -> Result<(usize, usize), MbiError> {
     }
     let footer_start = total - 8 - footer_len;
     let footer = &b[footer_start..total - 8];
-    let stored_footer_crc =
-        u32::from_le_bytes(footer[footer_len - 4..].try_into().expect("4 bytes"));
+    let stored_footer_crc = rd_u32(footer, footer_len - 4);
     let computed = crc32(&footer[..footer_len - 4]);
     if computed != stored_footer_crc {
         return Err(MbiError::ChecksumMismatch {
@@ -222,40 +271,68 @@ fn verify_v5(b: &Bytes) -> Result<(usize, usize), MbiError> {
             got: computed,
         });
     }
-    let mut f = Src::with_base(b.slice(footer_start..total - 12), footer_start);
-    f.need(1)?;
-    let count = f.get_u8() as usize;
+    let count = footer[0] as usize;
     if count != SECTIONS.len() {
-        return Err(
-            f.corrupt(format!("expected {} sections, footer lists {count}", SECTIONS.len()))
-        );
+        return Err(MbiError::corrupt(
+            footer_start,
+            format!("expected {} sections, footer lists {count}", SECTIONS.len()),
+        ));
     }
+    if footer_len != 1 + SECTIONS.len() * (1 + 8 + 4) + 4 {
+        return Err(MbiError::corrupt(footer_start, "trailing bytes in footer"));
+    }
+    let mut sections = [(0usize, 0usize, 0u32); 4];
     let mut pos = 0usize;
     for (i, &name) in SECTIONS.iter().enumerate() {
-        f.need(1 + 8 + 4)?;
-        let tag = f.get_u8() as usize;
+        let e = 1 + i * (1 + 8 + 4);
+        let tag = footer[e] as usize;
         if tag != i {
-            return Err(f.corrupt(format!("section {i} has tag {tag}")));
+            return Err(MbiError::corrupt(footer_start + e, format!("section {i} has tag {tag}")));
         }
-        let len = f.get_u64_le() as usize;
-        let expected = f.get_u32_le();
-        let end = pos.checked_add(len).filter(|&e| e <= footer_start);
+        let len = rd_u64(footer, e + 1) as usize;
+        let end = pos.checked_add(len).filter(|&end| end <= footer_start);
         let Some(end) = end else {
-            return Err(f.corrupt(format!("section {name:?} of {len} bytes overruns the stream")));
+            return Err(MbiError::corrupt(
+                footer_start + e + 1,
+                format!("section {name:?} of {len} bytes overruns the stream"),
+            ));
         };
-        let got = crc32(&b[pos..end]);
-        if got != expected {
-            return Err(MbiError::ChecksumMismatch { section: name, expected, got });
-        }
+        sections[i] = (pos, end, rd_u32(footer, e + 9));
         pos = end;
-    }
-    if f.has_remaining() {
-        return Err(f.corrupt("trailing bytes in footer"));
     }
     if pos != footer_start {
         return Err(MbiError::corrupt(pos, "sections do not tile the stream"));
     }
-    Ok((HEADER_LEN, footer_start))
+    Ok(sections)
+}
+
+/// Verifies a v5 stream's footer and every section CRC; returns the body
+/// region `(start, end)` — the bytes after the kind byte, before the footer.
+fn verify_v5(b: &[u8]) -> Result<(usize, usize), MbiError> {
+    let sections = parse_footer(b)?;
+    for (&name, &(start, end, expected)) in SECTIONS.iter().zip(&sections) {
+        let got = crc32(&b[start..end]);
+        if got != expected {
+            return Err(MbiError::ChecksumMismatch { section: name, expected, got });
+        }
+    }
+    Ok((HEADER_LEN, sections[3].1))
+}
+
+fn rd_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes"))
+}
+
+fn rd_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"))
+}
+
+pub(crate) fn rd_i64(b: &[u8], off: usize) -> i64 {
+    i64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"))
+}
+
+pub(crate) fn rd_f32(b: &[u8], off: usize) -> f32 {
+    f32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes"))
 }
 
 impl MbiIndex {
@@ -313,9 +390,17 @@ impl MbiIndex {
         self.encode(5)
     }
 
+    /// Serialises in the pre-cold-tier v6 layout (hidden, for
+    /// backward-compatibility tests).
+    #[doc(hidden)]
+    pub fn to_bytes_v6(&self) -> Bytes {
+        self.encode(6)
+    }
+
     fn encode(&self, version: u32) -> Bytes {
         let body_version = match version {
-            v if v >= 6 => SQ8_BODY_VERSION,
+            v if v >= 7 => TIER_BODY_VERSION,
+            6 => SQ8_BODY_VERSION,
             5 => INDEX_BODY_VERSION,
             v => v,
         };
@@ -380,14 +465,18 @@ impl MbiIndex {
         match version {
             2 | 3 => decode_index_body(&mut src, version),
             4 => Err(src.corrupt("version 4 streams hold a snapshot, not an index")),
-            5 | 6 => {
+            5..=7 => {
                 src.need(1)?;
                 if src.get_u8() != KIND_INDEX {
                     return Err(MbiError::corrupt(8, "stream holds a snapshot, not an index"));
                 }
                 let (start, end) = verify_v5(&b)?;
                 let mut src = Src::with_base(b.slice(start..end), start);
-                let body = if version >= 6 { SQ8_BODY_VERSION } else { INDEX_BODY_VERSION };
+                let body = match version {
+                    7 => TIER_BODY_VERSION,
+                    6 => SQ8_BODY_VERSION,
+                    _ => INDEX_BODY_VERSION,
+                };
                 decode_index_body(&mut src, body)
             }
             v => Err(MbiError::corrupt(4, format!("unsupported version {v}"))),
@@ -401,6 +490,7 @@ fn decode_index_body(src: &mut Src, body_version: u32) -> Result<MbiIndex, MbiEr
     debug_assert!(
         (OLDEST_READABLE_VERSION..=INDEX_BODY_VERSION).contains(&body_version)
             || body_version == SQ8_BODY_VERSION
+            || body_version == TIER_BODY_VERSION
     );
     let config = read_config(src, body_version)?;
 
@@ -509,10 +599,11 @@ impl IndexSnapshot {
         Self::load_from(&mut f)
     }
 
-    /// Serialises the snapshot into one contiguous buffer (v5: checksummed
-    /// sections + footer over a one-record-per-leaf body).
+    /// Serialises the snapshot into one contiguous buffer (v7: checksummed
+    /// sections + footer over page-aligned, directory-indexed leaf records
+    /// that a [`crate::tier::ColdIndex`] can serve straight off disk).
     pub fn to_bytes(&self) -> Bytes {
-        self.encode(VERSION)
+        self.encode_v7()
     }
 
     /// Serialises in the unchecksummed v4 layout (hidden, for
@@ -529,7 +620,17 @@ impl IndexSnapshot {
         self.encode(5)
     }
 
+    /// Serialises in the pre-cold-tier v6 layout (hidden, for
+    /// backward-compatibility tests).
+    #[doc(hidden)]
+    pub fn to_bytes_v6(&self) -> Bytes {
+        self.encode(6)
+    }
+
+    /// Encodes the legacy (≤ v6) streaming layouts — one leaf after another
+    /// with no alignment or per-piece directory.
     fn encode(&self, version: u32) -> Bytes {
+        debug_assert!(version < TIER_BODY_VERSION, "v7 snapshots use encode_v7");
         let body_version = if version >= 6 { SQ8_BODY_VERSION } else { SNAPSHOT_BODY_VERSION };
         let config = self.config();
         let s_l = config.leaf_size;
@@ -595,6 +696,177 @@ impl IndexSnapshot {
         b.freeze()
     }
 
+    /// Encodes the v7 layout: a leaf directory with per-piece CRCs, then one
+    /// page-aligned, self-contained record per leaf (timestamps, rows,
+    /// optional norm and SQ8 columns, the leaf block's graph), then the
+    /// block metadata with a graph directory and the internal-block graphs.
+    fn encode_v7(&self) -> Bytes {
+        let config = self.config();
+        let dim = config.dim;
+        let s_l = config.leaf_size;
+        let store = self.store();
+        let num_leaves = self.num_leaves();
+        let has_norms = store.segments().first().is_some_and(|s| s.has_norm_cache());
+        let has_sq8 = store.has_sq8();
+
+        // Serialise every block graph up front: the directories need graph
+        // lengths and CRCs before the first record byte is written.
+        let graphs: Vec<Bytes> = self
+            .blocks()
+            .iter()
+            .map(|blk| {
+                let mut g = BytesMut::new();
+                write_graph(&mut g, &blk.graph);
+                g.freeze()
+            })
+            .collect();
+        // The i-th height-0 block in postorder is leaf i (left to right in
+        // time order); its graph is co-located with the leaf's record.
+        let leaf_block: Vec<usize> = self
+            .blocks()
+            .iter()
+            .enumerate()
+            .filter(|(_, blk)| blk.height == 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(leaf_block.len(), num_leaves, "one height-0 block per sealed leaf");
+
+        let ts_len = s_l * 8;
+        let rows_len = s_l * dim * 4;
+        let inv_len = if has_norms { s_l * 4 } else { 0 };
+        let sq8_len = if has_sq8 { dim * 8 + s_l * 4 + s_l * dim } else { 0 };
+        let payload_len = ts_len + rows_len + inv_len + sq8_len;
+
+        struct LeafBlob {
+            payload: Vec<u8>,
+            graph: Bytes,
+            crcs: [u32; 5],
+        }
+        let mut blobs = Vec::with_capacity(num_leaves);
+        for (i, (seg, chunk)) in store.segments().iter().zip(self.times().chunks()).enumerate() {
+            let mut p = Vec::with_capacity(payload_len);
+            for &t in chunk.iter() {
+                p.extend_from_slice(&t.to_le_bytes());
+            }
+            for &v in seg.as_flat() {
+                p.extend_from_slice(&v.to_le_bytes());
+            }
+            if has_norms {
+                let inv = seg.inv_norms().expect("norm flag implies a cached column");
+                for &x in inv {
+                    p.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            if has_sq8 {
+                let col = seg.sq8().expect("sq8 flag implies a uniform code column");
+                for &m in col.mins() {
+                    p.extend_from_slice(&m.to_le_bytes());
+                }
+                for &d in col.deltas() {
+                    p.extend_from_slice(&d.to_le_bytes());
+                }
+                for &n2 in col.row_norm2() {
+                    p.extend_from_slice(&n2.to_le_bytes());
+                }
+                p.extend_from_slice(col.codes());
+            }
+            debug_assert_eq!(p.len(), payload_len);
+            let graph = graphs[leaf_block[i]].clone();
+            let crcs = [
+                crc32(&p[..ts_len]),
+                crc32(&p[ts_len..ts_len + rows_len]),
+                if has_norms {
+                    crc32(&p[ts_len + rows_len..ts_len + rows_len + inv_len])
+                } else {
+                    0
+                },
+                if has_sq8 { crc32(&p[payload_len - sq8_len..]) } else { 0 },
+                crc32(&graph),
+            ];
+            blobs.push(LeafBlob { payload: p, graph, crcs });
+        }
+
+        let graph_total: usize = graphs.iter().map(Bytes::len).sum();
+        let mut b = BytesMut::with_capacity(
+            (256 + num_leaves * (payload_len + LEAF_DIR_ENTRY_LEN) + graph_total)
+                .next_multiple_of(PAGE)
+                + num_leaves * PAGE,
+        );
+        b.put_slice(MAGIC);
+        b.put_u32_le(VERSION);
+        b.put_u8(KIND_SNAPSHOT);
+        let mut bounds = vec![0, b.len()];
+        write_config(&mut b, config, TIER_BODY_VERSION);
+        bounds.push(b.len());
+
+        let data_start = b.len();
+        b.put_u64_le(num_leaves as u64);
+        b.put_u64_le(s_l as u64);
+        b.put_u8(u8::from(has_norms));
+        b.put_u8(u8::from(has_sq8));
+        let dir_end = b.len() + num_leaves * LEAF_DIR_ENTRY_LEN + 4;
+        let mut record_offs = Vec::with_capacity(num_leaves);
+        let mut rec_off = dir_end.next_multiple_of(PAGE);
+        for blob in &blobs {
+            let graph_off = rec_off + payload_len;
+            b.put_u64_le(rec_off as u64);
+            b.put_u64_le(graph_off as u64);
+            b.put_u64_le(blob.graph.len() as u64);
+            for crc in blob.crcs {
+                b.put_u32_le(crc);
+            }
+            record_offs.push(rec_off);
+            rec_off = (graph_off + blob.graph.len()).next_multiple_of(PAGE);
+        }
+        let dir_crc = crc32(&b[data_start..]);
+        b.put_u32_le(dir_crc);
+        debug_assert_eq!(b.len(), dir_end);
+        for (blob, &off) in blobs.iter().zip(&record_offs) {
+            pad_to(&mut b, off);
+            b.put_slice(&blob.payload);
+            b.put_slice(&blob.graph);
+        }
+        let data_end = b.len().next_multiple_of(PAGE);
+        pad_to(&mut b, data_end);
+        bounds.push(b.len());
+
+        let blocks_start = b.len();
+        b.put_u64_le(self.blocks().len() as u64);
+        let entries_end = b.len() + self.blocks().len() * BLOCK_DIR_ENTRY_LEN;
+        let mut g_off = entries_end + 4; // + meta_crc
+        let mut leaf_ix = 0usize;
+        for (i, blk) in self.blocks().iter().enumerate() {
+            let (graph_off, graph_len, graph_crc) = if blk.height == 0 {
+                let blob = &blobs[leaf_ix];
+                let off = record_offs[leaf_ix] + payload_len;
+                leaf_ix += 1;
+                (off, blob.graph.len(), blob.crcs[4])
+            } else {
+                let off = g_off;
+                g_off += graphs[i].len();
+                (off, graphs[i].len(), crc32(&graphs[i]))
+            };
+            b.put_u64_le(blk.rows.start as u64);
+            b.put_u64_le(blk.rows.end as u64);
+            b.put_u32_le(blk.height);
+            b.put_i64_le(blk.start_ts);
+            b.put_i64_le(blk.end_ts);
+            b.put_u64_le(graph_off as u64);
+            b.put_u64_le(graph_len as u64);
+            b.put_u32_le(graph_crc);
+        }
+        let meta_crc = crc32(&b[blocks_start..]);
+        b.put_u32_le(meta_crc);
+        for (i, blk) in self.blocks().iter().enumerate() {
+            if blk.height != 0 {
+                b.put_slice(&graphs[i]);
+            }
+        }
+        bounds.push(b.len());
+        write_footer(&mut b, &bounds);
+        b.freeze()
+    }
+
     /// Deserialises a snapshot from one contiguous buffer. Accepts the
     /// native checksummed v5 layout, the unchecksummed v4 layout, plus
     /// v2/v3/v5 [`MbiIndex`] streams (converted via
@@ -623,6 +895,16 @@ impl IndexSnapshot {
                         let mut src = Src::with_base(b.slice(start..end), start);
                         decode_snapshot_body(&mut src, body)
                     }
+                    KIND_INDEX => IndexSnapshot::from_index(&MbiIndex::from_bytes(b)?),
+                    k => Err(MbiError::corrupt(8, format!("unknown stream kind {k}"))),
+                }
+            }
+            7 => {
+                src.need(1)?;
+                let kind = src.get_u8();
+                verify_v5(&b)?;
+                match kind {
+                    KIND_SNAPSHOT => decode_snapshot_v7(&b),
                     KIND_INDEX => IndexSnapshot::from_index(&MbiIndex::from_bytes(b)?),
                     k => Err(MbiError::corrupt(8, format!("unknown stream kind {k}"))),
                 }
@@ -718,13 +1000,504 @@ fn decode_snapshot_body(src: &mut Src, body_version: u32) -> Result<IndexSnapsho
     if src.has_remaining() {
         return Err(src.corrupt("trailing bytes"));
     }
-    let snap = IndexSnapshot { config, store, times, blocks, num_leaves };
+    let snap =
+        IndexSnapshot { config, store, times, blocks: blocks.into_iter().collect(), num_leaves };
     snap.validate().map_err(|detail| MbiError::corrupt(0, detail))?;
     Ok(snap)
 }
 
 fn overflow(src: &Src) -> MbiError {
     src.corrupt("size overflow")
+}
+
+/// Zero-fills `b` up to absolute offset `target` (v7 page padding).
+fn pad_to(b: &mut BytesMut, target: usize) {
+    const ZEROS: [u8; PAGE] = [0; PAGE];
+    debug_assert!(target >= b.len());
+    let mut need = target - b.len();
+    while need > 0 {
+        let n = need.min(PAGE);
+        b.put_slice(&ZEROS[..n]);
+        need -= n;
+    }
+}
+
+/// A bounded little-endian cursor over a raw byte slice — the borrow-only
+/// analogue of [`Src`] for the v7 directories, which must be parseable off a
+/// memory map without copying (or faulting) anything beyond themselves.
+/// Callers reserve with [`RawSrc::need`] before the `get_*` calls, exactly
+/// like [`Src`].
+struct RawSrc<'a> {
+    b: &'a [u8],
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> RawSrc<'a> {
+    fn new(b: &'a [u8], pos: usize, end: usize) -> Self {
+        debug_assert!(pos <= end && end <= b.len());
+        RawSrc { b, pos, end }
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> MbiError {
+        MbiError::corrupt(self.pos, detail)
+    }
+
+    fn need(&self, need: usize) -> Result<(), MbiError> {
+        if self.end - self.pos < need {
+            Err(self.corrupt(format!(
+                "truncated stream: need {need} bytes, have {}",
+                self.end - self.pos
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let x = self.b[self.pos];
+        self.pos += 1;
+        x
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let x = rd_u32(self.b, self.pos);
+        self.pos += 4;
+        x
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let x = rd_u64(self.b, self.pos);
+        self.pos += 8;
+        x
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        let x = rd_i64(self.b, self.pos);
+        self.pos += 8;
+        x
+    }
+}
+
+/// Where one leaf's record lives in a v7 stream: the page-aligned record
+/// offset, the co-located graph, and the per-piece CRCs from the directory.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct V7Leaf {
+    /// Absolute, page-aligned offset of the record (timestamps first).
+    pub(crate) record_off: usize,
+    /// Absolute offset of the leaf block's serialized graph.
+    pub(crate) graph_off: usize,
+    /// Serialized graph length in bytes.
+    pub(crate) graph_len: usize,
+    /// CRC32 of the timestamp column.
+    pub(crate) crc_ts: u32,
+    /// CRC32 of the row (f32 vector) column.
+    pub(crate) crc_rows: u32,
+    /// CRC32 of the inverse-norm column; 0 when the stream has none.
+    pub(crate) crc_inv: u32,
+    /// CRC32 of the SQ8 column group; 0 when the stream has none.
+    pub(crate) crc_sq8: u32,
+    /// CRC32 of the serialized graph.
+    pub(crate) crc_graph: u32,
+}
+
+/// One block's metadata from a v7 blocks section, graph unloaded: enough to
+/// run block selection and to fetch + verify the graph on demand.
+#[derive(Clone, Debug)]
+pub(crate) struct V7BlockMeta {
+    /// Global row range the block covers.
+    pub(crate) rows: std::ops::Range<usize>,
+    /// Height in the postorder tree (0 = leaf).
+    pub(crate) height: u32,
+    /// Minimum timestamp in the block.
+    pub(crate) start_ts: i64,
+    /// One past the maximum timestamp in the block.
+    pub(crate) end_ts: i64,
+    /// Absolute offset of the serialized graph (into the leaf record for
+    /// height-0 blocks, into the blocks section otherwise).
+    pub(crate) graph_off: usize,
+    /// Serialized graph length in bytes.
+    pub(crate) graph_len: usize,
+    /// CRC32 of the serialized graph.
+    pub(crate) graph_crc: u32,
+}
+
+/// The parsed geometry of a v7 snapshot stream: config, flags, and where
+/// every leaf record and block graph lives — everything a reader (eager or
+/// cold/mmap) needs to load pieces independently. Parsing verifies the
+/// footer, the header and config sections, and both directory CRCs, but
+/// never reads a record payload: opening a cold file faults only the
+/// directory pages.
+pub(crate) struct V7Layout {
+    pub(crate) config: MbiConfig,
+    pub(crate) num_leaves: usize,
+    pub(crate) seg_rows: usize,
+    pub(crate) has_norms: bool,
+    pub(crate) has_sq8: bool,
+    pub(crate) leaves: Vec<V7Leaf>,
+    pub(crate) blocks: Vec<V7BlockMeta>,
+}
+
+impl V7Layout {
+    /// Bytes of one record's timestamp column.
+    pub(crate) fn ts_len(&self) -> usize {
+        self.seg_rows * 8
+    }
+
+    /// Bytes of one record's f32 row column.
+    pub(crate) fn rows_len(&self) -> usize {
+        self.seg_rows * self.config.dim * 4
+    }
+
+    /// Bytes of one record's inverse-norm column (0 when absent).
+    pub(crate) fn inv_len(&self) -> usize {
+        if self.has_norms {
+            self.seg_rows * 4
+        } else {
+            0
+        }
+    }
+
+    /// Bytes of one record's SQ8 column group (0 when absent): mins, deltas,
+    /// row norms, codes.
+    pub(crate) fn sq8_len(&self) -> usize {
+        if self.has_sq8 {
+            self.config.dim * 8 + self.seg_rows * 4 + self.seg_rows * self.config.dim
+        } else {
+            0
+        }
+    }
+
+    /// Bytes of one record before its graph.
+    pub(crate) fn payload_len(&self) -> usize {
+        self.ts_len() + self.rows_len() + self.inv_len() + self.sq8_len()
+    }
+}
+
+/// Parses a v7 snapshot stream's directories off a raw byte slice. See
+/// [`V7Layout`] for what is (and deliberately is not) verified here.
+pub(crate) fn parse_v7_layout(b: &[u8]) -> Result<V7Layout, MbiError> {
+    if b.len() < HEADER_LEN {
+        return Err(MbiError::corrupt(b.len(), "truncated stream: no room for header"));
+    }
+    if &b[..4] != MAGIC {
+        return Err(MbiError::corrupt(0, "bad magic"));
+    }
+    let version = rd_u32(b, 4);
+    if !(TIER_BODY_VERSION..=VERSION).contains(&version) {
+        return Err(MbiError::corrupt(
+            4,
+            format!("version {version} stream has no tiered (v7) layout"),
+        ));
+    }
+    if b[8] != KIND_SNAPSHOT {
+        return Err(MbiError::corrupt(8, "cold open requires a snapshot stream"));
+    }
+    let sections = parse_footer(b)?;
+    // Header and config are a few dozen bytes: verify them eagerly.
+    for i in [0, 1] {
+        let (start, end, expected) = sections[i];
+        let got = crc32(&b[start..end]);
+        if got != expected {
+            return Err(MbiError::ChecksumMismatch { section: SECTIONS[i], expected, got });
+        }
+    }
+    let (c0, c1, _) = sections[1];
+    let mut cfg = Src::with_base(Bytes::from(b[c0..c1].to_vec()), c0);
+    let config = read_config(&mut cfg, TIER_BODY_VERSION)?;
+    if cfg.has_remaining() {
+        return Err(cfg.corrupt("trailing bytes in config section"));
+    }
+
+    let (d0, d1, _) = sections[2];
+    let mut d = RawSrc::new(b, d0, d1);
+    d.need(8 + 8 + 1 + 1)?;
+    let num_leaves = d.get_u64_le() as usize;
+    let seg_rows = d.get_u64_le() as usize;
+    let has_norms = d.get_u8() != 0;
+    let has_sq8 = d.get_u8() != 0;
+    if seg_rows != config.leaf_size {
+        return Err(MbiError::corrupt(
+            d0 + 8,
+            format!("segment rows {seg_rows} do not match leaf size {}", config.leaf_size),
+        ));
+    }
+    if config.metric == Metric::Angular && !has_norms {
+        return Err(MbiError::corrupt(d0 + 16, "angular snapshot lacks norm column"));
+    }
+    let ovf = |at: usize| MbiError::corrupt(at, "size overflow");
+    let dir_bytes = num_leaves.checked_mul(LEAF_DIR_ENTRY_LEN).ok_or_else(|| ovf(d.pos))?;
+    d.need(dir_bytes + 4)?;
+    let dir_end = d.pos + dir_bytes;
+    let stored_dir_crc = rd_u32(b, dir_end);
+    let got_dir_crc = crc32(&b[d0..dir_end]);
+    if got_dir_crc != stored_dir_crc {
+        return Err(MbiError::ChecksumMismatch {
+            section: "leaf directory",
+            expected: stored_dir_crc,
+            got: got_dir_crc,
+        });
+    }
+    let mut leaves = Vec::with_capacity(num_leaves);
+    for _ in 0..num_leaves {
+        leaves.push(V7Leaf {
+            record_off: d.get_u64_le() as usize,
+            graph_off: d.get_u64_le() as usize,
+            graph_len: d.get_u64_le() as usize,
+            crc_ts: d.get_u32_le(),
+            crc_rows: d.get_u32_le(),
+            crc_inv: d.get_u32_le(),
+            crc_sq8: d.get_u32_le(),
+            crc_graph: d.get_u32_le(),
+        });
+    }
+    let layout_stub =
+        V7Layout { config, num_leaves, seg_rows, has_norms, has_sq8, leaves, blocks: Vec::new() };
+    // Geometry: records are page-aligned, non-overlapping, graph contiguous
+    // with its payload, everything inside the data section.
+    let payload_len = seg_rows
+        .checked_mul(8 + config.dim * 4 + usize::from(has_norms) * 4)
+        .and_then(|x| {
+            if has_sq8 {
+                x.checked_add(config.dim * 8 + seg_rows * 4 + seg_rows * config.dim)
+            } else {
+                Some(x)
+            }
+        })
+        .ok_or_else(|| ovf(d0))?;
+    debug_assert_eq!(payload_len, layout_stub.payload_len());
+    let mut prev_end = dir_end + 4;
+    for (i, leaf) in layout_stub.leaves.iter().enumerate() {
+        let at = d0 + 18 + i * LEAF_DIR_ENTRY_LEN;
+        if leaf.record_off % PAGE != 0 {
+            return Err(MbiError::corrupt(at, "leaf record not page-aligned"));
+        }
+        if leaf.record_off < prev_end {
+            return Err(MbiError::corrupt(at, "overlapping leaf records"));
+        }
+        let payload_end = leaf.record_off.checked_add(payload_len).ok_or_else(|| ovf(at))?;
+        if leaf.graph_off != payload_end {
+            return Err(MbiError::corrupt(at, "leaf graph not contiguous with its record"));
+        }
+        let graph_end = leaf.graph_off.checked_add(leaf.graph_len).ok_or_else(|| ovf(at))?;
+        if graph_end > d1 {
+            return Err(MbiError::corrupt(at, "leaf record overruns data section"));
+        }
+        prev_end = graph_end;
+    }
+
+    let (b0, b1, _) = sections[3];
+    let mut s = RawSrc::new(b, b0, b1);
+    s.need(8)?;
+    let num_blocks = s.get_u64_le() as usize;
+    let entry_bytes = num_blocks.checked_mul(BLOCK_DIR_ENTRY_LEN).ok_or_else(|| ovf(s.pos))?;
+    s.need(entry_bytes + 4)?;
+    let meta_end = s.pos + entry_bytes;
+    let stored_meta_crc = rd_u32(b, meta_end);
+    let got_meta_crc = crc32(&b[b0..meta_end]);
+    if got_meta_crc != stored_meta_crc {
+        return Err(MbiError::ChecksumMismatch {
+            section: "block directory",
+            expected: stored_meta_crc,
+            got: got_meta_crc,
+        });
+    }
+    let n = num_leaves.checked_mul(seg_rows).ok_or_else(|| ovf(b0))?;
+    let mut blocks = Vec::with_capacity(num_blocks);
+    let mut leaf_ix = 0usize;
+    let mut prev_graph_end = meta_end + 4;
+    for i in 0..num_blocks {
+        let at = b0 + 8 + i * BLOCK_DIR_ENTRY_LEN;
+        let start = s.get_u64_le() as usize;
+        let end = s.get_u64_le() as usize;
+        let height = s.get_u32_le();
+        let start_ts = s.get_i64_le();
+        let end_ts = s.get_i64_le();
+        let graph_off = s.get_u64_le() as usize;
+        let graph_len = s.get_u64_le() as usize;
+        let graph_crc = s.get_u32_le();
+        if start > end || end > n || end_ts <= start_ts {
+            return Err(MbiError::corrupt(at, "invalid block bounds"));
+        }
+        if height == 0 {
+            let Some(leaf) = layout_stub.leaves.get(leaf_ix) else {
+                return Err(MbiError::corrupt(at, "more leaf blocks than leaf records"));
+            };
+            if graph_off != leaf.graph_off
+                || graph_len != leaf.graph_len
+                || graph_crc != leaf.crc_graph
+            {
+                return Err(MbiError::corrupt(
+                    at,
+                    "leaf block graph does not match the leaf directory",
+                ));
+            }
+            leaf_ix += 1;
+        } else {
+            if graph_off < prev_graph_end {
+                return Err(MbiError::corrupt(at, "overlapping block graphs"));
+            }
+            let graph_end = graph_off.checked_add(graph_len).ok_or_else(|| ovf(at))?;
+            if graph_end > b1 {
+                return Err(MbiError::corrupt(at, "block graph overruns blocks section"));
+            }
+            prev_graph_end = graph_end;
+        }
+        blocks.push(V7BlockMeta {
+            rows: start..end,
+            height,
+            start_ts,
+            end_ts,
+            graph_off,
+            graph_len,
+            graph_crc,
+        });
+    }
+    if leaf_ix != num_leaves {
+        return Err(MbiError::corrupt(b0, "leaf record count does not match height-0 blocks"));
+    }
+    Ok(V7Layout { blocks, ..layout_stub })
+}
+
+/// Eagerly decodes a v7 snapshot stream into an in-RAM [`IndexSnapshot`].
+/// The caller has already run [`verify_v5`], so every byte is
+/// CRC-authenticated; this path owns all columns (no mapping).
+/// Decodes one serialized block graph living at `off..off + len` of a v7
+/// stream — the cold tier's lazy-load path. The graph bytes are copied into
+/// an owned buffer (graph decoding builds owned adjacency anyway);
+/// `block_len` is the owning block's row count, used for edge validation.
+pub(crate) fn decode_graph_at(
+    b: &[u8],
+    off: usize,
+    len: usize,
+    block_len: usize,
+) -> Result<BlockGraph, MbiError> {
+    let end = off
+        .checked_add(len)
+        .filter(|&e| e <= b.len())
+        .ok_or_else(|| MbiError::corrupt(off, "graph range out of bounds"))?;
+    let mut gs = Src::with_base(Bytes::from(b[off..end].to_vec()), off);
+    let graph = read_graph(&mut gs, block_len)?;
+    if gs.has_remaining() {
+        return Err(gs.corrupt("trailing bytes after block graph"));
+    }
+    Ok(graph)
+}
+
+fn decode_snapshot_v7(b: &Bytes) -> Result<IndexSnapshot, MbiError> {
+    let layout = parse_v7_layout(b)?;
+    let config = layout.config;
+    let dim = config.dim;
+    let seg_rows = layout.seg_rows;
+    let mut store = SegmentStore::new(dim, seg_rows);
+    let mut times = TimeChunks::new(seg_rows);
+    for leaf in &layout.leaves {
+        let mut off = leaf.record_off;
+        let mut chunk = Vec::with_capacity(seg_rows);
+        for r in 0..seg_rows {
+            chunk.push(rd_i64(b, off + r * 8));
+        }
+        off += layout.ts_len();
+        let mut flat = Vec::with_capacity(seg_rows * dim);
+        for r in 0..seg_rows * dim {
+            flat.push(rd_f32(b, off + r * 4));
+        }
+        off += layout.rows_len();
+        let leaf_store = if layout.has_norms {
+            let mut inv = Vec::with_capacity(seg_rows);
+            for r in 0..seg_rows {
+                let x = rd_f32(b, off + r * 4);
+                if !x.is_finite() || x < 0.0 {
+                    return Err(MbiError::corrupt(
+                        off + r * 4,
+                        format!("invalid inverse norm {x}"),
+                    ));
+                }
+                inv.push(x);
+            }
+            VectorStore::from_flat_with_inv_norms(dim, flat, inv)
+        } else {
+            VectorStore::from_flat(dim, flat)
+        };
+        off += layout.inv_len();
+        let mut seg = Segment::from_store(leaf_store);
+        if layout.has_sq8 {
+            seg.attach_sq8(read_sq8_column_v7(b, off, dim, seg_rows)?);
+        } else if config.sq8_scan {
+            // A quantizing engine must see a uniformly quantized store even
+            // when restoring from a stream written without codes.
+            seg.build_sq8();
+        }
+        store.push_segment(Arc::new(seg));
+        times.push_chunk(chunk.into());
+    }
+    let mut blocks = Vec::with_capacity(layout.blocks.len());
+    for meta in &layout.blocks {
+        let mut gs = Src::with_base(
+            b.slice(meta.graph_off..meta.graph_off + meta.graph_len),
+            meta.graph_off,
+        );
+        let graph = read_graph(&mut gs, meta.rows.len())?;
+        if gs.has_remaining() {
+            return Err(gs.corrupt("trailing bytes after block graph"));
+        }
+        blocks.push(Arc::new(Block {
+            rows: meta.rows.clone(),
+            height: meta.height,
+            start_ts: meta.start_ts,
+            end_ts: meta.end_ts,
+            graph,
+        }));
+    }
+    let snap = IndexSnapshot {
+        config,
+        store,
+        times,
+        blocks: blocks.into_iter().collect(),
+        num_leaves: layout.num_leaves,
+    };
+    snap.validate().map_err(|detail| MbiError::corrupt(0, detail))?;
+    Ok(snap)
+}
+
+/// Reads one leaf's SQ8 column group in v7 order (mins, deltas, row norms,
+/// codes) at absolute offset `off`, validating every value.
+fn read_sq8_column_v7(
+    b: &[u8],
+    off: usize,
+    dim: usize,
+    rows: usize,
+) -> Result<Sq8Column, MbiError> {
+    let mut at = off;
+    let mut mins = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let x = rd_f32(b, at);
+        if !x.is_finite() {
+            return Err(MbiError::corrupt(at, format!("invalid sq8 min {x}")));
+        }
+        mins.push(x);
+        at += 4;
+    }
+    let mut deltas = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let x = rd_f32(b, at);
+        if !x.is_finite() || x < 0.0 {
+            return Err(MbiError::corrupt(at, format!("invalid sq8 delta {x}")));
+        }
+        deltas.push(x);
+        at += 4;
+    }
+    let mut row_norm2 = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let x = rd_f32(b, at);
+        if !x.is_finite() || x < 0.0 {
+            return Err(MbiError::corrupt(at, format!("invalid sq8 row norm {x}")));
+        }
+        row_norm2.push(x);
+        at += 4;
+    }
+    let codes = b[at..at + rows * dim].to_vec();
+    Ok(Sq8Column::from_parts(dim, codes, mins, deltas, row_norm2))
 }
 
 /// Reads one leaf's SQ8 column (mins, deltas, codes, row norms), validating
@@ -793,6 +1566,10 @@ fn write_config(b: &mut BytesMut, c: &MbiConfig, body_version: u32) {
         b.put_u8(u8::from(c.sq8_scan));
         b.put_f32_le(c.sq8_overfetch);
     }
+    if body_version >= TIER_BODY_VERSION {
+        b.put_u64_le(c.ram_budget_bytes);
+        b.put_u32_le(c.cache_shards.min(u32::MAX as usize) as u32);
+    }
 }
 
 fn read_config(b: &mut Src, body_version: u32) -> Result<MbiConfig, MbiError> {
@@ -850,6 +1627,18 @@ fn read_config(b: &mut Src, body_version: u32) -> Result<MbiConfig, MbiError> {
     } else {
         (false, crate::config::default_sq8_overfetch())
     };
+    // Pre-v7 records predate the cold tier; they load with the defaults.
+    let (ram_budget_bytes, cache_shards) = if body_version >= TIER_BODY_VERSION {
+        b.need(8 + 4)?;
+        let budget = b.get_u64_le();
+        let shards = b.get_u32_le() as usize;
+        if shards == 0 {
+            return Err(b.corrupt("zero cache shards"));
+        }
+        (budget, shards)
+    } else {
+        (u64::MAX, crate::config::default_cache_shards())
+    };
     Ok(MbiConfig {
         dim,
         metric,
@@ -861,6 +1650,8 @@ fn read_config(b: &mut Src, body_version: u32) -> Result<MbiConfig, MbiError> {
         query_threads,
         sq8_scan,
         sq8_overfetch,
+        ram_budget_bytes,
+        cache_shards,
     })
 }
 
@@ -1285,6 +2076,114 @@ mod tests {
         assert_eq!(loaded.validate(), Ok(()));
         assert_same_snapshot_answers(&snap, &loaded);
         assert!(!loaded.store().has_norm_cache());
+    }
+
+    fn build_sq8_index(n: usize) -> MbiIndex {
+        let config = MbiConfig::new(3, Metric::Euclidean).with_leaf_size(16).with_sq8_scan(true);
+        let mut idx = MbiIndex::new(config);
+        for i in 0..n {
+            let x = i as f32;
+            idx.insert(&[x, (x * 0.2).cos(), -x], i as i64).unwrap();
+        }
+        idx
+    }
+
+    #[test]
+    fn v7_layout_is_page_aligned_with_colocated_graphs() {
+        let snap = IndexSnapshot::from_index(&build_sq8_index(64)).unwrap();
+        let bytes = snap.to_bytes();
+        let layout = parse_v7_layout(&bytes).unwrap();
+        assert_eq!(layout.num_leaves, 4);
+        assert!(layout.has_sq8);
+        assert_eq!(layout.blocks.len(), snap.blocks().len());
+        let mut leaf_ix = 0;
+        for (meta, block) in layout.blocks.iter().zip(snap.blocks()) {
+            assert_eq!(meta.rows, block.rows);
+            assert_eq!(meta.height, block.height);
+            if meta.height == 0 {
+                let leaf = &layout.leaves[leaf_ix];
+                assert_eq!(leaf.record_off % PAGE, 0, "records start on page boundaries");
+                assert_eq!(
+                    meta.graph_off,
+                    leaf.record_off + layout.payload_len(),
+                    "leaf graphs are co-located with their records"
+                );
+                // Per-piece CRCs authenticate each column independently.
+                let ts = leaf.record_off..leaf.record_off + layout.ts_len();
+                assert_eq!(crc32(&bytes[ts.clone()]), leaf.crc_ts);
+                assert_eq!(crc32(&bytes[ts.end..ts.end + layout.rows_len()]), leaf.crc_rows);
+                assert_eq!(
+                    crc32(&bytes[meta.graph_off..meta.graph_off + meta.graph_len]),
+                    leaf.crc_graph
+                );
+                leaf_ix += 1;
+            }
+        }
+        assert_eq!(leaf_ix, layout.num_leaves);
+    }
+
+    #[test]
+    fn v7_roundtrips_and_reencodes_bit_identically() {
+        let snap = IndexSnapshot::from_index(&build_angular_index(64)).unwrap();
+        let bytes = snap.to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 7);
+        let loaded = IndexSnapshot::from_bytes(bytes.clone()).unwrap();
+        assert!(loaded.store().has_norm_cache());
+        assert_same_snapshot_answers(&snap, &loaded);
+        assert_eq!(&loaded.to_bytes()[..], &bytes[..], "decode → encode is a fixed point");
+    }
+
+    #[test]
+    fn snapshot_reads_v6_streams() {
+        let snap = IndexSnapshot::from_index(&build_sq8_index(64)).unwrap();
+        let v6 = snap.to_bytes_v6();
+        assert_eq!(u32::from_le_bytes(v6[4..8].try_into().unwrap()), 6);
+        let loaded = IndexSnapshot::from_bytes(v6).unwrap();
+        assert_eq!(
+            loaded.config().ram_budget_bytes,
+            u64::MAX,
+            "pre-v7 streams load with tier knobs at their defaults"
+        );
+        for (a, b) in snap.store().segments().iter().zip(loaded.store().segments()) {
+            assert_eq!(a.sq8(), b.sq8(), "v6 code columns survive");
+        }
+        assert_same_snapshot_answers(&snap, &loaded);
+        assert_eq!(
+            &loaded.to_bytes()[..],
+            &snap.to_bytes()[..],
+            "a v6 load upgrades to the identical v7 stream"
+        );
+    }
+
+    #[test]
+    fn index_reads_v6_streams() {
+        let idx = build_index(GraphBackend::default(), 70);
+        let v6 = idx.to_bytes_v6();
+        assert_eq!(u32::from_le_bytes(v6[4..8].try_into().unwrap()), 6);
+        let loaded = MbiIndex::from_bytes(v6).unwrap();
+        assert_eq!(loaded.config().ram_budget_bytes, u64::MAX);
+        assert_eq!(loaded.config().cache_shards, 8);
+        assert_same_answers(&idx, &loaded);
+    }
+
+    #[test]
+    fn v7_tier_knobs_roundtrip() {
+        let config = MbiConfig::new(3, Metric::Euclidean)
+            .with_leaf_size(16)
+            .with_ram_budget_bytes(123)
+            .with_cache_shards(3);
+        let mut idx = MbiIndex::new(config);
+        for i in 0..32 {
+            let x = i as f32;
+            idx.insert(&[x, 0.0, -x], i as i64).unwrap();
+        }
+        let loaded = MbiIndex::from_bytes(idx.to_bytes()).unwrap();
+        assert_eq!(loaded.config().ram_budget_bytes, 123);
+        assert_eq!(loaded.config().cache_shards, 3);
+        let snap = IndexSnapshot::from_index(&idx).unwrap();
+        let loaded = IndexSnapshot::from_bytes(snap.to_bytes()).unwrap();
+        assert_eq!(loaded.config().ram_budget_bytes, 123);
+        assert_eq!(loaded.config().cache_shards, 3);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::block::Block;
 use crate::config::MbiConfig;
 use crate::index::{QueryOutput, TknnResult};
-use crate::select::{select_blocks, BlockMeta, SearchBlockSet, TimeWindow};
+use crate::select::{select_blocks, BlockArray, SearchBlockSet, TimeWindow};
 use crate::times::TimeChunks;
 use crate::Timestamp;
 use mbi_ann::{
@@ -92,7 +92,7 @@ impl TimeSource for TimeChunks {
 /// A borrowed view of one queryable index state: parallel store/timestamp
 /// columns, the postorder block array, and the number of sealed leaves.
 /// Rows `[num_leaves · S_L, times.len())` are the tail.
-pub(crate) struct QueryTarget<'a, B, V: ?Sized, T: ?Sized> {
+pub(crate) struct QueryTarget<'a, A: ?Sized, V: ?Sized, T: ?Sized> {
     /// Index configuration (`τ`, metric, search defaults, fan-out width).
     pub config: &'a MbiConfig,
     /// The raw vectors, rows `0..times.len()`.
@@ -100,14 +100,15 @@ pub(crate) struct QueryTarget<'a, B, V: ?Sized, T: ?Sized> {
     /// The timestamp column (non-decreasing), parallel to `store`.
     pub times: &'a T,
     /// Postorder block array over the sealed prefix.
-    pub blocks: &'a [B],
+    pub blocks: &'a A,
     /// Number of sealed (full) leaves.
     pub num_leaves: usize,
 }
 
-impl<'a, B, V, T> QueryTarget<'a, B, V, T>
+impl<'a, A, V, T> QueryTarget<'a, A, V, T>
 where
-    B: Borrow<Block> + BlockMeta + Sync,
+    A: BlockArray + Sync + ?Sized,
+    A::Item: Borrow<Block> + Sync,
     V: VectorSource + ?Sized,
     T: TimeSource + ?Sized,
 {
@@ -287,7 +288,7 @@ where
         scratch: &mut SearchScratch,
         buf: &mut Vec<Neighbor>,
     ) {
-        let block: &Block = self.blocks[bi].borrow();
+        let block: &Block = self.blocks.at(bi).borrow();
         let base = block.rows.start as u32;
         let lo = wlo.max(block.rows.start);
         let hi = whi.min(block.rows.end);
@@ -375,7 +376,7 @@ where
             return 1;
         }
         let total_rows: usize =
-            selection.blocks.iter().map(|&bi| self.blocks[bi].borrow().len()).sum();
+            selection.blocks.iter().map(|&bi| self.blocks.at(bi).borrow().len()).sum();
         if total_rows < MIN_PARALLEL_ROWS {
             return 1;
         }

@@ -119,6 +119,61 @@ impl BlockMeta for std::sync::Arc<crate::Block> {
     }
 }
 
+/// A positionally indexed postorder block array.
+///
+/// Selection, validation, and the query executor are generic over this, so
+/// one implementation serves the synchronous index (`Vec<Block>` /
+/// `&[Block]`), the streaming snapshots' chunk-shared
+/// [`SharedBlocks`](crate::SharedBlocks), and the storage tier's resident
+/// metadata table — none of which can cheaply present itself as a plain
+/// slice.
+pub trait BlockArray {
+    /// How a block is held (`Block`, `Arc<Block>`, a metadata stand-in…).
+    type Item: BlockMeta;
+
+    /// Number of blocks.
+    fn len(&self) -> usize;
+
+    /// The block at postorder index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    fn at(&self, i: usize) -> &Self::Item;
+
+    /// Whether the array holds no blocks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<B: BlockMeta> BlockArray for [B] {
+    type Item = B;
+    #[inline]
+    fn len(&self) -> usize {
+        <[B]>::len(self)
+    }
+    #[inline]
+    fn at(&self, i: usize) -> &B {
+        &self[i]
+    }
+}
+
+/// Owned vectors get their own impl (rather than relying on `&Vec<B>`
+/// coercing to `&[B]`): generic callers of [`select_blocks`] defeat deref
+/// coercion, and the existing call sites pass `&Vec<_>` directly.
+impl<B: BlockMeta> BlockArray for Vec<B> {
+    type Item = B;
+    #[inline]
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+    #[inline]
+    fn at(&self, i: usize) -> &B {
+        &self[i]
+    }
+}
+
 /// The outcome of block selection for one query.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SearchBlockSet {
@@ -176,8 +231,8 @@ pub fn maximal_roots(num_leaves: usize) -> Vec<usize> {
 
 /// `BlockSelection` of Algorithm 4 applied to every maximal root. Returns
 /// postorder indices of the selected blocks, in increasing time order.
-pub fn select_blocks<B: BlockMeta>(
-    blocks: &[B],
+pub fn select_blocks<A: BlockArray + ?Sized>(
+    blocks: &A,
     num_leaves: usize,
     tau: f64,
     window: TimeWindow,
@@ -189,14 +244,14 @@ pub fn select_blocks<B: BlockMeta>(
     selected
 }
 
-fn select_rec<B: BlockMeta>(
-    blocks: &[B],
+fn select_rec<A: BlockArray + ?Sized>(
+    blocks: &A,
     c: usize,
     tau: f64,
     window: TimeWindow,
     out: &mut Vec<usize>,
 ) {
-    let block = &blocks[c];
+    let block = blocks.at(c);
     let r_o = overlap_ratio(window, block);
     if r_o == 0.0 {
         // Case 1: disjoint from the window.

@@ -58,10 +58,10 @@
 #![warn(missing_docs)]
 
 pub use mbi_core::{
-    Backpressure, Block, BlockGraph, ConcurrentMbi, EngineConfig, EngineHealth, EngineStats,
-    GraphBackend, IndexSnapshot, MbiConfig, MbiError, MbiIndex, QueryOutput, RetryPolicy,
-    SearchBlockSet, StreamingMbi, TauTuner, TimeChunks, TimeWindow, Timestamp, TknnResult, Wal,
-    WalSync,
+    Backpressure, Block, BlockGraph, ColdIndex, ConcurrentMbi, EngineConfig, EngineHealth,
+    EngineStats, GraphBackend, IndexSnapshot, MbiConfig, MbiError, MbiIndex, QueryOutput,
+    RetryPolicy, SearchBlockSet, StreamingMbi, TauTuner, TierStats, TimeChunks, TimeWindow,
+    Timestamp, TknnResult, Wal, WalSync,
 };
 pub use mbi_math::{Metric, Neighbor, OnlineStats, OrderedF32, TopK};
 

@@ -259,6 +259,66 @@ fn recovered_engine_answers_windowed_queries_exactly() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn tiered_checkpoint_crash_recovers_bit_identically_and_serves_cold() {
+    use mbi::ColdIndex;
+    // Cold-tier configuration: quantized scans plus a zero RAM budget (the
+    // all-cold stress setting). The engine's checkpoint file is a v7
+    // stream, so after a crash the same file must (a) recover the engine
+    // bit-identically and (b) open directly as a ColdIndex whose answers
+    // match the recovered snapshot.
+    let dir = temp_dir("tiered");
+    let cold_config = config().with_sq8_scan(true).with_ram_budget_bytes(0);
+    let n = 64usize;
+    {
+        let engine = StreamingMbi::open(&dir, cold_config, EngineConfig::default()).unwrap();
+        for i in 0..48usize {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        engine.checkpoint().unwrap();
+        for i in 48..n {
+            engine.insert(&row(i), i as i64).unwrap();
+        }
+        // crash: rows 48.. exist only in the WAL
+    }
+    // A kill mid-checkpoint can only leave a torn *temp* file behind — the
+    // write-then-rename protocol never exposes a partial snapshot under the
+    // live name. Recovery must shrug the leftover off.
+    std::fs::write(dir.join(format!("{SNAPSHOT_FILE}.tmp")), b"torn mid-checkpoint").unwrap();
+    let engine = StreamingMbi::recover(&dir, EngineConfig::default()).unwrap();
+    assert_eq!(engine.len(), n, "recovered row count with tiering config");
+    let recovered = engine.to_index();
+    assert_eq!(recovered.validate(), Ok(()));
+    let mut oracle = MbiIndex::new(cold_config);
+    for i in 0..n {
+        oracle.insert(&row(i), i as i64).unwrap();
+    }
+    assert_eq!(
+        recovered.to_bytes(),
+        oracle.to_bytes(),
+        "recovery is bit-identical with sq8 + zero RAM budget enabled"
+    );
+    // Re-checkpoint, then serve the fresh checkpoint through the cold tier:
+    // every answer must match the in-RAM snapshot that wrote it.
+    engine.checkpoint().unwrap();
+    let cold = ColdIndex::open(dir.join(SNAPSHOT_FILE)).unwrap();
+    let snap = engine.snapshot();
+    assert_eq!(cold.len(), snap.sealed_rows());
+    for (s, e) in [(0i64, n as i64), (3, 40), (17, 18), (50, 64)] {
+        let w = TimeWindow::new(s, e);
+        let q = row(11);
+        assert_eq!(
+            cold.query(&q, 5, w).unwrap(),
+            snap.query_with_params(&q, 5, w, &cold_config.search).results,
+            "cold tier answer for window [{s},{e})"
+        );
+        assert_eq!(cold.exact_query(&q, 5, w).unwrap(), snap.exact_query(&q, 5, w));
+    }
+    let stats = cold.stats();
+    assert_eq!(stats.bytes_resident, 0, "zero budget demotes everything: {stats:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Fault-injection half: compiled only with `RUSTFLAGS='--cfg failpoints'`.
 /// The failpoint registry is process-global, so these tests serialise on a
 /// mutex and disarm everything on entry and exit.
