@@ -24,6 +24,7 @@ pub fn run(args: &CliArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "query" => query(args, out),
         "tune" => tune(args, out),
         "bench-query" => bench_query(args, out),
+        "serve" => crate::serve::serve(args, out),
         "help" | "--help" => {
             write!(out, "{}", HELP)?;
             Ok(())
@@ -54,10 +55,18 @@ USAGE:
                (--streaming replays the data through the StreamingMbi engine —
                 inserts on a writer thread, queries interleaved — and reports
                 ingest latency percentiles next to the query ones)
+  mbi serve    --tenants <name:token[:path]>[,…] [--addr <host:port>] [--dim <n>]
+               [--metric euclidean|angular|inner_product] [--leaf-size <n>] [--tau <f>]
+               [--degree <n>] [--builders <n>] [--max-connections <n>] [--max-inflight <n>]
+               [--deadline-ms <n>] [--coalesce-ms <n>] [--coalesce-batch <n>]
+               (multi-tenant network service speaking HTTP/1.1+JSON and the MBI1
+                binary protocol on one port; a tenant path ending in .mbi serves
+                that index read-only, any other path is a durable WAL directory,
+                no path keeps the tenant in memory. Ctrl-C drains and checkpoints.)
   mbi help
 ";
 
-fn parse_metric(s: &str) -> Result<Metric, CliError> {
+pub(crate) fn parse_metric(s: &str) -> Result<Metric, CliError> {
     match s.to_ascii_lowercase().as_str() {
         "euclidean" | "l2" => Ok(Metric::Euclidean),
         "angular" | "cosine" => Ok(Metric::Angular),

@@ -23,6 +23,7 @@
 pub mod args;
 pub mod commands;
 pub mod io;
+pub mod serve;
 
 pub use args::CliArgs;
 pub use commands::run;

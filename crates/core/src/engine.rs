@@ -187,6 +187,24 @@ pub enum EngineHealth {
     Halted,
 }
 
+impl EngineHealth {
+    /// Whether the engine has frozen publication ([`EngineHealth::Halted`])
+    /// — the state a load balancer should rotate a node out on.
+    pub fn is_halted(&self) -> bool {
+        matches!(self, EngineHealth::Halted)
+    }
+
+    /// Stable lower-case label for wire formats: `"healthy"`, `"degraded"`,
+    /// or `"halted"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineHealth::Healthy => "healthy",
+            EngineHealth::Degraded { .. } => "degraded",
+            EngineHealth::Halted => "halted",
+        }
+    }
+}
+
 /// Tunables of the streaming engine (the index itself is configured by
 /// [`MbiConfig`]).
 #[derive(Clone, Copy, Debug)]
@@ -471,6 +489,29 @@ impl IndexSnapshot {
         params: &SearchParams,
     ) -> QueryOutput {
         self.target().query_with_params(query, k, window, params)
+    }
+
+    /// [`IndexSnapshot::query_with_params`] under a cooperative deadline
+    /// (see [`MbiIndex::query_with_deadline`]).
+    pub fn query_with_deadline(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+        deadline: Option<std::time::Instant>,
+    ) -> QueryOutput {
+        let target = self.target();
+        let selection = target.block_selection(window);
+        target.query_on_selection_deadline(
+            query,
+            k,
+            window,
+            params,
+            &selection,
+            self.config.query_threads,
+            &crate::query_exec::Deadline::new(deadline),
+        )
     }
 
     /// Exact TkNN over the published rows only, by brute force.
@@ -974,6 +1015,115 @@ impl StreamingMbi {
             out.stats.merge(&tail_stats);
             out.selection.tail = true;
         }
+        out
+    }
+
+    /// [`StreamingMbi::query_with_params`] under a cooperative deadline
+    /// (see [`MbiIndex::query_with_deadline`]): if `deadline` has already
+    /// passed on entry the tail scan is skipped too and the output is
+    /// flagged `timed_out`; otherwise the bounded tail scan runs and only
+    /// the snapshot's block visits are cut short.
+    pub fn query_with_deadline(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+        deadline: Option<std::time::Instant>,
+    ) -> QueryOutput {
+        assert_eq!(query.len(), self.shared.config.dim, "query has wrong dimension");
+        let late_on_entry = deadline.is_some_and(|d| std::time::Instant::now() >= d);
+        let (snap, tail_hits) = {
+            let tail = self.shared.tail.read();
+            let snap = self.shared.snapshot.read().clone();
+            let hits = if late_on_entry {
+                None
+            } else {
+                self.scan_tail(&tail, snap.sealed_rows(), query, k, window)
+            };
+            (snap, hits)
+        };
+        let mut out = snap.query_with_deadline(query, k, window, params, deadline);
+        out.timed_out |= late_on_entry;
+        if let Some((hits, tail_stats)) = tail_hits {
+            out.results = merge_results(out.results, hits, k);
+            out.stats.merge(&tail_stats);
+            out.selection.tail = true;
+        }
+        out
+    }
+
+    /// Answers many queries against one consistent engine state: the tail
+    /// lock and snapshot are taken *once*, every query's tail scan runs
+    /// under that single lock hold, and the snapshot (immutable by
+    /// construction) is then fanned out across `threads` workers (`0` = all
+    /// cores), mirroring the thread-budget rule of
+    /// [`MbiIndex::query_batch`]. Per query the answer is bit-identical to
+    /// [`StreamingMbi::query_with_params`] against the same state — the
+    /// server's batch coalescer relies on exactly this equivalence.
+    pub fn query_batch(
+        &self,
+        queries: &[(Vec<f32>, usize, TimeWindow)],
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<Vec<TknnResult>> {
+        for (q, _, _) in queries {
+            assert_eq!(q.len(), self.shared.config.dim, "query has wrong dimension");
+        }
+        let (snap, tail_hits) = {
+            let tail = self.shared.tail.read();
+            let snap = self.shared.snapshot.read().clone();
+            let hits: Vec<_> = queries
+                .iter()
+                .map(|(q, k, w)| self.scan_tail(&tail, snap.sealed_rows(), q, *k, *w))
+                .collect();
+            (snap, hits)
+        };
+        let merge_one = |(q, k, w): &(Vec<f32>, usize, TimeWindow),
+                         tail_hit: Option<(Vec<TknnResult>, SearchStats)>,
+                         inner: usize| {
+            let target = snap.target();
+            let selection = target.block_selection(*w);
+            let out = target.query_on_selection_threaded(q, *k, *w, params, &selection, inner);
+            match tail_hit {
+                Some((hits, _)) => merge_results(out.results, hits, *k),
+                None => out.results,
+            }
+        };
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = if threads == 0 { cores } else { threads };
+        let mut out: Vec<Vec<TknnResult>> = vec![Vec::new(); queries.len()];
+        if threads <= 1 || queries.len() <= 1 {
+            for ((qkw, hit), slot) in queries.iter().zip(tail_hits).zip(out.iter_mut()) {
+                *slot = merge_one(qkw, hit, self.shared.config.query_threads);
+            }
+            return out;
+        }
+        let chunk = queries.len().div_ceil(threads).max(1);
+        let workers = queries.len().div_ceil(chunk);
+        let inner = if workers >= cores { 1 } else { (cores / workers).max(1) };
+        let mut hit_chunks: Vec<Vec<_>> = Vec::with_capacity(workers);
+        {
+            let mut rest = tail_hits;
+            while rest.len() > chunk {
+                let tail = rest.split_off(chunk);
+                hit_chunks.push(rest);
+                rest = tail;
+            }
+            hit_chunks.push(rest);
+        }
+        std::thread::scope(|scope| {
+            for ((qchunk, hchunk), ochunk) in
+                queries.chunks(chunk).zip(hit_chunks).zip(out.chunks_mut(chunk))
+            {
+                let merge_one = &merge_one;
+                scope.spawn(move || {
+                    for ((qkw, hit), slot) in qchunk.iter().zip(hchunk).zip(ochunk.iter_mut()) {
+                        *slot = merge_one(qkw, hit, inner);
+                    }
+                });
+            }
+        });
         out
     }
 
@@ -1558,6 +1708,67 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("mbi_engine_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    #[test]
+    fn query_batch_matches_individual_queries() {
+        let engine = StreamingMbi::new(config());
+        fill(&engine, 67); // 8 sealed leaves + 3 tail rows
+        engine.flush();
+        let params = SearchParams::new(64, 1.2);
+        let queries: Vec<(Vec<f32>, usize, TimeWindow)> =
+            (0..9).map(|i| (vec![i as f32 * 7.0, 0.0], 3, TimeWindow::new(i, i + 50))).collect();
+        let serial = engine.query_batch(&queries, &params, 1);
+        let parallel = engine.query_batch(&queries, &params, 4);
+        assert_eq!(serial, parallel);
+        for ((q, k, w), batch) in queries.iter().zip(&serial) {
+            assert_eq!(*batch, engine.query_with_params(q, *k, *w, &params).results);
+        }
+    }
+
+    #[test]
+    fn query_batch_covers_unpublished_tail() {
+        // No flush: with a slow builder most rows are still tail-resident,
+        // so the batch path must merge tail scans to stay correct.
+        let engine = StreamingMbi::new(config());
+        fill(&engine, 29);
+        let params = SearchParams::new(64, 1.2);
+        let queries: Vec<(Vec<f32>, usize, TimeWindow)> = vec![
+            (vec![28.0, 0.0], 4, TimeWindow::all()),
+            (vec![0.0, 0.0], 2, TimeWindow::new(24, 29)),
+        ];
+        for (i, res) in engine.query_batch(&queries, &params, 0).iter().enumerate() {
+            let (q, k, w) = &queries[i];
+            assert_eq!(*res, engine.query_with_params(q, *k, *w, &params).results, "query {i}");
+        }
+    }
+
+    #[test]
+    fn engine_deadline_flags_partial_results() {
+        let engine = StreamingMbi::new(config());
+        fill(&engine, 67);
+        engine.flush();
+        let params = SearchParams::new(64, 1.2);
+        let none = engine.query_with_deadline(&[40.0, 0.0], 5, TimeWindow::all(), &params, None);
+        assert!(!none.timed_out);
+        assert_eq!(
+            none.results,
+            engine.query_with_params(&[40.0, 0.0], 5, TimeWindow::all(), &params).results
+        );
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let late =
+            engine.query_with_deadline(&[40.0, 0.0], 5, TimeWindow::all(), &params, Some(past));
+        assert!(late.timed_out);
+        assert!(late.results.is_empty());
+    }
+
+    #[test]
+    fn health_helpers_label_states() {
+        assert!(!EngineHealth::Healthy.is_halted());
+        assert!(EngineHealth::Halted.is_halted());
+        assert_eq!(EngineHealth::Healthy.label(), "healthy");
+        assert_eq!(EngineHealth::Degraded { failed_chains: vec![3] }.label(), "degraded");
+        assert_eq!(EngineHealth::Halted.label(), "halted");
     }
 
     #[test]

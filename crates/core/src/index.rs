@@ -33,6 +33,10 @@ pub struct QueryOutput {
     pub stats: SearchStats,
     /// The search block set the query used.
     pub selection: SearchBlockSet,
+    /// Whether a cooperative deadline expired before every selected place
+    /// was searched — `results` then covers only the places visited in
+    /// time (partial, never garbage). Always `false` without a deadline.
+    pub timed_out: bool,
 }
 
 /// One row of [`MbiIndex::level_stats`].
@@ -503,6 +507,30 @@ impl MbiIndex {
         threads: usize,
     ) -> QueryOutput {
         self.target().query_on_selection_threaded(query, k, window, params, selection, threads)
+    }
+
+    /// [`MbiIndex::query_with_params`] under a cooperative deadline: the
+    /// executor checks the clock between block visits and stops searching
+    /// once `deadline` passes, returning whatever was merged so far with
+    /// [`QueryOutput::timed_out`] set. `None` disables the check entirely.
+    pub fn query_with_deadline(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+        deadline: Option<std::time::Instant>,
+    ) -> QueryOutput {
+        let selection = self.block_selection(window);
+        self.target().query_on_selection_deadline(
+            query,
+            k,
+            window,
+            params,
+            &selection,
+            self.config.query_threads,
+            &crate::query_exec::Deadline::new(deadline),
+        )
     }
 
     /// Exact TkNN by binary search + brute force over the whole store — the
@@ -981,6 +1009,38 @@ mod tests {
             let direct = idx.query(&queries[i].0, 3, queries[i].2);
             assert_eq!(*res, direct);
         }
+    }
+
+    #[test]
+    fn deadline_none_matches_undeadlined_query() {
+        let idx = line_index(96, small_config());
+        let params = SearchParams::new(64, 1.2);
+        let w = TimeWindow::new(3, 90);
+        let plain = idx.query_with_params(&[40.0, 0.0], 5, w, &params);
+        let dead = idx.query_with_deadline(&[40.0, 0.0], 5, w, &params, None);
+        assert_eq!(plain.results, dead.results);
+        assert!(!dead.timed_out);
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let relaxed = idx.query_with_deadline(&[40.0, 0.0], 5, w, &params, Some(far));
+        assert_eq!(plain.results, relaxed.results);
+        assert!(!relaxed.timed_out);
+    }
+
+    #[test]
+    fn expired_deadline_returns_partial_flagged() {
+        let idx = line_index(96, small_config());
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let out = idx.query_with_deadline(
+            &[40.0, 0.0],
+            5,
+            TimeWindow::all(),
+            &SearchParams::new(64, 1.2),
+            Some(past),
+        );
+        // Every block visit (and the tail) is skipped; no panic, empty
+        // partial result, flag set.
+        assert!(out.timed_out);
+        assert!(out.results.is_empty());
     }
 
     #[test]

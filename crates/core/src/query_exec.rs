@@ -19,6 +19,42 @@ use mbi_ann::{
 };
 use mbi_math::{Neighbor, PreparedQuery, TopK};
 use std::borrow::Borrow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Cooperative deadline shared by every worker of one query: `None` means
+/// unbounded. The flag latches, so once any worker observes expiry every
+/// later [`Deadline::expired`] call is a single atomic load — no further
+/// clock reads.
+pub(crate) struct Deadline {
+    at: Option<Instant>,
+    hit: AtomicBool,
+}
+
+impl Deadline {
+    pub(crate) fn new(at: Option<Instant>) -> Self {
+        Deadline { at, hit: AtomicBool::new(false) }
+    }
+
+    /// Whether the deadline has passed (checked between block visits —
+    /// granularity is one block search, never mid-scan).
+    pub(crate) fn expired(&self) -> bool {
+        let Some(at) = self.at else { return false };
+        if self.hit.load(Ordering::Relaxed) {
+            return true;
+        }
+        if Instant::now() >= at {
+            self.hit.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Whether any [`Deadline::expired`] call returned true.
+    pub(crate) fn was_hit(&self) -> bool {
+        self.hit.load(Ordering::Relaxed)
+    }
+}
 
 /// Minimum total rows under the selected full blocks before auto-mode
 /// intra-query fan-out spawns workers; below this a scoped-thread spawn
@@ -167,6 +203,36 @@ where
         selection: &SearchBlockSet,
         threads: usize,
     ) -> QueryOutput {
+        self.query_on_selection_deadline(
+            query,
+            k,
+            window,
+            params,
+            selection,
+            threads,
+            &Deadline::new(None),
+        )
+    }
+
+    /// [`Self::query_on_selection_threaded`] under a cooperative deadline:
+    /// the deadline is checked between block visits (sequential path) and
+    /// per block per worker (fan-out path, via the shared latched flag), so
+    /// a straggler query stops within one block search of expiry instead of
+    /// holding a server worker indefinitely. On expiry the output carries
+    /// whatever was merged so far with `timed_out = true` — partial results,
+    /// never a panic. With `deadline = None` this is exactly the undeadlined
+    /// path (one untaken branch per block).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn query_on_selection_deadline(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+        selection: &SearchBlockSet,
+        threads: usize,
+        deadline: &Deadline,
+    ) -> QueryOutput {
         assert_eq!(query.len(), self.config.dim, "query has wrong dimension");
         let mut stats = SearchStats::default();
         let mut merged = TopK::new(k);
@@ -179,6 +245,9 @@ where
         if workers <= 1 {
             with_thread_scratch(|scratch, buf| {
                 for &bi in &selection.blocks {
+                    if deadline.expired() {
+                        break;
+                    }
                     self.search_one_block(
                         bi,
                         &pq,
@@ -211,6 +280,9 @@ where
                         let mut local_stats = SearchStats::default();
                         with_thread_scratch(|scratch, buf| {
                             for &bi in blocks {
+                                if deadline.expired() {
+                                    break;
+                                }
                                 self.search_one_block(
                                     bi,
                                     &pq,
@@ -240,7 +312,7 @@ where
         // Tail: binary search + brute force (Algorithm 4 line 6 — the
         // non-full leaf has no graph, so BSBF applies). Stays on the calling
         // thread: it is a single bounded scan, never worth a spawn.
-        if selection.tail {
+        if selection.tail && !deadline.expired() {
             let tail = self.tail_rows();
             let lo = wlo.max(tail.start);
             let hi = whi.max(lo);
@@ -253,7 +325,12 @@ where
             }
         }
 
-        QueryOutput { results: self.to_results(merged), stats, selection: selection.clone() }
+        QueryOutput {
+            results: self.to_results(merged),
+            stats,
+            selection: selection.clone(),
+            timed_out: deadline.was_hit(),
+        }
     }
 
     /// Searches one selected full block, merging hits into `merged` and

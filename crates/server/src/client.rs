@@ -1,0 +1,221 @@
+//! Clients for both protocols: [`BinaryClient`] for the framed binary
+//! protocol, and a minimal [`http_request`] helper the tests and bench use
+//! against the JSON endpoints.
+
+use crate::wire::{self, Op, Status};
+use mbi_core::{TimeWindow, TknnResult};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Errors a client call can return.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered with a non-OK status.
+    Server {
+        /// The response status.
+        status: Status,
+        /// The server's message (or decoded payload summary).
+        message: String,
+    },
+    /// The response payload did not decode.
+    Protocol(String),
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { status, message } => {
+                write!(f, "server error {status:?}: {message}")
+            }
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+/// A query answer from the binary protocol.
+pub struct QueryReply {
+    /// The top-k results.
+    pub results: Vec<TknnResult>,
+    /// The query rode a coalesced batch.
+    pub coalesced: bool,
+    /// The deadline expired; results are partial.
+    pub timed_out: bool,
+}
+
+/// One authenticated binary-protocol connection.
+pub struct BinaryClient {
+    stream: TcpStream,
+}
+
+impl BinaryClient {
+    /// Connects, sends the protocol magic, and authenticates as
+    /// `(tenant, token)`.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        tenant: &str,
+        token: &str,
+    ) -> Result<BinaryClient, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.write_all(&wire::MAGIC)?;
+        let mut client = BinaryClient { stream };
+        let payload = wire::PayloadWriter::new().str16(tenant).str16(token).build();
+        client.call(Op::Auth, &payload)?;
+        Ok(client)
+    }
+
+    /// Sets a receive timeout on the connection.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// One raw round-trip; returns the status and untouched payload bytes.
+    fn call_raw(&mut self, op: Op, payload: &[u8]) -> Result<(Status, Vec<u8>), ClientError> {
+        wire::write_frame(&mut self.stream, op as u8, payload)?;
+        let Some((tag, body)) = wire::read_frame(&mut self.stream)? else {
+            return Err(ClientError::Protocol("server closed mid-call".into()));
+        };
+        match Status::from_u8(tag) {
+            Some(status) => Ok((status, body)),
+            None => Err(ClientError::Protocol(format!("unknown status byte {tag}"))),
+        }
+    }
+
+    fn call(&mut self, op: Op, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        match self.call_raw(op, payload)? {
+            (Status::Ok, body) => Ok(body),
+            (status, body) => Err(ClientError::Server {
+                status,
+                message: String::from_utf8_lossy(&body).into_owned(),
+            }),
+        }
+    }
+
+    /// One kNN query. `deadline` of `None` uses the server's default (and
+    /// keeps the query eligible for coalescing).
+    pub fn query(
+        &mut self,
+        vector: &[f32],
+        k: usize,
+        window: TimeWindow,
+        deadline: Option<Duration>,
+    ) -> Result<QueryReply, ClientError> {
+        let deadline_ms =
+            deadline.map_or(0, |d| d.as_millis().clamp(1, u128::from(u32::MAX)) as u32);
+        let payload = wire::PayloadWriter::new()
+            .u32(k as u32)
+            .i64(window.start)
+            .i64(window.end)
+            .u32(deadline_ms)
+            .u32(vector.len() as u32)
+            .f32s(vector)
+            .build();
+        let (status, body) = match self.call_raw(Op::Query, &payload)? {
+            // A timed-out query still carries its (partial) encoded results.
+            reply @ ((Status::Ok, _) | (Status::Timeout, _)) => reply,
+            (status, body) => {
+                return Err(ClientError::Server {
+                    status,
+                    message: String::from_utf8_lossy(&body).into_owned(),
+                })
+            }
+        };
+        let (flags, results) = wire::decode_results(&body).map_err(ClientError::Protocol)?;
+        Ok(QueryReply {
+            results,
+            coalesced: flags & wire::FLAG_COALESCED != 0,
+            timed_out: flags & wire::FLAG_TIMED_OUT != 0 || status == Status::Timeout,
+        })
+    }
+
+    /// One insert; returns the assigned row id.
+    pub fn insert(&mut self, vector: &[f32], timestamp: i64) -> Result<u32, ClientError> {
+        let payload =
+            wire::PayloadWriter::new().i64(timestamp).u32(vector.len() as u32).f32s(vector).build();
+        let body = self.call(Op::Insert, &payload)?;
+        let bytes: [u8; 4] = body
+            .as_slice()
+            .try_into()
+            .map_err(|_| ClientError::Protocol("insert reply is not a u32".into()))?;
+        Ok(u32::from_le_bytes(bytes))
+    }
+
+    /// The `/stats` document as a JSON string.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let body = self.call(Op::Stats, &[])?;
+        String::from_utf8(body).map_err(|_| ClientError::Protocol("stats not utf-8".into()))
+    }
+
+    /// The tenant's health document as a JSON string.
+    pub fn health(&mut self) -> Result<String, ClientError> {
+        let body = self.call(Op::Health, &[])?;
+        String::from_utf8(body).map_err(|_| ClientError::Protocol("health not utf-8".into()))
+    }
+
+    /// Round-trip liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(Op::Ping, &[]).map(|_| ())
+    }
+}
+
+/// Sends one HTTP/1.1 request over a fresh connection and returns
+/// `(status, body)`. `headers` are extra `Name: value` lines (e.g. the
+/// `Authorization` and `X-Tenant` pair).
+pub fn http_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> Result<(u16, String), ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: mbi\r\nConnection: close\r\n");
+    for (name, value) in headers {
+        request.push_str(&format!("{name}: {value}\r\n"));
+    }
+    request.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    stream.write_all(request.as_bytes())?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol("eof inside response headers".into()));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ClientError::Protocol("bad content-length".into()))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body =
+        String::from_utf8(body).map_err(|_| ClientError::Protocol("body not utf-8".into()))?;
+    Ok((status, body))
+}

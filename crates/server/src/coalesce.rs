@@ -1,0 +1,282 @@
+//! Cross-request batch coalescing.
+//!
+//! Concurrent single queries against one tenant merge into one
+//! [`StreamingMbi::query_batch`](mbi_core::StreamingMbi::query_batch) call:
+//! the first arrival becomes the *leader*, waits up to the coalesce window
+//! (or until the batch cap fills) for companions, executes the whole batch,
+//! and demultiplexes results to each waiter. Followers just park on their
+//! slot. No dedicated collector thread exists — the leader is a request
+//! thread, so draining in-flight requests at shutdown drains the coalescer
+//! for free.
+//!
+//! Correctness: `query_batch` answers every query against one consistent
+//! engine state with per-query results bit-identical to individual
+//! `query_with_params` calls against that state, so coalescing changes
+//! *when* a query runs, never *what* it returns. The property test in
+//! `tests/coalesce_properties.rs` pins this end to end.
+
+use mbi_core::{MbiError, TimeWindow, TknnResult};
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What one coalesced submission returned: the query's own results plus the
+/// size of the batch it rode in (1 = ran alone).
+pub struct CoalesceOutcome {
+    /// This query's results, bit-identical to an individual engine call.
+    pub results: Vec<TknnResult>,
+    /// Number of queries in the executed batch.
+    pub batch_size: usize,
+}
+
+/// One query's rendezvous point: the follower parks here until the leader
+/// deposits its result (and the batch size it was answered in).
+struct Slot {
+    outcome: Mutex<Option<Result<CoalesceOutcome, String>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot { outcome: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    fn fill(&self, value: Result<CoalesceOutcome, String>) {
+        *self.outcome.lock() = Some(value);
+        self.ready.notify_all();
+    }
+
+    fn take(&self) -> Result<CoalesceOutcome, String> {
+        let mut guard = self.outcome.lock();
+        while guard.is_none() {
+            self.ready.wait(&mut guard);
+        }
+        guard.take().expect("checked Some")
+    }
+}
+
+struct PendingQuery {
+    query: Vec<f32>,
+    k: usize,
+    window: TimeWindow,
+    slot: Arc<Slot>,
+}
+
+#[derive(Default)]
+struct CollectorState {
+    pending: Vec<PendingQuery>,
+    /// Whether a leader is currently collecting; the next arrival after the
+    /// leader drains becomes the new leader.
+    leading: bool,
+}
+
+/// The per-tenant coalescing collector. See the module docs.
+pub struct Coalescer {
+    window: Duration,
+    max_batch: usize,
+    state: Mutex<CollectorState>,
+    /// Signals the collecting leader that the batch cap filled early.
+    filled: Condvar,
+}
+
+impl Coalescer {
+    /// A collector with the given window and batch cap. A zero window
+    /// disables coalescing: every submission executes immediately, alone.
+    pub fn new(window: Duration, max_batch: usize) -> Self {
+        Coalescer {
+            window,
+            max_batch: max_batch.max(2),
+            state: Mutex::new(CollectorState::default()),
+            filled: Condvar::new(),
+        }
+    }
+
+    /// Whether coalescing is enabled.
+    pub fn enabled(&self) -> bool {
+        !self.window.is_zero()
+    }
+
+    /// Submits one query. Blocks the calling thread until its results are
+    /// available — at most one coalesce window plus the batch execution.
+    ///
+    /// `exec` runs the merged batch (only the leader's `exec` is invoked;
+    /// followers' closures are dropped unused). An engine error or panic in
+    /// the batch execution is broadcast to every waiter as an `Err` — no
+    /// waiter can hang on a dead leader.
+    pub fn submit<F>(
+        &self,
+        query: Vec<f32>,
+        k: usize,
+        window: TimeWindow,
+        exec: F,
+    ) -> Result<CoalesceOutcome, String>
+    where
+        F: FnOnce(&[(Vec<f32>, usize, TimeWindow)]) -> Result<Vec<Vec<TknnResult>>, MbiError>,
+    {
+        if !self.enabled() {
+            let batch = [(query, k, window)];
+            let mut results = exec(&batch).map_err(|e| e.to_string())?;
+            return Ok(CoalesceOutcome {
+                results: results.pop().expect("one result per query"),
+                batch_size: 1,
+            });
+        }
+        let slot = Arc::new(Slot::new());
+        let lead = {
+            let mut st = self.state.lock();
+            st.pending.push(PendingQuery { query, k, window, slot: Arc::clone(&slot) });
+            if st.leading {
+                if st.pending.len() >= self.max_batch {
+                    self.filled.notify_all();
+                }
+                false
+            } else {
+                st.leading = true;
+                true
+            }
+        };
+        if lead {
+            self.lead(exec);
+        }
+        slot.take()
+    }
+
+    /// Collect for up to one window (or until the cap fills), then execute
+    /// and distribute.
+    fn lead<F>(&self, exec: F)
+    where
+        F: FnOnce(&[(Vec<f32>, usize, TimeWindow)]) -> Result<Vec<Vec<TknnResult>>, MbiError>,
+    {
+        let deadline = Instant::now() + self.window;
+        let batch = {
+            let mut st = self.state.lock();
+            while st.pending.len() < self.max_batch {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                if self.filled.wait_for(&mut st, left).timed_out() {
+                    break;
+                }
+            }
+            st.leading = false;
+            std::mem::take(&mut st.pending)
+        };
+        let queries: Vec<(Vec<f32>, usize, TimeWindow)> =
+            batch.iter().map(|p| (p.query.clone(), p.k, p.window)).collect();
+        let n = batch.len();
+        let outcome = catch_unwind(AssertUnwindSafe(|| exec(&queries)));
+        match outcome {
+            Ok(Ok(results)) => {
+                debug_assert_eq!(results.len(), n);
+                for (p, r) in batch.iter().zip(results) {
+                    p.slot.fill(Ok(CoalesceOutcome { results: r, batch_size: n }));
+                }
+            }
+            Ok(Err(e)) => {
+                let msg = e.to_string();
+                for p in &batch {
+                    p.slot.fill(Err(msg.clone()));
+                }
+            }
+            Err(_) => {
+                for p in &batch {
+                    p.slot.fill(Err("batch execution panicked".into()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_batch(
+        queries: &[(Vec<f32>, usize, TimeWindow)],
+    ) -> Result<Vec<Vec<TknnResult>>, MbiError> {
+        // A deterministic fake engine: one result per query, id = k.
+        Ok(queries
+            .iter()
+            .map(|(_, k, _)| vec![TknnResult { id: *k as u32, timestamp: 0, dist: 0.0 }])
+            .collect())
+    }
+
+    #[test]
+    fn zero_window_bypasses_collection() {
+        let c = Coalescer::new(Duration::ZERO, 8);
+        assert!(!c.enabled());
+        let out = c.submit(vec![1.0], 7, TimeWindow::all(), run_batch).unwrap();
+        assert_eq!(out.batch_size, 1);
+        assert_eq!(out.results[0].id, 7);
+    }
+
+    #[test]
+    fn concurrent_submissions_share_a_batch() {
+        // A generous window so even a heavily loaded CI machine gets all
+        // four threads into one batch; the cap fills long before it lapses.
+        let c = Arc::new(Coalescer::new(Duration::from_millis(500), 4));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let outs: Vec<CoalesceOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        c.submit(vec![i as f32], i as usize, TimeWindow::all(), run_batch).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // All four arrived within the window, so the batch cap (4) fills
+        // and everyone reports the same batch.
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(out.results[0].id, i as u32);
+            assert!(out.batch_size >= 2, "query {i} ran in a batch of {}", out.batch_size);
+        }
+        assert!(outs.iter().any(|o| o.batch_size == 4), "cap never filled");
+    }
+
+    #[test]
+    fn execution_error_reaches_every_waiter() {
+        let c = Arc::new(Coalescer::new(Duration::from_millis(20), 2));
+        let errs: Vec<Result<CoalesceOutcome, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2u32)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    scope.spawn(move || {
+                        c.submit(vec![i as f32], 1, TimeWindow::all(), |_| {
+                            Err(MbiError::Io(std::io::Error::other("boom")))
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for e in errs {
+            assert!(e.is_err());
+        }
+    }
+
+    #[test]
+    fn leader_panic_does_not_hang_followers() {
+        let c = Arc::new(Coalescer::new(Duration::from_millis(20), 2));
+        let outs: Vec<Result<CoalesceOutcome, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2u32)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    scope.spawn(move || {
+                        c.submit(vec![i as f32], 1, TimeWindow::all(), |_| panic!("die"))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for out in outs {
+            assert_eq!(out.err().as_deref(), Some("batch execution panicked"));
+        }
+    }
+}

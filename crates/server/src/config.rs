@@ -1,0 +1,150 @@
+//! Server and tenant configuration.
+
+use mbi_core::{EngineConfig, MbiConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// One tenant: a name, its bearer token, and where its data lives.
+#[derive(Clone, Debug)]
+pub struct TenantConfig {
+    /// Namespace name (appears in `/stats`, never in auth decisions alone).
+    pub name: String,
+    /// Bearer token. A request must present the `(name, token)` pair; one
+    /// tenant's token never grants access to another's namespace.
+    pub token: String,
+    /// Durable directory for a streaming tenant
+    /// ([`StreamingMbi::open`](mbi_core::StreamingMbi::open)): WAL +
+    /// checkpoints live here and the tenant recovers from it on restart.
+    /// `None` (and no `cold_path`) = in-memory streaming tenant.
+    pub dir: Option<PathBuf>,
+    /// Path to a v7 index file for a read-only cold tenant
+    /// ([`ColdIndex`](mbi_core::ColdIndex)); inserts are rejected.
+    pub cold_path: Option<PathBuf>,
+}
+
+impl TenantConfig {
+    /// An in-memory streaming tenant.
+    pub fn memory(name: impl Into<String>, token: impl Into<String>) -> Self {
+        TenantConfig { name: name.into(), token: token.into(), dir: None, cold_path: None }
+    }
+
+    /// A durable streaming tenant rooted at `dir`.
+    pub fn durable(
+        name: impl Into<String>,
+        token: impl Into<String>,
+        dir: impl Into<PathBuf>,
+    ) -> Self {
+        TenantConfig {
+            name: name.into(),
+            token: token.into(),
+            dir: Some(dir.into()),
+            cold_path: None,
+        }
+    }
+
+    /// A read-only cold tenant served from a v7 index file.
+    pub fn cold(
+        name: impl Into<String>,
+        token: impl Into<String>,
+        path: impl Into<PathBuf>,
+    ) -> Self {
+        TenantConfig {
+            name: name.into(),
+            token: token.into(),
+            dir: None,
+            cold_path: Some(path.into()),
+        }
+    }
+}
+
+/// Everything [`Server::start`](crate::Server::start) needs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `"127.0.0.1:7171"`. Port `0` picks a free port
+    /// (tests read it back from
+    /// [`ServerHandle::addr`](crate::ServerHandle::addr)).
+    pub addr: String,
+    /// Index configuration shared by every streaming tenant (cold tenants
+    /// carry their own persisted config).
+    pub index: MbiConfig,
+    /// Engine tunables. `builder_threads` is the *total* background-build
+    /// pool: it is divided evenly across streaming tenants (at least one
+    /// each), which approximates a shared pool without cross-engine work
+    /// stealing — an idle tenant's builders sleep on their queue and cost
+    /// nothing.
+    pub engine: EngineConfig,
+    /// Accepted-connection cap; beyond it new connections get an immediate
+    /// overload response and are closed.
+    pub max_connections: usize,
+    /// In-flight request cap (the admission gate): a query/insert arriving
+    /// while this many are executing is shed with `503`/`Overloaded`
+    /// rather than queued.
+    pub max_inflight: usize,
+    /// Default per-request deadline applied when a request does not carry
+    /// its own; `None` = unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Coalescing window: a query waits up to this long for companions to
+    /// merge into one batch call. `Duration::ZERO` disables coalescing.
+    pub coalesce_window: Duration,
+    /// Upper bound on one coalesced batch; a full batch executes before
+    /// the window elapses.
+    pub coalesce_max_batch: usize,
+    /// The tenants to serve. Duplicate names or tokens are a start-time
+    /// error.
+    pub tenants: Vec<TenantConfig>,
+}
+
+impl ServerConfig {
+    /// A config with production-ish defaults: 256 connections, 64 in-flight
+    /// requests, a 2 s default deadline, coalescing off.
+    pub fn new(addr: impl Into<String>, index: MbiConfig) -> Self {
+        ServerConfig {
+            addr: addr.into(),
+            index,
+            engine: EngineConfig::default(),
+            max_connections: 256,
+            max_inflight: 64,
+            default_deadline: Some(Duration::from_secs(2)),
+            coalesce_window: Duration::ZERO,
+            coalesce_max_batch: 32,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Adds a tenant.
+    pub fn with_tenant(mut self, tenant: TenantConfig) -> Self {
+        self.tenants.push(tenant);
+        self
+    }
+
+    /// Sets the engine tunables (see [`ServerConfig::engine`]).
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the coalescing window and batch cap.
+    pub fn with_coalescing(mut self, window: Duration, max_batch: usize) -> Self {
+        self.coalesce_window = window;
+        self.coalesce_max_batch = max_batch.max(2);
+        self
+    }
+
+    /// Sets the in-flight request cap.
+    pub fn with_max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n.max(1);
+        self
+    }
+
+    /// Sets the default per-request deadline (`None` = unbounded).
+    pub fn with_default_deadline(mut self, d: Option<Duration>) -> Self {
+        self.default_deadline = d;
+        self
+    }
+
+    /// Sets the connection cap.
+    pub fn with_max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n.max(1);
+        self
+    }
+}

@@ -1,0 +1,694 @@
+//! The serving loop: accept, sniff the protocol, admit, route, respond.
+//!
+//! One thread accepts; each connection gets its own thread (the offline
+//! build environment has no async runtime, and per-connection threads serve
+//! the tested load fine). A connection's first 4 bytes pick the protocol:
+//! the magic [`MAGIC`](crate::wire::MAGIC) opens the binary framing,
+//! anything else is parsed as HTTP/1.1.
+//!
+//! Admission control is two nested gates: a connection cap (refused
+//! connections get an immediate overload response and close) and an
+//! in-flight request cap (excess requests are shed with
+//! `503`/`Overloaded` instead of queueing). Deadlines ride the engine's
+//! cooperative check: an expired query comes back flagged partial and is
+//! answered with `408`/`Timeout` — the connection and server keep serving.
+
+use crate::coalesce::CoalesceOutcome;
+use crate::config::ServerConfig;
+use crate::http::{self, ParseError, Request};
+use crate::metrics::ServerMetrics;
+use crate::signal;
+use crate::tenant::{Tenant, TenantError, TenantRegistry};
+use crate::wire::{self, Op, Status};
+use mbi_core::{MbiError, TimeWindow};
+use serde::Value;
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps when no connection is pending. Short,
+/// because this bounds the accept latency of every fresh connection (one
+/// HTTP request from `curl` pays it once).
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+/// Per-connection read timeout used to poll the stop flag between requests.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// How long [`ServerHandle::shutdown`] waits for in-flight work to drain.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The server. Construct with [`Server::start`]; it returns a
+/// [`ServerHandle`] immediately and serves on background threads.
+pub struct Server;
+
+/// Everything shared across the accept loop and connection threads.
+struct Shared {
+    config: ServerConfig,
+    registry: Arc<TenantRegistry>,
+    metrics: ServerMetrics,
+    stop: AtomicBool,
+}
+
+impl Server {
+    /// Builds every tenant engine, binds `config.addr`, and starts serving.
+    pub fn start(config: ServerConfig) -> Result<ServerHandle, MbiError> {
+        let registry = Arc::new(TenantRegistry::build(&config)?);
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            registry: Arc::clone(&registry),
+            metrics: ServerMetrics::default(),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("mbi-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(MbiError::Io)?;
+        Ok(ServerHandle { addr, shared, registry, accept: Some(accept) })
+    }
+}
+
+/// Handle to a running server: its address, shutdown, and introspection.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    registry: Arc<TenantRegistry>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (read this back when the config asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The tenant registry (tests and the CLI read metrics through it).
+    pub fn registry(&self) -> &Arc<TenantRegistry> {
+        &self.registry
+    }
+
+    /// Blocks until a termination signal (or [`signal::request_shutdown`])
+    /// arrives, then drains gracefully. The CLI's serving loop.
+    pub fn wait_for_shutdown(mut self) {
+        while !signal::shutdown_requested() && !self.shared.stop.load(Ordering::Relaxed) {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        self.drain();
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests and open
+    /// connections (bounded by an internal timeout), then checkpoint every
+    /// durable tenant's WAL and drop the engines (which joins their
+    /// builders).
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    /// Simulated crash for the fault-injection suite: stop serving but
+    /// *leak* the engines so no `Drop` runs — no WAL sync, no checkpoint,
+    /// no builder join. Recovery must then reconstruct every acked insert
+    /// from the log alone.
+    pub fn abort(mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        std::mem::forget(Arc::clone(&self.registry));
+    }
+
+    fn drain(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        let gone = Instant::now() + DRAIN_TIMEOUT;
+        while self.shared.metrics.connections.load(Ordering::Relaxed) > 0 && Instant::now() < gone {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for tenant in self.registry.all() {
+            if let crate::tenant::TenantEngine::Streaming(e) = &tenant.engine {
+                if e.durable_dir().is_some() {
+                    if let Err(err) = e.checkpoint() {
+                        eprintln!("checkpoint of tenant {:?} failed: {err}", tenant.name);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.drain();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let open = shared.metrics.connections.fetch_add(1, Ordering::Relaxed) + 1;
+                if open > shared.config.max_connections {
+                    shared.metrics.connections.fetch_sub(1, Ordering::Relaxed);
+                    shared.metrics.connections_refused.fetch_add(1, Ordering::Relaxed);
+                    refuse(stream);
+                    continue;
+                }
+                let conn_shared = Arc::clone(&shared);
+                let spawned =
+                    std::thread::Builder::new().name("mbi-conn".into()).spawn(move || {
+                        serve_connection(stream, &conn_shared);
+                        conn_shared.metrics.connections.fetch_sub(1, Ordering::Relaxed);
+                    });
+                if spawned.is_err() {
+                    shared.metrics.connections.fetch_sub(1, Ordering::Relaxed);
+                    shared.metrics.connections_refused.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Best-effort overload response to a connection refused at the cap; we
+/// cannot know its protocol yet, so answer in both.
+fn refuse(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let mut buf = Vec::new();
+    let _ =
+        http::write_response(&mut buf, 503, &http::error_body("connection limit reached"), false);
+    let _ = stream.write_all(&buf);
+}
+
+/// A `Read` that replays the sniffed prefix before the live stream.
+struct PrefixedStream<'a> {
+    prefix: &'a [u8],
+    pos: usize,
+    stream: &'a TcpStream,
+}
+
+impl Read for PrefixedStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos < self.prefix.len() {
+            let n = (&self.prefix[self.pos..]).read(buf)?;
+            self.pos += n;
+            return Ok(n);
+        }
+        self.stream.read(buf)
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut sniff = [0u8; 4];
+    let mut got = 0usize;
+    // Collect the 4 sniff bytes, polling the stop flag on timeouts.
+    while got < 4 {
+        match (&stream).read(&mut sniff[got..]) {
+            Ok(0) => return,
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    if sniff == wire::MAGIC {
+        serve_binary(&stream, shared);
+    } else {
+        serve_http(&stream, &sniff, shared);
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Waits until the reader has buffered data, the peer closes (`Ok(false)`),
+/// or the server stops (`Ok(false)`).
+fn wait_readable<R: Read>(reader: &mut BufReader<R>, shared: &Shared) -> std::io::Result<bool> {
+    use std::io::BufRead;
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return Ok(false),
+            Ok(_) => return Ok(true),
+            Err(e) if is_timeout(&e) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// RAII decrement for the in-flight gauge.
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The admission gate: `None` means shed.
+fn admit(shared: &Shared) -> Option<InflightGuard<'_>> {
+    let now = shared.metrics.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+    if now > shared.config.max_inflight {
+        shared.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+        shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
+    Some(InflightGuard(&shared.metrics.inflight))
+}
+
+/// What one executed query carries back to either protocol layer.
+struct QueryDone {
+    results: Vec<mbi_core::TknnResult>,
+    timed_out: bool,
+    coalesced: bool,
+    batch_size: usize,
+}
+
+/// Routes one query through the coalescer (deadline-free) or the direct
+/// deadline path, recording tenant metrics either way.
+fn run_query(
+    tenant: &Tenant,
+    query: Vec<f32>,
+    k: usize,
+    window: TimeWindow,
+    explicit_deadline: Option<Duration>,
+    shared: &Shared,
+) -> Result<QueryDone, String> {
+    if query.len() != tenant.dim() {
+        return Err(format!(
+            "query dimension {} does not match index dimension {}",
+            query.len(),
+            tenant.dim()
+        ));
+    }
+    let start = Instant::now();
+    let done = if tenant.coalescer.enabled() && explicit_deadline.is_none() {
+        // Deadline-free queries ride the coalescer; the window plus one
+        // batch execution bounds their latency.
+        let CoalesceOutcome { results, batch_size } =
+            tenant
+                .coalescer
+                .submit(query, k, window, |batch| tenant.query_batch(batch, batch.len()))?;
+        if batch_size > 1 {
+            tenant.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        QueryDone { results, timed_out: false, coalesced: batch_size > 1, batch_size }
+    } else {
+        let deadline =
+            explicit_deadline.or(shared.config.default_deadline).map(|d| Instant::now() + d);
+        let out = tenant.query(&query, k, window, deadline).map_err(|e| e.to_string())?;
+        if out.timed_out {
+            tenant.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        QueryDone {
+            results: out.results,
+            timed_out: out.timed_out,
+            coalesced: false,
+            batch_size: 1,
+        }
+    };
+    tenant.metrics.queries.fetch_add(1, Ordering::Relaxed);
+    tenant.metrics.query_latency.record(start.elapsed());
+    Ok(done)
+}
+
+// ---------------------------------------------------------------------------
+// HTTP protocol
+// ---------------------------------------------------------------------------
+
+fn serve_http(stream: &TcpStream, sniffed: &[u8], shared: &Shared) {
+    let mut reader = BufReader::new(PrefixedStream { prefix: sniffed, pos: 0, stream });
+    let mut out = stream;
+    loop {
+        match wait_readable(&mut reader, shared) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let request = match http::read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ParseError::Closed) => return,
+            Err(ParseError::Io(_)) => return,
+            Err(ParseError::Malformed(m)) => {
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = http::write_response(&mut out, 400, &http::error_body(&m), false);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let (status, body) = handle_http_request(&request, shared);
+        if http::write_response(&mut out, status, &body, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn handle_http_request(req: &Request, shared: &Shared) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/stats") => match authenticate_http(req, shared) {
+            Ok(tenant) => (200, render(stats_value(tenant, shared))),
+            Err(resp) => resp,
+        },
+        ("POST", "/query") => match authenticate_http(req, shared) {
+            Ok(tenant) => http_query(req, tenant, shared),
+            Err(resp) => resp,
+        },
+        ("POST", "/insert") => match authenticate_http(req, shared) {
+            Ok(tenant) => http_insert(req, tenant, shared),
+            Err(resp) => resp,
+        },
+        ("GET" | "POST", _) => (404, http::error_body("no such endpoint")),
+        _ => (405, http::error_body("method not allowed")),
+    }
+}
+
+/// Resolves the request's credentials to a tenant. With an `X-Tenant`
+/// header the `(name, token)` pair must match; without one the token alone
+/// must uniquely identify its tenant.
+fn authenticate_http<'a>(
+    req: &Request,
+    shared: &'a Shared,
+) -> Result<&'a Arc<Tenant>, (u16, String)> {
+    let Some(token) = req.bearer.as_deref() else {
+        return Err((401, http::error_body("missing bearer token")));
+    };
+    let found = match req.tenant.as_deref() {
+        Some(name) => shared.registry.authenticate(name, token),
+        None => shared.registry.by_token(token),
+    };
+    found.ok_or_else(|| {
+        // Attribute the rejection to the named tenant when one was claimed.
+        if let Some(t) = req.tenant.as_deref().and_then(|n| shared.registry.by_name(n)) {
+            t.metrics.unauthorized.fetch_add(1, Ordering::Relaxed);
+        }
+        (401, http::error_body("invalid credentials"))
+    })
+}
+
+fn healthz(shared: &Shared) -> (u16, String) {
+    let tenants: Vec<(String, Value)> =
+        shared.registry.all().iter().map(|t| (t.name.clone(), t.health_value())).collect();
+    let halted = shared.registry.any_halted();
+    let body = Value::Map(vec![
+        ("status".into(), Value::Str(if halted { "halted" } else { "ok" }.into())),
+        ("tenants".into(), Value::Map(tenants)),
+    ]);
+    (if halted { 503 } else { 200 }, render(body))
+}
+
+/// The `/stats` document: server-wide gauges plus the authenticated
+/// tenant's own serving metrics and engine stats.
+fn stats_value(tenant: &Arc<Tenant>, shared: &Shared) -> Value {
+    let uptime = shared.metrics.started.elapsed();
+    Value::Map(vec![
+        ("server".into(), shared.metrics.to_value()),
+        ("tenant".into(), Value::Str(tenant.name.clone())),
+        ("serving".into(), tenant.metrics.to_value(uptime)),
+        ("engine".into(), tenant.engine_stats_value()),
+    ])
+}
+
+fn http_query(req: &Request, tenant: &Arc<Tenant>, shared: &Shared) -> (u16, String) {
+    let Some(guard) = admit(shared) else {
+        tenant.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        return (503, http::error_body("server overloaded"));
+    };
+    let _guard = guard;
+    let parsed = match parse_query_body(&req.body) {
+        Ok(p) => p,
+        Err(m) => return (400, http::error_body(&m)),
+    };
+    let (query, k, window, deadline) = parsed;
+    match run_query(tenant, query, k, window, deadline, shared) {
+        Ok(done) => {
+            let results: Vec<Value> = done
+                .results
+                .iter()
+                .map(|r| {
+                    Value::Map(vec![
+                        ("id".into(), Value::UInt(u64::from(r.id))),
+                        ("timestamp".into(), Value::Int(r.timestamp)),
+                        ("dist".into(), Value::Float(f64::from(r.dist))),
+                    ])
+                })
+                .collect();
+            let body = Value::Map(vec![
+                ("results".into(), Value::Seq(results)),
+                ("timed_out".into(), Value::Bool(done.timed_out)),
+                ("coalesced".into(), Value::Bool(done.coalesced)),
+                ("batch_size".into(), Value::UInt(done.batch_size as u64)),
+            ]);
+            (if done.timed_out { 408 } else { 200 }, render(body))
+        }
+        Err(m) => (400, http::error_body(&m)),
+    }
+}
+
+type ParsedQuery = (Vec<f32>, usize, TimeWindow, Option<Duration>);
+
+fn parse_query_body(body: &str) -> Result<ParsedQuery, String> {
+    let v = serde_json::from_str(body).map_err(|e| e.to_string())?;
+    let query: Vec<f32> = v
+        .get("vector")
+        .and_then(Value::as_seq)
+        .ok_or("missing \"vector\" array")?
+        .iter()
+        .map(|x| x.as_f64().map(|f| f as f32).ok_or("non-numeric vector element"))
+        .collect::<Result<_, _>>()?;
+    let k = v.get("k").and_then(Value::as_u64).ok_or("missing \"k\"")? as usize;
+    if k == 0 {
+        return Err("k must be positive".into());
+    }
+    let from = v.get("from").and_then(Value::as_i64).unwrap_or(i64::MIN);
+    let to = v.get("to").and_then(Value::as_i64).unwrap_or(i64::MAX);
+    if from > to {
+        return Err(format!("window start {from} is after end {to}"));
+    }
+    let deadline = match v.get("deadline_ms") {
+        None => None,
+        Some(d) => Some(Duration::from_millis(
+            d.as_u64().ok_or("\"deadline_ms\" must be a non-negative integer")?,
+        )),
+    };
+    Ok((query, k, TimeWindow::new(from, to), deadline))
+}
+
+fn http_insert(req: &Request, tenant: &Arc<Tenant>, shared: &Shared) -> (u16, String) {
+    let Some(guard) = admit(shared) else {
+        tenant.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        return (503, http::error_body("server overloaded"));
+    };
+    let _guard = guard;
+    let v = match serde_json::from_str(&req.body) {
+        Ok(v) => v,
+        Err(e) => return (400, http::error_body(&e.to_string())),
+    };
+    let Some(vector) = v.get("vector").and_then(Value::as_seq) else {
+        return (400, http::error_body("missing \"vector\" array"));
+    };
+    let vector: Vec<f32> = match vector
+        .iter()
+        .map(|x| x.as_f64().map(|f| f as f32).ok_or("non-numeric vector element"))
+        .collect::<Result<_, _>>()
+    {
+        Ok(vs) => vs,
+        Err(m) => return (400, http::error_body(m)),
+    };
+    let Some(t) = v.get("timestamp").and_then(Value::as_i64) else {
+        return (400, http::error_body("missing \"timestamp\""));
+    };
+    match tenant.insert(&vector, t) {
+        Ok(id) => {
+            tenant.metrics.inserts.fetch_add(1, Ordering::Relaxed);
+            (200, render(Value::Map(vec![("id".into(), Value::UInt(u64::from(id)))])))
+        }
+        Err(TenantError::ReadOnly) => (403, http::error_body("tenant is read-only")),
+        Err(TenantError::Engine(e)) => (400, http::error_body(&e.to_string())),
+    }
+}
+
+fn render(value: Value) -> String {
+    struct W(Value);
+    impl serde::Serialize for W {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    serde_json::to_string(&W(value)).expect("serialiser is total")
+}
+
+// ---------------------------------------------------------------------------
+// Binary protocol
+// ---------------------------------------------------------------------------
+
+fn serve_binary(stream: &TcpStream, shared: &Shared) {
+    let mut reader = BufReader::new(stream);
+    let mut out = stream;
+    // The connection's authenticated tenant; every op except AUTH and PING
+    // requires it.
+    let mut tenant: Option<Arc<Tenant>> = None;
+    loop {
+        match wait_readable(&mut reader, shared) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let (tag, payload) = match wire::read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(_) => {
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = wire::write_frame(&mut out, Status::BadRequest as u8, b"bad frame");
+                return;
+            }
+        };
+        let Some(op) = Op::from_u8(tag) else {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = wire::write_frame(&mut out, Status::BadRequest as u8, b"unknown op");
+            return;
+        };
+        let (status, response) = handle_binary_op(op, &payload, &mut tenant, shared);
+        if wire::write_frame(&mut out, status as u8, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_binary_op(
+    op: Op,
+    payload: &[u8],
+    tenant: &mut Option<Arc<Tenant>>,
+    shared: &Shared,
+) -> (Status, Vec<u8>) {
+    match op {
+        Op::Ping => (Status::Ok, Vec::new()),
+        Op::Auth => {
+            let mut r = wire::PayloadReader::new(payload);
+            let parsed = (|| {
+                let name = r.str16()?;
+                let token = r.str16()?;
+                r.finish()?;
+                Ok::<_, String>((name, token))
+            })();
+            match parsed {
+                Ok((name, token)) => match shared.registry.authenticate(&name, &token) {
+                    Some(t) => {
+                        *tenant = Some(Arc::clone(t));
+                        (Status::Ok, Vec::new())
+                    }
+                    None => {
+                        if let Some(t) = shared.registry.by_name(&name) {
+                            t.metrics.unauthorized.fetch_add(1, Ordering::Relaxed);
+                        }
+                        (Status::Unauthorized, b"invalid credentials".to_vec())
+                    }
+                },
+                Err(m) => (Status::BadRequest, m.into_bytes()),
+            }
+        }
+        Op::Query => {
+            let Some(tenant) = tenant.as_ref() else {
+                return (Status::Unauthorized, b"authenticate first".to_vec());
+            };
+            let Some(guard) = admit(shared) else {
+                tenant.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                return (Status::Overloaded, b"server overloaded".to_vec());
+            };
+            let _guard = guard;
+            let mut r = wire::PayloadReader::new(payload);
+            let parsed = (|| {
+                let k = r.u32()? as usize;
+                let from = r.i64()?;
+                let to = r.i64()?;
+                let deadline_ms = r.u32()?;
+                let dim = r.u32()? as usize;
+                let query = r.f32s(dim)?;
+                r.finish()?;
+                if k == 0 {
+                    return Err("k must be positive".into());
+                }
+                if from > to {
+                    return Err(format!("window start {from} is after end {to}"));
+                }
+                Ok::<_, String>((k, TimeWindow::new(from, to), deadline_ms, query))
+            })();
+            let (k, window, deadline_ms, query) = match parsed {
+                Ok(p) => p,
+                Err(m) => return (Status::BadRequest, m.into_bytes()),
+            };
+            let deadline = (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
+            match run_query(tenant, query, k, window, deadline, shared) {
+                Ok(done) => {
+                    let mut flags = 0u8;
+                    if done.coalesced {
+                        flags |= wire::FLAG_COALESCED;
+                    }
+                    if done.timed_out {
+                        flags |= wire::FLAG_TIMED_OUT;
+                    }
+                    let body = wire::encode_results(&done.results, flags);
+                    (if done.timed_out { Status::Timeout } else { Status::Ok }, body)
+                }
+                Err(m) => (Status::BadRequest, m.into_bytes()),
+            }
+        }
+        Op::Insert => {
+            let Some(tenant) = tenant.as_ref() else {
+                return (Status::Unauthorized, b"authenticate first".to_vec());
+            };
+            let Some(guard) = admit(shared) else {
+                tenant.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                return (Status::Overloaded, b"server overloaded".to_vec());
+            };
+            let _guard = guard;
+            let mut r = wire::PayloadReader::new(payload);
+            let parsed = (|| {
+                let t = r.i64()?;
+                let dim = r.u32()? as usize;
+                let vector = r.f32s(dim)?;
+                r.finish()?;
+                Ok::<_, String>((t, vector))
+            })();
+            let (t, vector) = match parsed {
+                Ok(p) => p,
+                Err(m) => return (Status::BadRequest, m.into_bytes()),
+            };
+            match tenant.insert(&vector, t) {
+                Ok(id) => {
+                    tenant.metrics.inserts.fetch_add(1, Ordering::Relaxed);
+                    (Status::Ok, id.to_le_bytes().to_vec())
+                }
+                Err(TenantError::ReadOnly) => (Status::ReadOnly, b"tenant is read-only".to_vec()),
+                Err(TenantError::Engine(e)) => (Status::Internal, e.to_string().into_bytes()),
+            }
+        }
+        Op::Stats => {
+            let Some(tenant) = tenant.as_ref() else {
+                return (Status::Unauthorized, b"authenticate first".to_vec());
+            };
+            (Status::Ok, render(stats_value(tenant, shared)).into_bytes())
+        }
+        Op::Health => {
+            let Some(tenant) = tenant.as_ref() else {
+                return (Status::Unauthorized, b"authenticate first".to_vec());
+            };
+            (Status::Ok, render(tenant.health_value()).into_bytes())
+        }
+    }
+}

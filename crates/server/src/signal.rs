@@ -1,0 +1,91 @@
+//! SIGINT/SIGTERM → a process-wide shutdown flag.
+//!
+//! `mbi serve` blocks in `ServerHandle::wait_for_shutdown`, which polls the
+//! flag this module latches from an async-signal context. The handler does
+//! the only thing async-signal-safety allows — one relaxed atomic store —
+//! and the serving thread notices within its accept-poll interval.
+//!
+//! The `extern "C"` declaration of `signal(2)` below is the crate's single
+//! unsafe exception (the crate is `deny(unsafe_code)` with an audited allow
+//! here, mirroring the raw-syscall exception in `mbi-ann`'s mapped I/O).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Latched by the handler on the first SIGINT/SIGTERM.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has arrived.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Sets the flag directly — lets tests and the CLI trigger the same path a
+/// signal would.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Clears the flag (tests only; a real process exits after shutdown).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX signal(2). We pass a plain extern "C" fn pointer as the
+        // handler, cast through usize as the stable-Rust idiom for avoiding
+        // a platform-specific sighandler_t alias.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // The only async-signal-safe thing worth doing: latch the flag.
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the libc entry point with the documented
+        // signature; `on_signal` is an extern "C" fn that only performs an
+        // atomic store, which is async-signal-safe. Errors (SIG_ERR) are
+        // ignored — worst case the process keeps the default handler and
+        // dies without draining, which is the pre-existing behaviour.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent). On non-Unix targets
+/// this is a no-op and only [`request_shutdown`] can trigger a drain.
+pub fn install_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_latches_and_resets() {
+        reset();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset();
+        assert!(!shutdown_requested());
+    }
+}

@@ -1,0 +1,315 @@
+//! Per-tenant namespaces: one engine per tenant, bearer-token auth, and the
+//! division of shared resources (builder threads, RAM budget) across
+//! tenants.
+
+use crate::coalesce::Coalescer;
+use crate::config::{ServerConfig, TenantConfig};
+use crate::metrics::TenantMetrics;
+use mbi_ann::SearchParams;
+use mbi_core::{
+    ColdIndex, EngineHealth, MbiError, QueryOutput, StreamingMbi, TimeWindow, TknnResult,
+};
+use serde::Value;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The engine behind one tenant.
+pub enum TenantEngine {
+    /// A live streaming engine (in-memory or durable).
+    Streaming(StreamingMbi),
+    /// A read-only disk-tiered index; inserts are rejected.
+    Cold(ColdIndex),
+}
+
+/// One tenant: engine + token + serving metrics + its coalescer.
+pub struct Tenant {
+    /// Namespace name.
+    pub name: String,
+    token: String,
+    /// The tenant's engine.
+    pub engine: TenantEngine,
+    /// Serving counters (latency, shed, timeouts, coalescing).
+    pub metrics: TenantMetrics,
+    /// The tenant's query coalescer (a no-op when the window is zero).
+    pub coalescer: Coalescer,
+}
+
+impl Tenant {
+    /// Constant-length-agnostic token comparison. Tokens are short and this
+    /// is not a remote-timing-hardened service, but avoiding the obvious
+    /// early-exit compare costs nothing.
+    pub fn token_matches(&self, presented: &str) -> bool {
+        let a = self.token.as_bytes();
+        let b = presented.as_bytes();
+        if a.len() != b.len() {
+            return false;
+        }
+        a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+    }
+
+    /// Default search parameters of this tenant's index config.
+    pub fn search_params(&self) -> SearchParams {
+        match &self.engine {
+            TenantEngine::Streaming(e) => e.config().search,
+            TenantEngine::Cold(c) => c.config().search,
+        }
+    }
+
+    /// Vector dimensionality this tenant expects.
+    pub fn dim(&self) -> usize {
+        match &self.engine {
+            TenantEngine::Streaming(e) => e.config().dim,
+            TenantEngine::Cold(c) => c.config().dim,
+        }
+    }
+
+    /// One query with an optional cooperative deadline (never through the
+    /// coalescer — the server routes deadline-free queries there itself).
+    pub fn query(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        deadline: Option<Instant>,
+    ) -> Result<QueryOutput, MbiError> {
+        match &self.engine {
+            TenantEngine::Streaming(e) => {
+                Ok(e.query_with_deadline(query, k, window, &self.search_params(), deadline))
+            }
+            // The cold tier has no deadline hook (its per-piece latency is
+            // bounded by the block cache); the server still enforces the
+            // deadline at admission and after execution.
+            TenantEngine::Cold(c) => c.query_with_params(query, k, window, &self.search_params()),
+        }
+    }
+
+    /// One batched call for the coalescer.
+    pub fn query_batch(
+        &self,
+        queries: &[(Vec<f32>, usize, TimeWindow)],
+        threads: usize,
+    ) -> Result<Vec<Vec<TknnResult>>, MbiError> {
+        let params = self.search_params();
+        match &self.engine {
+            TenantEngine::Streaming(e) => Ok(e.query_batch(queries, &params, threads)),
+            TenantEngine::Cold(c) => queries
+                .iter()
+                .map(|(q, k, w)| Ok(c.query_with_params(q, *k, *w, &params)?.results))
+                .collect(),
+        }
+    }
+
+    /// One insert; read-only tenants reject it.
+    pub fn insert(&self, vector: &[f32], t: i64) -> Result<u32, TenantError> {
+        match &self.engine {
+            TenantEngine::Streaming(e) => Ok(e.insert(vector, t)?),
+            TenantEngine::Cold(_) => Err(TenantError::ReadOnly),
+        }
+    }
+
+    /// Rows currently committed.
+    pub fn len(&self) -> usize {
+        match &self.engine {
+            TenantEngine::Streaming(e) => e.len(),
+            TenantEngine::Cold(c) => c.len(),
+        }
+    }
+
+    /// Whether the tenant holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Engine health (cold tenants are immutable, hence always healthy).
+    pub fn health(&self) -> EngineHealth {
+        match &self.engine {
+            TenantEngine::Streaming(e) => e.health(),
+            TenantEngine::Cold(_) => EngineHealth::Healthy,
+        }
+    }
+
+    /// The engine's failure log (empty for cold tenants).
+    pub fn failure_log(&self) -> Vec<String> {
+        match &self.engine {
+            TenantEngine::Streaming(e) => e.failure_log(),
+            TenantEngine::Cold(_) => Vec::new(),
+        }
+    }
+
+    /// Engine-level stats as JSON: the scalar `EngineStats` counters for a
+    /// streaming tenant, `TierStats` for a cold one. (The per-sample nano
+    /// series stay in-process — they are unbounded and belong to the bench
+    /// harness, not a stats endpoint.)
+    pub fn engine_stats_value(&self) -> Value {
+        match &self.engine {
+            TenantEngine::Streaming(e) => {
+                let s = e.stats();
+                Value::Map(vec![
+                    ("kind".into(), Value::Str("streaming".into())),
+                    ("rows".into(), Value::UInt(e.len() as u64)),
+                    ("seals".into(), Value::UInt(s.seals as u64)),
+                    ("published_leaves".into(), Value::UInt(s.published_leaves as u64)),
+                    ("queued_builds".into(), Value::UInt(s.queued_builds as u64)),
+                    ("published_blocks".into(), Value::UInt(s.published_blocks as u64)),
+                    ("published_height".into(), Value::UInt(u64::from(s.published_height))),
+                    ("inline_builds".into(), Value::UInt(s.inline_builds)),
+                    ("spawn_failures".into(), Value::UInt(s.spawn_failures)),
+                    ("build_panics".into(), Value::UInt(s.build_panics)),
+                ])
+            }
+            TenantEngine::Cold(c) => {
+                let t = c.stats();
+                Value::Map(vec![
+                    ("kind".into(), Value::Str("cold".into())),
+                    ("rows".into(), Value::UInt(c.len() as u64)),
+                    ("hits".into(), Value::UInt(t.hits)),
+                    ("misses".into(), Value::UInt(t.misses)),
+                    ("evictions".into(), Value::UInt(t.evictions)),
+                    ("prefetches".into(), Value::UInt(t.prefetches)),
+                    ("bytes_resident".into(), Value::UInt(t.bytes_resident)),
+                    ("pinned_leaves".into(), Value::UInt(t.pinned_leaves as u64)),
+                    ("budget_bytes".into(), Value::UInt(t.budget_bytes)),
+                ])
+            }
+        }
+    }
+
+    /// Health as JSON: stable label, halted flag, failing chains, and the
+    /// diagnostic failure log.
+    pub fn health_value(&self) -> Value {
+        let health = self.health();
+        let failed = match &health {
+            EngineHealth::Degraded { failed_chains } => {
+                failed_chains.iter().map(|&c| Value::UInt(c as u64)).collect()
+            }
+            _ => Vec::new(),
+        };
+        Value::Map(vec![
+            ("status".into(), Value::Str(health.label().into())),
+            ("halted".into(), Value::Bool(health.is_halted())),
+            ("failed_chains".into(), Value::Seq(failed)),
+            (
+                "failure_log".into(),
+                Value::Seq(self.failure_log().into_iter().map(Value::Str).collect()),
+            ),
+        ])
+    }
+}
+
+/// Errors a tenant operation can surface to the protocol layer.
+#[derive(Debug)]
+pub enum TenantError {
+    /// Insert on a cold (read-only) tenant.
+    ReadOnly,
+    /// The engine rejected the operation.
+    Engine(MbiError),
+}
+
+impl From<MbiError> for TenantError {
+    fn from(e: MbiError) -> Self {
+        TenantError::Engine(e)
+    }
+}
+
+impl std::fmt::Display for TenantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantError::ReadOnly => write!(f, "tenant is read-only"),
+            TenantError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// All tenants of one server, resolved at start-up.
+pub struct TenantRegistry {
+    tenants: Vec<Arc<Tenant>>,
+}
+
+impl TenantRegistry {
+    /// Builds every tenant's engine from the server config.
+    ///
+    /// Shared-resource division: `engine.builder_threads` is split evenly
+    /// across streaming tenants (each gets at least 1), and the index
+    /// config's `ram_budget_bytes` is split evenly across cold tenants —
+    /// the documented approximation of one shared pool/budget.
+    pub fn build(config: &ServerConfig) -> Result<TenantRegistry, MbiError> {
+        let invalid =
+            |msg: String| MbiError::Io(std::io::Error::new(std::io::ErrorKind::InvalidInput, msg));
+        for (i, a) in config.tenants.iter().enumerate() {
+            for b in &config.tenants[i + 1..] {
+                if a.name == b.name {
+                    return Err(invalid(format!("duplicate tenant name {:?}", a.name)));
+                }
+                if a.token == b.token {
+                    return Err(invalid(format!(
+                        "tenants {:?} and {:?} share a token",
+                        a.name, b.name
+                    )));
+                }
+            }
+        }
+        let streaming = config.tenants.iter().filter(|t| t.cold_path.is_none()).count().max(1);
+        let cold_count =
+            config.tenants.iter().filter(|t| t.cold_path.is_some()).count().max(1) as u64;
+        let mut engine = config.engine;
+        engine.builder_threads = (engine.builder_threads / streaming).max(1);
+        let mut tenants = Vec::with_capacity(config.tenants.len());
+        for tc in &config.tenants {
+            let engine_impl = Self::build_engine(config, tc, engine, cold_count)?;
+            tenants.push(Arc::new(Tenant {
+                name: tc.name.clone(),
+                token: tc.token.clone(),
+                engine: engine_impl,
+                metrics: TenantMetrics::default(),
+                coalescer: Coalescer::new(config.coalesce_window, config.coalesce_max_batch),
+            }));
+        }
+        Ok(TenantRegistry { tenants })
+    }
+
+    fn build_engine(
+        config: &ServerConfig,
+        tc: &TenantConfig,
+        engine: mbi_core::EngineConfig,
+        cold_count: u64,
+    ) -> Result<TenantEngine, MbiError> {
+        if let Some(path) = &tc.cold_path {
+            let share = config.index.ram_budget_bytes / cold_count;
+            return Ok(TenantEngine::Cold(ColdIndex::open_with_budget(path, share)?));
+        }
+        if let Some(dir) = &tc.dir {
+            return Ok(TenantEngine::Streaming(StreamingMbi::open(dir, config.index, engine)?));
+        }
+        Ok(TenantEngine::Streaming(StreamingMbi::with_engine_config(config.index, engine)))
+    }
+
+    /// Resolves a `(tenant, token)` pair. Both must match: a valid token
+    /// for tenant A presented against tenant B's namespace is rejected,
+    /// which is the cross-tenant isolation property the integration tests
+    /// assert.
+    pub fn authenticate(&self, name: &str, token: &str) -> Option<&Arc<Tenant>> {
+        self.tenants.iter().find(|t| t.name == name).filter(|t| t.token_matches(token))
+    }
+
+    /// Resolves a token alone to its unique tenant (the convenience path
+    /// for single-tenant clients that do not name a namespace).
+    pub fn by_token(&self, token: &str) -> Option<&Arc<Tenant>> {
+        self.tenants.iter().find(|t| t.token_matches(token))
+    }
+
+    /// Looks a tenant up by name (no auth — used for metrics attribution).
+    pub fn by_name(&self, name: &str) -> Option<&Arc<Tenant>> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+
+    /// All tenants.
+    pub fn all(&self) -> &[Arc<Tenant>] {
+        &self.tenants
+    }
+
+    /// Whether any tenant's engine is halted (drives the `/healthz` status
+    /// code).
+    pub fn any_halted(&self) -> bool {
+        self.tenants.iter().any(|t| t.health().is_halted())
+    }
+}

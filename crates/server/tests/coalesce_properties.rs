@@ -1,0 +1,119 @@
+//! Property test: N concurrent queries routed through the coalescer return
+//! results **bit-identical** to serial `query_with_params` calls against
+//! the same quiescent engine — across coalesce window sizes, batch caps,
+//! burst sizes, and tenant mixes.
+//!
+//! This is the correctness contract that makes cross-request coalescing
+//! safe to enable: it may change *when* a query executes and *with whom*,
+//! never *what* it returns.
+
+use mbi_core::{MbiConfig, StreamingMbi, TimeWindow};
+use mbi_math::Metric;
+use mbi_server::Coalescer;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const DIM: usize = 6;
+const ROWS: usize = 300;
+
+fn row(i: usize) -> Vec<f32> {
+    let x = i as f32;
+    (0..DIM).map(|d| ((d as f32 + 1.0) * x * 0.13).sin() + 0.01 * x).collect()
+}
+
+/// Two quiescent engines standing in for two tenants, built once: the
+/// property is about the coalescer, so the engines never change mid-suite.
+fn tenants() -> &'static [Arc<StreamingMbi>; 2] {
+    static ENGINES: OnceLock<[Arc<StreamingMbi>; 2]> = OnceLock::new();
+    ENGINES.get_or_init(|| {
+        [7usize, 4242].map(|salt| {
+            let engine =
+                StreamingMbi::new(MbiConfig::new(DIM, Metric::Euclidean).with_leaf_size(32));
+            for i in 0..ROWS {
+                engine.insert(&row(i * 31 % (ROWS * 2) + salt), i as i64).unwrap();
+            }
+            engine.flush();
+            Arc::new(engine)
+        })
+    })
+}
+
+/// One generated query: which tenant it goes to, its vector seed, k, and
+/// its time window.
+#[derive(Clone, Debug)]
+struct GenQuery {
+    tenant: usize,
+    seed: usize,
+    k: usize,
+    from: i64,
+    to: i64,
+}
+
+fn query_strategy() -> impl Strategy<Value = GenQuery> {
+    (0..2usize, 0..500usize, 1..8usize, 0..ROWS as i64, 0..ROWS as i64).prop_map(
+        |(tenant, seed, k, a, b)| GenQuery { tenant, seed, k, from: a.min(b), to: a.max(b) + 1 },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn coalesced_bursts_match_serial(
+        queries in prop::collection::vec(query_strategy(), 1..10),
+        window_ms in prop::sample::select(vec![0u64, 1, 5, 25]),
+        max_batch in 2..6usize,
+    ) {
+        let engines = tenants();
+        let params = engines[0].config().search;
+
+        // Serial oracle: one individual engine call per query.
+        let serial: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                engines[q.tenant]
+                    .query_with_params(&row(q.seed), q.k, TimeWindow::new(q.from, q.to), &params)
+                    .results
+            })
+            .collect();
+
+        // Concurrent run: per-tenant coalescers (as the server holds them),
+        // every query on its own thread, all fired together.
+        let coalescers: [Arc<Coalescer>; 2] = [0, 1].map(|_| {
+            Arc::new(Coalescer::new(Duration::from_millis(window_ms), max_batch))
+        });
+        let barrier = Arc::new(std::sync::Barrier::new(queries.len()));
+        let coalesced: Vec<Vec<mbi_core::TknnResult>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let coalescer = Arc::clone(&coalescers[q.tenant]);
+                    let engine = Arc::clone(&engines[q.tenant]);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        coalescer
+                            .submit(
+                                row(q.seed),
+                                q.k,
+                                TimeWindow::new(q.from, q.to),
+                                |batch| Ok(engine.query_batch(batch, &params, batch.len())),
+                            )
+                            .expect("quiescent engine cannot fail")
+                            .results
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (i, (got, want)) in coalesced.iter().zip(&serial).enumerate() {
+            prop_assert_eq!(
+                got, want,
+                "query {} (tenant {}, k {}, window [{}, {})): coalesced != serial",
+                i, queries[i].tenant, queries[i].k, queries[i].from, queries[i].to
+            );
+        }
+    }
+}

@@ -77,5 +77,7 @@ pub use mbi_data as data;
 pub use mbi_eval as eval;
 /// Numeric foundations (metrics, top-k, ordered floats).
 pub use mbi_math as math;
+/// The multi-tenant network query service (HTTP/JSON + binary protocols).
+pub use mbi_server as server;
 
 pub use mbi_ann::{HnswParams, NnDescentParams, SearchParams, SearchStats, Segment, SegmentStore};

@@ -319,6 +319,57 @@ fn tiered_checkpoint_crash_recovers_bit_identically_and_serves_cold() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn server_killed_mid_ingest_recovers_every_tenant_bit_identically() {
+    use mbi::server::client::BinaryClient;
+    use mbi::server::{Server, ServerConfig, TenantConfig};
+
+    // Two durable tenants ingest over TCP, then the server "dies":
+    // `ServerHandle::abort` leaks the engines so no Drop runs — no WAL
+    // sync, no checkpoint, no builder join — the in-process stand-in for
+    // SIGKILL. With `WalSync::Always` every *acked* insert was fsynced
+    // before its response frame, so recovery owes us exactly the acked
+    // rows, bit-identically, in each tenant's namespace.
+    let base = temp_dir("server_abort");
+    let dirs = [base.join("alpha"), base.join("beta")];
+    let rows = [33usize, 51];
+    {
+        let server_config = ServerConfig::new("127.0.0.1:0", config())
+            .with_engine(EngineConfig::default().with_wal_sync(WalSync::Always))
+            .with_tenant(TenantConfig::durable("alpha", "tok-a", &dirs[0]))
+            .with_tenant(TenantConfig::durable("beta", "tok-b", &dirs[1]));
+        let handle = Server::start(server_config).unwrap();
+        let addr = handle.addr();
+        let mut alpha = BinaryClient::connect(addr, "alpha", "tok-a").unwrap();
+        let mut beta = BinaryClient::connect(addr, "beta", "tok-b").unwrap();
+        // Interleaved ingest so both WALs are mid-stream at the kill.
+        for i in 0..rows[1] {
+            if i < rows[0] {
+                alpha.insert(&row(i), i as i64).unwrap();
+            }
+            beta.insert(&row(i + 100), i as i64).unwrap();
+        }
+        handle.abort(); // no drain, no checkpoint, engines leaked
+    }
+    for (dir, n, offset) in [(&dirs[0], rows[0], 0usize), (&dirs[1], rows[1], 100)] {
+        let engine = StreamingMbi::recover(dir, EngineConfig::default()).unwrap();
+        assert_eq!(engine.len(), n, "acked rows in {}", dir.display());
+        let recovered = engine.to_index();
+        assert_eq!(recovered.validate(), Ok(()));
+        let mut oracle = MbiIndex::new(config());
+        for i in 0..n {
+            oracle.insert(&row(i + offset), i as i64).unwrap();
+        }
+        assert_eq!(
+            recovered.to_bytes(),
+            oracle.to_bytes(),
+            "tenant at {} recovered bit-identically",
+            dir.display()
+        );
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
 /// Fault-injection half: compiled only with `RUSTFLAGS='--cfg failpoints'`.
 /// The failpoint registry is process-global, so these tests serialise on a
 /// mutex and disarm everything on entry and exit.

@@ -136,6 +136,18 @@ impl Condvar {
         guard.0 = Some(self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner));
     }
 
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present outside Condvar::wait");
+        let (inner, res) =
+            self.inner.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     pub fn notify_one(&self) {
         self.inner.notify_one();
     }
@@ -145,9 +157,29 @@ impl Condvar {
     }
 }
 
+/// Result of [`Condvar::wait_for`], mirroring parking_lot's type.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(res.timed_out());
+        assert!(!*g); // guard usable again after the timed wait
+    }
 
     #[test]
     fn read_write_into_inner() {

@@ -51,7 +51,48 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (upstream's `prop_map`).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { strategy: self, f }
+        }
     }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        strategy: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.strategy.generate(rng))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, G);
 
     #[inline]
     fn unit_f64(bits: u64) -> f64 {
@@ -220,6 +261,30 @@ pub mod collection {
     }
 }
 
+pub mod sample {
+    //! Choosing among explicit options (upstream's `prop::sample`).
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// The strategy returned by [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Picks uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "cannot select from no options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.next_u64() as usize % self.options.len()].clone()
+        }
+    }
+}
+
 pub mod test_runner {
     /// Per-block runner configuration; only `cases` is supported.
     #[derive(Clone, Copy, Debug)]
@@ -250,6 +315,7 @@ pub mod prelude {
     /// `prop::collection::vec(...)` works after a glob import.
     pub mod prop {
         pub use crate::collection;
+        pub use crate::sample;
     }
 }
 
@@ -327,6 +393,19 @@ mod tests {
         fn default_config_runs(y in -5i64..=5) {
             prop_assert!((-5..=5).contains(&y));
             prop_assert_ne!(y, 99);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn tuples_map_and_select(
+            pair in (0usize..4, 10i64..20).prop_map(|(a, b)| (a, b + a as i64)),
+            pick in prop::sample::select(vec![2u64, 3, 5, 7]),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((10..24).contains(&pair.1));
+            prop_assert!([2, 3, 5, 7].contains(&pick));
         }
     }
 }

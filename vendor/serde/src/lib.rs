@@ -22,6 +22,79 @@ pub enum Value {
     Map(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up a key in a [`Value::Map`]; `None` for other variants or a
+    /// missing key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `f64` ([`Value::Int`]/[`Value::UInt`]/
+    /// [`Value::Float`]), else `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `i64` when losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            Value::Float(x) if x.fract() == 0.0 && x.abs() < 2f64.powi(63) => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `u64` when non-negative and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::UInt(u) => Some(*u),
+            Value::Float(x) if x.fract() == 0.0 && *x >= 0.0 && *x < 2f64.powi(64) => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string content of a [`Value::Str`], else `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean content of a [`Value::Bool`], else `None`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements of a [`Value::Seq`], else `None`.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 /// Types that can render themselves into a [`Value`].
 pub trait Serialize {
     fn to_value(&self) -> Value;
@@ -131,6 +204,32 @@ impl<T: ?Sized + Serialize> Serialize for &T {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Map(vec![
+            ("n".into(), Value::Int(-3)),
+            ("u".into(), Value::UInt(7)),
+            ("x".into(), Value::Float(1.5)),
+            ("s".into(), Value::Str("hi".into())),
+            ("b".into(), Value::Bool(true)),
+            ("seq".into(), Value::Seq(vec![Value::UInt(1)])),
+            ("nil".into(), Value::Null),
+        ]);
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(-3));
+        assert_eq!(v.get("n").unwrap().as_u64(), None);
+        assert_eq!(v.get("u").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("u").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("x").unwrap().as_i64(), None);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("seq").unwrap().as_seq().unwrap().len(), 1);
+        assert!(v.get("nil").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("k").is_none());
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
 
     #[test]
     fn primitives_render() {

@@ -1,14 +1,22 @@
 //! Offline stand-in for `serde_json` (see `vendor/README.md`): renders the
-//! serde stand-in's [`serde::Value`] tree as JSON text. Only serialisation is
-//! provided — nothing in this workspace parses JSON.
+//! serde stand-in's [`serde::Value`] tree as JSON text, and parses JSON text
+//! back into a [`serde::Value`] tree ([`from_str`]) for the network server's
+//! request bodies. There is no typed `Deserialize` path — callers walk the
+//! `Value` with its accessor methods.
 
 use serde::{Serialize, Value};
 use std::fmt;
 
-/// Serialisation error. The stand-in serialiser is total, so this is never
-/// produced today; the type exists for signature compatibility.
+/// Serialisation/parse error. The stand-in serialiser is total, so only
+/// [`from_str`] produces these today (offset + what was wrong there).
 #[derive(Debug)]
 pub struct Error(String);
+
+impl Error {
+    fn parse(offset: usize, detail: impl Into<String>) -> Error {
+        Error(format!("json parse error at byte {offset}: {}", detail.into()))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -30,6 +38,222 @@ pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Parses JSON text into a [`Value`] tree. Strict on structure (rejects
+/// trailing garbage, unterminated strings, malformed numbers) but
+/// intentionally small: no depth limit beyond [`MAX_DEPTH`], numbers parse
+/// to `Int`/`UInt` when integral and `Float` otherwise.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(Error::parse(p.pos, "trailing characters after value"));
+    }
+    Ok(v)
+}
+
+/// Nesting limit of [`from_str`] — deep enough for any sane request body,
+/// shallow enough that hostile input cannot blow the stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::parse(self.pos, format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::parse(self.pos, "nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(depth),
+            Some(b'{') => self.map(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(Error::parse(self.pos, format!("unexpected {:?}", b as char))),
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn seq(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn map(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc =
+                        self.peek().ok_or_else(|| Error::parse(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::parse(self.pos, "bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not reassembled (the
+                            // workspace never emits them); lone surrogates
+                            // map to the replacement character.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::parse(
+                                self.pos - 1,
+                                format!("unknown escape {:?}", other as char),
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so slicing on
+                    // the next char boundary is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::parse(self.pos, "invalid utf-8"))?;
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::parse(start, format!("bad number {text:?}")))
+    }
 }
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
@@ -117,6 +341,86 @@ fn write_string(out: &mut String, s: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_roundtrips_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str("-42").unwrap(), Value::Int(-42));
+        assert_eq!(from_str("0.5").unwrap(), Value::Float(0.5));
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_handles_structures_and_escapes() {
+        let v = from_str(r#"{"q": [0.5, -1, 2], "k": 10, "s": "a\"b\n\u0041"}"#).unwrap();
+        assert_eq!(
+            v.get("q").unwrap().as_seq().unwrap(),
+            &[Value::Float(0.5), Value::Int(-1), Value::UInt(2)]
+        );
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(10));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\nA"));
+        assert_eq!(from_str("[]").unwrap(), Value::Seq(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Map(vec![]));
+        // Nested with unicode passthrough.
+        let v = from_str("{\"é\": [\"ü\"]}").unwrap();
+        assert_eq!(v.get("é").unwrap().as_seq().unwrap()[0].as_str(), Some("ü"));
+    }
+
+    #[test]
+    fn parse_preserves_key_order() {
+        let v = from_str(r#"{"z": 1, "a": 2, "m": 3}"#).unwrap();
+        let Value::Map(entries) = v else { panic!("expected map") };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "nul",
+            "tru",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "\"abc",
+            "1 2",
+            "{\"a\":1,}x",
+            "[1]]",
+            "\"\\q\"",
+        ] {
+            let err = from_str(bad).expect_err(bad);
+            assert!(err.to_string().contains("json parse error at byte"), "{err}");
+        }
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str(&deep).unwrap_err().to_string().contains("nesting too deep"));
+    }
+
+    #[test]
+    fn parse_roundtrips_serialised_output() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("tenant-a".into())),
+            ("p99".into(), Value::Float(1.25)),
+            ("count".into(), Value::UInt(3)),
+            ("tail".into(), Value::Seq(vec![Value::Int(-1), Value::Null])),
+        ]);
+        struct W(Value);
+        impl Serialize for W {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let text = to_string(&W(v.clone())).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+        let pretty = to_string_pretty(&W(v.clone())).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
 
     #[test]
     fn pretty_matches_expected_shape() {
