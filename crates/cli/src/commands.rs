@@ -25,6 +25,7 @@ pub fn run(args: &CliArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "tune" => tune(args, out),
         "bench-query" => bench_query(args, out),
         "serve" => crate::serve::serve(args, out),
+        "replicate" => crate::serve::replicate(args, out),
         "help" | "--help" => {
             write!(out, "{}", HELP)?;
             Ok(())
@@ -59,10 +60,18 @@ USAGE:
                [--metric euclidean|angular|inner_product] [--leaf-size <n>] [--tau <f>]
                [--degree <n>] [--builders <n>] [--max-connections <n>] [--max-inflight <n>]
                [--deadline-ms <n>] [--coalesce-ms <n>] [--coalesce-batch <n>]
+               [--idle-ms <n>] [--max-frame-bytes <n>]
                (multi-tenant network service speaking HTTP/1.1+JSON and the MBI1
                 binary protocol on one port; a tenant path ending in .mbi serves
                 that index read-only, any other path is a durable WAL directory,
                 no path keeps the tenant in memory. Ctrl-C drains and checkpoints.)
+  mbi replicate --from <host:port> --leader-tenant <name> --leader-token <tok>
+               --dir <wal-dir> --dim <n> [--name <n>] [--token <tok>] [--addr <host:port>]
+               [--metric …] [--leaf-size <n>] [--tau <f>] [--degree <n>]
+               [--deadline-ms <n>] [--lag-warn-rows <n>]
+               (run a read replica: tail the leader tenant's WAL into --dir and
+                serve read-only queries; index flags must match the leader's.
+                POST /promote fails it over to a writable primary.)
   mbi help
 ";
 

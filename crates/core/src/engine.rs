@@ -230,6 +230,11 @@ pub struct EngineConfig {
     /// WAL fsync cadence for durable engines (default [`WalSync::OnSeal`];
     /// ignored without a durable directory).
     pub wal_sync: WalSync,
+    /// How many rows a replication retention hold
+    /// ([`StreamingMbi::set_replica_hold`]) may lag behind a checkpoint
+    /// before [`Wal::prune`](crate::Wal::prune) evicts it instead of pinning
+    /// log segments forever (default `u64::MAX` — never evict).
+    pub replica_lag_cap_rows: u64,
 }
 
 impl Default for EngineConfig {
@@ -242,6 +247,7 @@ impl Default for EngineConfig {
             record_insert_latency: true,
             retry: RetryPolicy::default(),
             wal_sync: WalSync::OnSeal,
+            replica_lag_cap_rows: u64::MAX,
         }
     }
 }
@@ -286,6 +292,12 @@ impl EngineConfig {
     /// Sets the WAL fsync cadence for durable engines.
     pub fn with_wal_sync(mut self, sync: WalSync) -> Self {
         self.wal_sync = sync;
+        self
+    }
+
+    /// Sets the replication retention-hold lag cap in rows.
+    pub fn with_replica_lag_cap(mut self, rows: u64) -> Self {
+        self.replica_lag_cap_rows = rows;
         self
     }
 }
@@ -1384,7 +1396,8 @@ impl StreamingMbi {
         }
         std::fs::create_dir_all(dir)?;
         IndexSnapshot::empty(config).save_file(dir.join(SNAPSHOT_FILE))?;
-        let wal = Wal::create(dir.join(WAL_DIR), config.dim)?;
+        let mut wal = Wal::create(dir.join(WAL_DIR), config.dim)?;
+        wal.set_hold_lag_cap(engine.replica_lag_cap_rows);
         Ok(Self::build(
             config,
             engine,
@@ -1438,6 +1451,7 @@ impl StreamingMbi {
             // empty after aggressive pruning); restart it at the boundary.
             wal.reset_to(sealed)?;
         }
+        wal.set_hold_lag_cap(engine.replica_lag_cap_rows);
         let this = Self::from_snapshot_internal(
             snapshot,
             engine,
@@ -1474,6 +1488,42 @@ impl StreamingMbi {
     /// The durable directory this engine persists to, if any.
     pub fn durable_dir(&self) -> Option<&Path> {
         self.shared.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Registers (or refreshes) the replication retention hold `id` at
+    /// `row`: [`Self::checkpoint`] will not prune WAL segments containing
+    /// row `row` or later while the hold stands, so a follower resuming
+    /// from its durable cursor always finds its segments — unless it lags
+    /// past [`EngineConfig::replica_lag_cap_rows`] and is evicted (see
+    /// [`Self::take_evicted_replica_holds`]). A no-op on a non-durable
+    /// engine.
+    pub fn set_replica_hold(&self, id: &str, row: u64) {
+        if let Some(d) = &self.shared.durability {
+            d.wal.lock().hold(id, row);
+        }
+    }
+
+    /// Releases the retention hold `id` (follower disconnected cleanly or
+    /// was deregistered). A no-op when absent.
+    pub fn release_replica_hold(&self, id: &str) {
+        if let Some(d) = &self.shared.durability {
+            d.wal.lock().release_hold(id);
+        }
+    }
+
+    /// The registered replication holds as `(id, row)` pairs.
+    pub fn replica_holds(&self) -> Vec<(String, u64)> {
+        self.shared.durability.as_ref().map(|d| d.wal.lock().holds()).unwrap_or_default()
+    }
+
+    /// Drains the ids of holds evicted by the lag cap since the last call —
+    /// each names a follower that must be re-seeded.
+    pub fn take_evicted_replica_holds(&self) -> Vec<String> {
+        self.shared
+            .durability
+            .as_ref()
+            .map(|d| d.wal.lock().take_evicted_holds())
+            .unwrap_or_default()
     }
 }
 

@@ -49,6 +49,20 @@ pub enum MbiError {
         /// Byte offset inside the segment file where validation failed.
         offset: u64,
     },
+    /// A replica's WAL bytes for a sealed segment do not match the leader's
+    /// (the leader's segment CRC disagrees with the one the follower computed
+    /// over its own segment file). Replication stops rather than serving
+    /// silently divergent data; the follower must be re-seeded from the
+    /// leader.
+    ReplicaDiverged {
+        /// First global row id of the divergent segment (its file name
+        /// number).
+        segment: u64,
+        /// Byte offset inside the segment file of the first record that
+        /// fails its own stored CRC, or the start of the record region when
+        /// every record is locally self-consistent (the histories differ).
+        offset: u64,
+    },
     /// An I/O error during save/load.
     Io(std::io::Error),
     /// An [`IndexSnapshot`](crate::IndexSnapshot) was requested from an index
@@ -89,6 +103,11 @@ impl fmt::Display for MbiError {
             MbiError::WalCorrupt { segment, offset } => write!(
                 f,
                 "corrupt WAL record in segment {segment} at byte {offset} (not a torn tail)"
+            ),
+            MbiError::ReplicaDiverged { segment, offset } => write!(
+                f,
+                "replica diverged from leader in WAL segment {segment} at byte {offset}; \
+                 refusing to serve — re-seed this follower"
             ),
             MbiError::Io(e) => write!(f, "i/o error: {e}"),
             MbiError::UnsealedTail { tail_rows } => write!(
@@ -145,6 +164,16 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("segment 128"), "{s}");
         assert!(s.contains("byte 44"), "{s}");
+    }
+
+    #[test]
+    fn replica_diverged_display_names_segment_and_offset() {
+        let e = MbiError::ReplicaDiverged { segment: 64, offset: 24 };
+        let s = e.to_string();
+        assert!(s.contains("segment 64"), "{s}");
+        assert!(s.contains("byte 24"), "{s}");
+        assert!(s.contains("re-seed"), "{s}");
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -53,6 +53,7 @@
 //! | [`times`] | — | [`TimeChunks`]: chunk-shared timestamp column for snapshots |
 //! | [`tuner`] | §5.4.2 | [`TauTuner`]: per-window-length `τ` calibration |
 //! | [`wal`] | — | [`Wal`]: segmented, checksummed write-ahead log |
+//! | [`replicate`] | — | [`WalFeed`] / [`Replica`]: WAL-shipped read replicas |
 //! | [`fail`] | — | deterministic fault injection (`--cfg failpoints`) |
 
 #![forbid(unsafe_code)]
@@ -67,6 +68,7 @@ pub mod fail;
 pub mod index;
 pub mod persist;
 pub(crate) mod query_exec;
+pub mod replicate;
 pub mod select;
 pub mod tier;
 pub mod times;
@@ -82,6 +84,7 @@ pub use engine::{
 };
 pub use error::MbiError;
 pub use index::{LevelStats, MbiIndex, QueryOutput, TknnResult};
+pub use replicate::{ReplEvent, Replica, ReplicationCursor, WalFeed};
 pub use select::{SearchBlockSet, TimeWindow};
 pub use tier::{ColdIndex, TierStats};
 pub use times::TimeChunks;

@@ -34,7 +34,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex, Weak};
 use std::thread::{self, JoinHandle};
 
-use mbi_ann::{Advice, Col, FileMap, SearchParams, Segment, SegmentStore, Sq8Column};
+use mbi_ann::{Advice, Col, FileMap, SearchParams, SearchStats, Segment, SegmentStore, Sq8Column};
 
 use crate::block::Block;
 use crate::config::MbiConfig;
@@ -43,7 +43,7 @@ use crate::index::{QueryOutput, TknnResult};
 use crate::persist::{
     decode_graph_at, parse_v7_layout, rd_f32, rd_i64, V7BlockMeta, V7Layout, PAGE,
 };
-use crate::query_exec::QueryTarget;
+use crate::query_exec::{Deadline, QueryTarget};
 use crate::select::{select_blocks, BlockMeta, SearchBlockSet, TimeWindow};
 use crate::times::TimeChunks;
 use crate::wal::crc32;
@@ -869,6 +869,63 @@ impl ColdIndex {
         Ok(out)
     }
 
+    /// [`Self::query_with_params`] under a cooperative deadline: the search
+    /// checks the deadline between block visits and returns whatever it has
+    /// merged so far with [`QueryOutput::timed_out`] set instead of running
+    /// past `deadline`. `None` never times out.
+    ///
+    /// An *already-expired* deadline short-circuits before the cold read
+    /// path entirely: selection still runs (directory metadata, already
+    /// resident) but no piece is prefetched, pinned, or decoded — a timed
+    /// -out query must not fault cold pages it will never score.
+    pub fn query_with_deadline(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: TimeWindow,
+        params: &SearchParams,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<QueryOutput, MbiError> {
+        let core = &*self.core;
+        let lay = &core.layout;
+        let selection = SearchBlockSet {
+            blocks: select_blocks(&lay.blocks, lay.num_leaves, lay.config.tau, window),
+            tail: false,
+        };
+        let deadline = Deadline::new(deadline);
+        if deadline.expired() {
+            return Ok(QueryOutput {
+                results: Vec::new(),
+                stats: SearchStats::default(),
+                selection,
+                timed_out: true,
+            });
+        }
+        let keys = core.cover_pieces(&selection.blocks);
+        self.send_prefetch(&keys);
+        let out = {
+            let (store, slots) = core.pin(&keys)?;
+            let target = QueryTarget {
+                config: &lay.config,
+                store: &store,
+                times: &core.times,
+                blocks: &slots,
+                num_leaves: lay.num_leaves,
+            };
+            target.query_on_selection_deadline(
+                query,
+                k,
+                window,
+                params,
+                &selection,
+                lay.config.query_threads,
+                &deadline,
+            )
+        };
+        core.cache.maintain();
+        Ok(out)
+    }
+
     /// Exact (brute-force) TkNN over the mapped rows.
     pub fn exact_query(
         &self,
@@ -1010,6 +1067,37 @@ mod tests {
                 assert_cold_matches(&snap, &cold);
             }
         }
+    }
+
+    #[test]
+    fn expired_deadline_times_out_without_faulting_cold_pages() {
+        let snap = build_snapshot(Metric::Euclidean, 128, 0, false);
+        let cold = cold_with(&snap, 0);
+        let params = snap.config().search;
+        let w = TimeWindow::new(0, 128);
+        let query = [0.4f32, 0.1, 0.6];
+        let before = cold.stats();
+        let expired = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let out = cold.query_with_deadline(&query, 5, w, &params, Some(expired)).unwrap();
+        assert!(out.timed_out, "expired deadline must flag the partial answer");
+        assert!(out.results.is_empty(), "nothing was scored");
+        assert!(!out.selection.blocks.is_empty(), "selection is metadata-only and still runs");
+        let after = cold.stats();
+        assert_eq!(before.misses, after.misses, "no cold piece may be faulted in");
+        assert_eq!(before.hits, after.hits, "no cache lookup at all");
+        assert_eq!(before.prefetches, after.prefetches, "no prefetch issued");
+
+        // A live deadline takes the normal path and matches the
+        // undeadlined query bit-for-bit.
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let live = cold.query_with_deadline(&query, 5, w, &params, Some(far)).unwrap();
+        assert!(!live.timed_out);
+        let plain = cold.query_with_params(&query, 5, w, &params).unwrap();
+        assert_eq!(live.results, plain.results);
+        // And no deadline at all never times out.
+        let none = cold.query_with_deadline(&query, 5, w, &params, None).unwrap();
+        assert_eq!(none.results, plain.results);
+        assert!(!none.timed_out);
     }
 
     #[test]

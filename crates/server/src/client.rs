@@ -5,8 +5,75 @@
 use crate::wire::{self, Op, Status};
 use mbi_core::{TimeWindow, TknnResult};
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Bounded-exponential retry with jitter for connects and transient
+/// transport failures on **idempotent** calls (query/stats/health/ping —
+/// an insert is never blindly resent: the client cannot know whether the
+/// server applied it before the connection died).
+///
+/// The follower's replication link reuses this policy for its reconnect
+/// backoff.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (default 4; `0` disables retrying).
+    pub max_retries: usize,
+    /// Backoff before the first retry; doubles each retry (default 50 ms).
+    pub initial_backoff: Duration,
+    /// Backoff ceiling (default 2 s).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (the pre-resilience behaviour).
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, ..Self::default() }
+    }
+
+    /// The jittered backoff before retry `attempt` (0-based): half the
+    /// bounded-exponential base plus a random slice of the other half, so
+    /// a herd of clients reconnecting after one outage spreads out instead
+    /// of stampeding in lockstep.
+    pub fn backoff(&self, attempt: usize, rng: &mut u64) -> Duration {
+        let base = self
+            .initial_backoff
+            .saturating_mul(1u32 << attempt.min(16) as u32)
+            .min(self.max_backoff);
+        let half = base / 2;
+        half + base.mul_f64(0.5 * (xorshift(rng) % 1024) as f64 / 1024.0)
+    }
+}
+
+/// A tiny xorshift64 step — enough spread for backoff jitter without
+/// pulling a PRNG crate into the client.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = (*state).max(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Seeds jitter from the wall clock (the only entropy `std` offers).
+pub(crate) fn jitter_seed() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9e37_79b9_7f4a_7c15)
+        | 1
+}
 
 /// Errors a client call can return.
 #[derive(Debug)]
@@ -52,30 +119,106 @@ pub struct QueryReply {
     pub timed_out: bool,
 }
 
-/// One authenticated binary-protocol connection.
+/// One authenticated binary-protocol connection. Idempotent calls
+/// (query/stats/health/ping) transparently reconnect and retry on transient
+/// transport errors per the client's [`RetryPolicy`]; inserts never do.
 pub struct BinaryClient {
     stream: TcpStream,
+    peer: SocketAddr,
+    tenant: String,
+    token: String,
+    retry: RetryPolicy,
+    rng: u64,
+    timeout: Option<Duration>,
 }
 
 impl BinaryClient {
     /// Connects, sends the protocol magic, and authenticates as
-    /// `(tenant, token)`.
+    /// `(tenant, token)`, retrying the connect itself per the default
+    /// [`RetryPolicy`].
     pub fn connect(
         addr: impl ToSocketAddrs,
         tenant: &str,
         token: &str,
     ) -> Result<BinaryClient, ClientError> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        stream.write_all(&wire::MAGIC)?;
-        let mut client = BinaryClient { stream };
-        let payload = wire::PayloadWriter::new().str16(tenant).str16(token).build();
-        client.call(Op::Auth, &payload)?;
-        Ok(client)
+        Self::connect_with_retry(addr, tenant, token, RetryPolicy::default())
     }
 
-    /// Sets a receive timeout on the connection.
-    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+    /// [`BinaryClient::connect`] with an explicit retry policy
+    /// ([`RetryPolicy::none`] restores fail-fast behaviour).
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        tenant: &str,
+        token: &str,
+        retry: RetryPolicy,
+    ) -> Result<BinaryClient, ClientError> {
+        let peer = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".into()))?;
+        let mut rng = jitter_seed();
+        let mut attempt = 0usize;
+        let stream = loop {
+            match Self::dial(peer, tenant, token, None) {
+                Ok(s) => break s,
+                // Auth/protocol rejections are deterministic; only
+                // transport errors are worth retrying.
+                Err(e @ (ClientError::Server { .. } | ClientError::Protocol(_))) => return Err(e),
+                Err(ClientError::Io(e)) => {
+                    if attempt >= retry.max_retries {
+                        return Err(ClientError::Io(e));
+                    }
+                    std::thread::sleep(retry.backoff(attempt, &mut rng));
+                    attempt += 1;
+                }
+            }
+        };
+        Ok(BinaryClient {
+            stream,
+            peer,
+            tenant: tenant.to_string(),
+            token: token.to_string(),
+            retry,
+            rng,
+            timeout: None,
+        })
+    }
+
+    /// One fresh authenticated connection to `peer`.
+    fn dial(
+        peer: SocketAddr,
+        tenant: &str,
+        token: &str,
+        timeout: Option<Duration>,
+    ) -> Result<TcpStream, ClientError> {
+        let mut stream = TcpStream::connect(peer)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(timeout)?;
+        stream.write_all(&wire::MAGIC)?;
+        let payload = wire::PayloadWriter::new().str16(tenant).str16(token).build();
+        wire::write_frame(&mut stream, Op::Auth as u8, payload.as_slice())?;
+        let Some((tag, body)) = wire::read_frame(&mut stream)? else {
+            return Err(ClientError::Protocol("server closed mid-call".into()));
+        };
+        match Status::from_u8(tag) {
+            Some(Status::Ok) => Ok(stream),
+            Some(status) => Err(ClientError::Server {
+                status,
+                message: String::from_utf8_lossy(&body).into_owned(),
+            }),
+            None => Err(ClientError::Protocol(format!("unknown status byte {tag}"))),
+        }
+    }
+
+    /// Re-dials and re-authenticates after a transport failure.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.stream = Self::dial(self.peer, &self.tenant, &self.token, self.timeout)?;
+        Ok(())
+    }
+
+    /// Sets a receive timeout on the connection (it survives reconnects).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.timeout = timeout;
         self.stream.set_read_timeout(timeout)
     }
 
@@ -91,8 +234,45 @@ impl BinaryClient {
         }
     }
 
+    /// [`Self::call_raw`] with reconnect-and-retry on transport errors —
+    /// only safe for idempotent ops. A clean close mid-call
+    /// (`Protocol("server closed mid-call")`) retries too: for a read-only
+    /// op the work was either not done or safely repeatable.
+    fn call_raw_idempotent(
+        &mut self,
+        op: Op,
+        payload: &[u8],
+    ) -> Result<(Status, Vec<u8>), ClientError> {
+        let mut attempt = 0usize;
+        loop {
+            let err = match self.call_raw(op, payload) {
+                Ok(reply) => return Ok(reply),
+                Err(e @ ClientError::Server { .. }) => return Err(e),
+                Err(e) => e,
+            };
+            if attempt >= self.retry.max_retries {
+                return Err(err);
+            }
+            std::thread::sleep(self.retry.backoff(attempt, &mut self.rng));
+            attempt += 1;
+            // A failed reconnect consumes the attempt; keep looping until
+            // the budget runs out.
+            let _ = self.reconnect();
+        }
+    }
+
     fn call(&mut self, op: Op, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
         match self.call_raw(op, payload)? {
+            (Status::Ok, body) => Ok(body),
+            (status, body) => Err(ClientError::Server {
+                status,
+                message: String::from_utf8_lossy(&body).into_owned(),
+            }),
+        }
+    }
+
+    fn call_idempotent(&mut self, op: Op, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        match self.call_raw_idempotent(op, payload)? {
             (Status::Ok, body) => Ok(body),
             (status, body) => Err(ClientError::Server {
                 status,
@@ -120,7 +300,7 @@ impl BinaryClient {
             .u32(vector.len() as u32)
             .f32s(vector)
             .build();
-        let (status, body) = match self.call_raw(Op::Query, &payload)? {
+        let (status, body) = match self.call_raw_idempotent(Op::Query, &payload)? {
             // A timed-out query still carries its (partial) encoded results.
             reply @ ((Status::Ok, _) | (Status::Timeout, _)) => reply,
             (status, body) => {
@@ -152,19 +332,26 @@ impl BinaryClient {
 
     /// The `/stats` document as a JSON string.
     pub fn stats(&mut self) -> Result<String, ClientError> {
-        let body = self.call(Op::Stats, &[])?;
+        let body = self.call_idempotent(Op::Stats, &[])?;
         String::from_utf8(body).map_err(|_| ClientError::Protocol("stats not utf-8".into()))
     }
 
     /// The tenant's health document as a JSON string.
     pub fn health(&mut self) -> Result<String, ClientError> {
-        let body = self.call(Op::Health, &[])?;
+        let body = self.call_idempotent(Op::Health, &[])?;
         String::from_utf8(body).map_err(|_| ClientError::Protocol("health not utf-8".into()))
     }
 
     /// Round-trip liveness check.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        self.call(Op::Ping, &[]).map(|_| ())
+        self.call_idempotent(Op::Ping, &[]).map(|_| ())
+    }
+
+    /// Promotes the authenticated replica tenant: verify its WAL tail and
+    /// open it for writes (manual failover). Deliberately **not** retried:
+    /// promotion is a state change the operator should observe directly.
+    pub fn promote(&mut self) -> Result<(), ClientError> {
+        self.call(Op::Promote, &[]).map(|_| ())
     }
 }
 

@@ -4,6 +4,18 @@ use mbi_core::{EngineConfig, MbiConfig};
 use std::path::PathBuf;
 use std::time::Duration;
 
+/// Where a replica tenant replicates from: the leader's address and the
+/// credentials of the leader-side tenant it subscribes to.
+#[derive(Clone, Debug)]
+pub struct ReplicaSource {
+    /// Leader address, e.g. `"127.0.0.1:7171"`.
+    pub addr: String,
+    /// Leader-side tenant name to subscribe to.
+    pub tenant: String,
+    /// That tenant's bearer token.
+    pub token: String,
+}
+
 /// One tenant: a name, its bearer token, and where its data lives.
 #[derive(Clone, Debug)]
 pub struct TenantConfig {
@@ -15,17 +27,28 @@ pub struct TenantConfig {
     /// Durable directory for a streaming tenant
     /// ([`StreamingMbi::open`](mbi_core::StreamingMbi::open)): WAL +
     /// checkpoints live here and the tenant recovers from it on restart.
-    /// `None` (and no `cold_path`) = in-memory streaming tenant.
+    /// `None` (and no `cold_path`) = in-memory streaming tenant. Required
+    /// for a replica tenant (the follower's WAL lives here).
     pub dir: Option<PathBuf>,
     /// Path to a v7 index file for a read-only cold tenant
     /// ([`ColdIndex`](mbi_core::ColdIndex)); inserts are rejected.
     pub cold_path: Option<PathBuf>,
+    /// Present on a replica tenant: the leader to tail. The tenant serves
+    /// read-only queries while replicating and rejects inserts until
+    /// promoted.
+    pub replica_of: Option<ReplicaSource>,
 }
 
 impl TenantConfig {
     /// An in-memory streaming tenant.
     pub fn memory(name: impl Into<String>, token: impl Into<String>) -> Self {
-        TenantConfig { name: name.into(), token: token.into(), dir: None, cold_path: None }
+        TenantConfig {
+            name: name.into(),
+            token: token.into(),
+            dir: None,
+            cold_path: None,
+            replica_of: None,
+        }
     }
 
     /// A durable streaming tenant rooted at `dir`.
@@ -39,6 +62,7 @@ impl TenantConfig {
             token: token.into(),
             dir: Some(dir.into()),
             cold_path: None,
+            replica_of: None,
         }
     }
 
@@ -53,6 +77,24 @@ impl TenantConfig {
             token: token.into(),
             dir: None,
             cold_path: Some(path.into()),
+            replica_of: None,
+        }
+    }
+
+    /// A replica tenant: a durable follower rooted at `dir` tailing
+    /// `source`, serving read-only queries until promoted.
+    pub fn replica(
+        name: impl Into<String>,
+        token: impl Into<String>,
+        dir: impl Into<PathBuf>,
+        source: ReplicaSource,
+    ) -> Self {
+        TenantConfig {
+            name: name.into(),
+            token: token.into(),
+            dir: Some(dir.into()),
+            cold_path: None,
+            replica_of: Some(source),
         }
     }
 }
@@ -89,6 +131,19 @@ pub struct ServerConfig {
     /// Upper bound on one coalesced batch; a full batch executes before
     /// the window elapses.
     pub coalesce_max_batch: usize,
+    /// Idle-connection deadline (the slow-loris guard): a connection that
+    /// sends no complete request for this long is dropped and counted in
+    /// `idle_dropped`. `None` = no deadline. Replication subscriptions are
+    /// exempt (they are idle by design between pushes).
+    pub idle_timeout: Option<Duration>,
+    /// Hard cap on one binary frame (and indirectly the request head cap
+    /// guards HTTP); larger frames get a clean error and the connection
+    /// closes. Clamped to the protocol-wide
+    /// [`MAX_FRAME`](crate::wire::MAX_FRAME).
+    pub max_frame_bytes: usize,
+    /// `/healthz` reports `"degraded"` when any replica tenant lags its
+    /// leader by more than this many rows.
+    pub replica_lag_warn_rows: u64,
     /// The tenants to serve. Duplicate names or tokens are a start-time
     /// error.
     pub tenants: Vec<TenantConfig>,
@@ -107,6 +162,9 @@ impl ServerConfig {
             default_deadline: Some(Duration::from_secs(2)),
             coalesce_window: Duration::ZERO,
             coalesce_max_batch: 32,
+            idle_timeout: Some(Duration::from_secs(30)),
+            max_frame_bytes: crate::wire::MAX_FRAME,
+            replica_lag_warn_rows: 10_000,
             tenants: Vec::new(),
         }
     }
@@ -145,6 +203,25 @@ impl ServerConfig {
     /// Sets the connection cap.
     pub fn with_max_connections(mut self, n: usize) -> Self {
         self.max_connections = n.max(1);
+        self
+    }
+
+    /// Sets the idle-connection deadline (`None` = never drop idlers).
+    pub fn with_idle_timeout(mut self, d: Option<Duration>) -> Self {
+        self.idle_timeout = d;
+        self
+    }
+
+    /// Sets the per-frame size cap (clamped to at least 16 bytes and at
+    /// most the protocol-wide maximum).
+    pub fn with_max_frame_bytes(mut self, n: usize) -> Self {
+        self.max_frame_bytes = n.clamp(16, crate::wire::MAX_FRAME);
+        self
+    }
+
+    /// Sets the replica-lag threshold at which `/healthz` degrades.
+    pub fn with_replica_lag_warn(mut self, rows: u64) -> Self {
+        self.replica_lag_warn_rows = rows;
         self
     }
 }

@@ -126,6 +126,7 @@ pub fn write_response<W: Write>(
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Error",
     };

@@ -14,7 +14,7 @@
 //! workspace's vendored-stand-in discipline applies (no async runtime is
 //! worth stubbing — blocking threads serve the tested load fine).
 //!
-//! The server owns four concerns the engine itself does not:
+//! The server owns five concerns the engine itself does not:
 //!
 //! 1. **Tenancy** ([`tenant`]) — one engine per named tenant, bearer-token
 //!    auth, builder threads and RAM budget divided across tenants.
@@ -27,9 +27,15 @@
 //!    within a small time window merge into one
 //!    [`StreamingMbi::query_batch`](mbi_core::StreamingMbi::query_batch)
 //!    call and demultiplex, bit-identical to serial execution.
-//! 4. **Observability** ([`metrics`]) — per-tenant p50/p99/max latency,
-//!    QPS, queue depth, coalesce ratio, and the engine's own
-//!    stats/health/tier counters as JSON.
+//! 4. **Replication** ([`replicate`]) — WAL-shipped read replicas over the
+//!    binary protocol: a leader streams sealed segments plus the live tail
+//!    to followers that serve read-only queries while they tail, verify
+//!    every segment handoff by CRC (divergence is a named error, never
+//!    silent drift), survive link faults with jittered backoff, and can be
+//!    promoted to writable primaries on failover.
+//! 5. **Observability** ([`metrics`]) — per-tenant p50/p99/max latency,
+//!    QPS, queue depth, coalesce ratio, replication lag, and the engine's
+//!    own stats/health/tier counters as JSON.
 
 // deny (not forbid): the signal module needs one audited `extern "C"` FFI
 // declaration for SIGINT/SIGTERM, mirroring the mapped-I/O exception in
@@ -42,14 +48,16 @@ pub mod coalesce;
 pub mod config;
 pub mod http;
 pub mod metrics;
+pub mod replicate;
 pub mod server;
 pub mod signal;
 pub mod tenant;
 pub mod wire;
 
-pub use client::{BinaryClient, ClientError};
+pub use client::{BinaryClient, ClientError, RetryPolicy};
 pub use coalesce::Coalescer;
-pub use config::{ServerConfig, TenantConfig};
+pub use config::{ReplicaSource, ServerConfig, TenantConfig};
 pub use metrics::{LatencyHistogram, ServerMetrics, TenantMetrics};
+pub use replicate::ReplicaState;
 pub use server::{Server, ServerHandle};
-pub use tenant::{Tenant, TenantEngine, TenantRegistry};
+pub use tenant::{FollowerInfo, Tenant, TenantEngine, TenantRegistry};

@@ -197,6 +197,10 @@ pub struct ServerMetrics {
     pub shed: AtomicU64,
     /// Requests that failed to parse at all.
     pub bad_requests: AtomicU64,
+    /// Connections dropped by the idle deadline (slow-loris guard).
+    pub idle_dropped: AtomicU64,
+    /// Frames / request heads rejected for exceeding the size cap.
+    pub oversized: AtomicU64,
 }
 
 impl Default for ServerMetrics {
@@ -208,6 +212,8 @@ impl Default for ServerMetrics {
             connections_refused: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
+            idle_dropped: AtomicU64::new(0),
+            oversized: AtomicU64::new(0),
         }
     }
 }
@@ -225,6 +231,8 @@ impl ServerMetrics {
             ),
             ("shed".into(), Value::UInt(self.shed.load(Ordering::Relaxed))),
             ("bad_requests".into(), Value::UInt(self.bad_requests.load(Ordering::Relaxed))),
+            ("idle_dropped".into(), Value::UInt(self.idle_dropped.load(Ordering::Relaxed))),
+            ("oversized".into(), Value::UInt(self.oversized.load(Ordering::Relaxed))),
         ])
     }
 }

@@ -42,11 +42,11 @@ const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
 pub struct Server;
 
 /// Everything shared across the accept loop and connection threads.
-struct Shared {
-    config: ServerConfig,
-    registry: Arc<TenantRegistry>,
-    metrics: ServerMetrics,
-    stop: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) registry: Arc<TenantRegistry>,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) stop: AtomicBool,
 }
 
 impl Server {
@@ -67,7 +67,21 @@ impl Server {
             .name("mbi-accept".into())
             .spawn(move || accept_loop(listener, accept_shared))
             .map_err(MbiError::Io)?;
-        Ok(ServerHandle { addr, shared, registry, accept: Some(accept) })
+        // Each replica tenant gets a tailing thread that keeps its
+        // subscription to the leader alive until shutdown or promotion.
+        let mut followers = Vec::new();
+        for tenant in registry.all() {
+            if matches!(tenant.engine, crate::tenant::TenantEngine::Replica { .. }) {
+                let tenant = Arc::clone(tenant);
+                let shared = Arc::clone(&shared);
+                let thread = std::thread::Builder::new()
+                    .name(format!("mbi-repl-{}", tenant.name))
+                    .spawn(move || crate::replicate::run_follower(tenant, shared))
+                    .map_err(MbiError::Io)?;
+                followers.push(thread);
+            }
+        }
+        Ok(ServerHandle { addr, shared, registry, accept: Some(accept), followers })
     }
 }
 
@@ -77,6 +91,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     registry: Arc<TenantRegistry>,
     accept: Option<std::thread::JoinHandle<()>>,
+    followers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -124,17 +139,26 @@ impl ServerHandle {
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
+        for t in self.followers.drain(..) {
+            let _ = t.join();
+        }
         let gone = Instant::now() + DRAIN_TIMEOUT;
         while self.shared.metrics.connections.load(Ordering::Relaxed) > 0 && Instant::now() < gone {
             std::thread::sleep(Duration::from_millis(5));
         }
         for tenant in self.registry.all() {
-            if let crate::tenant::TenantEngine::Streaming(e) = &tenant.engine {
-                if e.durable_dir().is_some() {
+            match &tenant.engine {
+                crate::tenant::TenantEngine::Streaming(e) if e.durable_dir().is_some() => {
                     if let Err(err) = e.checkpoint() {
                         eprintln!("checkpoint of tenant {:?} failed: {err}", tenant.name);
                     }
                 }
+                crate::tenant::TenantEngine::Replica { replica, .. } => {
+                    if let Err(err) = replica.engine().checkpoint() {
+                        eprintln!("checkpoint of replica {:?} failed: {err}", tenant.name);
+                    }
+                }
+                _ => {}
             }
         }
     }
@@ -211,13 +235,20 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let mut sniff = [0u8; 4];
     let mut got = 0usize;
-    // Collect the 4 sniff bytes, polling the stop flag on timeouts.
+    // Collect the 4 sniff bytes, polling the stop flag on timeouts. The
+    // idle deadline (the slow-loris guard) starts here: a connection that
+    // cannot even produce 4 bytes in time is dropped.
+    let idle_gone = shared.config.idle_timeout.map(|d| Instant::now() + d);
     while got < 4 {
         match (&stream).read(&mut sniff[got..]) {
             Ok(0) => return,
             Ok(n) => got += n,
             Err(e) if is_timeout(&e) => {
                 if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                if idle_gone.is_some_and(|gone| Instant::now() >= gone) {
+                    shared.metrics.idle_dropped.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
             }
@@ -236,15 +267,22 @@ fn is_timeout(e: &std::io::Error) -> bool {
 }
 
 /// Waits until the reader has buffered data, the peer closes (`Ok(false)`),
-/// or the server stops (`Ok(false)`).
+/// the server stops (`Ok(false)`), or the idle deadline passes without a
+/// byte arriving (`Ok(false)`, counted in `idle_dropped`). The deadline is
+/// re-armed per request — it bounds *idle* time, not connection lifetime.
 fn wait_readable<R: Read>(reader: &mut BufReader<R>, shared: &Shared) -> std::io::Result<bool> {
     use std::io::BufRead;
+    let idle_gone = shared.config.idle_timeout.map(|d| Instant::now() + d);
     loop {
         match reader.fill_buf() {
             Ok([]) => return Ok(false),
             Ok(_) => return Ok(true),
             Err(e) if is_timeout(&e) => {
                 if shared.stop.load(Ordering::Relaxed) {
+                    return Ok(false);
+                }
+                if idle_gone.is_some_and(|gone| Instant::now() >= gone) {
+                    shared.metrics.idle_dropped.fetch_add(1, Ordering::Relaxed);
                     return Ok(false);
                 }
             }
@@ -346,8 +384,16 @@ fn serve_http(stream: &TcpStream, sniffed: &[u8], shared: &Shared) {
             Err(ParseError::Closed) => return,
             Err(ParseError::Io(_)) => return,
             Err(ParseError::Malformed(m)) => {
-                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
-                let _ = http::write_response(&mut out, 400, &http::error_body(&m), false);
+                // An oversized request head is the HTTP face of the frame
+                // cap: 431 and its own counter, not a generic 400.
+                let status = if m == "request head too large" {
+                    shared.metrics.oversized.fetch_add(1, Ordering::Relaxed);
+                    431
+                } else {
+                    shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    400
+                };
+                let _ = http::write_response(&mut out, status, &http::error_body(&m), false);
                 return;
             }
         };
@@ -372,6 +418,13 @@ fn handle_http_request(req: &Request, shared: &Shared) -> (u16, String) {
         },
         ("POST", "/insert") => match authenticate_http(req, shared) {
             Ok(tenant) => http_insert(req, tenant, shared),
+            Err(resp) => resp,
+        },
+        ("POST", "/promote") => match authenticate_http(req, shared) {
+            Ok(tenant) => match tenant.promote() {
+                Ok(()) => (200, render(Value::Map(vec![("promoted".into(), Value::Bool(true))]))),
+                Err(e) => (400, http::error_body(&e.to_string())),
+            },
             Err(resp) => resp,
         },
         ("GET" | "POST", _) => (404, http::error_body("no such endpoint")),
@@ -406,8 +459,20 @@ fn healthz(shared: &Shared) -> (u16, String) {
     let tenants: Vec<(String, Value)> =
         shared.registry.all().iter().map(|t| (t.name.clone(), t.health_value())).collect();
     let halted = shared.registry.any_halted();
+    // A replica trailing its leader past the configured threshold degrades
+    // the report (still 200 — the data it serves is stale, not wrong).
+    let lagging = shared.registry.all().iter().any(|t| {
+        t.replication_lag_rows().is_some_and(|lag| lag > shared.config.replica_lag_warn_rows)
+    });
+    let status = if halted {
+        "halted"
+    } else if lagging {
+        "degraded"
+    } else {
+        "ok"
+    };
     let body = Value::Map(vec![
-        ("status".into(), Value::Str(if halted { "halted" } else { "ok" }.into())),
+        ("status".into(), Value::Str(status.into())),
         ("tenants".into(), Value::Map(tenants)),
     ]);
     (if halted { 503 } else { 200 }, render(body))
@@ -417,12 +482,16 @@ fn healthz(shared: &Shared) -> (u16, String) {
 /// tenant's own serving metrics and engine stats.
 fn stats_value(tenant: &Arc<Tenant>, shared: &Shared) -> Value {
     let uptime = shared.metrics.started.elapsed();
-    Value::Map(vec![
+    let mut doc = vec![
         ("server".into(), shared.metrics.to_value()),
         ("tenant".into(), Value::Str(tenant.name.clone())),
         ("serving".into(), tenant.metrics.to_value(uptime)),
         ("engine".into(), tenant.engine_stats_value()),
-    ])
+    ];
+    if let Some(followers) = tenant.followers_value() {
+        doc.push(("followers".into(), followers));
+    }
+    Value::Map(doc)
 }
 
 fn http_query(req: &Request, tenant: &Arc<Tenant>, shared: &Shared) -> (u16, String) {
@@ -549,20 +618,41 @@ fn serve_binary(stream: &TcpStream, shared: &Shared) {
             Ok(true) => {}
             Ok(false) | Err(_) => return,
         }
-        let (tag, payload) = match wire::read_frame(&mut reader) {
-            Ok(Some(f)) => f,
-            Ok(None) => return,
-            Err(_) => {
-                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
-                let _ = wire::write_frame(&mut out, Status::BadRequest as u8, b"bad frame");
-                return;
-            }
-        };
+        let (tag, payload) =
+            match wire::read_frame_limit(&mut reader, shared.config.max_frame_bytes) {
+                Ok(Some(f)) => f,
+                Ok(None) => return,
+                Err(e) => {
+                    if e.to_string().contains("exceeds cap") {
+                        shared.metrics.oversized.fetch_add(1, Ordering::Relaxed);
+                        let _ = wire::write_frame(
+                            &mut out,
+                            Status::BadRequest as u8,
+                            b"frame too large",
+                        );
+                    } else {
+                        shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        let _ = wire::write_frame(&mut out, Status::BadRequest as u8, b"bad frame");
+                    }
+                    return;
+                }
+            };
         let Some(op) = Op::from_u8(tag) else {
             shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
             let _ = wire::write_frame(&mut out, Status::BadRequest as u8, b"unknown op");
             return;
         };
+        if op == Op::ReplSubscribe {
+            // The subscription takes the whole connection over: the push
+            // loop owns it until disconnect or shutdown.
+            let Some(tenant) = tenant.as_ref() else {
+                let _ =
+                    wire::write_frame(&mut out, Status::Unauthorized as u8, b"authenticate first");
+                return;
+            };
+            crate::replicate::serve_repl_subscribe(stream, &payload, tenant, shared);
+            return;
+        }
         let (status, response) = handle_binary_op(op, &payload, &mut tenant, shared);
         if wire::write_frame(&mut out, status as u8, &response).is_err() {
             return;
@@ -689,6 +779,18 @@ fn handle_binary_op(
                 return (Status::Unauthorized, b"authenticate first".to_vec());
             };
             (Status::Ok, render(tenant.health_value()).into_bytes())
+        }
+        // Handled at the connection level in `serve_binary`; reaching the
+        // dispatcher means the interception was bypassed somehow.
+        Op::ReplSubscribe => (Status::BadRequest, b"subscribe is connection-level".to_vec()),
+        Op::Promote => {
+            let Some(tenant) = tenant.as_ref() else {
+                return (Status::Unauthorized, b"authenticate first".to_vec());
+            };
+            match tenant.promote() {
+                Ok(()) => (Status::Ok, Vec::new()),
+                Err(e) => (Status::BadRequest, e.to_string().into_bytes()),
+            }
         }
     }
 }

@@ -3,14 +3,17 @@
 //! tenants.
 
 use crate::coalesce::Coalescer;
-use crate::config::{ServerConfig, TenantConfig};
+use crate::config::{ReplicaSource, ServerConfig, TenantConfig};
 use crate::metrics::TenantMetrics;
+use crate::replicate::ReplicaState;
 use mbi_ann::SearchParams;
 use mbi_core::{
-    ColdIndex, EngineHealth, MbiError, QueryOutput, StreamingMbi, TimeWindow, TknnResult,
+    ColdIndex, EngineHealth, MbiError, QueryOutput, Replica, StreamingMbi, TimeWindow, TknnResult,
 };
 use serde::Value;
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// The engine behind one tenant.
@@ -19,6 +22,26 @@ pub enum TenantEngine {
     Streaming(StreamingMbi),
     /// A read-only disk-tiered index; inserts are rejected.
     Cold(ColdIndex),
+    /// A replication follower: a durable engine fed from a leader, serving
+    /// read-only queries until promoted.
+    Replica {
+        /// The follower applier around the durable engine.
+        replica: Arc<Replica>,
+        /// Live link state (lag, connectivity, promotion flag).
+        state: Arc<ReplicaState>,
+        /// The leader this tenant tails.
+        source: ReplicaSource,
+    },
+}
+
+/// What the leader knows about one subscribed follower (keyed by the
+/// follower id it presented at `REPL_SUBSCRIBE`).
+#[derive(Clone, Copy, Debug)]
+pub struct FollowerInfo {
+    /// Highest row the follower acked as durable.
+    pub acked_row: u64,
+    /// Whether its subscription connection is currently open.
+    pub connected: bool,
 }
 
 /// One tenant: engine + token + serving metrics + its coalescer.
@@ -32,6 +55,9 @@ pub struct Tenant {
     pub metrics: TenantMetrics,
     /// The tenant's query coalescer (a no-op when the window is zero).
     pub coalescer: Coalescer,
+    /// Leader-side registry of subscribed followers (empty unless this
+    /// tenant has ever served a `REPL_SUBSCRIBE`).
+    pub followers: Mutex<BTreeMap<String, FollowerInfo>>,
 }
 
 impl Tenant {
@@ -52,6 +78,7 @@ impl Tenant {
         match &self.engine {
             TenantEngine::Streaming(e) => e.config().search,
             TenantEngine::Cold(c) => c.config().search,
+            TenantEngine::Replica { replica, .. } => replica.engine().config().search,
         }
     }
 
@@ -60,6 +87,7 @@ impl Tenant {
         match &self.engine {
             TenantEngine::Streaming(e) => e.config().dim,
             TenantEngine::Cold(c) => c.config().dim,
+            TenantEngine::Replica { replica, .. } => replica.engine().config().dim,
         }
     }
 
@@ -76,10 +104,16 @@ impl Tenant {
             TenantEngine::Streaming(e) => {
                 Ok(e.query_with_deadline(query, k, window, &self.search_params(), deadline))
             }
-            // The cold tier has no deadline hook (its per-piece latency is
-            // bounded by the block cache); the server still enforces the
-            // deadline at admission and after execution.
-            TenantEngine::Cold(c) => c.query_with_params(query, k, window, &self.search_params()),
+            TenantEngine::Cold(c) => {
+                c.query_with_deadline(query, k, window, &self.search_params(), deadline)
+            }
+            TenantEngine::Replica { replica, .. } => Ok(replica.engine().query_with_deadline(
+                query,
+                k,
+                window,
+                &self.search_params(),
+                deadline,
+            )),
         }
     }
 
@@ -96,14 +130,52 @@ impl Tenant {
                 .iter()
                 .map(|(q, k, w)| Ok(c.query_with_params(q, *k, *w, &params)?.results))
                 .collect(),
+            TenantEngine::Replica { replica, .. } => {
+                Ok(replica.engine().query_batch(queries, &params, threads))
+            }
         }
     }
 
-    /// One insert; read-only tenants reject it.
+    /// One insert; read-only tenants reject it. A replica accepts inserts
+    /// only once promoted.
     pub fn insert(&self, vector: &[f32], t: i64) -> Result<u32, TenantError> {
         match &self.engine {
             TenantEngine::Streaming(e) => Ok(e.insert(vector, t)?),
             TenantEngine::Cold(_) => Err(TenantError::ReadOnly),
+            TenantEngine::Replica { replica, .. } => {
+                if replica.is_promoted() {
+                    Ok(replica.engine().insert(vector, t)?)
+                } else {
+                    Err(TenantError::ReadOnly)
+                }
+            }
+        }
+    }
+
+    /// Promotes a replica tenant (manual failover): verifies its WAL tail,
+    /// checkpoints, and opens it for writes. Errors on non-replica tenants.
+    pub fn promote(&self) -> Result<(), TenantError> {
+        match &self.engine {
+            TenantEngine::Replica { replica, state, .. } => {
+                replica.promote()?;
+                state.promoted.store(true, Ordering::Relaxed);
+                Ok(())
+            }
+            _ => Err(TenantError::Engine(MbiError::Io(std::io::Error::other(
+                "tenant is not a replica",
+            )))),
+        }
+    }
+
+    /// Rows this replica lags its leader by (`None` for non-replicas).
+    /// Lag is against the highest leader row count observed over the link,
+    /// so a disconnected follower reports its last-known lag, not zero.
+    pub fn replication_lag_rows(&self) -> Option<u64> {
+        match &self.engine {
+            TenantEngine::Replica { replica, state, .. } => {
+                Some(state.leader_rows.load(Ordering::Relaxed).saturating_sub(replica.next_row()))
+            }
+            _ => None,
         }
     }
 
@@ -112,6 +184,7 @@ impl Tenant {
         match &self.engine {
             TenantEngine::Streaming(e) => e.len(),
             TenantEngine::Cold(c) => c.len(),
+            TenantEngine::Replica { replica, .. } => replica.engine().len(),
         }
     }
 
@@ -125,6 +198,7 @@ impl Tenant {
         match &self.engine {
             TenantEngine::Streaming(e) => e.health(),
             TenantEngine::Cold(_) => EngineHealth::Healthy,
+            TenantEngine::Replica { replica, .. } => replica.engine().health(),
         }
     }
 
@@ -133,6 +207,7 @@ impl Tenant {
         match &self.engine {
             TenantEngine::Streaming(e) => e.failure_log(),
             TenantEngine::Cold(_) => Vec::new(),
+            TenantEngine::Replica { replica, .. } => replica.engine().failure_log(),
         }
     }
 
@@ -171,7 +246,71 @@ impl Tenant {
                     ("budget_bytes".into(), Value::UInt(t.budget_bytes)),
                 ])
             }
+            TenantEngine::Replica { replica, state, source } => {
+                let rows = replica.next_row();
+                let leader_rows = state.leader_rows.load(Ordering::Relaxed);
+                let lag = leader_rows.saturating_sub(rows);
+                let leaf = replica.engine().config().leaf_size.max(1) as u64;
+                let (duplicates, verified, unverified) = replica.apply_counters();
+                Value::Map(vec![
+                    ("kind".into(), Value::Str("replica".into())),
+                    ("rows".into(), Value::UInt(rows)),
+                    ("leader".into(), Value::Str(format!("{}/{}", source.addr, source.tenant))),
+                    ("leader_rows".into(), Value::UInt(leader_rows)),
+                    ("lag_rows".into(), Value::UInt(lag)),
+                    ("lag_segments".into(), Value::UInt(lag / leaf)),
+                    ("connected".into(), Value::Bool(state.connected.load(Ordering::Relaxed))),
+                    ("promoted".into(), Value::Bool(replica.is_promoted())),
+                    ("reconnects".into(), Value::UInt(state.reconnects.load(Ordering::Relaxed))),
+                    ("duplicates_skipped".into(), Value::UInt(duplicates)),
+                    ("seals_verified".into(), Value::UInt(verified)),
+                    ("seals_unverified".into(), Value::UInt(unverified)),
+                    (
+                        "last_error".into(),
+                        Value::Str(
+                            state
+                                .last_error
+                                .lock()
+                                .map_or_else(|_| String::new(), |e| e.clone().unwrap_or_default()),
+                        ),
+                    ),
+                ])
+            }
         }
+    }
+
+    /// The leader-side follower section of `/stats`: per-follower acked
+    /// row, rows behind, and segments behind. `None` when this tenant has
+    /// never had a subscriber.
+    pub fn followers_value(&self) -> Option<Value> {
+        let followers = self.followers.lock().ok()?;
+        if followers.is_empty() {
+            return None;
+        }
+        let rows = self.len() as u64;
+        let leaf = match &self.engine {
+            TenantEngine::Streaming(e) => e.config().leaf_size.max(1) as u64,
+            TenantEngine::Cold(c) => c.config().leaf_size.max(1) as u64,
+            TenantEngine::Replica { replica, .. } => {
+                replica.engine().config().leaf_size.max(1) as u64
+            }
+        };
+        let entries = followers
+            .iter()
+            .map(|(id, info)| {
+                let behind = rows.saturating_sub(info.acked_row);
+                (
+                    id.clone(),
+                    Value::Map(vec![
+                        ("acked_row".into(), Value::UInt(info.acked_row)),
+                        ("rows_behind".into(), Value::UInt(behind)),
+                        ("segments_behind".into(), Value::UInt(behind / leaf)),
+                        ("connected".into(), Value::Bool(info.connected)),
+                    ]),
+                )
+            })
+            .collect();
+        Some(Value::Map(entries))
     }
 
     /// Health as JSON: stable label, halted flag, failing chains, and the
@@ -262,6 +401,7 @@ impl TenantRegistry {
                 engine: engine_impl,
                 metrics: TenantMetrics::default(),
                 coalescer: Coalescer::new(config.coalesce_window, config.coalesce_max_batch),
+                followers: Mutex::new(BTreeMap::new()),
             }));
         }
         Ok(TenantRegistry { tenants })
@@ -273,6 +413,20 @@ impl TenantRegistry {
         engine: mbi_core::EngineConfig,
         cold_count: u64,
     ) -> Result<TenantEngine, MbiError> {
+        if let Some(source) = &tc.replica_of {
+            let dir = tc.dir.as_ref().ok_or_else(|| {
+                MbiError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("replica tenant {:?} needs a durable dir", tc.name),
+                ))
+            })?;
+            let replica = Arc::new(Replica::open(dir, config.index, engine)?);
+            return Ok(TenantEngine::Replica {
+                replica,
+                state: Arc::new(ReplicaState::new()),
+                source: source.clone(),
+            });
+        }
         if let Some(path) = &tc.cold_path {
             let share = config.index.ram_budget_bytes / cold_count;
             return Ok(TenantEngine::Cold(ColdIndex::open_with_budget(path, share)?));

@@ -18,12 +18,24 @@
 //! | 04 | STATS  | (empty)                                                   |
 //! | 05 | PING   | (empty)                                                   |
 //! | 06 | HEALTH | (empty)                                                   |
+//! | 07 | REPL_SUBSCRIBE | u16 id_len, follower id, u64 start_row            |
+//! | 08 | PROMOTE | (empty)                                                  |
 //!
 //! Status 0 is OK; the non-zero codes mirror the HTTP error statuses. OK
 //! payloads: QUERY → `u8 flags` (bit 0 coalesced, bit 1 timed-out/partial),
 //! `u32 n`, then `n × (u32 id, i64 timestamp, f32 dist)`; INSERT → `u32 id`;
-//! STATS/HEALTH → a JSON document; AUTH/PING → empty. Every error payload is
-//! a human-readable message.
+//! STATS/HEALTH → a JSON document; AUTH/PING/PROMOTE → empty. Every error
+//! payload is a human-readable message.
+//!
+//! # Replication frames
+//!
+//! `REPL_SUBSCRIBE` flips the connection into a **push stream**: the OK
+//! reply carries `u32 dim, u32 leaf_size, u64 leader_rows`, and from then on
+//! the leader pushes frames tagged with the `REPL_*` constants below
+//! ([`REPL_RECORD`], [`REPL_SEAL`], [`REPL_HEARTBEAT`], [`REPL_ERR`]) while
+//! the follower sends [`REPL_ACK`] frames upstream on the same socket.
+//! Record frames carry their own CRC-checked WAL payload; seal frames carry
+//! the leader's segment CRC the follower verifies its own bytes against.
 
 use mbi_core::TknnResult;
 use std::io::{Read, Write};
@@ -50,6 +62,10 @@ pub enum Op {
     Ping = 0x05,
     /// Engine health as JSON.
     Health = 0x06,
+    /// Subscribe this connection as a replication follower (push mode).
+    ReplSubscribe = 0x07,
+    /// Promote a replica tenant: verify its tail and open it for writes.
+    Promote = 0x08,
 }
 
 impl Op {
@@ -62,10 +78,27 @@ impl Op {
             0x04 => Some(Op::Stats),
             0x05 => Some(Op::Ping),
             0x06 => Some(Op::Health),
+            0x07 => Some(Op::ReplSubscribe),
+            0x08 => Some(Op::Promote),
             _ => None,
         }
     }
 }
+
+/// Push frame (leader → follower): one WAL record —
+/// `u64 row, i64 timestamp, u32 dim, dim × f32`.
+pub const REPL_RECORD: u8 = 0x41;
+/// Push frame (leader → follower): a segment sealed — `u64 segment, u32 crc`.
+pub const REPL_SEAL: u8 = 0x42;
+/// Push frame (leader → follower): keep-alive with `u64 leader_rows`.
+pub const REPL_HEARTBEAT: u8 = 0x43;
+/// Push frame (leader → follower): terminal link error; payload is the
+/// message. The follower decides from the message whether to reconnect
+/// (transient) or stop (divergence/eviction).
+pub const REPL_ERR: u8 = 0x44;
+/// Upstream frame (follower → leader): `u64 next_row` — every row below it
+/// is durable at the follower; the leader moves its retention hold there.
+pub const REPL_ACK: u8 = 0x45;
 
 /// Response status codes, mirroring the HTTP statuses of the JSON protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,6 +144,14 @@ pub const FLAG_TIMED_OUT: u8 = 1 << 1;
 /// Reads one frame, returning the tag byte (op or status) and payload.
 /// `Ok(None)` means the peer closed cleanly between frames.
 pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+    read_frame_limit(r, MAX_FRAME)
+}
+
+/// [`read_frame`] with an explicit frame-size cap (the server's slow-loris
+/// guard configures a tighter one than the protocol-wide [`MAX_FRAME`]).
+/// An oversized length errors with a message containing `"exceeds cap"` —
+/// the caller can tell it apart from other framing errors.
+pub fn read_frame_limit<R: Read>(r: &mut R, max: usize) -> std::io::Result<Option<(u8, Vec<u8>)>> {
     let mut len = [0u8; 4];
     match r.read_exact(&mut len) {
         Ok(()) => {}
@@ -118,10 +159,13 @@ pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<(u8, Vec<u8>)>> 
         Err(e) => return Err(e),
     }
     let len = u32::from_le_bytes(len) as usize;
-    if len == 0 || len > MAX_FRAME {
+    if len == 0 {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "zero-length frame"));
+    }
+    if len > max.min(MAX_FRAME) {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            format!("frame length {len} outside (0, {MAX_FRAME}]"),
+            format!("frame length {len} exceeds cap {}", max.min(MAX_FRAME)),
         ));
     }
     let mut tag = [0u8; 1];
@@ -172,6 +216,11 @@ impl<'a> PayloadReader<'a> {
     /// Reads a `u32`.
     pub fn u32(&mut self) -> Result<u32, String> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
     /// Reads an `i64`.
@@ -229,6 +278,12 @@ impl PayloadWriter {
 
     /// Appends a `u32`.
     pub fn u32(mut self, v: u32) -> Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
         self.bytes.extend_from_slice(&v.to_le_bytes());
         self
     }
@@ -311,6 +366,31 @@ mod tests {
         assert!(read_frame(&mut buf.as_slice()).is_err(), "zero length");
         buf = (MAX_FRAME as u32 + 1).to_le_bytes().to_vec();
         assert!(read_frame(&mut buf.as_slice()).is_err(), "oversized length");
+    }
+
+    #[test]
+    fn frame_limit_is_enforced_and_distinguishable() {
+        // A frame within MAX_FRAME but over the caller's cap is rejected
+        // with the "exceeds cap" marker the server keys its metrics on.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Op::Query as u8, &[0u8; 100]).unwrap();
+        let err = read_frame_limit(&mut buf.as_slice(), 64).unwrap_err();
+        assert!(err.to_string().contains("exceeds cap"), "{err}");
+        // The same frame passes under a roomier cap.
+        assert!(read_frame_limit(&mut buf.as_slice(), 4096).unwrap().is_some());
+        // Zero-length frames carry a different message.
+        let zero = 0u32.to_le_bytes().to_vec();
+        let err = read_frame_limit(&mut zero.as_slice(), 64).unwrap_err();
+        assert!(!err.to_string().contains("exceeds cap"), "{err}");
+    }
+
+    #[test]
+    fn u64_roundtrips() {
+        let payload = PayloadWriter::new().u64(u64::MAX - 7).u64(0).build();
+        let mut r = PayloadReader::new(&payload);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.u64().unwrap(), 0);
+        r.finish().unwrap();
     }
 
     #[test]

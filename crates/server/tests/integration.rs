@@ -253,3 +253,78 @@ fn connection_cap_refuses_excess_connections() {
     }
     handle.shutdown();
 }
+
+#[test]
+fn idle_connections_are_dropped_and_clients_reconnect_transparently() {
+    let (handle, addr) = start(
+        ServerConfig::new("127.0.0.1:0", index_config())
+            .with_tenant(TenantConfig::memory("alpha", "tok-a"))
+            .with_idle_timeout(Some(Duration::from_millis(150))),
+    );
+    let mut client = BinaryClient::connect(addr, "alpha", "tok-a").unwrap();
+    client.insert(&row(0), 0).unwrap();
+
+    // Hold the connection silent past the idle deadline: the server reaps
+    // it (a slow-loris peer would hold a thread forever otherwise)…
+    std::thread::sleep(Duration::from_millis(500));
+
+    // …and the client's idempotent path reconnects without surfacing an
+    // error to the caller.
+    let hit = client.query(&row(0), 1, TimeWindow::all(), None).unwrap();
+    assert_eq!(hit.results[0].dist, 0.0, "query served after transparent reconnect");
+
+    let stats = serde_json::from_str(&client.stats().unwrap()).unwrap();
+    let dropped = stats.get("server").and_then(|s| s.get("idle_dropped")).and_then(|v| v.as_u64());
+    assert!(dropped >= Some(1), "idle reap is counted, got {dropped:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_binary_frame_is_rejected_and_counted() {
+    // A 16-byte frame cap (the floor) admits the AUTH frame for short
+    // names but nothing query-sized.
+    let (handle, addr) = start(
+        ServerConfig::new("127.0.0.1:0", index_config())
+            .with_tenant(TenantConfig::memory("a", "t"))
+            .with_max_frame_bytes(16),
+    );
+    let mut client = BinaryClient::connect(addr, "a", "t").unwrap();
+    match client.query(&row(0), 1, TimeWindow::all(), None) {
+        Err(ClientError::Server { status: Status::BadRequest, message }) => {
+            assert!(message.contains("frame too large"), "{message}");
+        }
+        other => panic!("oversized frame should be refused, got {other:?}", other = other.err()),
+    }
+    // The guard is observable: a fresh (small-framed) stats call sees the
+    // oversize counter.
+    let (status, body) = http_request(
+        addr,
+        "GET",
+        "/stats",
+        &[("Authorization", "Bearer t"), ("X-Tenant", "a")],
+        "",
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let stats = serde_json::from_str(&body).unwrap();
+    let oversized = stats.get("server").and_then(|s| s.get("oversized")).and_then(|v| v.as_u64());
+    assert!(oversized >= Some(1), "oversized frames are counted, got {oversized:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_http_head_answers_431() {
+    let (handle, addr) = start(
+        ServerConfig::new("127.0.0.1:0", index_config())
+            .with_tenant(TenantConfig::memory("alpha", "tok-a")),
+    );
+    // A 20 KiB header blows the 16 KiB request-head cap.
+    let padding = "x".repeat(20 * 1024);
+    let (status, body) =
+        http_request(addr, "GET", "/healthz", &[("X-Padding", &padding)], "").unwrap();
+    assert_eq!(status, 431, "{body}");
+    // The server survives and keeps serving normal requests.
+    let (status, _) = http_request(addr, "GET", "/healthz", &[], "").unwrap();
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
